@@ -1,0 +1,37 @@
+//! Construction benchmarks: label-split, A(k), D(k) and 1-index build times
+//! on the XMark-like dataset (supports the paper's O(km) construction claim:
+//! A(k)/D(k) build time grows roughly linearly in k, with D(k) tracking the
+//! requirement mix rather than the worst case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkindex_bench::datasets;
+use dkindex_bench::experiments::standard_workload;
+use dkindex_core::{label_split_index, AkIndex, DkIndex, OneIndex};
+
+fn construction(c: &mut Criterion) {
+    let data = datasets::xmark(0.005);
+    let workload = standard_workload(&data, 2003);
+    let reqs = workload.mine_requirements();
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+
+    group.bench_function("label_split", |b| {
+        b.iter(|| label_split_index(std::hint::black_box(&data)))
+    });
+    for k in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("ak", k), &k, |b, &k| {
+            b.iter(|| AkIndex::build(std::hint::black_box(&data), k))
+        });
+    }
+    group.bench_function("dk_mined", |b| {
+        b.iter(|| DkIndex::build(std::hint::black_box(&data), reqs.clone()))
+    });
+    group.bench_function("one_index", |b| {
+        b.iter(|| OneIndex::build(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

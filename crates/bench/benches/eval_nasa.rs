@@ -1,0 +1,44 @@
+//! Figure 5 micro-benchmark: workload evaluation wall-time through each
+//! index on the NASA-like dataset, before updating.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkindex_bench::datasets;
+use dkindex_bench::experiments::standard_workload;
+use dkindex_core::{AkIndex, DkIndex, IndexEvaluator};
+
+fn eval_nasa(c: &mut Criterion) {
+    let data = datasets::nasa(0.05);
+    let workload = standard_workload(&data, 2003);
+
+    let mut group = c.benchmark_group("eval_nasa");
+    group.sample_size(10);
+
+    for k in [0usize, 2, 4] {
+        let ak = AkIndex::build(&data, k);
+        group.bench_with_input(BenchmarkId::new("ak", k), &k, |b, _| {
+            let evaluator = IndexEvaluator::new(ak.index(), &data);
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in workload.queries() {
+                    total += evaluator.evaluate(q).cost.total();
+                }
+                total
+            })
+        });
+    }
+    let dk = DkIndex::build(&data, workload.mine_requirements());
+    group.bench_function("dk", |b| {
+        let evaluator = IndexEvaluator::new(dk.index(), &data);
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in workload.queries() {
+                total += evaluator.evaluate(q).cost.total();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, eval_nasa);
+criterion_main!(benches);

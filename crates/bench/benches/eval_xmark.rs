@@ -1,0 +1,46 @@
+//! Figure 4 micro-benchmark: workload evaluation wall-time through each
+//! index on the XMark-like dataset, before updating. The `reproduce` binary
+//! reports the paper's node-visit cost model; this bench confirms the same
+//! ordering holds for wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkindex_bench::datasets;
+use dkindex_bench::experiments::standard_workload;
+use dkindex_core::{AkIndex, DkIndex, IndexEvaluator};
+
+fn eval_xmark(c: &mut Criterion) {
+    let data = datasets::xmark(0.005);
+    let workload = standard_workload(&data, 2003);
+
+    let mut group = c.benchmark_group("eval_xmark");
+    group.sample_size(10);
+
+    for k in [0usize, 2, 4] {
+        let ak = AkIndex::build(&data, k);
+        group.bench_with_input(BenchmarkId::new("ak", k), &k, |b, _| {
+            let evaluator = IndexEvaluator::new(ak.index(), &data);
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in workload.queries() {
+                    total += evaluator.evaluate(q).cost.total();
+                }
+                total
+            })
+        });
+    }
+    let dk = DkIndex::build(&data, workload.mine_requirements());
+    group.bench_function("dk", |b| {
+        let evaluator = IndexEvaluator::new(dk.index(), &data);
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in workload.queries() {
+                total += evaluator.evaluate(q).cost.total();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, eval_xmark);
+criterion_main!(benches);

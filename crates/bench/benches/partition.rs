@@ -1,0 +1,44 @@
+//! Ablation bench for the refinement-engine design choices called out in
+//! DESIGN.md: the signature-based fixpoint vs the worklist coarsest
+//! refinement for the 1-index, per-round A(k) refinement cost (the O(km)
+//! claim), and the broadcast algorithm's overhead within D(k) construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkindex_bench::datasets;
+use dkindex_core::{dk::dk_partition_with_options, Requirements};
+use dkindex_partition::{bisimulation_fixpoint, coarsest_stable_refinement, k_bisimulation, paige_tarjan};
+
+fn partition_engines(c: &mut Criterion) {
+    let data = datasets::xmark(0.005);
+
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+
+    group.bench_function("signature_fixpoint", |b| {
+        b.iter(|| bisimulation_fixpoint(std::hint::black_box(&data)))
+    });
+    group.bench_function("worklist_coarsest", |b| {
+        b.iter(|| coarsest_stable_refinement(std::hint::black_box(&data)))
+    });
+    group.bench_function("paige_tarjan", |b| {
+        b.iter(|| paige_tarjan(std::hint::black_box(&data)))
+    });
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("k_bisimulation", k), &k, |b, &k| {
+            b.iter(|| k_bisimulation(std::hint::black_box(&data), k))
+        });
+    }
+    // Broadcast on/off inside D(k) construction (uniform requirements make
+    // the broadcast a no-op pass; the delta is its bookkeeping cost).
+    let reqs = Requirements::uniform(3);
+    group.bench_function("dk_with_broadcast", |b| {
+        b.iter(|| dk_partition_with_options(std::hint::black_box(&data), &reqs, true))
+    });
+    group.bench_function("dk_without_broadcast", |b| {
+        b.iter(|| dk_partition_with_options(std::hint::black_box(&data), &reqs, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, partition_engines);
+criterion_main!(benches);

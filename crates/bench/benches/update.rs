@@ -1,0 +1,48 @@
+//! Table 1 micro-benchmark: the time to apply a stream of random ID/IDREF
+//! edge additions to A(1)..A(4) vs the D(k)-index. The paper's headline:
+//! A(k) update cost "shoots up dramatically" with k while D(k) stays cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkindex_bench::datasets;
+use dkindex_bench::experiments::standard_workload;
+use dkindex_core::{AkIndex, DkIndex};
+use dkindex_workload::generate_update_edges;
+
+fn update(c: &mut Criterion) {
+    let data = datasets::xmark(0.005);
+    let workload = standard_workload(&data, 2003);
+    let edges = generate_update_edges(&data, 20, 2003);
+
+    let mut group = c.benchmark_group("update_xmark_20_edges");
+    group.sample_size(10);
+
+    for k in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("ak", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || (data.clone(), AkIndex::build(&data, k)),
+                |(mut g, mut ak)| {
+                    for &(u, v) in &edges {
+                        ak.add_edge(&mut g, u, v);
+                    }
+                    (g, ak)
+                },
+            )
+        });
+    }
+    let reqs = workload.mine_requirements();
+    group.bench_function("dk", |b| {
+        b.iter_with_setup(
+            || (data.clone(), DkIndex::build(&data, reqs.clone())),
+            |(mut g, mut dk)| {
+                for &(u, v) in &edges {
+                    dk.add_edge(&mut g, u, v);
+                }
+                (g, dk)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, update);
+criterion_main!(benches);

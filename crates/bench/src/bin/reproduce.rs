@@ -1,0 +1,345 @@
+//! Reproduce the tables and figures of the D(k)-index paper (SIGMOD 2003).
+//!
+//! ```text
+//! reproduce <experiment> [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]
+//!
+//! experiments:
+//!   fig4       evaluation cost vs index size, XMark, before updating
+//!   fig5       same on NASA data
+//!   table1     update efficiency, A(1)..A(4) vs D(k), both datasets
+//!   fig6       evaluation cost vs index size, XMark, after 100 edge updates
+//!   fig7       same on NASA data
+//!   sizes      summary sizes: A(k), D(k), 1-index, DataGuide (ablation C)
+//!   ablation-broadcast   D(k) without Algorithm 1 (ablation A)
+//!   ablation-promote     promoting after updates (ablation B)
+//!   degradation          cost vs update count, with/without periodic promotion (D1)
+//!   length-sweep         cost by query length per index (D2)
+//!   all        everything above in order
+//! ```
+
+use dkindex_bench::datasets::{self, DEFAULT_NASA_SCALE, DEFAULT_XMARK_SCALE};
+use dkindex_bench::experiments::*;
+use dkindex_bench::report::{fmt_f64, render_table};
+use dkindex_graph::stats::GraphStats;
+use dkindex_graph::DataGraph;
+use dkindex_workload::Workload;
+
+struct Options {
+    xmark_scale: f64,
+    nasa_scale: f64,
+    max_k: usize,
+    seed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut opts = Options {
+        xmark_scale: DEFAULT_XMARK_SCALE,
+        nasa_scale: DEFAULT_NASA_SCALE,
+        max_k: 4,
+        seed: 2003,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--xmark-scale" => opts.xmark_scale = parse_next(&mut it, arg),
+            "--nasa-scale" => opts.nasa_scale = parse_next(&mut it, arg),
+            "--max-k" => opts.max_k = parse_next(&mut it, arg),
+            "--seed" => opts.seed = parse_next(&mut it, arg),
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(experiment) = experiment else {
+        print_usage();
+        std::process::exit(2);
+    };
+
+    match experiment.as_str() {
+        "fig4" => fig_before(&opts, Dataset::Xmark),
+        "fig5" => fig_before(&opts, Dataset::Nasa),
+        "table1" => run_table1(&opts),
+        "fig6" => fig_after(&opts, Dataset::Xmark),
+        "fig7" => fig_after(&opts, Dataset::Nasa),
+        "sizes" => run_sizes(&opts),
+        "ablation-broadcast" => run_ablation_broadcast(&opts),
+        "ablation-promote" => run_ablation_promote(&opts),
+        "degradation" => run_degradation(&opts),
+        "length-sweep" => run_length_sweep(&opts),
+        "all" => {
+            fig_before(&opts, Dataset::Xmark);
+            fig_before(&opts, Dataset::Nasa);
+            run_table1(&opts);
+            fig_after(&opts, Dataset::Xmark);
+            fig_after(&opts, Dataset::Nasa);
+            run_sizes(&opts);
+            run_ablation_broadcast(&opts);
+            run_ablation_promote(&opts);
+            run_degradation(&opts);
+            run_length_sweep(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_next<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("flag {flag} needs a numeric value");
+            std::process::exit(2);
+        })
+}
+
+fn print_usage() {
+    println!(
+        "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|all>\n\
+         \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]"
+    );
+}
+
+#[derive(Clone, Copy)]
+enum Dataset {
+    Xmark,
+    Nasa,
+}
+
+impl Dataset {
+    fn name(self) -> &'static str {
+        match self {
+            Dataset::Xmark => "Xmark",
+            Dataset::Nasa => "Nasa",
+        }
+    }
+}
+
+fn load(opts: &Options, which: Dataset) -> (DataGraph, Workload) {
+    let data = match which {
+        Dataset::Xmark => datasets::xmark(opts.xmark_scale),
+        Dataset::Nasa => datasets::nasa(opts.nasa_scale),
+    };
+    let workload = standard_workload(&data, opts.seed);
+    println!(
+        "[{}] {} | workload: {} paths, lengths {:?}",
+        which.name(),
+        GraphStats::of(&data),
+        workload.len(),
+        workload.length_histogram(),
+    );
+    (data, workload)
+}
+
+fn print_points(title: &str, points: &[EvalPoint]) {
+    println!("\n=== {title} ===");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.size.to_string(),
+                fmt_f64(p.avg_cost),
+                p.validated_queries.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["index", "size (nodes)", "avg cost (nodes visited)", "queries validated"],
+            &rows
+        )
+    );
+}
+
+fn fig_before(opts: &Options, which: Dataset) {
+    let (data, workload) = load(opts, which);
+    let points = figure_before_update(&data, &workload, opts.max_k);
+    let fig = match which {
+        Dataset::Xmark => "Figure 4",
+        Dataset::Nasa => "Figure 5",
+    };
+    print_points(
+        &format!("{fig}: evaluation performance on {} data before updating", which.name()),
+        &points,
+    );
+}
+
+fn fig_after(opts: &Options, which: Dataset) {
+    let (data, workload) = load(opts, which);
+    let edges = standard_updates(&data, opts.seed);
+    let points = figure_after_update(&data, &workload, &edges, opts.max_k);
+    let fig = match which {
+        Dataset::Xmark => "Figure 6",
+        Dataset::Nasa => "Figure 7",
+    };
+    print_points(
+        &format!(
+            "{fig}: evaluation performance on {} data after {} edge updates",
+            which.name(),
+            edges.len()
+        ),
+        &points,
+    );
+}
+
+fn run_table1(opts: &Options) {
+    println!("\n=== Table 1: update efficiency (100 random ID/IDREF edges) ===");
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+    for which in [Dataset::Xmark, Dataset::Nasa] {
+        let (data, workload) = load(opts, which);
+        let edges = standard_updates(&data, opts.seed);
+        let rows = table1(&data, &edges, opts.max_k, &workload.mine_requirements());
+        for (i, r) in rows.iter().enumerate() {
+            if rows_out.len() <= i {
+                rows_out.push(vec![r.name.clone()]);
+            }
+            rows_out[i].push(format!("{:.0}", r.millis));
+            rows_out[i].push(r.work.to_string());
+            rows_out[i].push(format!("{}->{}", r.size_before, r.size_after));
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "index",
+                "Xmark ms",
+                "Xmark work",
+                "Xmark size",
+                "Nasa ms",
+                "Nasa work",
+                "Nasa size"
+            ],
+            &rows_out
+        )
+    );
+}
+
+fn run_sizes(opts: &Options) {
+    for which in [Dataset::Xmark, Dataset::Nasa] {
+        let (data, workload) = load(opts, which);
+        let rows = size_comparison(&data, &workload, opts.max_k);
+        println!("\n=== Summary sizes on {} data (ablation C) ===", which.name());
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    match &r.size {
+                        Ok(n) => n.to_string(),
+                        Err(e) => format!("n/a ({e})"),
+                    },
+                    r.bytes
+                        .map(|b| format!("{:.1} KiB", b as f64 / 1024.0))
+                        .unwrap_or_else(|| "-".to_string()),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(&["summary", "size (nodes)", "approx bytes"], &table)
+        );
+    }
+}
+
+fn run_ablation_broadcast(opts: &Options) {
+    for which in [Dataset::Xmark, Dataset::Nasa] {
+        let (data, workload) = load(opts, which);
+        let ab = ablation_broadcast(&data, &workload);
+        println!(
+            "\n=== Ablation A on {}: D(k) without the broadcast algorithm ===",
+            which.name()
+        );
+        println!(
+            "constraint violations: {} | wrong answers: {}/{} | size with broadcast: {} | without: {}",
+            ab.constraint_violations,
+            ab.wrong_answers,
+            workload.len(),
+            ab.size_with,
+            ab.size_without
+        );
+    }
+}
+
+fn run_degradation(opts: &Options) {
+    for which in [Dataset::Xmark, Dataset::Nasa] {
+        let (data, workload) = load(opts, which);
+        let edges = standard_updates(&data, opts.seed);
+        let points = degradation_curve(&data, &workload, &edges, 20, 25);
+        println!(
+            "\n=== Extension D1 on {}: degradation under updates (promote every 25) ===",
+            which.name()
+        );
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.updates_applied.to_string(),
+                    fmt_f64(p.cost_untuned),
+                    fmt_f64(p.cost_promoted),
+                    p.size_promoted.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &["updates", "cost untuned", "cost promoted", "size promoted"],
+                &rows
+            )
+        );
+    }
+}
+
+fn run_length_sweep(opts: &Options) {
+    for which in [Dataset::Xmark, Dataset::Nasa] {
+        let (data, workload) = load(opts, which);
+        let (names, rows) = length_sweep(&data, &workload);
+        println!(
+            "\n=== Extension D2 on {}: avg cost by query length ===",
+            which.name()
+        );
+        let mut headers: Vec<&str> = vec!["labels", "queries"];
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        headers.extend(name_refs);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.labels.to_string(), r.queries.to_string()];
+                row.extend(r.avg_costs.iter().map(|&c| fmt_f64(c)));
+                row
+            })
+            .collect();
+        print!("{}", render_table(&headers, &table));
+    }
+}
+
+fn run_ablation_promote(opts: &Options) {
+    for which in [Dataset::Xmark, Dataset::Nasa] {
+        let (data, workload) = load(opts, which);
+        let edges = standard_updates(&data, opts.seed);
+        let (degraded, promoted, splits) = ablation_promote(&data, &workload, &edges);
+        println!(
+            "\n=== Ablation B on {}: promoting after {} updates ({} splits) ===",
+            which.name(),
+            edges.len(),
+            splits
+        );
+        print_points("before/after promotion", &[degraded, promoted]);
+    }
+}

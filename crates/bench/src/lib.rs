@@ -1,0 +1,14 @@
+//! # dkindex-bench
+//!
+//! Experiment harness reproducing every table and figure of the D(k)-index
+//! paper's evaluation (§6): figures 4–7, Table 1, and three ablations. The
+//! [`experiments`] module computes structured results; the `reproduce`
+//! binary renders them (`cargo run -p dkindex-bench --release --bin
+//! reproduce -- all`). Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;

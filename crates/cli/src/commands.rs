@@ -1,0 +1,563 @@
+//! Command implementations for the `dkindex` binary. Each command returns
+//! its textual output so the test suite can drive the full CLI in-process.
+
+use dkindex_core::store::{load_dk, save_dk};
+use dkindex_core::{mine_requirements, DkIndex, FbIndex, IndexEvaluator, Requirements};
+use dkindex_graph::stats::{label_histogram, GraphStats};
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_pathexpr::{parse, parse_twig, PathExpr};
+use dkindex_xml::{stream_to_graph, GraphOptions};
+use std::fmt::Write as _;
+use std::fs;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usage:
+  dkindex stats <doc.xml> [--idref ATTR]...
+  dkindex dot   <doc.xml> [--idref ATTR]...
+  dkindex build <doc.xml> --out <index.dki> [--req LABEL=K]... [--uniform K]
+                [--queries <file>] [--idref ATTR]...
+  dkindex info  <index.dki>
+  dkindex query <index.dki> <path-expression>
+  dkindex twig  <doc.xml> <twig-query> [--idref ATTR]...
+  dkindex add-edge <index.dki> <from-id> <to-id> --out <index2.dki>
+  dkindex add-file <index.dki> <doc.xml> --out <index2.dki> [--idref ATTR]...
+  dkindex tune  <index.dki> --queries <file> --out <index2.dki>";
+
+/// Top-level error type: every failure is reported as a message.
+pub type CliError = String;
+
+/// Dispatch a full argument vector (without the program name).
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("twig") => cmd_twig(&args[1..]),
+        Some("add-edge") => cmd_add_edge(&args[1..]),
+        Some("add-file") => cmd_add_file(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+/// Positional/flag splitter shared by all commands.
+struct Parsed<'a> {
+    positional: Vec<&'a str>,
+    idrefs: Vec<String>,
+    reqs: Vec<(String, usize)>,
+    uniform: Option<usize>,
+    out: Option<&'a str>,
+    queries: Option<&'a str>,
+}
+
+fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
+    let mut parsed = Parsed {
+        positional: Vec::new(),
+        idrefs: Vec::new(),
+        reqs: Vec::new(),
+        uniform: None,
+        out: None,
+        queries: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--idref" => parsed
+                .idrefs
+                .push(next_value(&mut it, "--idref")?.to_string()),
+            "--req" => {
+                let spec = next_value(&mut it, "--req")?;
+                let (label, k) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--req expects LABEL=K, got {spec:?}"))?;
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| format!("--req {label}: K must be a number"))?;
+                parsed.reqs.push((label.to_string(), k));
+            }
+            "--uniform" => {
+                parsed.uniform = Some(
+                    next_value(&mut it, "--uniform")?
+                        .parse()
+                        .map_err(|_| "--uniform expects a number".to_string())?,
+                )
+            }
+            "--out" => parsed.out = Some(next_value(&mut it, "--out")?),
+            "--queries" => parsed.queries = Some(next_value(&mut it, "--queries")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            positional => parsed.positional.push(positional),
+        }
+    }
+    Ok(parsed)
+}
+
+fn next_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a str, CliError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| format!("flag {flag} needs a value"))
+}
+
+/// Read a query-load file: one path expression per line, `#` comments and
+/// blank lines ignored.
+fn read_query_file(path: &str) -> Result<Vec<PathExpr>, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut queries: Vec<PathExpr> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        queries.push(parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+    }
+    Ok(queries)
+}
+
+fn load_xml(path: &str, idrefs: &[String]) -> Result<DataGraph, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut options = GraphOptions::default();
+    if !idrefs.is_empty() {
+        options.idref_attributes = idrefs.to_vec();
+    }
+    // Streaming build: O(depth) memory, same graph as the DOM path.
+    stream_to_graph(&text, &options).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_index(path: &str) -> Result<(DkIndex, DataGraph), CliError> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load_dk(&mut bytes.as_slice()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path] = parsed.positional[..] else {
+        return Err("stats expects exactly one XML file".to_string());
+    };
+    let g = load_xml(path, &parsed.idrefs)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", GraphStats::of(&g));
+    let _ = writeln!(out, "top labels:");
+    for (name, count) in label_histogram(&g).into_iter().take(10) {
+        let _ = writeln!(out, "  {name:<24} {count}");
+    }
+    Ok(out)
+}
+
+fn cmd_dot(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path] = parsed.positional[..] else {
+        return Err("dot expects exactly one XML file".to_string());
+    };
+    let g = load_xml(path, &parsed.idrefs)?;
+    Ok(dkindex_graph::dot::to_dot(&g))
+}
+
+fn cmd_build(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path] = parsed.positional[..] else {
+        return Err("build expects exactly one XML file".to_string());
+    };
+    let out_path = parsed.out.ok_or("build needs --out <index.dki>")?;
+    let g = load_xml(path, &parsed.idrefs)?;
+
+    let mut reqs = match parsed.uniform {
+        Some(k) => Requirements::uniform(k),
+        None => Requirements::new(),
+    };
+    for (label, k) in &parsed.reqs {
+        reqs.raise(label, *k);
+    }
+    if let Some(qfile) = parsed.queries {
+        let queries = read_query_file(qfile)?;
+        let mined = mine_requirements(&queries);
+        for (label, k) in mined.iter() {
+            reqs.raise(label, k);
+        }
+        reqs.raise_floor(mined.floor());
+    }
+
+    let dk = DkIndex::build(&g, reqs);
+    let mut bytes = Vec::new();
+    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
+    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "indexed {} data nodes into {} index nodes -> {out_path} ({} bytes)\n",
+        g.node_count(),
+        dk.size(),
+        bytes.len()
+    ))
+}
+
+fn cmd_info(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path] = parsed.positional[..] else {
+        return Err("info expects exactly one index file".to_string());
+    };
+    let (dk, g) = load_index(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "data graph: {}", GraphStats::of(&g));
+    let _ = write!(out, "{}", dkindex_core::IndexStats::of(dk.index(), &g));
+    Ok(out)
+}
+
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path, expr_text] = parsed.positional[..] else {
+        return Err("query expects <index.dki> <path-expression>".to_string());
+    };
+    let (dk, g) = load_index(path)?;
+    let expr = parse(expr_text).map_err(|e| e.to_string())?;
+    let out = IndexEvaluator::new(dk.index(), &g).evaluate(&expr);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{} match(es), cost {} ({} index + {} data visits){}",
+        out.matches.len(),
+        out.cost.total(),
+        out.cost.index_visits,
+        out.cost.data_visits,
+        if out.validated { ", validated" } else { "" }
+    );
+    for n in out.matches.iter().take(20) {
+        let _ = writeln!(text, "  node {} ({})", n.index(), g.label_name(*n));
+    }
+    if out.matches.len() > 20 {
+        let _ = writeln!(text, "  ... and {} more", out.matches.len() - 20);
+    }
+    Ok(text)
+}
+
+fn cmd_twig(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path, twig_text] = parsed.positional[..] else {
+        return Err("twig expects <doc.xml> <twig-query>".to_string());
+    };
+    let g = load_xml(path, &parsed.idrefs)?;
+    let twig = parse_twig(twig_text).map_err(|e| e.to_string())?;
+    let fb = FbIndex::build(&g);
+    let (matches, visited) = fb.evaluate_twig(&twig);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{} match(es) via F&B-index ({} states, {} visits)",
+        matches.len(),
+        fb.size(),
+        visited
+    );
+    for n in matches.iter().take(20) {
+        let _ = writeln!(text, "  node {} ({})", n.index(), g.label_name(*n));
+    }
+    Ok(text)
+}
+
+fn cmd_add_edge(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path, from, to] = parsed.positional[..] else {
+        return Err("add-edge expects <index.dki> <from-id> <to-id>".to_string());
+    };
+    let out_path = parsed.out.ok_or("add-edge needs --out <index.dki>")?;
+    let (mut dk, mut g) = load_index(path)?;
+    let from: usize = from.parse().map_err(|_| "from-id must be a number")?;
+    let to: usize = to.parse().map_err(|_| "to-id must be a number")?;
+    if from >= g.node_count() || to >= g.node_count() {
+        return Err(format!(
+            "node ids must be < {} (data node count)",
+            g.node_count()
+        ));
+    }
+    let outcome = dk.add_edge(&mut g, NodeId::from_index(from), NodeId::from_index(to));
+    let mut bytes = Vec::new();
+    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
+    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "added edge {from} -> {to}; target similarity now {}, {} node(s) lowered -> {out_path}\n",
+        outcome.new_similarity, outcome.lowered
+    ))
+}
+
+fn cmd_add_file(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [index_path, doc_path] = parsed.positional[..] else {
+        return Err("add-file expects <index.dki> <doc.xml>".to_string());
+    };
+    let out_path = parsed.out.ok_or("add-file needs --out <index.dki>")?;
+    let (mut dk, mut g) = load_index(index_path)?;
+    let sub = load_xml(doc_path, &parsed.idrefs)?;
+    let before = g.node_count();
+    dk.add_subgraph(&mut g, &sub);
+    let mut bytes = Vec::new();
+    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
+    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "inserted {} new data nodes (now {}); index has {} nodes -> {out_path}\n",
+        g.node_count() - before,
+        g.node_count(),
+        dk.size()
+    ))
+}
+
+fn cmd_tune(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [index_path] = parsed.positional[..] else {
+        return Err("tune expects exactly one index file".to_string());
+    };
+    let out_path = parsed.out.ok_or("tune needs --out <index.dki>")?;
+    let qfile = parsed.queries.ok_or("tune needs --queries <file>")?;
+    let (mut dk, g) = load_index(index_path)?;
+    let queries = read_query_file(qfile)?;
+    let mined = mine_requirements(&queries);
+    let before = dk.size();
+    let report = if mined.max_requirement() >= dk.requirements().max_requirement() {
+        // Load got deeper (or equal): merge and promote.
+        let mut merged = dk.requirements().clone();
+        for (label, k) in mined.iter() {
+            merged.raise(label, k);
+        }
+        merged.raise_floor(mined.floor());
+        dk.set_requirements_public(merged);
+        let splits = dk.promote_to_requirements(&g);
+        format!("promoted: {splits} extent splits, size {before} -> {}", dk.size())
+    } else {
+        // Load got shallower: demote to the mined requirements.
+        let saved = dk.demote(mined);
+        format!("demoted: {saved} index nodes merged, size {before} -> {}", dk.size())
+    };
+    let mut bytes = Vec::new();
+    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
+    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!("{report} -> {out_path}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const DOC: &str = r#"
+        <movieDB>
+          <director id="d1"><name/><movie id="m1"><title/></movie></director>
+          <actor id="a1" idref="m1"><name/></actor>
+        </movieDB>"#;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "dkindex-cli-test-{tag}-{}",
+                std::process::id()
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn file(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn write_doc(dir: &TempDir) -> PathBuf {
+        let p = dir.file("doc.xml");
+        fs::write(&p, DOC).unwrap();
+        p
+    }
+
+    #[test]
+    fn stats_reports_shape() {
+        let dir = TempDir::new("stats");
+        let doc = write_doc(&dir);
+        let out = run(&["stats", doc.to_str().unwrap()]).unwrap();
+        assert!(out.contains("nodes"));
+        assert!(out.contains("refs"));
+        assert!(out.contains("name"));
+    }
+
+    #[test]
+    fn dot_emits_digraph() {
+        let dir = TempDir::new("dot");
+        let doc = write_doc(&dir);
+        let out = run(&["dot", doc.to_str().unwrap()]).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("style=dashed")); // the idref edge
+    }
+
+    #[test]
+    fn build_info_query_round_trip() {
+        let dir = TempDir::new("biq");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        let built = run(&[
+            "build",
+            doc.to_str().unwrap(),
+            "--out",
+            idx.to_str().unwrap(),
+            "--req",
+            "title=2",
+        ])
+        .unwrap();
+        assert!(built.contains("index nodes"));
+
+        let info = run(&["info", idx.to_str().unwrap()]).unwrap();
+        assert!(info.contains("compression"));
+        assert!(info.contains("title"));
+
+        let q = run(&["query", idx.to_str().unwrap(), "director.movie.title"]).unwrap();
+        assert!(q.contains("1 match(es)"), "{q}");
+        assert!(!q.contains("validated"), "title=2 must be sound: {q}");
+    }
+
+    #[test]
+    fn build_mines_queries_file() {
+        let dir = TempDir::new("mine");
+        let doc = write_doc(&dir);
+        let queries = dir.file("load.txt");
+        fs::write(&queries, "# comment\ndirector.movie.title\n\nactor.name\n").unwrap();
+        let idx = dir.file("index.dki");
+        run(&[
+            "build",
+            doc.to_str().unwrap(),
+            "--out",
+            idx.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .unwrap();
+        let info = run(&["info", idx.to_str().unwrap()]).unwrap();
+        assert!(info.contains("title"));
+        let q = run(&["query", idx.to_str().unwrap(), "director.movie.title"]).unwrap();
+        assert!(!q.contains("validated"));
+    }
+
+    #[test]
+    fn add_edge_updates_and_persists() {
+        let dir = TempDir::new("edge");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&[
+            "build",
+            doc.to_str().unwrap(),
+            "--out",
+            idx.to_str().unwrap(),
+            "--uniform",
+            "2",
+        ])
+        .unwrap();
+        let idx2 = dir.file("index2.dki");
+        let out = run(&[
+            "add-edge",
+            idx.to_str().unwrap(),
+            "2",
+            "4",
+            "--out",
+            idx2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("added edge 2 -> 4"));
+        // The updated index still loads and answers.
+        let q = run(&["query", idx2.to_str().unwrap(), "movie"]).unwrap();
+        assert!(q.contains("match(es)"));
+    }
+
+    #[test]
+    fn add_file_grows_index() {
+        let dir = TempDir::new("addfile");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "1"]).unwrap();
+        let extra = dir.file("extra.xml");
+        fs::write(&extra, "<archive><movie><title/></movie></archive>").unwrap();
+        let idx2 = dir.file("index2.dki");
+        let out = run(&[
+            "add-file",
+            idx.to_str().unwrap(),
+            extra.to_str().unwrap(),
+            "--out",
+            idx2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("inserted 3 new data nodes"), "{out}");
+        let q = run(&["query", idx2.to_str().unwrap(), "archive.movie.title"]).unwrap();
+        assert!(q.contains("1 match(es)"), "{q}");
+    }
+
+    #[test]
+    fn twig_command_answers_branching_queries() {
+        let dir = TempDir::new("twig");
+        let doc = write_doc(&dir);
+        let out = run(&["twig", doc.to_str().unwrap(), "director[movie]/name"]).unwrap();
+        assert!(out.contains("1 match(es)"), "{out}");
+    }
+
+    #[test]
+    fn tune_promotes_then_demotes() {
+        let dir = TempDir::new("tune");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap()]).unwrap();
+
+        // Deep load: promote.
+        let deep = dir.file("deep.txt");
+        fs::write(&deep, "director.movie.title\n").unwrap();
+        let idx2 = dir.file("index2.dki");
+        let out = run(&[
+            "tune", idx.to_str().unwrap(),
+            "--queries", deep.to_str().unwrap(),
+            "--out", idx2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("promoted"), "{out}");
+        let q = run(&["query", idx2.to_str().unwrap(), "director.movie.title"]).unwrap();
+        assert!(!q.contains("validated"), "{q}");
+
+        // Shallow load: demote.
+        let shallow = dir.file("shallow.txt");
+        fs::write(&shallow, "name\n").unwrap();
+        let idx3 = dir.file("index3.dki");
+        let out = run(&[
+            "tune", idx2.to_str().unwrap(),
+            "--queries", shallow.to_str().unwrap(),
+            "--out", idx3.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("demoted"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["build", "nope.xml"]).unwrap_err().contains("--out"));
+        assert!(run(&["query", "missing.dki", "a.b"])
+            .unwrap_err()
+            .contains("missing.dki"));
+        let dir = TempDir::new("err");
+        let doc = write_doc(&dir);
+        assert!(run(&["build", doc.to_str().unwrap(), "--out", "/x", "--req", "bad"])
+            .unwrap_err()
+            .contains("LABEL=K"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["--help"]).unwrap();
+        assert!(out.contains("usage:"));
+    }
+}

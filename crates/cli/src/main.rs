@@ -1,0 +1,38 @@
+//! `dkindex` — command-line front-end for the D(k)-index library.
+//!
+//! ```text
+//! dkindex stats <doc.xml> [--idref ATTR]...
+//! dkindex dot   <doc.xml> [--idref ATTR]...
+//! dkindex build <doc.xml> --out <index.dki> [--req LABEL=K]... [--uniform K]
+//!               [--queries <file>] [--idref ATTR]...
+//! dkindex info  <index.dki>
+//! dkindex query <index.dki> <path-expression>
+//! dkindex twig  <doc.xml> <twig-query> [--idref ATTR]...
+//! dkindex add-edge <index.dki> <from-id> <to-id> --out <index2.dki>
+//! ```
+//!
+//! `build` mines requirements from `--queries` (one path expression per
+//! line) and/or explicit `--req label=k` pairs, constructs the D(k)-index
+//! and stores graph + index in a single `.dki` file; `query` loads it and
+//! evaluates with validation; `add-edge` applies the paper's edge-addition
+//! update and re-saves — no rebuild.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

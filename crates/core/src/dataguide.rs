@@ -1,0 +1,354 @@
+//! The strong DataGuide (Goldman & Widom, VLDB 1997): the deterministic
+//! automaton of root-anchored label paths.
+//!
+//! Built by interpreting the data graph as an NFA and determinizing it
+//! (paper §2). Each DataGuide state corresponds to a *set* of data nodes —
+//! the targets of one label path from the root — so a data node can appear
+//! in many states and, on graph data, the state count can be exponential in
+//! the graph size. The paper cites this blow-up as the reason bisimulation
+//! summaries are preferred for graphs; [`DataGuideError::TooLarge`] surfaces
+//! it instead of hanging.
+
+use dkindex_graph::{DataGraph, LabelId, LabeledGraph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from DataGuide construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataGuideError {
+    /// Determinization exceeded the configured state budget.
+    TooLarge {
+        /// The state budget that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DataGuideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataGuideError::TooLarge { limit } => {
+                write!(f, "strong DataGuide exceeds {limit} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataGuideError {}
+
+/// One DataGuide state: a label and the target set of a label path.
+#[derive(Clone, Debug)]
+pub struct GuideState {
+    /// Label on the incoming path step.
+    pub label: LabelId,
+    /// Data nodes reachable by the path (this state's target set / extent).
+    pub extent: Vec<NodeId>,
+}
+
+/// The strong DataGuide.
+#[derive(Clone, Debug)]
+pub struct DataGuide {
+    states: Vec<GuideState>,
+    children: Vec<Vec<usize>>,
+    root_state: usize,
+}
+
+impl DataGuide {
+    /// Build the strong DataGuide of `data`, failing if more than
+    /// `max_states` states are needed.
+    pub fn build(data: &DataGraph, max_states: usize) -> Result<Self, DataGuideError> {
+        let mut states: Vec<GuideState> = Vec::new();
+        let mut children: Vec<Vec<usize>> = Vec::new();
+        let mut memo: HashMap<Vec<NodeId>, usize> = HashMap::new();
+
+        let root_set = vec![data.root()];
+        states.push(GuideState {
+            label: data.label_of(data.root()),
+            extent: root_set.clone(),
+        });
+        children.push(Vec::new());
+        memo.insert(root_set, 0);
+
+        let mut queue = vec![0usize];
+        let mut head = 0;
+        while head < queue.len() {
+            let state = queue[head];
+            head += 1;
+            // Group successors of the whole target set by label.
+            let mut by_label: HashMap<LabelId, Vec<NodeId>> = HashMap::new();
+            for &n in &states[state].extent {
+                for &c in data.children_of(n) {
+                    by_label.entry(data.label_of(c)).or_default().push(c);
+                }
+            }
+            let mut targets: Vec<(LabelId, Vec<NodeId>)> = by_label.into_iter().collect();
+            targets.sort_by_key(|&(l, _)| l); // deterministic construction
+            for (label, mut set) in targets {
+                set.sort_unstable();
+                set.dedup();
+                let next = match memo.get(&set) {
+                    Some(&s) => s,
+                    None => {
+                        if states.len() >= max_states {
+                            return Err(DataGuideError::TooLarge { limit: max_states });
+                        }
+                        let s = states.len();
+                        states.push(GuideState {
+                            label,
+                            extent: set.clone(),
+                        });
+                        children.push(Vec::new());
+                        memo.insert(set, s);
+                        queue.push(s);
+                        s
+                    }
+                };
+                children[state].push(next);
+            }
+        }
+        Ok(DataGuide {
+            states,
+            children,
+            root_state: 0,
+        })
+    }
+
+    /// Number of states — the DataGuide's "index size".
+    pub fn size(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state reached from the root by following `labels`, if the label
+    /// path exists. The DataGuide is deterministic: at most one state.
+    pub fn lookup(&self, labels: &[LabelId]) -> Option<&GuideState> {
+        let mut state = self.root_state;
+        for &l in labels {
+            state = *self.children[state]
+                .iter()
+                .find(|&&c| self.states[c].label == l)?;
+        }
+        Some(&self.states[state])
+    }
+
+    /// Sum of extent sizes — unlike bisimulation summaries, this can exceed
+    /// the data node count because extents overlap.
+    pub fn total_extent_size(&self) -> usize {
+        self.states.iter().map(|s| s.extent.len()).sum()
+    }
+
+    /// Evaluate a *root-anchored* regular path expression: the result is the
+    /// union of target sets of all guide states reachable from the root by a
+    /// word of the language (the word includes the root's own `ROOT` label
+    /// as its first symbol, mirroring how label paths anchor at the root).
+    ///
+    /// Because the DataGuide is built from root paths, it is safe **and**
+    /// sound for this query class with no validation — the trade-off against
+    /// bisimulation summaries is its potentially exponential size, not
+    /// accuracy. Returns the matches and the number of `(state, guide node)`
+    /// visits.
+    pub fn evaluate_anchored(
+        &self,
+        nfa: &dkindex_pathexpr::Nfa,
+    ) -> (Vec<NodeId>, u64) {
+        use dkindex_pathexpr::StateId;
+        let closures = nfa.closures();
+        let accept = nfa.accept();
+        let mut visited = 0u64;
+        let mut matches: Vec<NodeId> = Vec::new();
+        let mut active =
+            vec![false; nfa.state_count() * self.states.len()];
+        let mut queue: Vec<(StateId, usize)> = Vec::new();
+
+        // Seed: consume the root state's label from the NFA start.
+        let mut start_set = vec![false; nfa.state_count()];
+        start_set[nfa.start().index()] = true;
+        nfa.eps_close(&mut start_set);
+        let root_label = self.states[self.root_state].label;
+        let activate = |q: StateId,
+                            s: usize,
+                            active: &mut Vec<bool>,
+                            queue: &mut Vec<(StateId, usize)>,
+                            matches: &mut Vec<NodeId>,
+                            visited: &mut u64| {
+            let slot = q.index() * self.states.len() + s;
+            if active[slot] {
+                return;
+            }
+            active[slot] = true;
+            *visited += 1;
+            if closures[q.index()].contains(&accept) {
+                matches.extend_from_slice(&self.states[s].extent);
+            }
+            queue.push((q, s));
+        };
+        for (qi, &on) in start_set.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            for &(step, target) in nfa.steps_of(StateId::from_index(qi)) {
+                if step.matches(root_label) {
+                    activate(
+                        target,
+                        self.root_state,
+                        &mut active,
+                        &mut queue,
+                        &mut matches,
+                        &mut visited,
+                    );
+                }
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let (q, s) = queue[head];
+            head += 1;
+            for &qc in &closures[q.index()] {
+                for &(step, target) in nfa.steps_of(qc) {
+                    for &child in &self.children[s] {
+                        if step.matches(self.states[child].label) {
+                            activate(
+                                target,
+                                child,
+                                &mut active,
+                                &mut queue,
+                                &mut matches,
+                                &mut visited,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        (matches, visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::EdgeKind;
+
+    fn movie_data() -> DataGraph {
+        let mut g = DataGraph::new();
+        let d = g.add_labeled_node("director");
+        let a = g.add_labeled_node("actor");
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, d, EdgeKind::Tree);
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(d, m1, EdgeKind::Tree);
+        g.add_edge(a, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g
+    }
+
+    #[test]
+    fn lookup_follows_label_paths_exactly() {
+        let g = movie_data();
+        let guide = DataGuide::build(&g, 1000).unwrap();
+        let l = |s: &str| g.labels().get(s).unwrap();
+        let hit = guide.lookup(&[l("director"), l("movie"), l("title")]).unwrap();
+        assert_eq!(hit.extent.len(), 1);
+        assert!(guide.lookup(&[l("director"), l("title")]).is_none());
+    }
+
+    #[test]
+    fn deterministic_states_dedupe_shared_targets() {
+        // Two paths leading to the same node set share a state.
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("a");
+        let c = g.add_labeled_node("c");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(r, b, EdgeKind::Tree);
+        g.add_edge(a, c, EdgeKind::Tree);
+        g.add_edge(b, c, EdgeKind::Reference);
+        let guide = DataGuide::build(&g, 1000).unwrap();
+        // ROOT, {a,b} (one state: same label, merged target set), {c}.
+        assert_eq!(guide.size(), 3);
+    }
+
+    #[test]
+    fn extents_can_overlap() {
+        // Node reachable via two different label paths appears in two states.
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let c = g.add_labeled_node("c");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(r, b, EdgeKind::Tree);
+        g.add_edge(a, c, EdgeKind::Tree);
+        g.add_edge(b, c, EdgeKind::Reference);
+        let guide = DataGuide::build(&g, 1000).unwrap();
+        assert!(guide.total_extent_size() > g.node_count() - 1);
+    }
+
+    #[test]
+    fn anchored_regex_evaluation_is_exact() {
+        use dkindex_pathexpr::{parse, Nfa};
+        let g = movie_data();
+        let guide = DataGuide::build(&g, 1000).unwrap();
+        for (expr, anchored) in [
+            ("ROOT.director.movie.title", "director.movie.title"),
+            ("ROOT._.movie", "_.movie anchored"),
+            ("ROOT.(director|actor).movie", ""),
+            ("ROOT.director.movie.(title)?", ""),
+        ] {
+            let _ = anchored;
+            let e = parse(expr).unwrap();
+            let nfa = Nfa::compile(&e, g.labels());
+            let (matches, visited) = guide.evaluate_anchored(&nfa);
+            // Ground truth: partial-match evaluation restricted to paths
+            // starting at the root = evaluate the same expression directly
+            // (expressions here all start with ROOT, which only the root
+            // carries, so partial match is root-anchored automatically).
+            let truth = {
+                use dkindex_pathexpr::{evaluate, LabelIndex};
+                let idx = LabelIndex::build(&g);
+                evaluate(&g, &nfa, &idx).matches
+            };
+            assert_eq!(matches, truth, "{expr}");
+            assert!(visited > 0, "{expr}");
+        }
+    }
+
+    #[test]
+    fn anchored_star_query_terminates_on_guide_cycles() {
+        use dkindex_pathexpr::{parse, Nfa};
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, a, EdgeKind::Reference);
+        let guide = DataGuide::build(&g, 100).unwrap();
+        let e = parse("ROOT.a.a*").unwrap();
+        let nfa = Nfa::compile(&e, g.labels());
+        let (matches, _) = guide.evaluate_anchored(&nfa);
+        assert_eq!(matches, vec![a]);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let g = movie_data();
+        let err = DataGuide::build(&g, 2).unwrap_err();
+        assert_eq!(err, DataGuideError::TooLarge { limit: 2 });
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, a, EdgeKind::Reference);
+        let guide = DataGuide::build(&g, 100).unwrap();
+        assert_eq!(guide.size(), 2); // {root}, {a} (self-loop reuses {a})
+    }
+}

@@ -1,0 +1,199 @@
+//! Algorithm 1: the Local Similarity Broadcast Algorithm.
+//!
+//! Query-load requirements alone can violate the D(k) structural constraint
+//! (Definition 3): a parent's local similarity may not be more than one less
+//! than its child's. Starting from the largest requirement, the broadcast
+//! pushes `k − 1` to all parents of every block that requires `k`, repeating
+//! with the next largest value until all constraints hold.
+
+use dkindex_graph::LabeledGraph;
+use dkindex_partition::{BlockId, Partition};
+use std::collections::BinaryHeap;
+
+/// Parent-block adjacency of a partition: for each block, the sorted set of
+/// blocks containing parents of its members.
+pub fn block_parent_sets<G: LabeledGraph>(g: &G, p: &Partition) -> Vec<Vec<BlockId>> {
+    let mut parents: Vec<Vec<BlockId>> = vec![Vec::new(); p.block_count()];
+    for node in g.node_ids() {
+        let b = p.block_of(node);
+        for &q in g.parents_of(node) {
+            parents[b.index()].push(p.block_of(q));
+        }
+    }
+    for v in &mut parents {
+        v.sort_unstable();
+        v.dedup();
+    }
+    parents
+}
+
+/// Run the broadcast over the block graph of `p` (normally the label-split
+/// partition), updating `requirements` in place so that for every block edge
+/// `A → B`, `requirements[A] ≥ requirements[B] − 1`.
+///
+/// O(m + t·log t) where `m` is the block-graph edge count and `t` the number
+/// of raises — each block's requirement only ever increases, and each raise
+/// enqueues once.
+pub fn broadcast_requirements<G: LabeledGraph>(
+    g: &G,
+    p: &Partition,
+    requirements: &mut [usize],
+) {
+    assert_eq!(requirements.len(), p.block_count());
+    let parents = block_parent_sets(g, p);
+    // Max-heap of (requirement, block); stale entries skipped lazily.
+    let mut heap: BinaryHeap<(usize, BlockId)> = requirements
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r > 0)
+        .map(|(b, &r)| (r, BlockId::from_index(b)))
+        .collect();
+    while let Some((r, b)) = heap.pop() {
+        if requirements[b.index()] != r {
+            continue; // stale entry
+        }
+        let needed = r - 1;
+        for &q in &parents[b.index()] {
+            if requirements[q.index()] < needed {
+                requirements[q.index()] = needed;
+                if needed > 0 {
+                    heap.push((needed, q));
+                }
+            }
+        }
+    }
+}
+
+/// Check the broadcast postcondition on the block graph.
+pub fn requirements_consistent<G: LabeledGraph>(
+    g: &G,
+    p: &Partition,
+    requirements: &[usize],
+) -> bool {
+    let parents = block_parent_sets(g, p);
+    (0..p.block_count()).all(|b| {
+        parents[b]
+            .iter()
+            .all(|&q| requirements[q.index()] + 1 >= requirements[b])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::{DataGraph, EdgeKind};
+
+    /// ROOT -> a -> b -> c -> d chain (one node per label).
+    fn chain() -> DataGraph {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let c = g.add_labeled_node("c");
+        let d = g.add_labeled_node("d");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(b, c, EdgeKind::Tree);
+        g.add_edge(c, d, EdgeKind::Tree);
+        g
+    }
+
+    fn req_of(g: &DataGraph, p: &Partition, reqs: &[usize], label: &str) -> usize {
+        use dkindex_graph::LabeledGraph;
+        let l = g.labels().get(label).unwrap();
+        let node = g.nodes_with_label(l)[0];
+        reqs[p.block_of(node).index()]
+    }
+
+    #[test]
+    fn paper_example_parent_raised_to_child_minus_one() {
+        // §4.2: parent requiring 0 with child requiring 2 → parent reset to 1.
+        let g = chain();
+        let p = Partition::by_label(&g);
+        let mut reqs = vec![0; p.block_count()];
+        let l_c = g.labels().get("c").unwrap();
+        let c_block = p.block_of(g.nodes_with_label(l_c)[0]);
+        reqs[c_block.index()] = 2;
+        broadcast_requirements(&g, &p, &mut reqs);
+        assert_eq!(req_of(&g, &p, &reqs, "b"), 1);
+        assert_eq!(req_of(&g, &p, &reqs, "a"), 0);
+        assert_eq!(req_of(&g, &p, &reqs, "c"), 2);
+        assert!(requirements_consistent(&g, &p, &reqs));
+    }
+
+    #[test]
+    fn deep_requirement_cascades_up_the_chain() {
+        let g = chain();
+        let p = Partition::by_label(&g);
+        let mut reqs = vec![0; p.block_count()];
+        let l_d = g.labels().get("d").unwrap();
+        reqs[p.block_of(g.nodes_with_label(l_d)[0]).index()] = 3;
+        broadcast_requirements(&g, &p, &mut reqs);
+        assert_eq!(req_of(&g, &p, &reqs, "c"), 2);
+        assert_eq!(req_of(&g, &p, &reqs, "b"), 1);
+        assert_eq!(req_of(&g, &p, &reqs, "a"), 0);
+        assert!(requirements_consistent(&g, &p, &reqs));
+    }
+
+    #[test]
+    fn existing_higher_requirements_are_kept() {
+        let g = chain();
+        let p = Partition::by_label(&g);
+        let mut reqs = vec![0; p.block_count()];
+        let l_b = g.labels().get("b").unwrap();
+        let l_c = g.labels().get("c").unwrap();
+        reqs[p.block_of(g.nodes_with_label(l_b)[0]).index()] = 4;
+        reqs[p.block_of(g.nodes_with_label(l_c)[0]).index()] = 2;
+        broadcast_requirements(&g, &p, &mut reqs);
+        assert_eq!(req_of(&g, &p, &reqs, "b"), 4); // unchanged: 4 ≥ 2-1
+        assert_eq!(req_of(&g, &p, &reqs, "a"), 3); // from b's 4
+        assert_eq!(req_of(&g, &p, &reqs, "ROOT"), 2);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        // a <-> b cycle via reference edge.
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(b, a, EdgeKind::Reference);
+        let p = Partition::by_label(&g);
+        let mut reqs = vec![0; p.block_count()];
+        let l_b = g.labels().get("b").unwrap();
+        reqs[p.block_of(g.nodes_with_label(l_b)[0]).index()] = 5;
+        broadcast_requirements(&g, &p, &mut reqs);
+        assert!(requirements_consistent(&g, &p, &reqs));
+        // a must be ≥ 4 (parent of b), b ≥ 5 stays, a's own parents: root ≥ 3, b ≥ a-1.
+        assert!(req_of(&g, &p, &reqs, "a") >= 4);
+    }
+
+    #[test]
+    fn zero_requirements_are_untouched() {
+        let g = chain();
+        let p = Partition::by_label(&g);
+        let mut reqs = vec![0; p.block_count()];
+        broadcast_requirements(&g, &p, &mut reqs);
+        assert!(reqs.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn block_parent_sets_dedup() {
+        // Two parents in the same block produce one entry.
+        let mut g = DataGraph::new();
+        let a1 = g.add_labeled_node("a");
+        let a2 = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a1, EdgeKind::Tree);
+        g.add_edge(r, a2, EdgeKind::Tree);
+        g.add_edge(a1, b, EdgeKind::Tree);
+        g.add_edge(a2, b, EdgeKind::Reference);
+        let p = Partition::by_label(&g);
+        let parents = block_parent_sets(&g, &p);
+        let b_block = p.block_of(b);
+        assert_eq!(parents[b_block.index()].len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! The demoting process (paper §5.4).
+//!
+//! Refinement-style updates grow the index; when size becomes a liability the
+//! D(k)-index is shrunk by *lowering* per-label requirements and merging
+//! index nodes with the same label. Per Theorem 2 there is no need to
+//! reconstruct from the data graph: the current index is a refinement of the
+//! target D(k)-index, so the target is obtained by treating the current
+//! index graph as a data graph and re-running construction on it —
+//! [`IndexGraph::reindex`].
+//!
+//! Two safety valves beyond the paper's sketch (documented in DESIGN.md):
+//! merged blocks' similarities are capped by the *recorded* similarity of
+//! their constituents (edge updates may have lowered them below the new
+//! requirement), and the Definition 3 constraint is re-enforced afterwards.
+
+use crate::dk::construct::DkIndex;
+use crate::index_graph::IndexGraph;
+use crate::requirements::Requirements;
+use dkindex_graph::{LabeledGraph, NodeId};
+use std::collections::VecDeque;
+
+impl DkIndex {
+    /// Demote to (lower) `new_requirements`, merging index nodes without
+    /// touching the data graph. Returns the number of index nodes saved.
+    pub fn demote(&mut self, new_requirements: Requirements) -> usize {
+        let before = self.size();
+        let merged = crate::dk::construct::reindex_dk(self.index(), &new_requirements);
+        self.replace_index(merged);
+        self.set_requirements(new_requirements);
+        before.saturating_sub(self.size())
+    }
+}
+
+/// Restore Definition 3 (`k(A) ≥ k(B) − 1` on every edge `A → B`) by
+/// lowering similarities, worklist-style. A no-op on well-formed indexes.
+pub fn enforce_structural_constraint(index: &mut IndexGraph) {
+    let mut queue: VecDeque<NodeId> = index.node_ids().collect();
+    while let Some(a) = queue.pop_front() {
+        let bound = index.similarity(a).saturating_add(1);
+        let children: Vec<NodeId> = index.children_of(a).to_vec();
+        for b in children {
+            if index.similarity(b) > bound {
+                index.set_similarity(b, bound);
+                queue.push_back(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_on_data, IndexEvaluator};
+    use dkindex_graph::{DataGraph, EdgeKind};
+    use dkindex_pathexpr::parse;
+
+    fn data() -> DataGraph {
+        let mut g = DataGraph::new();
+        let d = g.add_labeled_node("director");
+        let a = g.add_labeled_node("actor");
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, d, EdgeKind::Tree);
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(d, m1, EdgeKind::Tree);
+        g.add_edge(a, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g
+    }
+
+    #[test]
+    fn demote_matches_fresh_build_theorem2() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::uniform(2));
+        let saved = dk.demote(Requirements::uniform(1));
+        assert!(saved > 0);
+        dk.index().check_invariants(&g).unwrap();
+        let fresh = DkIndex::build(&g, Requirements::uniform(1));
+        assert!(dk
+            .index()
+            .to_partition()
+            .same_equivalence(&fresh.index().to_partition()));
+    }
+
+    #[test]
+    fn demote_to_label_split() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::uniform(3));
+        dk.demote(Requirements::new());
+        assert_eq!(dk.size(), 5); // ROOT, director, actor, movie, title
+        dk.index().check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn demote_after_edge_updates_stays_sound() {
+        let mut g = data();
+        let mut dk = DkIndex::build(&g, Requirements::uniform(2));
+        // Lower similarities with updates first.
+        let a = g.nodes_with_label(g.labels().get("actor").unwrap())[0];
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        dk.add_edge(&mut g, a, t1);
+        // Now demote: capped similarities must stay truthful.
+        dk.demote(Requirements::uniform(1));
+        dk.index().check_invariants(&g).unwrap();
+        dk.index().check_extent_path_similarity(&g, 4).unwrap();
+        for expr in ["movie.title", "actor.title", "director.movie.title"] {
+            let e = parse(expr).unwrap();
+            let out = IndexEvaluator::new(dk.index(), &g).evaluate(&e);
+            assert_eq!(out.matches, evaluate_on_data(&g, &e).0, "{expr}");
+        }
+    }
+
+    #[test]
+    fn demote_then_promote_round_trip() {
+        let g = data();
+        let reqs2 = Requirements::uniform(2);
+        let mut dk = DkIndex::build(&g, reqs2.clone());
+        let size2 = dk.size();
+        dk.demote(Requirements::new());
+        assert!(dk.size() < size2);
+        // Promote back up.
+        dk.set_requirements(reqs2);
+        dk.promote_to_requirements(&g);
+        assert_eq!(dk.size(), size2);
+        dk.index().check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn enforce_constraint_lowers_violators() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::uniform(2));
+        // Manufacture a violation.
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        let t_inode = dk.index().index_of(t1);
+        dk.index_mut().set_similarity(t_inode, 50);
+        assert!(dk.index().check_invariants(&g).is_err());
+        let mut fixed = dk.index().clone();
+        enforce_structural_constraint(&mut fixed);
+        fixed.check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn demote_is_idempotent() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::uniform(2));
+        dk.demote(Requirements::uniform(1));
+        let size = dk.size();
+        let saved = dk.demote(Requirements::uniform(1));
+        assert_eq!(saved, 0);
+        assert_eq!(dk.size(), size);
+    }
+}

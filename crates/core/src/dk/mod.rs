@@ -1,0 +1,14 @@
+//! The D(k)-index: construction (Algorithms 1–2), updates (Algorithms 3–5),
+//! and the promoting/demoting tuning processes (paper §4–§5).
+
+pub mod broadcast;
+pub mod construct;
+pub mod demote;
+pub mod edge_update;
+pub mod promote;
+pub mod subgraph;
+
+pub use broadcast::{block_parent_sets, broadcast_requirements, requirements_consistent};
+pub use construct::{dk_partition, dk_partition_with_options, DkIndex};
+pub use demote::enforce_structural_constraint;
+pub use edge_update::{update_local_similarity, EdgeUpdateOutcome};

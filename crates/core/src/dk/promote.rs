@@ -1,0 +1,264 @@
+//! Algorithm 6: the promoting process (paper §5.3).
+//!
+//! Edge updates gradually *lower* local similarities, so more queries trigger
+//! validation. The promoting process — run periodically — upgrades an index
+//! node's local similarity back up: first its parents are (recursively)
+//! promoted to `k_n − 1`, then its extent is split until it is stable with
+//! respect to every parent's successor set, exactly as in construction.
+//! Batch promotion processes higher targets first so ancestor promotions are
+//! shared ("some index node promotions may be saved").
+
+use crate::dk::construct::DkIndex;
+use crate::index_graph::IndexGraph;
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use std::collections::HashSet;
+
+impl DkIndex {
+    /// Promote the index node containing `data_node` to local similarity
+    /// `k_n`. Returns the number of extent splits performed.
+    pub fn promote(&mut self, data: &DataGraph, data_node: NodeId, k_n: usize) -> usize {
+        let mut splits = 0;
+        // A split performed during promotion can move `data_node` into the
+        // fresh fragment; re-resolve and continue until its node is raised.
+        loop {
+            let inode = self.index().index_of(data_node);
+            if self.index().similarity(inode) >= k_n {
+                return splits;
+            }
+            promote_inode(self.index_mut(), data, inode, k_n, &mut splits, 0);
+        }
+    }
+
+    /// Promote a batch of `(data node, k)` targets, highest `k` first.
+    pub fn promote_batch(&mut self, data: &DataGraph, targets: &[(NodeId, usize)]) -> usize {
+        let mut ordered: Vec<(NodeId, usize)> = targets.to_vec();
+        ordered.sort_by_key(|&(_, k)| std::cmp::Reverse(k));
+        let mut splits = 0;
+        for (n, k) in ordered {
+            splits += self.promote(data, n, k);
+        }
+        splits
+    }
+
+    /// Promote every index node whose label carries a requirement in
+    /// `self.requirements()` back up to that requirement — the "periodic
+    /// tuning" use of the promoting process after a stream of edge updates.
+    ///
+    /// Iterates until no index node sits below its label's requirement:
+    /// promoting one node splits others (its recursive parents), and the
+    /// split fragments may themselves still need a raise.
+    pub fn promote_to_requirements(&mut self, data: &DataGraph) -> usize {
+        let reqs = self.requirements().clone();
+        let mut splits = 0;
+        loop {
+            let table = reqs.resolve(self.index().labels());
+            // One representative per lagging index node, highest first.
+            let mut targets: Vec<(NodeId, usize)> = Vec::new();
+            for inode in self.index().node_ids() {
+                let label = self.index().label_of(inode);
+                let want = table.get(label.index()).copied().unwrap_or(0);
+                if self.index().similarity(inode) < want {
+                    targets.push((self.index().extent(inode)[0], want));
+                }
+            }
+            if targets.is_empty() {
+                return splits;
+            }
+            splits += self.promote_batch(data, &targets);
+        }
+    }
+}
+
+/// Recursive promotion of one index node (Algorithm 6).
+fn promote_inode(
+    index: &mut IndexGraph,
+    data: &DataGraph,
+    inode: NodeId,
+    k_n: usize,
+    splits: &mut usize,
+    depth: usize,
+) {
+    if index.similarity(inode) >= k_n {
+        return;
+    }
+    // Defensive bound: k decreases by one per level, so recursion deeper
+    // than the initial k_n plus the index diameter indicates a logic error.
+    assert!(depth <= 2 * k_n + 64, "promotion recursion runaway");
+
+    // Step 2: promote parents to k_n - 1 (re-reading the parent list each
+    // time, since promoting one parent may split others). A node that is its
+    // own parent (a self-loop in the index graph) is promoted to k_n - 1
+    // like any other parent — the recursion is on a strictly smaller k, so
+    // it terminates, and without it the step-3 split would run against a
+    // parent of insufficient similarity and claim bisimilarity it lacks.
+    if k_n > 0 {
+        loop {
+            let pending: Option<NodeId> = index
+                .parents_of(inode)
+                .iter()
+                .copied()
+                .find(|&w| index.similarity(w) < k_n - 1);
+            match pending {
+                Some(w) => promote_inode(index, data, w, k_n - 1, splits, depth + 1),
+                None => break,
+            }
+        }
+    }
+
+    // Step 3: split extent(inode) against each parent's successor set,
+    // iterated to a fixpoint. A single pass over a parent snapshot is not
+    // enough: splitting can change a fragment's parent list (and, through
+    // index self-loops, the splitter extents themselves), so each fragment
+    // is re-checked against its *current* parents until all are stable.
+    let mut fragments: Vec<NodeId> = vec![inode];
+    'restabilize: loop {
+        for i in 0..fragments.len() {
+            let f = fragments[i];
+            let parents: Vec<NodeId> = index.parents_of(f).to_vec();
+            for w in parents {
+                // Succ(W) over the data graph.
+                let succ: HashSet<NodeId> = index
+                    .extent(w)
+                    .iter()
+                    .flat_map(|&m| data.children_of(m).iter().copied())
+                    .collect();
+                let inside: HashSet<NodeId> = index
+                    .extent(f)
+                    .iter()
+                    .copied()
+                    .filter(|m| succ.contains(m))
+                    .collect();
+                if !inside.is_empty() && inside.len() < index.extent(f).len() {
+                    let new_node = index.split_extent(f, &inside, k_n, data);
+                    *splits += 1;
+                    fragments.push(new_node);
+                    continue 'restabilize;
+                }
+            }
+        }
+        break;
+    }
+    for f in fragments {
+        index.set_similarity(f, k_n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_on_data, IndexEvaluator};
+    use crate::requirements::Requirements;
+    use dkindex_graph::EdgeKind;
+    use dkindex_pathexpr::parse;
+
+    /// director/actor movie graph where titles need k=2 to be exact.
+    fn data() -> DataGraph {
+        let mut g = DataGraph::new();
+        let d = g.add_labeled_node("director");
+        let a = g.add_labeled_node("actor");
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, d, EdgeKind::Tree);
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(d, m1, EdgeKind::Tree);
+        g.add_edge(a, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g
+    }
+
+    #[test]
+    fn promote_from_label_split_reaches_requirement() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::new()); // all k = 0
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        let splits = dk.promote(&g, t1, 2);
+        assert!(splits > 0);
+        let idx = dk.index();
+        assert_eq!(idx.similarity(idx.index_of(t1)), 2);
+        idx.check_invariants(&g).unwrap();
+        idx.check_extent_bisimilarity(&g, 4).unwrap();
+    }
+
+    #[test]
+    fn promoted_index_equals_fresh_dk() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::new());
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        let t2 = g.nodes_with_label(g.labels().get("title").unwrap())[1];
+        dk.promote(&g, t1, 2);
+        dk.promote(&g, t2, 2);
+        let fresh = DkIndex::build(&g, Requirements::from_pairs([("title", 2)]));
+        assert!(dk
+            .index()
+            .to_partition()
+            .same_equivalence(&fresh.index().to_partition()));
+    }
+
+    #[test]
+    fn promote_is_idempotent() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::new());
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        dk.promote(&g, t1, 2);
+        let size = dk.size();
+        let splits = dk.promote(&g, t1, 2);
+        assert_eq!(splits, 0);
+        assert_eq!(dk.size(), size);
+    }
+
+    #[test]
+    fn promote_restores_soundness_after_edge_updates() {
+        let mut g = data();
+        let reqs = Requirements::from_pairs([("title", 2)]);
+        let mut dk = DkIndex::build(&g, reqs);
+        let e = parse("director.movie.title").unwrap();
+
+        // Degrade with an update: new movie under both director and actor.
+        let a = g.nodes_with_label(g.labels().get("actor").unwrap())[0];
+        let m1 = g.nodes_with_label(g.labels().get("movie").unwrap())[0];
+        dk.add_edge(&mut g, a, m1);
+        let degraded = IndexEvaluator::new(dk.index(), &g).evaluate(&e);
+        assert!(degraded.validated, "update should force validation");
+
+        // Periodic promotion restores requirement-level similarity.
+        dk.promote_to_requirements(&g);
+        dk.index().check_invariants(&g).unwrap();
+        dk.index().check_extent_bisimilarity(&g, 4).unwrap();
+        let restored = IndexEvaluator::new(dk.index(), &g).evaluate(&e);
+        assert!(!restored.validated, "promotion should remove validation");
+        assert_eq!(restored.matches, evaluate_on_data(&g, &e).0);
+    }
+
+    #[test]
+    fn promote_batch_orders_high_k_first() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::new());
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        let m1 = g.nodes_with_label(g.labels().get("movie").unwrap())[0];
+        let splits = dk.promote_batch(&g, &[(m1, 1), (t1, 2)]);
+        assert!(splits > 0);
+        let idx = dk.index();
+        assert!(idx.similarity(idx.index_of(t1)) >= 2);
+        assert!(idx.similarity(idx.index_of(m1)) >= 1);
+        idx.check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn promote_on_cyclic_graph_terminates() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(b, a, EdgeKind::Reference);
+        let mut dk = DkIndex::build(&g, Requirements::new());
+        dk.promote(&g, b, 3);
+        dk.index().check_invariants(&g).unwrap();
+        dk.index().check_extent_bisimilarity(&g, 4).unwrap();
+    }
+}

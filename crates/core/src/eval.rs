@@ -1,0 +1,367 @@
+//! Query evaluation on index graphs, with the validation process and the
+//! paper's cost model (§6.1).
+//!
+//! A path expression is first evaluated on the (small) index graph. A matched
+//! index node is *sound* when its local similarity is at least the query's
+//! path length (paper property 3 with the Definition-3 constraint): its whole
+//! extent belongs to the answer for free. Otherwise the extent is only a
+//! candidate set and each member must be **validated** by a backward walk in
+//! the data graph; validation visits are charged to the query — this is why
+//! the paper tunes requirements so the query load rarely validates.
+//!
+//! Cost accounting: `index_visits` counts `(state, node)` activations on the
+//! index graph; `data_visits` counts activations during validation walks.
+//! Extent members of sound matches are not counted (per §6.1).
+
+use crate::index_graph::IndexGraph;
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_pathexpr::{evaluate, matches_ending_at, LabelIndex, Nfa, PathExpr};
+
+/// Cost of one query under the paper's in-memory model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Nodes visited in the index graph.
+    pub index_visits: u64,
+    /// Data nodes visited during validation.
+    pub data_visits: u64,
+}
+
+impl QueryCost {
+    /// Total nodes visited (the paper's Y axis).
+    pub fn total(&self) -> u64 {
+        self.index_visits + self.data_visits
+    }
+}
+
+impl std::ops::Add for QueryCost {
+    type Output = QueryCost;
+    fn add(self, rhs: QueryCost) -> QueryCost {
+        QueryCost {
+            index_visits: self.index_visits + rhs.index_visits,
+            data_visits: self.data_visits + rhs.data_visits,
+        }
+    }
+}
+
+impl std::ops::AddAssign for QueryCost {
+    fn add_assign(&mut self, rhs: QueryCost) {
+        *self = *self + rhs;
+    }
+}
+
+/// Result of evaluating a query through an index graph.
+#[derive(Clone, Debug)]
+pub struct IndexEvalOutcome {
+    /// Matched data nodes, sorted ascending.
+    pub matches: Vec<NodeId>,
+    /// Visit counts.
+    pub cost: QueryCost,
+    /// True if any matched index node required validation.
+    pub validated: bool,
+}
+
+/// Reusable evaluator for one `(index, data)` pair: caches the per-graph
+/// label index so repeated queries don't pay its construction.
+pub struct IndexEvaluator<'a> {
+    index: &'a IndexGraph,
+    data: &'a DataGraph,
+    index_labels: LabelIndex,
+}
+
+impl<'a> IndexEvaluator<'a> {
+    /// Build an evaluator over `index` (a summary of `data`).
+    pub fn new(index: &'a IndexGraph, data: &'a DataGraph) -> Self {
+        IndexEvaluator {
+            index,
+            data,
+            index_labels: LabelIndex::build(index),
+        }
+    }
+
+    /// Evaluate `expr` through the index, validating approximate matches
+    /// against the data graph.
+    pub fn evaluate(&self, expr: &PathExpr) -> IndexEvalOutcome {
+        let nfa = Nfa::compile(expr, self.index.labels());
+        let on_index = evaluate(self.index, &nfa, &self.index_labels);
+
+        // Path length in edges (paper's "length m" for l1...l_{m+1}); an
+        // unbounded expression (contains *) can never be certified sound.
+        let required = expr.max_word_len().map(|labels| labels.saturating_sub(1));
+
+        let mut matches: Vec<NodeId> = Vec::new();
+        let mut cost = QueryCost {
+            index_visits: on_index.visited,
+            data_visits: 0,
+        };
+        let mut validated = false;
+        // Compile against the data interner lazily — only if we validate.
+        let mut reversed: Option<Nfa> = None;
+
+        for inode in on_index.matches {
+            let sound = match required {
+                Some(m) => self.index.similarity(inode) >= m,
+                None => false,
+            };
+            if sound {
+                matches.extend_from_slice(self.index.extent(inode));
+            } else {
+                validated = true;
+                let rev = reversed.get_or_insert_with(|| {
+                    Nfa::compile(expr, self.data.labels()).reverse()
+                });
+                for &candidate in self.index.extent(inode) {
+                    let (hit, visited) = matches_ending_at(self.data, rev, candidate);
+                    cost.data_visits += visited;
+                    if hit {
+                        matches.push(candidate);
+                    }
+                }
+            }
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        IndexEvalOutcome {
+            matches,
+            cost,
+            validated,
+        }
+    }
+
+    /// Evaluate a whole workload, returning per-query outcomes.
+    pub fn evaluate_all(&self, exprs: &[PathExpr]) -> Vec<IndexEvalOutcome> {
+        exprs.iter().map(|e| self.evaluate(e)).collect()
+    }
+
+    /// Average total cost (nodes visited) over a workload — the Y axis of
+    /// the paper's figures 4–7.
+    pub fn average_cost(&self, exprs: &[PathExpr]) -> f64 {
+        if exprs.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = exprs
+            .iter()
+            .map(|e| self.evaluate(e).cost.total())
+            .sum();
+        total as f64 / exprs.len() as f64
+    }
+}
+
+/// Ground truth: evaluate `expr` directly on the data graph (no index).
+/// Returns matches and the number of data nodes visited.
+pub fn evaluate_on_data(data: &DataGraph, expr: &PathExpr) -> (Vec<NodeId>, u64) {
+    let nfa = Nfa::compile(expr, data.labels());
+    let idx = LabelIndex::build(data);
+    let out = evaluate(data, &nfa, &idx);
+    (out.matches, out.visited)
+}
+
+/// Evaluate a workload across `threads` OS threads (index and data are
+/// shared immutably; queries are striped round-robin). Outcome order
+/// matches `exprs`. Falls back to the sequential path for small workloads.
+pub fn evaluate_workload_parallel(
+    index: &IndexGraph,
+    data: &DataGraph,
+    exprs: &[PathExpr],
+    threads: usize,
+) -> Vec<IndexEvalOutcome> {
+    let threads = threads.max(1).min(exprs.len().max(1));
+    if threads <= 1 || exprs.len() < 4 {
+        return IndexEvaluator::new(index, data).evaluate_all(exprs);
+    }
+    let mut slots: Vec<Option<IndexEvalOutcome>> = vec![None; exprs.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                // Each worker builds its own evaluator (the label index is
+                // cheap relative to a workload slice) and takes every
+                // `threads`-th query.
+                let evaluator = IndexEvaluator::new(index, data);
+                exprs
+                    .iter()
+                    .enumerate()
+                    .skip(t)
+                    .step_by(threads)
+                    .map(|(i, e)| (i, evaluator.evaluate(e)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("evaluator workers do not panic") {
+                slots[i] = Some(outcome);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every query evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dk::construct::DkIndex;
+    use crate::requirements::Requirements;
+    use dkindex_graph::EdgeKind;
+    use dkindex_pathexpr::parse;
+
+    /// Two movies: one under director, one under actor; titles below.
+    fn movie_data() -> DataGraph {
+        let mut g = DataGraph::new();
+        let d = g.add_labeled_node("director");
+        let a = g.add_labeled_node("actor");
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, d, EdgeKind::Tree);
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(d, m1, EdgeKind::Tree);
+        g.add_edge(a, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g
+    }
+
+    fn assert_same_matches(data: &DataGraph, index: &IndexGraph, expr: &str) {
+        let e = parse(expr).unwrap();
+        let truth = evaluate_on_data(data, &e).0;
+        let out = IndexEvaluator::new(index, data).evaluate(&e);
+        assert_eq!(out.matches, truth, "expr {expr}");
+    }
+
+    #[test]
+    fn sound_index_answers_without_validation() {
+        let data = movie_data();
+        // title requires 2: director.movie.title (length 2) is sound.
+        let dk = DkIndex::build(&data, Requirements::from_pairs([("title", 2)]));
+        let e = parse("director.movie.title").unwrap();
+        let out = IndexEvaluator::new(dk.index(), &data).evaluate(&e);
+        assert!(!out.validated);
+        assert_eq!(out.cost.data_visits, 0);
+        let truth = evaluate_on_data(&data, &e).0;
+        assert_eq!(out.matches, truth);
+    }
+
+    #[test]
+    fn label_split_index_validates_long_queries() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::new()); // A(0)
+        let e = parse("director.movie.title").unwrap();
+        let out = IndexEvaluator::new(dk.index(), &data).evaluate(&e);
+        assert!(out.validated);
+        assert!(out.cost.data_visits > 0);
+        // Validation still returns the exact answer.
+        let truth = evaluate_on_data(&data, &e).0;
+        assert_eq!(out.matches, truth);
+    }
+
+    #[test]
+    fn validation_filters_false_positives() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::new());
+        // Both titles share one index node; only t1 matches through director.
+        let e = parse("director.movie.title").unwrap();
+        let out = IndexEvaluator::new(dk.index(), &data).evaluate(&e);
+        assert_eq!(out.matches.len(), 1);
+    }
+
+    #[test]
+    fn short_queries_are_sound_even_on_label_split() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::new());
+        // Length 0 (single label): always sound (k ≥ 0).
+        let e = parse("title").unwrap();
+        let out = IndexEvaluator::new(dk.index(), &data).evaluate(&e);
+        assert!(!out.validated);
+        assert_eq!(out.matches.len(), 2);
+    }
+
+    #[test]
+    fn star_queries_always_validate_but_stay_exact() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::uniform(3));
+        for expr in ["_*.title", "ROOT._*.movie", "director._*"] {
+            assert_same_matches(&data, dk.index(), expr);
+            let out = IndexEvaluator::new(dk.index(), &data)
+                .evaluate(&parse(expr).unwrap());
+            assert!(out.validated, "{expr} must validate (unbounded)");
+        }
+    }
+
+    #[test]
+    fn exactness_across_requirement_levels() {
+        let data = movie_data();
+        for k in 0..4 {
+            let dk = DkIndex::build(&data, Requirements::uniform(k));
+            for expr in [
+                "movie.title",
+                "director.movie.title",
+                "actor.movie",
+                "ROOT.director",
+                "ROOT._.movie.title",
+                "movie.(title|name)",
+            ] {
+                assert_same_matches(&data, dk.index(), expr);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_similarity_reduces_total_cost_for_long_queries() {
+        let data = movie_data();
+        let e = [parse("director.movie.title").unwrap()];
+        let a0 = DkIndex::build(&data, Requirements::new());
+        let a2 = DkIndex::build(&data, Requirements::uniform(2));
+        let cost0 = IndexEvaluator::new(a0.index(), &data).average_cost(&e);
+        let cost2 = IndexEvaluator::new(a2.index(), &data).average_cost(&e);
+        assert!(
+            cost2 < cost0,
+            "sound index ({cost2}) should beat validating index ({cost0})"
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::uniform(1));
+        let exprs: Vec<_> = [
+            "movie.title",
+            "director.movie.title",
+            "actor.movie",
+            "ROOT.director",
+            "title",
+            "movie.(title|name)",
+            "_.movie",
+            "actor.movie.title",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let sequential = IndexEvaluator::new(dk.index(), &data).evaluate_all(&exprs);
+        for threads in [1, 2, 3, 8] {
+            let parallel = evaluate_workload_parallel(dk.index(), &data, &exprs, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.matches, s.matches);
+                assert_eq!(p.cost, s.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_of_empty_workload() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::new());
+        assert!(evaluate_workload_parallel(dk.index(), &data, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn average_cost_of_empty_workload_is_zero() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::new());
+        assert_eq!(IndexEvaluator::new(dk.index(), &data).average_cost(&[]), 0.0);
+    }
+}

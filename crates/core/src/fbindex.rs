@@ -1,0 +1,178 @@
+//! The F&B-index (Kaushik et al., SIGMOD 2002): the covering index for
+//! branching path queries, cited by the D(k) paper's future-work section
+//! (reference \[24\]).
+//!
+//! Extents are the coarsest partition stable under **both** incoming and
+//! outgoing structure ([`dkindex_partition::fb_bisimulation`]). F&B
+//! equivalence preserves twig matching: two F&B-equivalent nodes satisfy
+//! exactly the same branching path queries, so a twig can be evaluated on
+//! the (smaller) index graph and the matched extents returned wholesale —
+//! no validation ever.
+//!
+//! ```
+//! use dkindex_core::FbIndex;
+//! use dkindex_pathexpr::parse_twig;
+//! use dkindex_xml::parse_to_graph;
+//!
+//! let data = parse_to_graph(
+//!     "<db><movie><title/><actor/></movie><movie><title/></movie></db>",
+//! ).unwrap();
+//! let fb = FbIndex::build(&data);
+//! let twig = parse_twig("movie[actor]/title").unwrap();
+//! let (matches, _) = fb.evaluate_twig(&twig);
+//! assert_eq!(matches.len(), 1); // only the movie with an actor
+//! ```
+
+use crate::index_graph::{IndexGraph, SIM_EXACT};
+use dkindex_graph::{DataGraph, NodeId};
+use dkindex_partition::fb_bisimulation;
+use dkindex_pathexpr::{evaluate_twig, Twig};
+
+/// The forward-and-backward index.
+#[derive(Clone, Debug)]
+pub struct FbIndex {
+    index: IndexGraph,
+}
+
+impl FbIndex {
+    /// Build the F&B-index of `data`.
+    pub fn build(data: &DataGraph) -> Self {
+        let p = fb_bisimulation(data);
+        let sims = vec![SIM_EXACT; p.block_count()];
+        FbIndex {
+            index: IndexGraph::from_data_partition(data, &p, sims),
+        }
+    }
+
+    /// The underlying index graph.
+    pub fn index(&self) -> &IndexGraph {
+        &self.index
+    }
+
+    /// Number of index nodes.
+    pub fn size(&self) -> usize {
+        self.index.size()
+    }
+
+    /// Evaluate a branching path query through the index: the twig runs on
+    /// the index graph and matched extents are unioned. Returns the matches
+    /// and the number of index nodes visited.
+    pub fn evaluate_twig(&self, twig: &Twig) -> (Vec<NodeId>, u64) {
+        let (inodes, visited) = evaluate_twig(&self.index, twig);
+        let mut matches: Vec<NodeId> = inodes
+            .into_iter()
+            .flat_map(|i| self.index.extent(i).iter().copied())
+            .collect();
+        matches.sort_unstable();
+        matches.dedup();
+        (matches, visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_index::OneIndex;
+    use dkindex_graph::{EdgeKind, LabeledGraph};
+    use dkindex_pathexpr::parse_twig;
+
+    /// movie₁(title, actor/name), movie₂(title) under the root.
+    fn data() -> DataGraph {
+        let mut g = DataGraph::new();
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let a = g.add_labeled_node("actor");
+        let n = g.add_labeled_node("name");
+        let r = g.root();
+        g.add_edge(r, m1, EdgeKind::Tree);
+        g.add_edge(r, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g.add_edge(m1, a, EdgeKind::Tree);
+        g.add_edge(a, n, EdgeKind::Tree);
+        g
+    }
+
+    #[test]
+    fn fb_index_is_valid_summary() {
+        let g = data();
+        let fb = FbIndex::build(&g);
+        fb.index().check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn twigs_on_index_equal_twigs_on_data() {
+        let g = data();
+        let fb = FbIndex::build(&g);
+        for q in [
+            "movie/title",
+            "movie[actor]/title",
+            "movie[actor/name]/title",
+            "ROOT/_[actor]",
+            "movie[ghost]/title",
+            "actor/name",
+        ] {
+            let twig = parse_twig(q).unwrap();
+            let truth = evaluate_twig(&g, &twig).0;
+            let (got, _) = fb.evaluate_twig(&twig);
+            assert_eq!(got, truth, "{q}");
+        }
+    }
+
+    #[test]
+    fn one_index_is_not_covering_for_twigs() {
+        // The backward-only 1-index merges movie₁ and movie₂ (same incoming
+        // structure), so twig evaluation on it over-answers — demonstrating
+        // why branching queries need F&B.
+        let g = data();
+        let one = OneIndex::build(&g);
+        let twig = parse_twig("movie[actor]/title").unwrap();
+        let truth = evaluate_twig(&g, &twig).0;
+        let (on_one, _) = evaluate_twig(one.index(), &twig);
+        let merged: Vec<NodeId> = on_one
+            .into_iter()
+            .flat_map(|i| one.index().extent(i).iter().copied())
+            .collect();
+        assert!(merged.len() > truth.len(), "1-index should over-answer");
+        // F&B gets it right.
+        let fb = FbIndex::build(&g);
+        assert_eq!(fb.evaluate_twig(&twig).0, truth);
+    }
+
+    #[test]
+    fn fb_refines_one_index_and_sizes_order() {
+        let g = data();
+        let fb = FbIndex::build(&g);
+        let one = OneIndex::build(&g);
+        assert!(fb
+            .index()
+            .to_partition()
+            .is_refinement_of(&one.index().to_partition()));
+        assert!(fb.size() >= one.size());
+        assert!(fb.size() <= g.node_count());
+    }
+
+    #[test]
+    fn twig_cost_on_index_is_cheaper_on_regular_data() {
+        // Many identical movies: the index collapses them, so index-side
+        // evaluation visits far fewer nodes.
+        let mut g = DataGraph::new();
+        let r = g.root();
+        for _ in 0..50 {
+            let m = g.add_labeled_node("movie");
+            let t = g.add_labeled_node("title");
+            let a = g.add_labeled_node("actor");
+            g.add_edge(r, m, EdgeKind::Tree);
+            g.add_edge(m, t, EdgeKind::Tree);
+            g.add_edge(m, a, EdgeKind::Tree);
+        }
+        let fb = FbIndex::build(&g);
+        let twig = parse_twig("movie[actor]/title").unwrap();
+        let (_, data_cost) = evaluate_twig(&g, &twig);
+        let (matches, index_cost) = fb.evaluate_twig(&twig);
+        assert_eq!(matches.len(), 50);
+        assert!(index_cost * 10 < data_cost, "{index_cost} !<< {data_cost}");
+    }
+}

@@ -1,0 +1,692 @@
+//! The index graph: a structural summary with extents and per-node local
+//! similarities (paper §3–§4).
+//!
+//! An [`IndexGraph`] has one node per equivalence class of the data graph;
+//! each index node carries its *extent* (the set of data nodes it summarizes),
+//! its label, and its *local similarity* `k` (its extent is guaranteed to be
+//! k-bisimilar). An edge `A → B` exists iff some data edge runs from a member
+//! of `extent(A)` to a member of `extent(B)`.
+//!
+//! `IndexGraph` implements [`LabeledGraph`], so path expressions evaluate on
+//! it with the same engine used for data graphs, and — crucially for the
+//! D(k) update machinery — an index graph can itself be *re-indexed* like a
+//! data graph ([`IndexGraph::reindex`]), the operation behind the paper's
+//! Theorem 2, the subgraph-addition update and the demoting process.
+
+use dkindex_graph::{DataGraph, LabelId, LabelInterner, LabeledGraph, NodeId};
+use dkindex_partition::Partition;
+use std::collections::HashSet;
+
+/// Local similarity value representing "exactly bisimilar" (the 1-index):
+/// sound for a path expression of any length. Large but safe under `+ 1`.
+pub const SIM_EXACT: usize = usize::MAX / 4;
+
+/// A structural summary of a data graph.
+#[derive(Clone, Debug)]
+pub struct IndexGraph {
+    labels_of_nodes: Vec<LabelId>,
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+    /// Data nodes summarized by each index node (sorted).
+    extents: Vec<Vec<NodeId>>,
+    /// Local similarity of each index node.
+    similarity: Vec<usize>,
+    /// data node -> index node containing it.
+    node_to_index: Vec<NodeId>,
+    interner: LabelInterner,
+    root: NodeId,
+    edge_count: usize,
+    /// Bumped on every mutation; lets caches detect staleness.
+    version: u64,
+}
+
+impl IndexGraph {
+    /// Build an index graph from a partition of `g`'s nodes. `similarity[b]`
+    /// is the local similarity of block `b` (same indexing as the partition's
+    /// blocks). Every extent is the block's member list.
+    pub fn from_data_partition(g: &DataGraph, partition: &Partition, similarity: Vec<usize>) -> Self {
+        assert_eq!(partition.node_count(), g.node_count());
+        assert_eq!(similarity.len(), partition.block_count());
+        let nblocks = partition.block_count();
+
+        let mut labels_of_nodes = Vec::with_capacity(nblocks);
+        let mut extents = Vec::with_capacity(nblocks);
+        for b in partition.block_ids() {
+            let members = partition.members(b);
+            labels_of_nodes.push(g.label_of(members[0]));
+            extents.push(members.to_vec());
+        }
+
+        let node_to_index: Vec<NodeId> = (0..g.node_count())
+            .map(|i| NodeId::from_index(partition.block_of(NodeId::from_index(i)).index()))
+            .collect();
+
+        let mut index = IndexGraph {
+            labels_of_nodes,
+            children: vec![Vec::new(); nblocks],
+            parents: vec![Vec::new(); nblocks],
+            extents,
+            similarity,
+            node_to_index: node_to_index.clone(),
+            interner: g.labels().clone(),
+            root: node_to_index[g.root().index()],
+            edge_count: 0,
+            version: 0,
+        };
+        for &(from, to, _) in g.edges() {
+            let (fi, ti) = (index.index_of(from), index.index_of(to));
+            index.add_index_edge(fi, ti);
+        }
+        index
+    }
+
+    /// Re-index: treat `base` itself as a data graph, partition *its* nodes,
+    /// and merge extents. Used by the subgraph-addition update and the
+    /// demoting process (paper Theorem 2: the D(k)-index of any refinement of
+    /// a D(k)-index is the D(k)-index itself).
+    pub fn reindex(base: &IndexGraph, partition: &Partition, similarity: Vec<usize>) -> Self {
+        assert_eq!(partition.node_count(), base.node_count());
+        assert_eq!(similarity.len(), partition.block_count());
+        let nblocks = partition.block_count();
+
+        let mut labels_of_nodes = Vec::with_capacity(nblocks);
+        let mut extents: Vec<Vec<NodeId>> = Vec::with_capacity(nblocks);
+        for b in partition.block_ids() {
+            let members = partition.members(b);
+            labels_of_nodes.push(base.label_of(members[0]));
+            let mut extent = Vec::new();
+            for &inode in members {
+                extent.extend_from_slice(base.extent(inode));
+            }
+            extent.sort_unstable();
+            extent.dedup();
+            extents.push(extent);
+        }
+
+        let mut node_to_index = base.node_to_index.clone();
+        for (bi, extent) in extents.iter().enumerate() {
+            for &d in extent {
+                node_to_index[d.index()] = NodeId::from_index(bi);
+            }
+        }
+
+        let mut index = IndexGraph {
+            labels_of_nodes,
+            children: vec![Vec::new(); nblocks],
+            parents: vec![Vec::new(); nblocks],
+            extents,
+            similarity,
+            root: NodeId::from_index(
+                partition.block_of(base.root()).index(),
+            ),
+            node_to_index,
+            interner: base.interner.clone(),
+            edge_count: 0,
+            version: 0,
+        };
+        // Edges: project base's edges through the partition.
+        for from in base.node_ids() {
+            for &to in base.children_of(from) {
+                let fi = NodeId::from_index(partition.block_of(from).index());
+                let ti = NodeId::from_index(partition.block_of(to).index());
+                index.add_index_edge(fi, ti);
+            }
+        }
+        index
+    }
+
+    /// Reassemble an index graph from stored parts (the `store` module's
+    /// loader). Extents must partition `0..data_nodes`; edges and the root
+    /// are attached afterwards via [`IndexGraph::add_index_edge`] and
+    /// [`IndexGraph::set_root`].
+    pub(crate) fn from_stored_parts(
+        interner: LabelInterner,
+        labels: Vec<LabelId>,
+        similarity: Vec<usize>,
+        mut extents: Vec<Vec<NodeId>>,
+        data_nodes: usize,
+    ) -> IndexGraph {
+        assert_eq!(labels.len(), similarity.len());
+        assert_eq!(labels.len(), extents.len());
+        let mut node_to_index = vec![NodeId::from_index(0); data_nodes];
+        for (i, extent) in extents.iter_mut().enumerate() {
+            extent.sort_unstable();
+            for &d in extent.iter() {
+                node_to_index[d.index()] = NodeId::from_index(i);
+            }
+        }
+        let n = labels.len();
+        IndexGraph {
+            labels_of_nodes: labels,
+            children: vec![Vec::new(); n],
+            parents: vec![Vec::new(); n],
+            extents,
+            similarity,
+            node_to_index,
+            interner,
+            root: NodeId::from_index(0),
+            edge_count: 0,
+            version: 0,
+        }
+    }
+
+    /// Set the root index node (store loading only).
+    pub(crate) fn set_root(&mut self, root: NodeId) {
+        assert!(root.index() < self.size());
+        self.root = root;
+    }
+
+    /// Number of index nodes — the paper's "index size" (X axis of figs 4–7).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.labels_of_nodes.len()
+    }
+
+    /// The extent of index node `inode` (sorted data node ids).
+    #[inline]
+    pub fn extent(&self, inode: NodeId) -> &[NodeId] {
+        &self.extents[inode.index()]
+    }
+
+    /// The index node containing data node `data_node`.
+    #[inline]
+    pub fn index_of(&self, data_node: NodeId) -> NodeId {
+        self.node_to_index[data_node.index()]
+    }
+
+    /// Local similarity of `inode`.
+    #[inline]
+    pub fn similarity(&self, inode: NodeId) -> usize {
+        self.similarity[inode.index()]
+    }
+
+    /// Set the local similarity of `inode`.
+    #[inline]
+    pub fn set_similarity(&mut self, inode: NodeId, k: usize) {
+        if self.similarity[inode.index()] != k {
+            self.version += 1;
+        }
+        self.similarity[inode.index()] = k;
+    }
+
+    /// Monotone mutation counter: two equal versions of the same index
+    /// guarantee identical structure and similarities, so cached query
+    /// results remain valid exactly while the version is unchanged.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Approximate resident size in bytes (adjacency + extents + tables);
+    /// reported alongside node counts by the size experiments.
+    pub fn approx_bytes(&self) -> usize {
+        let per_node = std::mem::size_of::<LabelId>() + std::mem::size_of::<usize>();
+        let adj: usize = self
+            .children
+            .iter()
+            .chain(self.parents.iter())
+            .map(|v| v.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        let extents: usize = self
+            .extents
+            .iter()
+            .map(|e| e.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        self.size() * per_node + adj + extents + self.node_to_index.len() * 4
+    }
+
+    /// Sum of extent sizes (must equal the data graph's node count).
+    pub fn total_extent_size(&self) -> usize {
+        self.extents.iter().map(Vec::len).sum()
+    }
+
+    /// Add an index edge, deduplicating. Returns true if newly added.
+    pub fn add_index_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        if self.children[from.index()].contains(&to) {
+            return false;
+        }
+        self.children[from.index()].push(to);
+        self.parents[to.index()].push(from);
+        self.edge_count += 1;
+        self.version += 1;
+        true
+    }
+
+    /// Grow the data-node→index-node map to cover `n` data nodes (new slots
+    /// are filled by subsequent splits/assignments). Needed when the data
+    /// graph grows (subgraph addition).
+    pub fn grow_node_map(&mut self, n: usize) {
+        if self.node_to_index.len() < n {
+            self.node_to_index.resize(n, NodeId::from_index(0));
+        }
+    }
+
+    /// Directly assign a data node to an index node and append it to the
+    /// extent (used when stitching a sub-index under this index).
+    pub fn assign_data_node(&mut self, data_node: NodeId, inode: NodeId) {
+        self.grow_node_map(data_node.index() + 1);
+        self.node_to_index[data_node.index()] = inode;
+        let extent = &mut self.extents[inode.index()];
+        if let Err(pos) = extent.binary_search(&data_node) {
+            extent.insert(pos, data_node);
+            self.version += 1;
+        }
+    }
+
+    /// Append a fresh index node with the given label, extent and similarity
+    /// (edges must be added separately). Returns its id.
+    pub fn push_node(&mut self, label: LabelId, mut extent: Vec<NodeId>, similarity: usize) -> NodeId {
+        extent.sort_unstable();
+        let id = NodeId::from_index(self.labels_of_nodes.len());
+        for &d in &extent {
+            self.grow_node_map(d.index() + 1);
+            self.node_to_index[d.index()] = id;
+        }
+        self.labels_of_nodes.push(label);
+        self.extents.push(extent);
+        self.similarity.push(similarity);
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        self.version += 1;
+        id
+    }
+
+    /// Intern a label in this index's interner (kept in sync with the data
+    /// graph when new labels appear through updates).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        self.interner.intern(name)
+    }
+
+    /// Split `target`'s extent: members in `moved` go to a fresh index node
+    /// (same label, similarity `new_similarity` for **both** fragments), and
+    /// the edges of both fragments are recomputed from the data graph's
+    /// adjacency of their members. Neighbors' edge lists are fixed up.
+    ///
+    /// Returns the new index node. Panics if `moved` is empty or covers the
+    /// whole extent (no split).
+    pub fn split_extent(
+        &mut self,
+        target: NodeId,
+        moved: &HashSet<NodeId>,
+        new_similarity: usize,
+        data: &DataGraph,
+    ) -> NodeId {
+        let old_extent = std::mem::take(&mut self.extents[target.index()]);
+        assert!(!moved.is_empty(), "split with empty moved set");
+        assert!(
+            moved.len() < old_extent.len(),
+            "split must leave both fragments non-empty"
+        );
+        let (moved_members, kept): (Vec<NodeId>, Vec<NodeId>) =
+            old_extent.into_iter().partition(|m| moved.contains(m));
+        assert_eq!(moved_members.len(), moved.len(), "moved ⊄ extent");
+        self.extents[target.index()] = kept;
+        self.similarity[target.index()] = new_similarity;
+        self.version += 1;
+
+        let label = self.labels_of_nodes[target.index()];
+        let new_node = self.push_node(label, moved_members, new_similarity);
+
+        // Drop every edge incident to `target`; recompute for both fragments.
+        self.drop_edges_of(target);
+        self.recompute_edges_from_data(target, data);
+        self.recompute_edges_from_data(new_node, data);
+        new_node
+    }
+
+    /// Remove all edges incident to `inode` from the adjacency lists.
+    fn drop_edges_of(&mut self, inode: NodeId) {
+        let children = std::mem::take(&mut self.children[inode.index()]);
+        for c in children {
+            let parents = &mut self.parents[c.index()];
+            if let Some(pos) = parents.iter().position(|&p| p == inode) {
+                parents.swap_remove(pos);
+                self.edge_count -= 1;
+            }
+        }
+        let parents = std::mem::take(&mut self.parents[inode.index()]);
+        for p in parents {
+            let children = &mut self.children[p.index()];
+            if let Some(pos) = children.iter().position(|&c| c == inode) {
+                children.swap_remove(pos);
+                self.edge_count -= 1;
+            }
+        }
+    }
+
+    /// Recompute `inode`'s incident edges by scanning its extent's data
+    /// adjacency. Cost is proportional to the extent size and degree — the
+    /// locality that makes splits cheap.
+    fn recompute_edges_from_data(&mut self, inode: NodeId, data: &DataGraph) {
+        let extent = std::mem::take(&mut self.extents[inode.index()]);
+        for &m in &extent {
+            for &p in data.parents_of(m) {
+                let pi = self.index_of(p);
+                self.add_index_edge(pi, inode);
+            }
+            for &c in data.children_of(m) {
+                let ci = self.index_of(c);
+                self.add_index_edge(inode, ci);
+            }
+        }
+        self.extents[inode.index()] = extent;
+    }
+
+    /// Reconstruct the partition of data nodes induced by the extents
+    /// (block ids == index node ids).
+    pub fn to_partition(&self) -> Partition {
+        Partition::from_block_of(
+            self.node_to_index
+                .iter()
+                .map(|&i| dkindex_partition::BlockId::from_index(i.index()))
+                .collect(),
+        )
+    }
+
+    /// Verify the index invariants against `data`:
+    /// 1. extents partition the data nodes;
+    /// 2. extents are label-homogeneous and match the index node's label;
+    /// 3. index edges = projection of data edges (both directions);
+    /// 4. the D(k) structural constraint `k(A) ≥ k(B) − 1` on every edge
+    ///    `A → B` (Definition 3).
+    pub fn check_invariants(&self, data: &DataGraph) -> Result<(), String> {
+        // 1 & 2.
+        let mut seen = vec![false; data.node_count()];
+        for inode in self.node_ids() {
+            let extent = self.extent(inode);
+            if extent.is_empty() {
+                return Err(format!("index node {inode:?} has empty extent"));
+            }
+            for &d in extent {
+                if seen[d.index()] {
+                    return Err(format!("data node {d:?} in two extents"));
+                }
+                seen[d.index()] = true;
+                if data.label_of(d) != self.label_of(inode) {
+                    return Err(format!("extent of {inode:?} not label-homogeneous"));
+                }
+                if self.index_of(d) != inode {
+                    return Err(format!("node_to_index stale for {d:?}"));
+                }
+            }
+        }
+        if let Some(i) = seen.iter().position(|&s| !s) {
+            return Err(format!("data node n{i} not covered by any extent"));
+        }
+        // 3. Every data edge appears; every index edge is witnessed.
+        for &(from, to, _) in data.edges() {
+            let (fi, ti) = (self.index_of(from), self.index_of(to));
+            if !self.children_of(fi).contains(&ti) {
+                return Err(format!("missing index edge {fi:?}->{ti:?}"));
+            }
+        }
+        for a in self.node_ids() {
+            for &b in self.children_of(a) {
+                let witnessed = self.extent(a).iter().any(|&u| {
+                    data.children_of(u)
+                        .iter()
+                        .any(|&v| self.index_of(v) == b)
+                });
+                if !witnessed {
+                    return Err(format!("unwitnessed index edge {a:?}->{b:?}"));
+                }
+            }
+        }
+        // 4. Structural constraint.
+        for a in self.node_ids() {
+            for &b in self.children_of(a) {
+                if self.similarity(a).saturating_add(1) < self.similarity(b) {
+                    return Err(format!(
+                        "D(k) constraint violated on {a:?}(k={})->{b:?}(k={})",
+                        self.similarity(a),
+                        self.similarity(b)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that every extent's members share the same set of incoming
+    /// label paths up to `similarity(inode) + 1` labels — the invariant that
+    /// Theorem 1 soundness actually rests on, and the one the D(k)
+    /// edge-addition update maintains (Algorithm 4 reasons about label
+    /// paths, which k-bisimilarity implies but is strictly stronger than).
+    /// Expensive; tests only. `cap` bounds the checked similarity.
+    pub fn check_extent_path_similarity(
+        &self,
+        data: &DataGraph,
+        cap: usize,
+    ) -> Result<(), String> {
+        use dkindex_graph::traversal::incoming_label_paths_up_to;
+        for inode in self.node_ids() {
+            let k = self.similarity(inode).min(cap);
+            let extent = self.extent(inode);
+            if extent.len() < 2 {
+                continue;
+            }
+            // A node with similarity k must agree on label paths of up to
+            // k+1 labels (a path of k edges has k+1 labels).
+            let reference = incoming_label_paths_up_to(data, extent[0], k + 1);
+            for &m in &extent[1..] {
+                let paths = incoming_label_paths_up_to(data, m, k + 1);
+                if paths != reference {
+                    return Err(format!(
+                        "extent of {inode:?} (k={k}) has diverging label paths: {:?} vs {:?}",
+                        extent[0], m
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that every extent really is `similarity(inode)`-bisimilar in
+    /// `data` (expensive; tests only). `cap` bounds the checked k to keep
+    /// `SIM_EXACT` nodes affordable.
+    pub fn check_extent_bisimilarity(&self, data: &DataGraph, cap: usize) -> Result<(), String> {
+        use dkindex_partition::KBisimTable;
+        let max_k = self
+            .node_ids()
+            .map(|i| self.similarity(i).min(cap))
+            .max()
+            .unwrap_or(0);
+        // One table per distinct k in use.
+        for k in 0..=max_k {
+            let table = KBisimTable::compute(data, k);
+            for inode in self.node_ids() {
+                if self.similarity(inode).min(cap) != k {
+                    continue;
+                }
+                let extent = self.extent(inode);
+                for w in extent.windows(2) {
+                    if !table.bisimilar(w[0], w[1]) {
+                        return Err(format!(
+                            "extent of {inode:?} not {k}-bisimilar: {:?} vs {:?}",
+                            w[0], w[1]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl LabeledGraph for IndexGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.labels_of_nodes.len()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    #[inline]
+    fn label_of(&self, node: NodeId) -> LabelId {
+        self.labels_of_nodes[node.index()]
+    }
+
+    #[inline]
+    fn children_of(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    #[inline]
+    fn parents_of(&self, node: NodeId) -> &[NodeId] {
+        &self.parents[node.index()]
+    }
+
+    #[inline]
+    fn root(&self) -> NodeId {
+        self.root
+    }
+
+    #[inline]
+    fn labels(&self) -> &LabelInterner {
+        &self.interner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::EdgeKind;
+    use dkindex_partition::k_bisimulation;
+
+    fn small() -> DataGraph {
+        let mut g = DataGraph::new();
+        let a1 = g.add_labeled_node("a");
+        let a2 = g.add_labeled_node("a");
+        let b1 = g.add_labeled_node("b");
+        let b2 = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a1, EdgeKind::Tree);
+        g.add_edge(r, a2, EdgeKind::Tree);
+        g.add_edge(a1, b1, EdgeKind::Tree);
+        g.add_edge(a2, b2, EdgeKind::Tree);
+        g.add_edge(b1, b2, EdgeKind::Reference);
+        g
+    }
+
+    #[test]
+    fn from_partition_builds_consistent_summary() {
+        let g = small();
+        let p = k_bisimulation(&g, 1);
+        let sims = vec![1; p.block_count()];
+        let idx = IndexGraph::from_data_partition(&g, &p, sims);
+        idx.check_invariants(&g).unwrap();
+        assert_eq!(idx.total_extent_size(), g.node_count());
+        // b1 and b2 differ at k=1 (b2 has a b-labeled parent).
+        assert!(idx.size() >= 4);
+    }
+
+    #[test]
+    fn label_split_index_has_one_node_per_label() {
+        let g = small();
+        let p = Partition::by_label(&g);
+        let idx = IndexGraph::from_data_partition(&g, &p, vec![0; p.block_count()]);
+        idx.check_invariants(&g).unwrap();
+        assert_eq!(idx.size(), 3); // ROOT, a, b
+        let a_label = g.labels().get("a").unwrap();
+        let a_inode = idx
+            .node_ids()
+            .find(|&i| idx.label_of(i) == a_label)
+            .unwrap();
+        assert_eq!(idx.extent(a_inode).len(), 2);
+    }
+
+    #[test]
+    fn index_edges_project_data_edges() {
+        let g = small();
+        let p = Partition::by_label(&g);
+        let idx = IndexGraph::from_data_partition(&g, &p, vec![0; p.block_count()]);
+        // Label graph: ROOT->a, a->b, b->b (via reference b1->b2).
+        assert_eq!(idx.edge_count(), 3);
+        let b_label = g.labels().get("b").unwrap();
+        let b = idx.node_ids().find(|&i| idx.label_of(i) == b_label).unwrap();
+        assert!(idx.children_of(b).contains(&b)); // self loop
+    }
+
+    #[test]
+    fn split_extent_keeps_invariants() {
+        let g = small();
+        let p = Partition::by_label(&g);
+        let mut idx = IndexGraph::from_data_partition(&g, &p, vec![0; p.block_count()]);
+        let b_label = g.labels().get("b").unwrap();
+        let b = idx.node_ids().find(|&i| idx.label_of(i) == b_label).unwrap();
+        let b2 = idx.extent(b)[1];
+        let moved: HashSet<NodeId> = [b2].into_iter().collect();
+        let new_node = idx.split_extent(b, &moved, 1, &g);
+        assert_eq!(idx.extent(new_node), &[b2]);
+        assert_eq!(idx.extent(b).len(), 1);
+        assert_eq!(idx.similarity(b), 1);
+        assert_eq!(idx.similarity(new_node), 1);
+        idx.check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "both fragments")]
+    fn split_everything_panics() {
+        let g = small();
+        let p = Partition::by_label(&g);
+        let mut idx = IndexGraph::from_data_partition(&g, &p, vec![0; p.block_count()]);
+        let b_label = g.labels().get("b").unwrap();
+        let b = idx.node_ids().find(|&i| idx.label_of(i) == b_label).unwrap();
+        let moved: HashSet<NodeId> = idx.extent(b).iter().copied().collect();
+        idx.split_extent(b, &moved, 1, &g);
+    }
+
+    #[test]
+    fn reindex_merges_extents_back() {
+        let g = small();
+        // Fine partition: full bisimulation.
+        let fine = dkindex_partition::bisimulation_fixpoint(&g);
+        let fine_idx =
+            IndexGraph::from_data_partition(&g, &fine, vec![SIM_EXACT; fine.block_count()]);
+        // Re-index the fine index by label only: must equal the label-split
+        // index of g (Theorem 2 in miniature).
+        let relabel = Partition::by_label(&fine_idx);
+        let coarse = IndexGraph::reindex(&fine_idx, &relabel, vec![0; relabel.block_count()]);
+        coarse.check_invariants(&g).unwrap();
+        assert_eq!(coarse.size(), 3);
+    }
+
+    #[test]
+    fn to_partition_round_trips() {
+        let g = small();
+        let p = k_bisimulation(&g, 2);
+        let idx = IndexGraph::from_data_partition(&g, &p, vec![2; p.block_count()]);
+        assert!(idx.to_partition().same_equivalence(&p));
+    }
+
+    #[test]
+    fn extent_bisimilarity_checker_accepts_correct_sims() {
+        let g = small();
+        let p = k_bisimulation(&g, 1);
+        let idx = IndexGraph::from_data_partition(&g, &p, vec![1; p.block_count()]);
+        idx.check_extent_bisimilarity(&g, 4).unwrap();
+    }
+
+    #[test]
+    fn extent_bisimilarity_checker_rejects_inflated_sims() {
+        let g = small();
+        let p = Partition::by_label(&g);
+        // Claim k=1 on the label-split index: false for the b block.
+        let idx = IndexGraph::from_data_partition(&g, &p, vec![1; p.block_count()]);
+        assert!(idx.check_extent_bisimilarity(&g, 4).is_err());
+    }
+
+    #[test]
+    fn structural_constraint_detects_violation() {
+        let g = small();
+        let p = Partition::by_label(&g);
+        let mut idx = IndexGraph::from_data_partition(&g, &p, vec![0; p.block_count()]);
+        let b_label = g.labels().get("b").unwrap();
+        let b = idx.node_ids().find(|&i| idx.label_of(i) == b_label).unwrap();
+        idx.set_similarity(b, 5); // parent a still has k=0: violates 0 ≥ 5-1
+        assert!(idx.check_invariants(&g).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Prepared queries and a version-aware result cache — an implementation of
+//! the paper's second future-work direction (§7): "Currently, the update and
+//! evaluation processes are executed independently. Potentially, they can be
+//! combined to speed up the D(k)-index's processing of path queries."
+//!
+//! * [`PreparedQuery`] compiles a path expression once (forward NFA against
+//!   the index alphabet, reversed NFA against the data alphabet, soundness
+//!   bound), so repeated evaluation skips parsing and compilation.
+//! * [`CachedEvaluator`] memoizes full query results keyed by the query
+//!   text, invalidating on [`IndexGraph::version`] changes — the update
+//!   algorithms bump the version, so an edge addition transparently evicts
+//!   exactly when cached answers could have changed.
+//!
+//! ```
+//! use dkindex_core::{CachedEvaluator, DkIndex, Requirements};
+//! use dkindex_pathexpr::parse;
+//! use dkindex_xml::parse_to_graph;
+//!
+//! let data = parse_to_graph("<db><movie><title/></movie></db>").unwrap();
+//! let dk = DkIndex::build(&data, Requirements::uniform(1));
+//! let mut cache = CachedEvaluator::new(dk.index());
+//! let q = parse("movie.title").unwrap();
+//! let miss = cache.evaluate(dk.index(), &data, &q);
+//! let hit = cache.evaluate(dk.index(), &data, &q);
+//! assert_eq!(hit.matches, miss.matches);
+//! assert_eq!(hit.cost.total(), 0); // served from the cache
+//! ```
+
+use crate::eval::{IndexEvalOutcome, QueryCost};
+use crate::index_graph::IndexGraph;
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_pathexpr::{evaluate, matches_ending_at, LabelIndex, Nfa, PathExpr};
+use std::collections::HashMap;
+
+/// A path expression compiled for one `(index, data)` label alphabet pair.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    expr: PathExpr,
+    forward: Nfa,
+    reversed: Nfa,
+    /// Path length (edges) the result node's similarity must reach for
+    /// soundness; `None` when unbounded (always validate).
+    required: Option<usize>,
+}
+
+impl PreparedQuery {
+    /// Compile `expr` against the alphabets of `index` and `data`.
+    pub fn new(expr: PathExpr, index: &IndexGraph, data: &DataGraph) -> Self {
+        let forward = Nfa::compile(&expr, index.labels());
+        let reversed = Nfa::compile(&expr, data.labels()).reverse();
+        let required = expr.max_word_len().map(|labels| labels.saturating_sub(1));
+        PreparedQuery {
+            expr,
+            forward,
+            reversed,
+            required,
+        }
+    }
+
+    /// The source expression.
+    pub fn expr(&self) -> &PathExpr {
+        &self.expr
+    }
+
+    /// Evaluate against the pair it was prepared for. `index_labels` must be
+    /// `LabelIndex::build(index)` (shared across queries by the caller).
+    pub fn evaluate(
+        &self,
+        index: &IndexGraph,
+        data: &DataGraph,
+        index_labels: &LabelIndex,
+    ) -> IndexEvalOutcome {
+        let on_index = evaluate(index, &self.forward, index_labels);
+        let mut matches: Vec<NodeId> = Vec::new();
+        let mut cost = QueryCost {
+            index_visits: on_index.visited,
+            data_visits: 0,
+        };
+        let mut validated = false;
+        for inode in on_index.matches {
+            let sound = match self.required {
+                Some(m) => index.similarity(inode) >= m,
+                None => false,
+            };
+            if sound {
+                matches.extend_from_slice(index.extent(inode));
+            } else {
+                validated = true;
+                for &candidate in index.extent(inode) {
+                    let (hit, visited) = matches_ending_at(data, &self.reversed, candidate);
+                    cost.data_visits += visited;
+                    if hit {
+                        matches.push(candidate);
+                    }
+                }
+            }
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        IndexEvalOutcome {
+            matches,
+            cost,
+            validated,
+        }
+    }
+}
+
+/// A query evaluator with compiled-query and result caches, both invalidated
+/// when the index version moves (i.e. after any update algorithm ran).
+pub struct CachedEvaluator {
+    index_labels: LabelIndex,
+    version: u64,
+    prepared: HashMap<String, PreparedQuery>,
+    results: HashMap<String, IndexEvalOutcome>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachedEvaluator {
+    /// Create a cache bound to the current state of `index`.
+    pub fn new(index: &IndexGraph) -> Self {
+        CachedEvaluator {
+            index_labels: LabelIndex::build(index),
+            version: index.version(),
+            prepared: HashMap::new(),
+            results: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Evaluate `expr`, reusing a cached result when the index is unchanged
+    /// since it was computed. Cached hits cost zero node visits — the "skip
+    /// re-evaluation entirely" payoff of coupling updates with evaluation.
+    pub fn evaluate(
+        &mut self,
+        index: &IndexGraph,
+        data: &DataGraph,
+        expr: &PathExpr,
+    ) -> IndexEvalOutcome {
+        if index.version() != self.version {
+            // The index changed under us: drop everything tied to it.
+            self.version = index.version();
+            self.index_labels = LabelIndex::build(index);
+            self.prepared.clear();
+            self.results.clear();
+        }
+        let key = expr.to_string();
+        if let Some(cached) = self.results.get(&key) {
+            self.hits += 1;
+            let mut reply = cached.clone();
+            reply.cost = QueryCost::default(); // answered from the cache
+            return reply;
+        }
+        self.misses += 1;
+        let prepared = self
+            .prepared
+            .entry(key.clone())
+            .or_insert_with(|| PreparedQuery::new(expr.clone(), index, data));
+        let outcome = prepared.evaluate(index, data, &self.index_labels);
+        self.results.insert(key, outcome.clone());
+        outcome
+    }
+
+    /// `(cache hits, cache misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dk::construct::DkIndex;
+    use crate::eval::{evaluate_on_data, IndexEvaluator};
+    use crate::requirements::Requirements;
+    use dkindex_graph::EdgeKind;
+    use dkindex_pathexpr::parse;
+
+    fn data() -> DataGraph {
+        let mut g = DataGraph::new();
+        let d = g.add_labeled_node("director");
+        let a = g.add_labeled_node("actor");
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, d, EdgeKind::Tree);
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(d, m1, EdgeKind::Tree);
+        g.add_edge(a, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g
+    }
+
+    #[test]
+    fn prepared_matches_ad_hoc_evaluation() {
+        let g = data();
+        let dk = DkIndex::build(&g, Requirements::uniform(1));
+        let labels = LabelIndex::build(dk.index());
+        for q in ["movie.title", "director.movie.title", "ghost", "_.movie"] {
+            let expr = parse(q).unwrap();
+            let prepared = PreparedQuery::new(expr.clone(), dk.index(), &g);
+            let a = prepared.evaluate(dk.index(), &g, &labels);
+            let b = IndexEvaluator::new(dk.index(), &g).evaluate(&expr);
+            assert_eq!(a.matches, b.matches, "{q}");
+            assert_eq!(a.cost, b.cost, "{q}");
+            assert_eq!(a.validated, b.validated, "{q}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_free_and_correct() {
+        let g = data();
+        let dk = DkIndex::build(&g, Requirements::uniform(1));
+        let mut cache = CachedEvaluator::new(dk.index());
+        let q = parse("director.movie.title").unwrap();
+        let first = cache.evaluate(dk.index(), &g, &q);
+        assert!(first.cost.total() > 0);
+        let second = cache.evaluate(dk.index(), &g, &q);
+        assert_eq!(second.matches, first.matches);
+        assert_eq!(second.cost.total(), 0);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn updates_invalidate_the_cache() {
+        let mut g = data();
+        let mut dk = DkIndex::build(&g, Requirements::uniform(2));
+        let mut cache = CachedEvaluator::new(dk.index());
+        let q = parse("actor.movie.title").unwrap();
+        let before = cache.evaluate(dk.index(), &g, &q);
+
+        // Update: director also references actor's movie's title... add an
+        // edge that changes the answer of the cached query.
+        let actor = g.nodes_with_label(g.labels().get("actor").unwrap())[0];
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        let m1 = g.nodes_with_label(g.labels().get("movie").unwrap())[0];
+        let _ = t1;
+        dk.add_edge(&mut g, actor, m1);
+
+        let after = cache.evaluate(dk.index(), &g, &q);
+        assert_ne!(before.matches, after.matches, "stale answer served");
+        assert_eq!(after.matches, evaluate_on_data(&g, &q).0);
+        // The refresh was a miss, not a hit.
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn promote_invalidates_too() {
+        let g = data();
+        let mut dk = DkIndex::build(&g, Requirements::new());
+        let mut cache = CachedEvaluator::new(dk.index());
+        let q = parse("director.movie.title").unwrap();
+        let v1 = cache.evaluate(dk.index(), &g, &q);
+        assert!(v1.validated);
+        let t1 = g.nodes_with_label(g.labels().get("title").unwrap())[0];
+        dk.promote(&g, t1, 2);
+        let v2 = cache.evaluate(dk.index(), &g, &q);
+        assert!(!v2.validated, "promotion must be visible through the cache");
+        assert_eq!(v2.matches, v1.matches);
+    }
+
+    #[test]
+    fn distinct_queries_do_not_collide() {
+        let g = data();
+        let dk = DkIndex::build(&g, Requirements::uniform(2));
+        let mut cache = CachedEvaluator::new(dk.index());
+        let a = cache.evaluate(dk.index(), &g, &parse("movie.title").unwrap());
+        let b = cache.evaluate(dk.index(), &g, &parse("actor.movie").unwrap());
+        assert_ne!(a.matches, b.matches);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-label local-similarity requirements, mined from the query load.
+//!
+//! "The local similarity requirement for each label can be obtained from the
+//! query load. The default local similarity requirements of those labels
+//! that never appear in the query load are set to zero." (paper §4.2)
+//!
+//! Requirements are keyed by label *name* (not id) so one requirements table
+//! can be applied to a data graph, to a freshly built sub-index, or to an
+//! index graph being re-indexed, regardless of interner identity.
+
+use dkindex_graph::LabelInterner;
+use std::collections::HashMap;
+
+/// Per-label local-similarity requirements (default 0 per label).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Requirements {
+    by_name: HashMap<String, usize>,
+    /// A floor applied to *every* label (used when a query can return any
+    /// label, e.g. it ends in a wildcard).
+    floor: usize,
+}
+
+impl Requirements {
+    /// Empty requirements: every label requires similarity 0, producing the
+    /// label-split index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uniform requirement `k` for every label — the A(k)-index as a special
+    /// case of the D(k)-index (paper Definition 3 discussion).
+    pub fn uniform(k: usize) -> Self {
+        Requirements {
+            by_name: HashMap::new(),
+            floor: k,
+        }
+    }
+
+    /// Raise `label`'s requirement to at least `k`.
+    pub fn raise(&mut self, label: &str, k: usize) {
+        let entry = self.by_name.entry(label.to_string()).or_insert(0);
+        *entry = (*entry).max(k);
+    }
+
+    /// Raise the floor applied to every label to at least `k`.
+    pub fn raise_floor(&mut self, k: usize) {
+        self.floor = self.floor.max(k);
+    }
+
+    /// The requirement for `label`.
+    pub fn get(&self, label: &str) -> usize {
+        self.by_name.get(label).copied().unwrap_or(0).max(self.floor)
+    }
+
+    /// The floor applied to every label.
+    pub fn floor(&self) -> usize {
+        self.floor
+    }
+
+    /// Resolve to a dense per-`LabelId` table for `interner`.
+    pub fn resolve(&self, interner: &LabelInterner) -> Vec<usize> {
+        interner.iter().map(|(_, name)| self.get(name)).collect()
+    }
+
+    /// Largest requirement mentioned (including the floor).
+    pub fn max_requirement(&self) -> usize {
+        self.by_name
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.floor)
+    }
+
+    /// Iterate over explicitly raised `(label, k)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.by_name.iter().map(|(n, &k)| (n.as_str(), k))
+    }
+
+    /// Build from explicit `(label, k)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, usize)>) -> Self {
+        let mut r = Requirements::new();
+        for (name, k) in pairs {
+            r.raise(name, k);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let r = Requirements::new();
+        assert_eq!(r.get("anything"), 0);
+        assert_eq!(r.max_requirement(), 0);
+    }
+
+    #[test]
+    fn raise_is_max_merge() {
+        let mut r = Requirements::new();
+        r.raise("title", 2);
+        r.raise("title", 1);
+        assert_eq!(r.get("title"), 2);
+        r.raise("title", 4);
+        assert_eq!(r.get("title"), 4);
+    }
+
+    #[test]
+    fn floor_applies_to_every_label() {
+        let mut r = Requirements::from_pairs([("a", 3)]);
+        r.raise_floor(1);
+        assert_eq!(r.get("a"), 3);
+        assert_eq!(r.get("b"), 1);
+        assert_eq!(r.max_requirement(), 3);
+    }
+
+    #[test]
+    fn uniform_is_a_floor() {
+        let r = Requirements::uniform(2);
+        assert_eq!(r.get("x"), 2);
+        assert_eq!(r.get("y"), 2);
+        assert_eq!(r.max_requirement(), 2);
+    }
+
+    #[test]
+    fn resolve_follows_interner_order() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let r = Requirements::from_pairs([("a", 2), ("b", 1)]);
+        let table = r.resolve(&interner);
+        assert_eq!(table[a.index()], 2);
+        assert_eq!(table[b.index()], 1);
+        assert_eq!(table[0], 0); // ROOT
+    }
+}

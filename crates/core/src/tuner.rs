@@ -1,0 +1,315 @@
+//! Adaptive tuning: closing the loop between the query load and the index.
+//!
+//! The paper prescribes that the promoting and demoting processes "be
+//! executed periodically to tune the D(k)-index and keep its high
+//! performance" (§5.3–§5.4) and names query-pattern mining as the first
+//! direction of future work (§7). [`AdaptiveTuner`] implements that loop:
+//!
+//! 1. every query evaluated through the tuner is recorded (per-result-label
+//!    length histogram, validation counter);
+//! 2. when the observation window fills, fresh requirements are mined from
+//!    the recorded load (frequency-weighted, so one stray deep query does
+//!    not inflate the index — "the choice of k_A should guarantee that the
+//!    majority of queries accessing A are ≤ k_A in length", §4.1);
+//! 3. labels whose requirement *rose* are promoted; if the mined
+//!    requirements shrank and the index pays more in size than validation
+//!    saves, the index is demoted.
+//!
+//! ```
+//! use dkindex_core::{AdaptiveTuner, DkIndex, Requirements, TunerConfig, TuningAction};
+//! use dkindex_pathexpr::parse;
+//! use dkindex_xml::parse_to_graph;
+//!
+//! let data = parse_to_graph("<db><movie><title/></movie></db>").unwrap();
+//! let mut tuner = AdaptiveTuner::new(
+//!     DkIndex::build(&data, Requirements::new()),
+//!     TunerConfig { window: 2, min_support: 1, demote_slack: 1 },
+//! );
+//! let q = parse("movie.title").unwrap();
+//! tuner.evaluate(&data, &q);
+//! tuner.evaluate(&data, &q);
+//! assert!(matches!(tuner.maybe_tune(&data), TuningAction::Promoted { .. }));
+//! assert!(!tuner.evaluate(&data, &q).validated);
+//! ```
+
+use crate::dk::construct::DkIndex;
+use crate::eval::{IndexEvalOutcome, IndexEvaluator};
+use crate::mining::mine_requirements_weighted;
+use crate::requirements::Requirements;
+use dkindex_graph::DataGraph;
+use dkindex_pathexpr::PathExpr;
+use std::collections::HashMap;
+
+/// Tuning policy knobs.
+#[derive(Clone, Debug)]
+pub struct TunerConfig {
+    /// Number of queries per observation window.
+    pub window: usize,
+    /// Minimum occurrences within a window for a query shape to influence
+    /// the mined requirements (the "majority" filter of §4.1).
+    pub min_support: u64,
+    /// Demote when the mined maximum requirement is at least this much
+    /// below the current one (hysteresis against oscillation).
+    pub demote_slack: usize,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            window: 200,
+            min_support: 2,
+            demote_slack: 1,
+        }
+    }
+}
+
+/// What a call to [`AdaptiveTuner::maybe_tune`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TuningAction {
+    /// Window not full yet, or the mined requirements matched the current
+    /// ones: nothing changed.
+    None,
+    /// Some labels were promoted (splits performed).
+    Promoted {
+        /// Extent splits performed by the promotion pass.
+        splits: usize,
+    },
+    /// The index was demoted to the mined requirements.
+    Demoted {
+        /// Index nodes merged away.
+        nodes_saved: usize,
+    },
+}
+
+/// A D(k)-index coupled with a query-load monitor (paper §5.3/§5.4/§7).
+#[derive(Debug)]
+pub struct AdaptiveTuner {
+    dk: DkIndex,
+    config: TunerConfig,
+    /// Query shape → occurrences in the current window.
+    observed: HashMap<PathExpr, u64>,
+    seen: usize,
+    validations: u64,
+    total_queries: u64,
+}
+
+impl AdaptiveTuner {
+    /// Wrap an existing D(k)-index.
+    pub fn new(dk: DkIndex, config: TunerConfig) -> Self {
+        AdaptiveTuner {
+            dk,
+            config,
+            observed: HashMap::new(),
+            seen: 0,
+            validations: 0,
+            total_queries: 0,
+        }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &DkIndex {
+        &self.dk
+    }
+
+    /// Consume the tuner, returning the tuned index.
+    pub fn into_index(self) -> DkIndex {
+        self.dk
+    }
+
+    /// Fraction of recorded queries that triggered validation.
+    pub fn validation_rate(&self) -> f64 {
+        if self.total_queries == 0 {
+            0.0
+        } else {
+            self.validations as f64 / self.total_queries as f64
+        }
+    }
+
+    /// Evaluate `query` through the index, recording it for tuning.
+    pub fn evaluate(&mut self, data: &DataGraph, query: &PathExpr) -> IndexEvalOutcome {
+        let out = IndexEvaluator::new(self.dk.index(), data).evaluate(query);
+        *self.observed.entry(query.clone()).or_insert(0) += 1;
+        self.seen += 1;
+        self.total_queries += 1;
+        self.validations += u64::from(out.validated);
+        out
+    }
+
+    /// Run the periodic tuning step if the observation window is full.
+    /// Call after a batch of [`AdaptiveTuner::evaluate`] calls.
+    pub fn maybe_tune(&mut self, data: &DataGraph) -> TuningAction {
+        if self.seen < self.config.window {
+            return TuningAction::None;
+        }
+        let weighted: Vec<(PathExpr, u64)> = self.observed.drain().collect();
+        self.seen = 0;
+        let mined = mine_requirements_weighted(&weighted, self.config.min_support);
+
+        let current = self.dk.requirements().clone();
+        let rises: Vec<(String, usize)> = mined
+            .iter()
+            .filter(|&(label, k)| k > current.get(label))
+            .map(|(l, k)| (l.to_string(), k))
+            .collect();
+        let mined_floor_rose = mined.floor() > current.floor();
+
+        if !rises.is_empty() || mined_floor_rose {
+            // Merge the rises into the current requirements and promote.
+            let mut merged = current;
+            for (label, k) in &rises {
+                merged.raise(label, *k);
+            }
+            if mined_floor_rose {
+                merged.raise_floor(mined.floor());
+            }
+            self.dk.set_requirements_public(merged);
+            let splits = self.dk.promote_to_requirements(data);
+            return TuningAction::Promoted { splits };
+        }
+
+        // Shrink only when the load clearly got shallower (hysteresis).
+        if mined.max_requirement() + self.config.demote_slack < current.max_requirement() {
+            let saved = self.dk.demote(mined);
+            return TuningAction::Demoted { nodes_saved: saved };
+        }
+        TuningAction::None
+    }
+}
+
+impl DkIndex {
+    /// Public requirement replacement for tuning layers. Does not modify the
+    /// index structure; pair with [`DkIndex::promote_to_requirements`] or
+    /// [`DkIndex::demote`].
+    pub fn set_requirements_public(&mut self, reqs: Requirements) {
+        self.set_requirements(reqs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::{EdgeKind, LabeledGraph};
+    use dkindex_pathexpr::parse;
+
+    fn data() -> DataGraph {
+        let mut g = DataGraph::new();
+        let d = g.add_labeled_node("director");
+        let a = g.add_labeled_node("actor");
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, d, EdgeKind::Tree);
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(d, m1, EdgeKind::Tree);
+        g.add_edge(a, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g
+    }
+
+    fn tuner(g: &DataGraph, window: usize) -> AdaptiveTuner {
+        AdaptiveTuner::new(
+            DkIndex::build(g, Requirements::new()),
+            TunerConfig {
+                window,
+                min_support: 2,
+                demote_slack: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn window_must_fill_before_tuning() {
+        let g = data();
+        let mut t = tuner(&g, 10);
+        let q = parse("movie.title").unwrap();
+        for _ in 0..9 {
+            t.evaluate(&g, &q);
+        }
+        assert_eq!(t.maybe_tune(&g), TuningAction::None);
+        t.evaluate(&g, &q);
+        assert!(matches!(t.maybe_tune(&g), TuningAction::Promoted { .. }));
+    }
+
+    #[test]
+    fn repeated_long_queries_promote_and_stop_validation() {
+        let g = data();
+        let mut t = tuner(&g, 4);
+        let q = parse("director.movie.title").unwrap();
+        for _ in 0..4 {
+            assert!(t.evaluate(&g, &q).validated); // label-split validates
+        }
+        let action = t.maybe_tune(&g);
+        assert!(matches!(action, TuningAction::Promoted { splits } if splits > 0));
+        // Next evaluation is sound.
+        let out = t.evaluate(&g, &q);
+        assert!(!out.validated);
+    }
+
+    #[test]
+    fn rare_deep_queries_are_ignored_by_min_support() {
+        let g = data();
+        let mut t = tuner(&g, 4);
+        let short = parse("title").unwrap();
+        let deep = parse("ROOT.director.movie.title").unwrap();
+        t.evaluate(&g, &deep); // once: below min_support 2
+        for _ in 0..3 {
+            t.evaluate(&g, &short);
+        }
+        assert_eq!(t.maybe_tune(&g), TuningAction::None);
+        assert_eq!(t.index().requirements().max_requirement(), 0);
+    }
+
+    #[test]
+    fn shallower_load_eventually_demotes() {
+        let g = data();
+        let mut t = AdaptiveTuner::new(
+            DkIndex::build(&g, Requirements::uniform(3)),
+            TunerConfig {
+                window: 4,
+                min_support: 1,
+                demote_slack: 1,
+            },
+        );
+        let size_before = t.index().size();
+        let q = parse("title").unwrap(); // zero-requirement load
+        for _ in 0..4 {
+            t.evaluate(&g, &q);
+        }
+        let action = t.maybe_tune(&g);
+        assert!(matches!(action, TuningAction::Demoted { nodes_saved } if nodes_saved > 0));
+        assert!(t.index().size() < size_before);
+    }
+
+    #[test]
+    fn validation_rate_tracks_outcomes() {
+        let g = data();
+        let mut t = tuner(&g, 100);
+        let sound = parse("title").unwrap();
+        let approx = parse("director.movie.title").unwrap();
+        t.evaluate(&g, &sound);
+        t.evaluate(&g, &approx);
+        assert!((t.validation_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tuned_index_remains_exact() {
+        use crate::eval::evaluate_on_data;
+        let g = data();
+        let mut t = tuner(&g, 3);
+        for q in ["movie.title", "director.movie.title", "actor.movie"] {
+            let expr = parse(q).unwrap();
+            let out = t.evaluate(&g, &expr);
+            assert_eq!(out.matches, evaluate_on_data(&g, &expr).0);
+        }
+        t.maybe_tune(&g);
+        t.index().index().check_invariants(&g).unwrap();
+        for q in ["movie.title", "director.movie.title", "actor.movie"] {
+            let expr = parse(q).unwrap();
+            let out = t.evaluate(&g, &expr);
+            assert_eq!(out.matches, evaluate_on_data(&g, &expr).0);
+        }
+    }
+}

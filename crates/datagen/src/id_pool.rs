@@ -1,0 +1,84 @@
+//! Id spaces for generated documents: dense `prefixN` identifiers with
+//! uniform random sampling, shared by the XMark-like and NASA-like
+//! generators.
+
+use rand::Rng;
+
+/// A space of `count` identifiers `prefix0 .. prefix{count-1}`.
+#[derive(Clone, Debug)]
+pub struct IdPool {
+    prefix: &'static str,
+    count: usize,
+}
+
+impl IdPool {
+    /// Create a pool of `count` ids with the given prefix.
+    pub fn new(prefix: &'static str, count: usize) -> Self {
+        IdPool { prefix, count }
+    }
+
+    /// The `i`-th identifier.
+    pub fn id(&self, i: usize) -> String {
+        debug_assert!(i < self.count);
+        Self::format(self.prefix, i)
+    }
+
+    /// Format an identifier without a pool.
+    pub fn format(prefix: &str, i: usize) -> String {
+        format!("{prefix}{i}")
+    }
+
+    /// A uniformly random identifier from the pool.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty — check [`IdPool::is_empty`] first when
+    /// the count is configuration-dependent.
+    pub fn random<R: Rng>(&self, rng: &mut R) -> String {
+        assert!(self.count > 0, "sampling from an empty id pool");
+        self.id(rng.gen_range(0..self.count))
+    }
+
+    /// Number of identifiers in the pool.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the pool has no identifiers.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ids_are_dense_and_prefixed() {
+        let p = IdPool::new("person", 3);
+        assert_eq!(p.id(0), "person0");
+        assert_eq!(p.id(2), "person2");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let p = IdPool::new("x", 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let id = p.random(&mut rng);
+            let n: usize = id.strip_prefix('x').unwrap().parse().unwrap();
+            assert!(n < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty id pool")]
+    fn random_from_empty_pool_panics() {
+        let p = IdPool::new("x", 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        p.random(&mut rng);
+    }
+}

@@ -1,0 +1,159 @@
+//! The movie database of the paper's Figure 1: a small graph about movies,
+//! directors and actors with both containment and reference edges, used
+//! throughout the paper's examples.
+//!
+//! The figure itself is not machine-readable, so this module reconstructs a
+//! graph with the *stated* properties of §3–§4:
+//!
+//! * `director.movie.title` returns several titles;
+//! * `movieDB.(_)?.movie.actor.name` uses the optional wildcard to absorb the
+//!   irregularity that `movie` appears both directly under `movieDB` and
+//!   under `director`;
+//! * some `movie` nodes have an `actor` parent (via references) and some do
+//!   not, so movies are 0-bisimilar but not 1-bisimilar (the node-7/9/10
+//!   discussion);
+//! * `name` nodes answerable with 1-bisimilarity, `title` nodes needing
+//!   2-bisimilarity for "titles of movies directed by a specific director"
+//!   (the motivating example for per-label similarity requirements, §4.1).
+
+use dkindex_graph::{DataGraph, EdgeKind, LabeledGraph, NodeId};
+
+/// Handles to the interesting nodes of the movie graph.
+#[derive(Clone, Debug)]
+pub struct MovieGraph {
+    /// The graph itself.
+    pub graph: DataGraph,
+    /// The `movieDB` node (child of ROOT).
+    pub movie_db: NodeId,
+    /// `movie` nodes in document order.
+    pub movies: Vec<NodeId>,
+    /// `title` nodes, parallel to `movies`.
+    pub titles: Vec<NodeId>,
+    /// `director` nodes.
+    pub directors: Vec<NodeId>,
+    /// `actor` nodes.
+    pub actors: Vec<NodeId>,
+    /// `name` nodes (of directors and actors).
+    pub names: Vec<NodeId>,
+}
+
+/// Build the Figure-1-style movie database.
+///
+/// Layout (tree edges solid, references dashed):
+///
+/// ```text
+/// ROOT └─ movieDB
+///    ├─ director₁ ─ name₁
+///    │     └─ movie₁ ─ title₁
+///    ├─ director₂ ─ name₂
+///    │     └─ movie₂ ─ title₂
+///    ├─ movie₃ ─ title₃            (movie directly under movieDB)
+///    ├─ actor₁ ─ name₃   actor₁ ⤳ movie₁   (reference)
+///    └─ actor₂ ─ name₄   actor₂ ⤳ movie₃   (reference)
+///              movie₂ ⤳ actor₂              (movie lists its actor)
+/// ```
+pub fn movie_graph() -> MovieGraph {
+    let mut g = DataGraph::new();
+    let root = g.root();
+    let movie_db = g.add_labeled_node("movieDB");
+    g.add_edge(root, movie_db, EdgeKind::Tree);
+
+    let mut movies = Vec::new();
+    let mut titles = Vec::new();
+    let mut directors = Vec::new();
+    let mut actors = Vec::new();
+    let mut names = Vec::new();
+
+    // Two directors, each containing a movie with a title and having a name.
+    for _ in 0..2 {
+        let d = g.add_labeled_node("director");
+        g.add_edge(movie_db, d, EdgeKind::Tree);
+        directors.push(d);
+        let n = g.add_labeled_node("name");
+        g.add_edge(d, n, EdgeKind::Tree);
+        names.push(n);
+        let m = g.add_labeled_node("movie");
+        g.add_edge(d, m, EdgeKind::Tree);
+        movies.push(m);
+        let t = g.add_labeled_node("title");
+        g.add_edge(m, t, EdgeKind::Tree);
+        titles.push(t);
+    }
+
+    // One movie directly under movieDB (the irregularity absorbed by `_?`).
+    let m3 = g.add_labeled_node("movie");
+    g.add_edge(movie_db, m3, EdgeKind::Tree);
+    movies.push(m3);
+    let t3 = g.add_labeled_node("title");
+    g.add_edge(m3, t3, EdgeKind::Tree);
+    titles.push(t3);
+
+    // Two actors with names; references into the movie graph.
+    for _ in 0..2 {
+        let a = g.add_labeled_node("actor");
+        g.add_edge(movie_db, a, EdgeKind::Tree);
+        actors.push(a);
+        let n = g.add_labeled_node("name");
+        g.add_edge(a, n, EdgeKind::Tree);
+        names.push(n);
+    }
+    // actor₁ ⤳ movie₁ : movie₁ now has an actor parent (like node 7).
+    g.add_edge(actors[0], movies[0], EdgeKind::Reference);
+    // actor₂ ⤳ movie₃.
+    g.add_edge(actors[1], movies[2], EdgeKind::Reference);
+    // movie₂ ⤳ actor₂ : an actor reachable through a movie.
+    g.add_edge(movies[1], actors[1], EdgeKind::Reference);
+
+    MovieGraph {
+        graph: g,
+        movie_db,
+        movies,
+        titles,
+        directors,
+        actors,
+        names,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::{LabeledGraph, NodeId};
+
+    #[test]
+    fn shape_matches_figure_one_description() {
+        let m = movie_graph();
+        let g = &m.graph;
+        assert_eq!(m.movies.len(), 3);
+        assert_eq!(m.titles.len(), 3);
+        assert_eq!(m.directors.len(), 2);
+        assert_eq!(m.actors.len(), 2);
+        // movie₁ has parents {director₁, actor₁}; movie₂ only director₂.
+        assert_eq!(g.parents_of(m.movies[0]).len(), 2);
+        assert_eq!(g.parents_of(m.movies[1]).len(), 1);
+        // movie₃ has parents {movieDB, actor₂}.
+        assert_eq!(g.parents_of(m.movies[2]).len(), 2);
+    }
+
+    #[test]
+    fn movies_with_and_without_actor_parents_exist() {
+        let m = movie_graph();
+        let g = &m.graph;
+        let actor_label = g.labels().get("actor").unwrap();
+        let has_actor_parent = |n: NodeId| {
+            g.parents_of(n)
+                .iter()
+                .any(|&p| g.label_of(p) == actor_label)
+        };
+        assert!(has_actor_parent(m.movies[0]));
+        assert!(!has_actor_parent(m.movies[1]));
+    }
+
+    #[test]
+    fn every_node_is_reachable() {
+        let m = movie_graph();
+        let stats = dkindex_graph::stats::GraphStats::of(&m.graph);
+        assert_eq!(stats.unreachable, 0);
+        assert_eq!(stats.reference_edges, 3);
+    }
+}

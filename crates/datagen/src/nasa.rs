@@ -1,0 +1,500 @@
+//! NASA-like astronomical dataset generator (substitute for the IBM XML
+//! generator + `nasa.dtd` used in the paper's §6, dataset 2).
+//!
+//! `nasa.dtd` marks up datasets of the NASA/GSFC astronomical data center.
+//! Compared with XMark it is *broader, deeper and less regular*, with more
+//! reference kinds. This generator mirrors those properties: a `datasets`
+//! root containing heavily optional, recursive `dataset` structure (abstract
+//! paragraphs, revision histories, tables with fields and cells, literature
+//! references, nested descriptions), and **20 distinct reference kinds**
+//! (`IDREF` attributes). As in the paper — "we delete 12 of its original 20
+//! references" — the default configuration keeps 8 of the 20 kinds.
+
+use dkindex_xml::{Document, Element, GraphOptions, XmlNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 20 reference kinds (IDREF attribute names) of the simulated DTD.
+pub const ALL_REFERENCE_KINDS: [&str; 20] = [
+    "relatedTo",    // dataset -> dataset
+    "supersedes",   // dataset -> dataset
+    "derivedFrom",  // dataset -> dataset
+    "companion",    // dataset -> dataset
+    "cites",        // reference -> dataset
+    "sameAuthor",   // reference -> author
+    "about",        // keyword -> instrument
+    "toTable",      // tableLink -> table
+    "ofField",      // tableCell -> field
+    "forField",     // details -> field
+    "forTable",     // details -> table
+    "seeAlso",      // description -> dataset
+    "context",      // description -> instrument
+    "basedOn",      // revision -> revision
+    "collaborator", // author -> author
+    "derivedField", // field -> field
+    "aliasOf",      // altname -> dataset
+    "refersTo",     // para -> dataset
+    "precededBy",   // history -> history
+    "partOf",       // instrument -> instrument
+];
+
+/// The 8 reference kinds kept by default (the paper deletes 12 of 20).
+pub const DEFAULT_KEPT_KINDS: [&str; 8] = [
+    "relatedTo",
+    "supersedes",
+    "cites",
+    "toTable",
+    "ofField",
+    "seeAlso",
+    "aliasOf",
+    "about",
+];
+
+/// Configuration for the NASA-like generator.
+#[derive(Clone, Debug)]
+pub struct NasaConfig {
+    /// Number of `dataset` elements.
+    pub datasets: usize,
+    /// Reference kinds to emit (subset of [`ALL_REFERENCE_KINDS`]).
+    pub kept_reference_kinds: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NasaConfig {
+    /// Configuration approximating the paper's 15 MB file at scale `f = 1.0`
+    /// (~2 400 datasets), with the default 8 of 20 reference kinds.
+    pub fn scale(f: f64) -> Self {
+        NasaConfig {
+            datasets: ((2_400.0 * f).round() as usize).max(1),
+            kept_reference_kinds: DEFAULT_KEPT_KINDS.iter().map(|s| s.to_string()).collect(),
+            seed: 19580729, // NASA founding date
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        NasaConfig {
+            datasets: 12,
+            kept_reference_kinds: DEFAULT_KEPT_KINDS.iter().map(|s| s.to_string()).collect(),
+            seed: 5,
+        }
+    }
+
+    /// Keep all 20 reference kinds (the un-pruned DTD).
+    pub fn with_all_references(mut self) -> Self {
+        self.kept_reference_kinds = ALL_REFERENCE_KINDS.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+/// Running id pools filled during generation; references sample only ids
+/// that already exist (dataset ids are pre-seeded so they can be referenced
+/// forward, matching ID/IDREF semantics where the target may appear later).
+struct Pools {
+    dataset: Vec<String>,
+    table: Vec<String>,
+    field: Vec<String>,
+    instrument: Vec<String>,
+    author: Vec<String>,
+    revision: Vec<String>,
+    history: Vec<String>,
+}
+
+struct Gen {
+    rng: StdRng,
+    kept: Vec<String>,
+    pools: Pools,
+    next_id: usize,
+}
+
+impl Gen {
+    fn fresh_id(&mut self, prefix: &str) -> String {
+        let id = format!("{prefix}{}", self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Emit `kind="<random target>"` on `elem` with probability `p`, when
+    /// the kind is kept and the pool is non-empty.
+    fn maybe_ref(&mut self, elem: &mut Element, kind: &str, pool: PoolKind, p: f64) {
+        if !self.kept.iter().any(|k| k == kind) {
+            return;
+        }
+        let len = self.pool(pool).len();
+        if len == 0 || !self.rng.gen_bool(p) {
+            return;
+        }
+        let pick = self.rng.gen_range(0..len);
+        let target = self.pool(pool)[pick].clone();
+        elem.attributes.push((kind.to_string(), target));
+    }
+
+    fn pool(&self, kind: PoolKind) -> &[String] {
+        match kind {
+            PoolKind::Dataset => &self.pools.dataset,
+            PoolKind::Table => &self.pools.table,
+            PoolKind::Field => &self.pools.field,
+            PoolKind::Instrument => &self.pools.instrument,
+            PoolKind::Author => &self.pools.author,
+            PoolKind::Revision => &self.pools.revision,
+            PoolKind::History => &self.pools.history,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum PoolKind {
+    Dataset,
+    Table,
+    Field,
+    Instrument,
+    Author,
+    Revision,
+    History,
+}
+
+/// Generate a NASA-like document.
+pub fn nasa_document(config: &NasaConfig) -> Document {
+    let mut gen = Gen {
+        rng: StdRng::seed_from_u64(config.seed),
+        kept: config.kept_reference_kinds.clone(),
+        pools: Pools {
+            // Dataset ids are pre-seeded: forward references allowed.
+            dataset: (0..config.datasets).map(|i| format!("dataset{i}")).collect(),
+            table: Vec::new(),
+            field: Vec::new(),
+            instrument: Vec::new(),
+            author: Vec::new(),
+            revision: Vec::new(),
+            history: Vec::new(),
+        },
+        next_id: 0,
+    };
+
+    let mut root = Element::new("datasets");
+    for i in 0..config.datasets {
+        root.children.push(XmlNode::Element(dataset(&mut gen, i)));
+    }
+    Document { root }
+}
+
+fn dataset(g: &mut Gen, index: usize) -> Element {
+    let mut ds = Element::new("dataset");
+    ds.attributes.push(("id".into(), format!("dataset{index}")));
+    for kind in ["relatedTo", "supersedes", "derivedFrom", "companion"] {
+        g.maybe_ref(&mut ds, kind, PoolKind::Dataset, 0.35);
+    }
+
+    ds.children.push(XmlNode::Element(Element::new("title")));
+
+    for _ in 0..g.rng.gen_range(0..=2) {
+        let mut alt = Element::new("altname");
+        g.maybe_ref(&mut alt, "aliasOf", PoolKind::Dataset, 0.5);
+        ds.children.push(XmlNode::Element(alt));
+    }
+
+    let mut abstr = Element::new("abstract");
+    for _ in 0..g.rng.gen_range(1..=3) {
+        abstr.children.push(XmlNode::Element(para(g)));
+    }
+    ds.children.push(XmlNode::Element(abstr));
+
+    if g.rng.gen_bool(0.7) {
+        let mut kws = Element::new("keywords");
+        for _ in 0..g.rng.gen_range(1..=4) {
+            let mut kw = Element::new("keyword");
+            g.maybe_ref(&mut kw, "about", PoolKind::Instrument, 0.4);
+            kws.children.push(XmlNode::Element(kw));
+        }
+        ds.children.push(XmlNode::Element(kws));
+    }
+
+    for _ in 0..g.rng.gen_range(1..=3) {
+        ds.children.push(XmlNode::Element(author(g)));
+    }
+
+    ds.children.push(XmlNode::Element(history(g)));
+    ds.children.push(XmlNode::Element(Element::new("identifier")));
+
+    if g.rng.gen_bool(0.5) {
+        ds.children.push(XmlNode::Element(instrument(g)));
+    }
+
+    if g.rng.gen_bool(0.8) {
+        let mut tables = Element::new("tables");
+        for _ in 0..g.rng.gen_range(1..=2) {
+            tables.children.push(XmlNode::Element(table(g)));
+        }
+        ds.children.push(XmlNode::Element(tables));
+    }
+
+    for _ in 0..g.rng.gen_range(0..=3) {
+        ds.children.push(XmlNode::Element(reference(g)));
+    }
+
+    if g.rng.gen_bool(0.7) {
+        let mut descs = Element::new("descriptions");
+        let mut desc = Element::new("description");
+        g.maybe_ref(&mut desc, "seeAlso", PoolKind::Dataset, 0.5);
+        g.maybe_ref(&mut desc, "context", PoolKind::Instrument, 0.3);
+        for _ in 0..g.rng.gen_range(1..=3) {
+            desc.children.push(XmlNode::Element(para(g)));
+        }
+        if g.rng.gen_bool(0.4) {
+            let mut details = Element::new("details");
+            g.maybe_ref(&mut details, "forField", PoolKind::Field, 0.5);
+            g.maybe_ref(&mut details, "forTable", PoolKind::Table, 0.5);
+            desc.children.push(XmlNode::Element(details));
+        }
+        descs.children.push(XmlNode::Element(desc));
+        ds.children.push(XmlNode::Element(descs));
+    }
+    ds
+}
+
+fn para(g: &mut Gen) -> Element {
+    let mut p = Element::new("para");
+    g.maybe_ref(&mut p, "refersTo", PoolKind::Dataset, 0.2);
+    p
+}
+
+fn author(g: &mut Gen) -> Element {
+    let mut a = Element::new("author");
+    let id = g.fresh_id("author");
+    a.attributes.push(("id".into(), id.clone()));
+    g.maybe_ref(&mut a, "collaborator", PoolKind::Author, 0.3);
+    g.pools.author.push(id);
+    if g.rng.gen_bool(0.6) {
+        a.children.push(XmlNode::Element(Element::new("initial")));
+    }
+    a.children.push(XmlNode::Element(Element::new("lastName")));
+    if g.rng.gen_bool(0.3) {
+        a.children.push(XmlNode::Element(Element::new("affiliation")));
+    }
+    a
+}
+
+fn history(g: &mut Gen) -> Element {
+    let mut h = Element::new("history");
+    let id = g.fresh_id("history");
+    h.attributes.push(("id".into(), id.clone()));
+    g.maybe_ref(&mut h, "precededBy", PoolKind::History, 0.4);
+    g.pools.history.push(id);
+    h.children.push(XmlNode::Element(Element::new("creationDate")));
+    if g.rng.gen_bool(0.7) {
+        h.children.push(XmlNode::Element(Element::new("ingestDate")));
+    }
+    for _ in 0..g.rng.gen_range(0..=3) {
+        let mut rev = Element::new("revision");
+        let rid = g.fresh_id("revision");
+        rev.attributes.push(("id".into(), rid.clone()));
+        g.maybe_ref(&mut rev, "basedOn", PoolKind::Revision, 0.5);
+        g.pools.revision.push(rid);
+        rev.children
+            .push(XmlNode::Element(Element::new("revisionDate")));
+        rev.children.push(XmlNode::Element(para(g)));
+        h.children.push(XmlNode::Element(rev));
+    }
+    h
+}
+
+fn instrument(g: &mut Gen) -> Element {
+    let mut ins = Element::new("instrument");
+    let id = g.fresh_id("instrument");
+    ins.attributes.push(("id".into(), id.clone()));
+    g.maybe_ref(&mut ins, "partOf", PoolKind::Instrument, 0.3);
+    g.pools.instrument.push(id);
+    ins.children.push(XmlNode::Element(Element::new("name")));
+    if g.rng.gen_bool(0.5) {
+        ins.children
+            .push(XmlNode::Element(Element::new("observatory")));
+    }
+    ins
+}
+
+fn table(g: &mut Gen) -> Element {
+    let mut t = Element::new("table");
+    let tid = g.fresh_id("table");
+    t.attributes.push(("id".into(), tid.clone()));
+    g.pools.table.push(tid);
+
+    let mut head = Element::new("tableHead");
+    if g.rng.gen_bool(0.4) {
+        let mut links = Element::new("tableLinks");
+        for _ in 0..g.rng.gen_range(1..=2) {
+            let mut link = Element::new("tableLink");
+            g.maybe_ref(&mut link, "toTable", PoolKind::Table, 0.8);
+            links.children.push(XmlNode::Element(link));
+        }
+        head.children.push(XmlNode::Element(links));
+    }
+    let mut fields = Element::new("fields");
+    let mut field_ids = Vec::new();
+    for _ in 0..g.rng.gen_range(2..=5) {
+        let mut f = Element::new("field");
+        let fid = g.fresh_id("field");
+        f.attributes.push(("id".into(), fid.clone()));
+        g.maybe_ref(&mut f, "derivedField", PoolKind::Field, 0.2);
+        g.pools.field.push(fid.clone());
+        field_ids.push(fid);
+        f.children.push(XmlNode::Element(Element::new("name")));
+        if g.rng.gen_bool(0.5) {
+            f.children.push(XmlNode::Element(Element::new("definition")));
+        }
+        if g.rng.gen_bool(0.4) {
+            f.children.push(XmlNode::Element(Element::new("units")));
+        }
+        fields.children.push(XmlNode::Element(f));
+    }
+    head.children.push(XmlNode::Element(fields));
+    t.children.push(XmlNode::Element(head));
+
+    for _ in 0..g.rng.gen_range(1..=3) {
+        let mut row = Element::new("tableRow");
+        for _ in 0..g.rng.gen_range(1..=3) {
+            let mut cell = Element::new("tableCell");
+            g.maybe_ref(&mut cell, "ofField", PoolKind::Field, 0.6);
+            row.children.push(XmlNode::Element(cell));
+        }
+        t.children.push(XmlNode::Element(row));
+    }
+    t
+}
+
+fn reference(g: &mut Gen) -> Element {
+    let mut r = Element::new("reference");
+    g.maybe_ref(&mut r, "cites", PoolKind::Dataset, 0.6);
+    g.maybe_ref(&mut r, "sameAuthor", PoolKind::Author, 0.3);
+    let mut source = Element::new("source");
+    let which = g.rng.gen_range(0..3);
+    let inner = match which {
+        0 => {
+            let mut j = Element::new("journal");
+            j.children.push(XmlNode::Element(Element::new("title")));
+            for _ in 0..g.rng.gen_range(1..=2) {
+                j.children.push(XmlNode::Element(author(g)));
+            }
+            if g.rng.gen_bool(0.5) {
+                j.children.push(XmlNode::Element(Element::new("date")));
+            }
+            j
+        }
+        1 => {
+            let mut b = Element::new("book");
+            b.children.push(XmlNode::Element(Element::new("title")));
+            if g.rng.gen_bool(0.5) {
+                b.children.push(XmlNode::Element(Element::new("publisher")));
+            }
+            b
+        }
+        _ => {
+            let mut o = Element::new("other");
+            o.children.push(XmlNode::Element(Element::new("title")));
+            o
+        }
+    };
+    source.children.push(XmlNode::Element(inner));
+    r.children.push(XmlNode::Element(source));
+    r
+}
+
+/// XML → graph options matching this generator's reference kinds. Only the
+/// kinds in `config.kept_reference_kinds` appear in the document, so listing
+/// all 20 is safe for any configuration.
+pub fn nasa_graph_options() -> GraphOptions {
+    GraphOptions {
+        id_attributes: vec!["id".to_string()],
+        idref_attributes: ALL_REFERENCE_KINDS.iter().map(|s| s.to_string()).collect(),
+        attribute_nodes: false,
+        value_nodes: false,
+    }
+}
+
+/// Generate the NASA-like data graph directly.
+pub fn nasa_graph(config: &NasaConfig) -> dkindex_graph::DataGraph {
+    let doc = nasa_document(config);
+    dkindex_xml::document_to_graph(&doc, &nasa_graph_options())
+        .expect("generator emits resolvable references")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::stats::GraphStats;
+    use dkindex_graph::LabeledGraph;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = NasaConfig::tiny();
+        assert_eq!(nasa_document(&c), nasa_document(&c));
+    }
+
+    #[test]
+    fn graph_resolves_and_has_references() {
+        let g = nasa_graph(&NasaConfig::tiny());
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.unreachable, 0);
+        assert!(stats.reference_edges > 0);
+    }
+
+    #[test]
+    fn kept_kinds_limit_reference_kinds_emitted() {
+        let doc = nasa_document(&NasaConfig::tiny());
+        let mut kinds = std::collections::HashSet::new();
+        collect_ref_kinds(&doc.root, &mut kinds);
+        for k in &kinds {
+            assert!(
+                DEFAULT_KEPT_KINDS.contains(&k.as_str()),
+                "unexpected reference kind {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_references_config_emits_more_kinds() {
+        let pruned = nasa_document(&NasaConfig::tiny());
+        let full = nasa_document(&NasaConfig::tiny().with_all_references());
+        let mut kp = std::collections::HashSet::new();
+        let mut kf = std::collections::HashSet::new();
+        collect_ref_kinds(&pruned.root, &mut kp);
+        collect_ref_kinds(&full.root, &mut kf);
+        assert!(kf.len() > kp.len());
+        // And the full graph has more reference edges.
+        let gp = nasa_graph(&NasaConfig::tiny());
+        let gf = nasa_graph(&NasaConfig::tiny().with_all_references());
+        assert!(
+            GraphStats::of(&gf).reference_edges > GraphStats::of(&gp).reference_edges
+        );
+    }
+
+    #[test]
+    fn nasa_is_deeper_than_xmark() {
+        let nasa = nasa_graph(&NasaConfig::tiny());
+        let xmark = crate::xmark::xmark_graph(&crate::xmark::XmarkConfig::tiny());
+        // Comparable-or-greater depth and more reference kinds:
+        // "broader, deeper and less regular ... more references".
+        let sn = GraphStats::of(&nasa);
+        let sx = GraphStats::of(&xmark);
+        assert!(sn.max_depth >= sx.max_depth.saturating_sub(1));
+        assert!(DEFAULT_KEPT_KINDS.len() > 6); // 8 kinds vs XMark's 6
+    }
+
+    #[test]
+    fn dataset_count_matches_config() {
+        let g = nasa_graph(&NasaConfig::tiny());
+        let ds = g.labels().get("dataset").unwrap();
+        assert_eq!(g.nodes_with_label(ds).len(), 12);
+    }
+
+    fn collect_ref_kinds(e: &Element, out: &mut std::collections::HashSet<String>) {
+        for (k, _) in &e.attributes {
+            if k != "id" {
+                out.insert(k.clone());
+            }
+        }
+        for c in e.child_elements() {
+            collect_ref_kinds(c, out);
+        }
+    }
+}

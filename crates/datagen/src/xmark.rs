@@ -1,0 +1,441 @@
+//! XMark-like auction-site data generator (substitute for the XMark
+//! benchmark generator used in the paper's §6, dataset 1).
+//!
+//! The generator emits the XMark DTD's element hierarchy — `site` with
+//! `regions` (six continents of `item`s), `categories`, `catgraph`, `people`,
+//! `open_auctions` and `closed_auctions` — with the benchmark's reference
+//! structure: items point into categories (`incategory/@category`), catgraph
+//! edges relate categories (`@from`/`@to`), bidders/sellers/buyers point at
+//! people, auctions point at items, and watches point at open auctions.
+//! Text payloads are omitted (the paper's experiments index structure, not
+//! values), so the substitution preserves the label alphabet, the regular
+//! shallow shape, and the reference density — the inputs the D(k)/A(k)
+//! experiments are sensitive to.
+
+use crate::id_pool::IdPool;
+use dkindex_xml::{Document, Element, GraphOptions, XmlNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the XMark-like generator. Counts follow the XMark
+/// scaling ratios (per scale factor 1.0: 25 500 people, 21 750 items,
+/// 1 000 categories, 12 000 open and 9 750 closed auctions).
+#[derive(Clone, Debug)]
+pub struct XmarkConfig {
+    /// Number of `person` elements.
+    pub people: usize,
+    /// Total number of `item` elements (spread over six regions).
+    pub items: usize,
+    /// Number of `category` elements.
+    pub categories: usize,
+    /// Number of `open_auction` elements.
+    pub open_auctions: usize,
+    /// Number of `closed_auction` elements.
+    pub closed_auctions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// Configuration approximating XMark scale factor `f`
+    /// (`f = 0.1` ≈ the paper's 10 MB file).
+    pub fn scale(f: f64) -> Self {
+        let n = |base: f64| ((base * f).round() as usize).max(1);
+        XmarkConfig {
+            people: n(25_500.0),
+            items: n(21_750.0),
+            categories: n(1_000.0),
+            open_auctions: n(12_000.0),
+            closed_auctions: n(9_750.0),
+            seed: 20030609, // SIGMOD 2003 opening day
+        }
+    }
+
+    /// A small configuration for unit tests (hundreds of nodes).
+    pub fn tiny() -> Self {
+        XmarkConfig {
+            people: 20,
+            items: 24,
+            categories: 6,
+            open_auctions: 12,
+            closed_auctions: 10,
+            seed: 7,
+        }
+    }
+}
+
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+/// Generate an XMark-like document.
+pub fn xmark_document(config: &XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let categories = IdPool::new("category", config.categories);
+    let items = IdPool::new("item", config.items);
+    let people = IdPool::new("person", config.people);
+    let auctions = IdPool::new("open_auction", config.open_auctions);
+
+    let mut site = Element::new("site");
+
+    // regions: six continents sharing the item pool.
+    let mut regions = Element::new("regions");
+    fill_regions(&mut regions, &mut rng, config, &categories);
+    site.children.push(XmlNode::Element(regions));
+
+    // categories.
+    let mut cats = Element::new("categories");
+    for i in 0..config.categories {
+        let mut c = Element::new("category");
+        c.attributes.push(("id".into(), categories.id(i)));
+        c.children.push(XmlNode::Element(Element::new("name")));
+        c.children
+            .push(XmlNode::Element(Element::new("description")));
+        cats.children.push(XmlNode::Element(c));
+    }
+    site.children.push(XmlNode::Element(cats));
+
+    // catgraph: random edges between categories.
+    let mut catgraph = Element::new("catgraph");
+    if config.categories >= 2 {
+        for _ in 0..config.categories {
+            let mut e = Element::new("edge");
+            e.attributes
+                .push(("from".into(), categories.random(&mut rng)));
+            e.attributes
+                .push(("to".into(), categories.random(&mut rng)));
+            catgraph.children.push(XmlNode::Element(e));
+        }
+    }
+    site.children.push(XmlNode::Element(catgraph));
+
+    // people.
+    let mut people_el = Element::new("people");
+    for i in 0..config.people {
+        people_el.children.push(XmlNode::Element(person(
+            &mut rng, &people, &categories, &auctions, i, config,
+        )));
+    }
+    site.children.push(XmlNode::Element(people_el));
+
+    // open_auctions.
+    let mut open = Element::new("open_auctions");
+    for i in 0..config.open_auctions {
+        open.children.push(XmlNode::Element(open_auction(
+            &mut rng, &auctions, &people, &items, i,
+        )));
+    }
+    site.children.push(XmlNode::Element(open));
+
+    // closed_auctions.
+    let mut closed = Element::new("closed_auctions");
+    for _ in 0..config.closed_auctions {
+        closed
+            .children
+            .push(XmlNode::Element(closed_auction(&mut rng, &people, &items)));
+    }
+    site.children.push(XmlNode::Element(closed));
+
+    Document { root: site }
+}
+
+/// Distribute `config.items` items round-capacity over the six regions.
+fn fill_regions(regions: &mut Element, rng: &mut StdRng, config: &XmarkConfig, categories: &IdPool) {
+    let per_region = config.items.div_ceil(REGIONS.len());
+    let mut item_iter = 0..config.items;
+    for region_name in REGIONS {
+        let mut region = Element::new(region_name);
+        for _ in 0..per_region {
+            let Some(i) = item_iter.next() else { break };
+            region
+                .children
+                .push(XmlNode::Element(item(rng, i, categories)));
+        }
+        regions.children.push(XmlNode::Element(region));
+    }
+}
+
+fn item(rng: &mut StdRng, index: usize, categories: &IdPool) -> Element {
+    let mut it = Element::new("item");
+    it.attributes.push(("id".into(), IdPool::format("item", index)));
+    for name in ["location", "quantity", "name", "payment"] {
+        it.children.push(XmlNode::Element(Element::new(name)));
+    }
+    let mut descr = Element::new("description");
+    if rng.gen_bool(0.7) {
+        descr.children.push(XmlNode::Element(Element::new("text")));
+    } else {
+        let mut parlist = Element::new("parlist");
+        for _ in 0..rng.gen_range(1..=3) {
+            parlist
+                .children
+                .push(XmlNode::Element(Element::new("listitem")));
+        }
+        descr.children.push(XmlNode::Element(parlist));
+    }
+    it.children.push(XmlNode::Element(descr));
+    it.children.push(XmlNode::Element(Element::new("shipping")));
+    if !categories.is_empty() {
+        for _ in 0..rng.gen_range(1..=2) {
+            let mut inc = Element::new("incategory");
+            inc.attributes.push(("category".into(), categories.random(rng)));
+            it.children.push(XmlNode::Element(inc));
+        }
+    }
+    let mut mailbox = Element::new("mailbox");
+    for _ in 0..rng.gen_range(0..=2) {
+        let mut mail = Element::new("mail");
+        for f in ["from", "to", "date"] {
+            mail.children.push(XmlNode::Element(Element::new(f)));
+        }
+        mailbox.children.push(XmlNode::Element(mail));
+    }
+    it.children.push(XmlNode::Element(mailbox));
+    it
+}
+
+fn person(
+    rng: &mut StdRng,
+    people: &IdPool,
+    categories: &IdPool,
+    auctions: &IdPool,
+    index: usize,
+    config: &XmarkConfig,
+) -> Element {
+    let _ = people;
+    let mut p = Element::new("person");
+    p.attributes.push(("id".into(), IdPool::format("person", index)));
+    p.children.push(XmlNode::Element(Element::new("name")));
+    p.children
+        .push(XmlNode::Element(Element::new("emailaddress")));
+    if rng.gen_bool(0.5) {
+        p.children.push(XmlNode::Element(Element::new("phone")));
+    }
+    if rng.gen_bool(0.6) {
+        let mut addr = Element::new("address");
+        for f in ["street", "city", "country", "zipcode"] {
+            addr.children.push(XmlNode::Element(Element::new(f)));
+        }
+        p.children.push(XmlNode::Element(addr));
+    }
+    if rng.gen_bool(0.3) {
+        p.children.push(XmlNode::Element(Element::new("homepage")));
+    }
+    if rng.gen_bool(0.4) {
+        p.children.push(XmlNode::Element(Element::new("creditcard")));
+    }
+    if rng.gen_bool(0.7) {
+        let mut profile = Element::new("profile");
+        if !categories.is_empty() {
+            for _ in 0..rng.gen_range(0..=3) {
+                let mut interest = Element::new("interest");
+                interest
+                    .attributes
+                    .push(("category".into(), categories.random(rng)));
+                profile.children.push(XmlNode::Element(interest));
+            }
+        }
+        if rng.gen_bool(0.5) {
+            profile.children.push(XmlNode::Element(Element::new("education")));
+        }
+        if rng.gen_bool(0.5) {
+            profile.children.push(XmlNode::Element(Element::new("gender")));
+        }
+        profile.children.push(XmlNode::Element(Element::new("business")));
+        if rng.gen_bool(0.5) {
+            profile.children.push(XmlNode::Element(Element::new("age")));
+        }
+        p.children.push(XmlNode::Element(profile));
+    }
+    if config.open_auctions > 0 && rng.gen_bool(0.4) {
+        let mut watches = Element::new("watches");
+        for _ in 0..rng.gen_range(1..=2) {
+            let mut w = Element::new("watch");
+            w.attributes
+                .push(("open_auction".into(), auctions.random(rng)));
+            watches.children.push(XmlNode::Element(w));
+        }
+        p.children.push(XmlNode::Element(watches));
+    }
+    p
+}
+
+fn open_auction(
+    rng: &mut StdRng,
+    auctions: &IdPool,
+    people: &IdPool,
+    items: &IdPool,
+    index: usize,
+) -> Element {
+    let _ = auctions;
+    let mut a = Element::new("open_auction");
+    a.attributes
+        .push(("id".into(), IdPool::format("open_auction", index)));
+    a.children.push(XmlNode::Element(Element::new("initial")));
+    if rng.gen_bool(0.4) {
+        a.children.push(XmlNode::Element(Element::new("reserve")));
+    }
+    for _ in 0..rng.gen_range(0..=4) {
+        let mut b = Element::new("bidder");
+        b.children.push(XmlNode::Element(Element::new("date")));
+        b.children.push(XmlNode::Element(Element::new("time")));
+        let mut pref = Element::new("personref");
+        pref.attributes.push(("person".into(), people.random(rng)));
+        b.children.push(XmlNode::Element(pref));
+        b.children.push(XmlNode::Element(Element::new("increase")));
+        a.children.push(XmlNode::Element(b));
+    }
+    a.children.push(XmlNode::Element(Element::new("current")));
+    if rng.gen_bool(0.3) {
+        a.children.push(XmlNode::Element(Element::new("privacy")));
+    }
+    let mut itemref = Element::new("itemref");
+    itemref.attributes.push(("item".into(), items.random(rng)));
+    a.children.push(XmlNode::Element(itemref));
+    let mut seller = Element::new("seller");
+    seller.attributes.push(("person".into(), people.random(rng)));
+    a.children.push(XmlNode::Element(seller));
+    a.children.push(XmlNode::Element(annotation(rng)));
+    a.children.push(XmlNode::Element(Element::new("quantity")));
+    a.children.push(XmlNode::Element(Element::new("type")));
+    let mut interval = Element::new("interval");
+    interval.children.push(XmlNode::Element(Element::new("start")));
+    interval.children.push(XmlNode::Element(Element::new("end")));
+    a.children.push(XmlNode::Element(interval));
+    a
+}
+
+fn closed_auction(rng: &mut StdRng, people: &IdPool, items: &IdPool) -> Element {
+    let mut a = Element::new("closed_auction");
+    let mut seller = Element::new("seller");
+    seller.attributes.push(("person".into(), people.random(rng)));
+    a.children.push(XmlNode::Element(seller));
+    let mut buyer = Element::new("buyer");
+    buyer.attributes.push(("person".into(), people.random(rng)));
+    a.children.push(XmlNode::Element(buyer));
+    let mut itemref = Element::new("itemref");
+    itemref.attributes.push(("item".into(), items.random(rng)));
+    a.children.push(XmlNode::Element(itemref));
+    for f in ["price", "date", "quantity", "type"] {
+        a.children.push(XmlNode::Element(Element::new(f)));
+    }
+    a.children.push(XmlNode::Element(annotation(rng)));
+    a
+}
+
+fn annotation(rng: &mut StdRng) -> Element {
+    let mut ann = Element::new("annotation");
+    if rng.gen_bool(0.6) {
+        ann.children.push(XmlNode::Element(Element::new("author")));
+    }
+    ann.children
+        .push(XmlNode::Element(Element::new("description")));
+    ann.children.push(XmlNode::Element(Element::new("happiness")));
+    ann
+}
+
+/// The XML → graph options matching this generator's reference attributes.
+pub fn xmark_graph_options() -> GraphOptions {
+    GraphOptions {
+        id_attributes: vec!["id".to_string()],
+        idref_attributes: vec![
+            "category".to_string(),
+            "from".to_string(),
+            "to".to_string(),
+            "person".to_string(),
+            "open_auction".to_string(),
+            "item".to_string(),
+        ],
+        attribute_nodes: false,
+        value_nodes: false,
+    }
+}
+
+/// Generate the XMark-like data graph directly.
+pub fn xmark_graph(config: &XmarkConfig) -> dkindex_graph::DataGraph {
+    let doc = xmark_document(config);
+    dkindex_xml::document_to_graph(&doc, &xmark_graph_options())
+        .expect("generator emits resolvable references")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::stats::GraphStats;
+    use dkindex_graph::LabeledGraph;
+
+    #[test]
+    fn tiny_document_has_all_six_sections() {
+        let doc = xmark_document(&XmarkConfig::tiny());
+        let names: Vec<&str> = doc
+            .root
+            .child_elements()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "regions",
+                "categories",
+                "catgraph",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = XmarkConfig::tiny();
+        assert_eq!(xmark_document(&c), xmark_document(&c));
+    }
+
+    #[test]
+    fn graph_mapping_resolves_all_references() {
+        let g = xmark_graph(&XmarkConfig::tiny());
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.unreachable, 0);
+        assert!(stats.reference_edges > 0, "expected ID/IDREF edges");
+    }
+
+    #[test]
+    fn graph_has_regular_auction_structure() {
+        let g = xmark_graph(&XmarkConfig::tiny());
+        let person = g.labels().get("person").unwrap();
+        assert_eq!(g.nodes_with_label(person).len(), 20);
+        let item = g.labels().get("item").unwrap();
+        assert_eq!(g.nodes_with_label(item).len(), 24);
+        // personref nodes reference person nodes.
+        let personref = g.labels().get("personref").unwrap();
+        for pr in g.nodes_with_label(personref) {
+            assert!(g
+                .children_of(pr)
+                .iter()
+                .any(|&c| g.label_of(c) == person));
+        }
+    }
+
+    #[test]
+    fn scale_tracks_xmark_ratios() {
+        let c = XmarkConfig::scale(0.01);
+        assert_eq!(c.people, 255);
+        assert_eq!(c.items, 218);
+        assert_eq!(c.categories, 10);
+        assert_eq!(c.open_auctions, 120);
+        assert_eq!(c.closed_auctions, 98);
+    }
+
+    #[test]
+    fn document_round_trips_through_xml_text() {
+        let doc = xmark_document(&XmarkConfig::tiny());
+        let text = doc.to_xml();
+        let doc2 = Document::parse(&text).unwrap();
+        assert_eq!(doc, doc2);
+    }
+}

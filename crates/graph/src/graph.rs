@@ -1,0 +1,420 @@
+//! The data graph: a rooted, directed, node-labeled graph (paper §3).
+//!
+//! XML and other semi-structured data are modeled as a directed labeled graph
+//! with a single distinguished `ROOT` node. Tree (containment) edges and
+//! reference (`ID`/`IDREF`, XLink) edges are both stored; the paper's
+//! algorithms treat them identically, but the distinction is kept so that the
+//! update experiments can sample reference-label pairs (§6.2) and so DOT
+//! export can render references dashed, as in the paper's Figure 1.
+
+use crate::label::{LabelId, LabelInterner};
+use std::fmt;
+
+/// Dense identifier of a node in a [`DataGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Numeric index of this node, suitable for indexing per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a `NodeId` from an index previously obtained through
+    /// [`NodeId::index`]. The caller must ensure the index is in range.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Whether an edge is a containment (tree) edge or a reference edge.
+///
+/// The data model does not differentiate between the two when evaluating path
+/// expressions or building summaries (paper §3: "we do not differentiate
+/// between these two kinds of edges"), but generators and the update
+/// experiments need to know which edges are references.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum EdgeKind {
+    /// Element–subelement / element–attribute / element–value containment.
+    Tree,
+    /// `ID`/`IDREF` or XLink reference.
+    Reference,
+}
+
+/// Read-only view shared by data graphs and index graphs.
+///
+/// The path-expression evaluator and the partition-refinement engine are
+/// generic over this trait, so the same automaton code evaluates queries on
+/// the data graph and on any summary graph, and the same refinement code
+/// builds an index from a data graph *or from another index graph* (the trick
+/// behind the D(k) subgraph-addition update and the demoting process).
+pub trait LabeledGraph {
+    /// Number of nodes; node ids are `0..node_count()`.
+    fn node_count(&self) -> usize;
+    /// Number of directed edges.
+    fn edge_count(&self) -> usize;
+    /// Label of `node`.
+    fn label_of(&self, node: NodeId) -> LabelId;
+    /// Out-neighbors (children) of `node`.
+    fn children_of(&self, node: NodeId) -> &[NodeId];
+    /// In-neighbors (parents) of `node`.
+    fn parents_of(&self, node: NodeId) -> &[NodeId];
+    /// The distinguished root node.
+    fn root(&self) -> NodeId;
+    /// The label interner naming this graph's labels.
+    fn labels(&self) -> &LabelInterner;
+
+    /// Iterate over all node ids.
+    fn node_ids(&self) -> NodeIds {
+        NodeIds {
+            next: 0,
+            end: self.node_count() as u32,
+        }
+    }
+}
+
+/// Iterator over the node ids `0..n` of a graph.
+#[derive(Clone, Debug)]
+pub struct NodeIds {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for NodeIds {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.end {
+            let id = NodeId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeIds {}
+
+/// A rooted, directed, node-labeled multigraph-free graph.
+///
+/// Stores forward and backward adjacency so that both query evaluation
+/// (forward) and bisimulation refinement (backward, over incoming paths) are
+/// cheap. Nodes are created once and never removed; edges can be appended
+/// (the paper's two update primitives are subgraph addition and edge
+/// addition — deletions are out of scope for the paper and for this crate).
+#[derive(Clone)]
+pub struct DataGraph {
+    labels_of_nodes: Vec<LabelId>,
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+    /// Edge list in insertion order, `(from, to, kind)`.
+    edges: Vec<(NodeId, NodeId, EdgeKind)>,
+    root: NodeId,
+    interner: LabelInterner,
+}
+
+impl DataGraph {
+    /// Create a graph containing only the distinguished `ROOT` node.
+    pub fn new() -> Self {
+        let interner = LabelInterner::new();
+        DataGraph {
+            labels_of_nodes: vec![LabelInterner::ROOT],
+            children: vec![Vec::new()],
+            parents: vec![Vec::new()],
+            edges: Vec::new(),
+            root: NodeId(0),
+            interner,
+        }
+    }
+
+    /// Intern a label string in this graph's interner.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        self.interner.intern(name)
+    }
+
+    /// Add a node with the given (already interned) label. The node starts
+    /// disconnected; use [`DataGraph::add_edge`] to attach it.
+    pub fn add_node(&mut self, label: LabelId) -> NodeId {
+        debug_assert!(label.index() < self.interner.len(), "foreign label id");
+        let id = NodeId(u32::try_from(self.labels_of_nodes.len()).expect("too many nodes"));
+        self.labels_of_nodes.push(label);
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        id
+    }
+
+    /// Convenience: intern `label` and add a node carrying it.
+    pub fn add_labeled_node(&mut self, label: &str) -> NodeId {
+        let l = self.intern(label);
+        self.add_node(l)
+    }
+
+    /// Add a directed edge `from → to`. Parallel edges are silently ignored
+    /// (the data model's adjacency is a set, and summary construction would
+    /// otherwise double-count parents).
+    ///
+    /// Returns `true` if the edge was newly inserted.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
+        assert!(from.index() < self.node_count(), "edge source out of range");
+        assert!(to.index() < self.node_count(), "edge target out of range");
+        if self.children[from.index()].contains(&to) {
+            return false;
+        }
+        self.children[from.index()].push(to);
+        self.parents[to.index()].push(from);
+        self.edges.push((from, to, kind));
+        true
+    }
+
+    /// True if the edge `from → to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.children[from.index()].contains(&to)
+    }
+
+    /// The edge list in insertion order.
+    pub fn edges(&self) -> &[(NodeId, NodeId, EdgeKind)] {
+        &self.edges
+    }
+
+    /// All nodes carrying `label`.
+    pub fn nodes_with_label(&self, label: LabelId) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.labels_of_nodes[n.index()] == label)
+            .collect()
+    }
+
+    /// Label name of a node (convenience over `labels().name(label_of(n))`).
+    pub fn label_name(&self, node: NodeId) -> &str {
+        self.interner.name(self.labels_of_nodes[node.index()])
+    }
+
+    /// Graft a copy of `sub` into this graph **under this graph's root**
+    /// (paper §5.1: "a new subgraph H is inserted under the root of the
+    /// original data graph G"). `sub`'s own root node is *not* copied; its
+    /// children become children of `self`'s root. Labels are re-interned.
+    ///
+    /// Returns the mapping from `sub`'s node ids to the new ids in `self`
+    /// (`sub`'s root maps to `self`'s root).
+    pub fn graft_under_root(&mut self, sub: &DataGraph) -> Vec<NodeId> {
+        let mut map = vec![NodeId(u32::MAX); sub.node_count()];
+        map[sub.root().index()] = self.root;
+        // Re-intern labels and copy every non-root node.
+        for node in sub.node_ids() {
+            if node == sub.root() {
+                continue;
+            }
+            let name = sub.label_name(node);
+            let label = self.intern(name);
+            map[node.index()] = self.add_node(label);
+        }
+        // Copy every edge, re-rooting edges out of sub's root.
+        for &(from, to, kind) in sub.edges() {
+            let (f, t) = (map[from.index()], map[to.index()]);
+            self.add_edge(f, t, kind);
+        }
+        map
+    }
+
+    /// Total memory-resident size estimate in bytes (nodes + adjacency).
+    /// Used only for reporting; not part of the paper's cost model.
+    pub fn approx_bytes(&self) -> usize {
+        let node_bytes = self.labels_of_nodes.len() * std::mem::size_of::<LabelId>();
+        let adj: usize = self
+            .children
+            .iter()
+            .chain(self.parents.iter())
+            .map(|v| v.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        node_bytes + adj
+    }
+}
+
+impl Default for DataGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabeledGraph for DataGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.labels_of_nodes.len()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    fn label_of(&self, node: NodeId) -> LabelId {
+        self.labels_of_nodes[node.index()]
+    }
+
+    #[inline]
+    fn children_of(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    #[inline]
+    fn parents_of(&self, node: NodeId) -> &[NodeId] {
+        &self.parents[node.index()]
+    }
+
+    #[inline]
+    fn root(&self) -> NodeId {
+        self.root
+    }
+
+    #[inline]
+    fn labels(&self) -> &LabelInterner {
+        &self.interner
+    }
+}
+
+impl fmt::Debug for DataGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataGraph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .field("labels", &self.interner.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DataGraph {
+        // ROOT -> a -> b, ROOT -> a' -> b', a -ref-> b'
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let a2 = g.add_labeled_node("a");
+        let b2 = g.add_labeled_node("b");
+        let root = g.root();
+        g.add_edge(root, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(root, a2, EdgeKind::Tree);
+        g.add_edge(a2, b2, EdgeKind::Tree);
+        g.add_edge(a, b2, EdgeKind::Reference);
+        g
+    }
+
+    #[test]
+    fn new_graph_has_only_root() {
+        let g = DataGraph::new();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.label_of(g.root()), LabelInterner::ROOT);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = tiny();
+        for &(from, to, _) in g.edges() {
+            assert!(g.children_of(from).contains(&to));
+            assert!(g.parents_of(to).contains(&from));
+        }
+    }
+
+    #[test]
+    fn parallel_edges_are_ignored() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let root = g.root();
+        assert!(g.add_edge(root, a, EdgeKind::Tree));
+        assert!(!g.add_edge(root, a, EdgeKind::Reference));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn nodes_with_label_finds_all() {
+        let mut g = tiny();
+        let a = g.intern("a");
+        assert_eq!(g.nodes_with_label(a).len(), 2);
+        let zed = g.intern("zed");
+        assert!(g.nodes_with_label(zed).is_empty());
+    }
+
+    #[test]
+    fn reference_edges_count_like_tree_edges() {
+        let g = tiny();
+        assert_eq!(g.edge_count(), 5);
+        let b2 = NodeId::from_index(4);
+        // b2 has two parents: its tree parent a2 and the referencing a.
+        assert_eq!(g.parents_of(b2).len(), 2);
+    }
+
+    #[test]
+    fn graft_under_root_copies_structure() {
+        let mut g = tiny();
+        let mut h = DataGraph::new();
+        let c = h.add_labeled_node("c");
+        let d = h.add_labeled_node("d");
+        let hroot = h.root();
+        h.add_edge(hroot, c, EdgeKind::Tree);
+        h.add_edge(c, d, EdgeKind::Tree);
+
+        let before_nodes = g.node_count();
+        let map = g.graft_under_root(&h);
+
+        assert_eq!(g.node_count(), before_nodes + 2);
+        assert_eq!(map[hroot.index()], g.root());
+        let new_c = map[c.index()];
+        let new_d = map[d.index()];
+        assert!(g.has_edge(g.root(), new_c));
+        assert!(g.has_edge(new_c, new_d));
+        assert_eq!(g.label_name(new_c), "c");
+        assert_eq!(g.label_name(new_d), "d");
+    }
+
+    #[test]
+    fn graft_reinterns_shared_labels() {
+        let mut g = tiny();
+        let mut h = DataGraph::new();
+        let a = h.add_labeled_node("a"); // same name as in g
+        let hroot = h.root();
+        h.add_edge(hroot, a, EdgeKind::Tree);
+        let map = g.graft_under_root(&h);
+        let new_a = map[a.index()];
+        assert_eq!(g.label_of(new_a), g.labels().get("a").unwrap());
+    }
+
+    #[test]
+    fn node_ids_iterates_everything() {
+        let g = tiny();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        assert_eq!(ids.len(), g.node_count());
+        assert_eq!(ids[0], g.root());
+        assert_eq!(g.node_ids().len(), g.node_count());
+    }
+
+    #[test]
+    fn label_name_round_trip() {
+        let g = tiny();
+        assert_eq!(g.label_name(g.root()), "ROOT");
+        assert_eq!(g.label_name(NodeId::from_index(1)), "a");
+    }
+}

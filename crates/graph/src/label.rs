@@ -1,0 +1,189 @@
+//! Label interning.
+//!
+//! Every node in a data graph carries a *label* (an element tag such as
+//! `movie`, or one of the two distinguished labels `ROOT` and `VALUE` from the
+//! paper's data model, §3). Algorithms never compare label strings; they
+//! compare small dense [`LabelId`]s handed out by a [`LabelInterner`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier for an interned label string.
+///
+/// `LabelId`s are allocated contiguously from zero by a [`LabelInterner`], so
+/// they can index per-label arrays (e.g. the similarity-requirement table used
+/// by the D(k) broadcast algorithm).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub(crate) u32);
+
+impl LabelId {
+    /// Numeric index of this label, suitable for indexing `Vec`s sized by
+    /// [`LabelInterner::len`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a `LabelId` from an index previously obtained through
+    /// [`LabelId::index`]. The caller must ensure the index is in range for
+    /// the interner it will be used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        LabelId(index as u32)
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// The distinguished label of the single root node (paper §3).
+pub const ROOT_LABEL: &str = "ROOT";
+/// The distinguished label given to simple (atomic) value nodes (paper §3).
+pub const VALUE_LABEL: &str = "VALUE";
+
+/// A bidirectional map between label strings and dense [`LabelId`]s.
+///
+/// The interner always contains `ROOT` (id 0) and `VALUE` (id 1) so that the
+/// distinguished labels of the data model have stable, well-known ids.
+#[derive(Clone, Debug)]
+pub struct LabelInterner {
+    names: Vec<Box<str>>,
+    ids: HashMap<Box<str>, LabelId>,
+}
+
+impl LabelInterner {
+    /// `LabelId` of the distinguished `ROOT` label.
+    pub const ROOT: LabelId = LabelId(0);
+    /// `LabelId` of the distinguished `VALUE` label.
+    pub const VALUE: LabelId = LabelId(1);
+
+    /// Create an interner pre-seeded with the two distinguished labels.
+    pub fn new() -> Self {
+        let mut interner = LabelInterner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        };
+        let root = interner.intern(ROOT_LABEL);
+        let value = interner.intern(VALUE_LABEL);
+        debug_assert_eq!(root, Self::ROOT);
+        debug_assert_eq!(value, Self::VALUE);
+        interner
+    }
+
+    /// Intern `name`, returning its id (existing or freshly allocated).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("too many labels"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// Look up an already-interned label without allocating.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not allocated by this interner.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned so far (including `ROOT`/`VALUE`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when only the two distinguished labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 2
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_ref()))
+    }
+}
+
+impl Default for LabelInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguished_labels_have_stable_ids() {
+        let interner = LabelInterner::new();
+        assert_eq!(interner.get(ROOT_LABEL), Some(LabelInterner::ROOT));
+        assert_eq!(interner.get(VALUE_LABEL), Some(LabelInterner::VALUE));
+        assert_eq!(interner.name(LabelInterner::ROOT), "ROOT");
+        assert_eq!(interner.name(LabelInterner::VALUE), "VALUE");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = LabelInterner::new();
+        let a1 = interner.intern("movie");
+        let a2 = interner.intern("movie");
+        assert_eq!(a1, a2);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn intern_allocates_dense_ids() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let c = interner.intern("c");
+        assert_eq!(a.index(), 2);
+        assert_eq!(b.index(), 3);
+        assert_eq!(c.index(), 4);
+    }
+
+    #[test]
+    fn get_does_not_allocate() {
+        let interner = LabelInterner::new();
+        assert_eq!(interner.get("nope"), None);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut interner = LabelInterner::new();
+        interner.intern("x");
+        interner.intern("y");
+        let names: Vec<&str> = interner.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["ROOT", "VALUE", "x", "y"]);
+    }
+
+    #[test]
+    fn label_id_round_trips_through_index() {
+        let mut interner = LabelInterner::new();
+        let id = interner.intern("director");
+        assert_eq!(LabelId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn is_empty_reflects_user_labels() {
+        let mut interner = LabelInterner::new();
+        assert!(interner.is_empty());
+        interner.intern("movie");
+        assert!(!interner.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # dkindex-graph
+//!
+//! The data model shared by every crate in the D(k)-index reproduction: a
+//! rooted, directed, node-labeled graph representing XML or other
+//! semi-structured data (paper §3).
+//!
+//! * [`DataGraph`] — the graph itself, with forward *and* backward adjacency
+//!   (bisimulation looks at incoming paths, queries follow outgoing edges).
+//! * [`LabeledGraph`] — the read-only trait implemented by both [`DataGraph`]
+//!   and the index graphs in `dkindex-core`, so evaluation and refinement are
+//!   reusable across data and summary graphs.
+//! * [`LabelInterner`] / [`LabelId`] — dense label interning with the
+//!   distinguished `ROOT` and `VALUE` labels.
+//! * [`traversal`] — BFS/DFS, depth maps and incoming-label-path enumeration
+//!   (the raw material of the k-bisimilarity properties).
+//! * [`dot`] — GraphViz export in the style of the paper's Figure 1.
+//! * [`stats`] — dataset shape reporting for the experiment harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use dkindex_graph::{DataGraph, EdgeKind, LabeledGraph};
+//!
+//! let mut g = DataGraph::new();
+//! let movie = g.add_labeled_node("movie");
+//! let title = g.add_labeled_node("title");
+//! let root = g.root();
+//! g.add_edge(root, movie, EdgeKind::Tree);
+//! g.add_edge(movie, title, EdgeKind::Tree);
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.label_name(title), "title");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod label;
+
+pub mod dot;
+pub mod io;
+pub mod stats;
+pub mod traversal;
+
+pub use graph::{DataGraph, EdgeKind, LabeledGraph, NodeId, NodeIds};
+pub use label::{LabelId, LabelInterner, ROOT_LABEL, VALUE_LABEL};

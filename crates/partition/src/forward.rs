@@ -1,0 +1,172 @@
+//! Forward and forward-backward (F&B) refinement.
+//!
+//! The backward refinement of [`crate::refine`] groups nodes by *incoming*
+//! structure — exactly what simple path expressions need. Branching path
+//! queries (`//movie[actor]/title`) additionally constrain nodes by their
+//! *outgoing* structure; the covering index for those is the **F&B-index**
+//! (Kaushik et al., SIGMOD 2002 — reference \[24\] of the D(k) paper, named in
+//! its future-work section). Its extents are the coarsest partition stable
+//! under both parent and child signatures, computed here by alternating
+//! backward and forward rounds to a joint fixpoint.
+
+use crate::partition::{BlockId, Partition};
+use crate::refine::refine_round;
+use dkindex_graph::{LabeledGraph, NodeId};
+
+/// The deduplicated, sorted set of blocks occupied by `node`'s children
+/// under `prev` — the forward refinement signature.
+pub fn child_signature<G: LabeledGraph>(g: &G, prev: &Partition, node: NodeId) -> Vec<BlockId> {
+    let mut sig: Vec<BlockId> = g
+        .children_of(node)
+        .iter()
+        .map(|&c| prev.block_of(c))
+        .collect();
+    sig.sort_unstable();
+    sig.dedup();
+    sig
+}
+
+/// One forward refinement round: regroup nodes by `(current block, child
+/// block set)`. Returns the refined partition and whether anything split.
+pub fn refine_round_forward<G: LabeledGraph>(g: &G, prev: &Partition) -> (Partition, bool) {
+    prev.split_by_key(|n| child_signature(g, prev, n))
+}
+
+/// The forward k-bisimulation partition (nodes grouped by label and
+/// outgoing structure up to depth k).
+pub fn k_forward_bisimulation<G: LabeledGraph>(g: &G, k: usize) -> Partition {
+    let mut p = Partition::by_label(g);
+    for _ in 0..k {
+        let (next, changed) = refine_round_forward(g, &p);
+        p = next;
+        if !changed {
+            break;
+        }
+    }
+    p
+}
+
+/// The F&B partition: the coarsest refinement of the label partition stable
+/// under *both* parent and child signatures — the extents of the F&B-index.
+/// Computed by alternating backward and forward rounds until neither splits.
+pub fn fb_bisimulation<G: LabeledGraph>(g: &G) -> Partition {
+    let mut p = Partition::by_label(g);
+    loop {
+        let (after_backward, b_changed) = refine_round(g, &p);
+        let (after_forward, f_changed) = refine_round_forward(g, &after_backward);
+        p = after_forward;
+        if !b_changed && !f_changed {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::bisimulation_fixpoint;
+    use dkindex_graph::{DataGraph, EdgeKind};
+
+    /// Two `movie` nodes with identical incoming structure; only one has an
+    /// `actor` child. Backward bisimulation keeps them together; F&B splits.
+    fn branching() -> (DataGraph, NodeId, NodeId) {
+        let mut g = DataGraph::new();
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let a = g.add_labeled_node("actor");
+        let r = g.root();
+        g.add_edge(r, m1, EdgeKind::Tree);
+        g.add_edge(r, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g.add_edge(m1, a, EdgeKind::Tree);
+        (g, m1, m2)
+    }
+
+    #[test]
+    fn backward_keeps_branching_nodes_together() {
+        let (g, m1, m2) = branching();
+        let back = bisimulation_fixpoint(&g);
+        assert!(back.same_block(m1, m2));
+    }
+
+    #[test]
+    fn fb_separates_by_outgoing_structure() {
+        let (g, m1, m2) = branching();
+        let fb = fb_bisimulation(&g);
+        assert!(!fb.same_block(m1, m2));
+        fb.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn fb_refines_backward_bisimulation() {
+        let (g, ..) = branching();
+        let fb = fb_bisimulation(&g);
+        let back = bisimulation_fixpoint(&g);
+        assert!(fb.is_refinement_of(&back));
+    }
+
+    #[test]
+    fn fb_is_stable_under_both_rounds() {
+        let (g, ..) = branching();
+        let fb = fb_bisimulation(&g);
+        let (_, b_changed) = refine_round(&g, &fb);
+        let (_, f_changed) = refine_round_forward(&g, &fb);
+        assert!(!b_changed && !f_changed);
+    }
+
+    #[test]
+    fn forward_k_bisimulation_is_monotone() {
+        let (g, ..) = branching();
+        let mut prev = k_forward_bisimulation(&g, 0);
+        for k in 1..4 {
+            let next = k_forward_bisimulation(&g, k);
+            assert!(next.is_refinement_of(&prev));
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn forward_splits_leaves_from_inner_nodes() {
+        // Two `a` nodes: one leaf, one with a child.
+        let mut g = DataGraph::new();
+        let a1 = g.add_labeled_node("a");
+        let a2 = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a1, EdgeKind::Tree);
+        g.add_edge(r, a2, EdgeKind::Tree);
+        g.add_edge(a1, b, EdgeKind::Tree);
+        let f1 = k_forward_bisimulation(&g, 1);
+        assert!(!f1.same_block(a1, a2));
+    }
+
+    #[test]
+    fn fb_on_cycle_terminates() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(b, a, EdgeKind::Reference);
+        let fb = fb_bisimulation(&g);
+        fb.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn fb_on_regular_tree_is_coarse() {
+        // Identical subtrees: F&B must not split them.
+        let mut g = DataGraph::new();
+        let r = g.root();
+        for _ in 0..5 {
+            let item = g.add_labeled_node("item");
+            let name = g.add_labeled_node("name");
+            g.add_edge(r, item, EdgeKind::Tree);
+            g.add_edge(item, name, EdgeKind::Tree);
+        }
+        assert_eq!(fb_bisimulation(&g).block_count(), 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Naive pairwise k-bisimilarity, straight from Definition 2 of the paper.
+//!
+//! Quadratic in the number of nodes and intended purely as a *test oracle*
+//! for the production refinement code in [`crate::refine`]: property tests
+//! assert that `u ≈^k v` (this module) iff `u` and `v` share a block of
+//! `k_bisimulation(g, k)`.
+
+use dkindex_graph::{LabeledGraph, NodeId};
+
+/// Pairwise k-bisimilarity table: `table[u][v] == true` iff `u ≈^k v`.
+#[derive(Clone, Debug)]
+pub struct KBisimTable {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl KBisimTable {
+    /// Compute the full `≈^k` relation on `g` by fixpoint-free induction:
+    /// `≈^0` is label equality; `≈^{j+1}` requires `≈^j` plus mutual parent
+    /// coverage (for every parent of `u` some `≈^j` parent of `v`, and vice
+    /// versa — Definition 2).
+    pub fn compute<G: LabeledGraph>(g: &G, k: usize) -> Self {
+        let n = g.node_count();
+        let idx = |u: NodeId, v: NodeId| u.index() * n + v.index();
+        let mut cur = vec![false; n * n];
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                cur[idx(u, v)] = g.label_of(u) == g.label_of(v);
+            }
+        }
+        for _ in 0..k {
+            let mut next = vec![false; n * n];
+            for u in g.node_ids() {
+                for v in g.node_ids() {
+                    if !cur[idx(u, v)] {
+                        continue;
+                    }
+                    let covers = |a: NodeId, b: NodeId| {
+                        g.parents_of(a).iter().all(|&pa| {
+                            g.parents_of(b).iter().any(|&pb| cur[idx(pa, pb)])
+                        })
+                    };
+                    next[idx(u, v)] = covers(u, v) && covers(v, u);
+                }
+            }
+            cur = next;
+        }
+        KBisimTable { n, bits: cur }
+    }
+
+    /// Is `u ≈^k v`?
+    #[inline]
+    pub fn bisimilar(&self, u: NodeId, v: NodeId) -> bool {
+        self.bits[u.index() * self.n + v.index()]
+    }
+}
+
+/// Convenience wrapper: are `u` and `v` k-bisimilar in `g`?
+pub fn naive_k_bisimilar<G: LabeledGraph>(g: &G, u: NodeId, v: NodeId, k: usize) -> bool {
+    KBisimTable::compute(g, k).bisimilar(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::k_bisimulation;
+    use dkindex_graph::{DataGraph, EdgeKind};
+
+    /// Figure 1 observation from the paper: "nodes 7 and 10 (movie) are
+    /// bisimilar, while nodes 7 and 9 are not, because node 7 has a parent
+    /// labeled actor but node 9 does not."
+    #[test]
+    fn paper_figure_one_movie_example() {
+        let mut g = DataGraph::new();
+        let actor1 = g.add_labeled_node("actor");
+        let actor2 = g.add_labeled_node("actor");
+        let director = g.add_labeled_node("director");
+        let m7 = g.add_labeled_node("movie"); // under actor1
+        let m9 = g.add_labeled_node("movie"); // under director only
+        let m10 = g.add_labeled_node("movie"); // under actor2
+        let r = g.root();
+        g.add_edge(r, actor1, EdgeKind::Tree);
+        g.add_edge(r, actor2, EdgeKind::Tree);
+        g.add_edge(r, director, EdgeKind::Tree);
+        g.add_edge(actor1, m7, EdgeKind::Tree);
+        g.add_edge(actor2, m10, EdgeKind::Tree);
+        g.add_edge(director, m9, EdgeKind::Tree);
+
+        assert!(naive_k_bisimilar(&g, m7, m10, 5));
+        assert!(!naive_k_bisimilar(&g, m7, m9, 1));
+        assert!(naive_k_bisimilar(&g, m7, m9, 0)); // same label
+    }
+
+    #[test]
+    fn relation_is_reflexive_and_symmetric() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        let t = KBisimTable::compute(&g, 3);
+        for u in g.node_ids() {
+            assert!(t.bisimilar(u, u));
+            for v in g.node_ids() {
+                assert_eq!(t.bisimilar(u, v), t.bisimilar(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_matches_partition_refinement() {
+        // Pseudo-random cross-check — the core oracle property.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..10 {
+            let mut g = DataGraph::new();
+            let labels = ["a", "b", "c", "d"];
+            let n = 10 + (next() % 15) as usize;
+            let mut nodes = vec![g.root()];
+            for i in 0..n {
+                let node = g.add_labeled_node(labels[(next() % 4) as usize]);
+                let parent = nodes[(next() as usize) % (i + 1)];
+                g.add_edge(parent, node, EdgeKind::Tree);
+                nodes.push(node);
+            }
+            for _ in 0..n / 3 {
+                let u = nodes[(next() as usize) % nodes.len()];
+                let v = nodes[(next() as usize) % nodes.len()];
+                if u != v {
+                    g.add_edge(u, v, EdgeKind::Reference);
+                }
+            }
+            for k in 0..4 {
+                let table = KBisimTable::compute(&g, k);
+                let part = k_bisimulation(&g, k);
+                for u in g.node_ids() {
+                    for v in g.node_ids() {
+                        assert_eq!(
+                            table.bisimilar(u, v),
+                            part.same_block(u, v),
+                            "k={k} u={u:?} v={v:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_bisimilarity_is_monotone_in_k() {
+        let mut g = DataGraph::new();
+        let a1 = g.add_labeled_node("a");
+        let a2 = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a1, EdgeKind::Tree);
+        g.add_edge(b, a2, EdgeKind::Tree);
+        g.add_edge(r, b, EdgeKind::Tree);
+        for k in 0..3 {
+            let tk = KBisimTable::compute(&g, k);
+            let tk1 = KBisimTable::compute(&g, k + 1);
+            for u in g.node_ids() {
+                for v in g.node_ids() {
+                    // (k+1)-bisimilar implies k-bisimilar.
+                    if tk1.bisimilar(u, v) {
+                        assert!(tk.bisimilar(u, v));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The Paige–Tarjan relational coarsest partition algorithm (SIAM J.
+//! Comput. 16(6), 1987) — the O(m log n) construction the D(k) paper cites
+//! for the 1-index (§4.1).
+//!
+//! We need the coarsest refinement of the label partition that is stable
+//! with respect to `Succ`: for blocks `B, S`, either every member of `B` has
+//! a parent in `S` or none does. That is the classic problem over the
+//! *reversed* edge relation, so "pred" below always means "nodes with a
+//! parent in …" (= `Succ` of the splitter).
+//!
+//! The implementation keeps the two-level structure of the original
+//! algorithm: the fine partition `Q` (the answer under construction) and the
+//! coarse partition `X` (unions of Q-blocks with respect to which Q is
+//! already stable), per-`(node, X-block)` parent counts, and the
+//! *process-the-smaller-half* rule that yields the O(m log n) bound — each
+//! node lands in a splitter at most O(log n) times.
+//!
+//! Cross-checked against [`crate::refine::bisimulation_fixpoint`] and
+//! [`crate::coarsest::coarsest_stable_refinement`] on randomized inputs.
+
+use crate::partition::{BlockId, Partition};
+use dkindex_graph::{LabeledGraph, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+struct Pt<'g, G: LabeledGraph> {
+    g: &'g G,
+    /// node -> Q-block.
+    block_of: Vec<u32>,
+    /// Q-block -> members.
+    members: Vec<Vec<NodeId>>,
+    /// Q-block -> X-block.
+    xblock_of: Vec<u32>,
+    /// X-block -> live Q-blocks.
+    xmembers: Vec<Vec<u32>>,
+    /// (node, X-block) -> number of the node's parents inside the X-block.
+    counts: HashMap<(u32, u32), u32>,
+    /// X-blocks that may be compound.
+    queue: VecDeque<u32>,
+    queued: Vec<bool>,
+}
+
+impl<'g, G: LabeledGraph> Pt<'g, G> {
+    fn new(g: &'g G) -> Self {
+        // Q starts as the label partition pre-split by "has a parent", so Q
+        // is stable with respect to the universe X-block.
+        let labels = Partition::by_label(g);
+        let (initial, _) = labels.split_by_key(|n| !g.parents_of(n).is_empty());
+
+        let nblocks = initial.block_count();
+        let block_of: Vec<u32> = (0..g.node_count())
+            .map(|i| initial.block_of(NodeId::from_index(i)).index() as u32)
+            .collect();
+        let members: Vec<Vec<NodeId>> = initial
+            .block_ids()
+            .map(|b| initial.members(b).to_vec())
+            .collect();
+
+        let mut counts = HashMap::new();
+        for n in g.node_ids() {
+            let indeg = g.parents_of(n).len() as u32;
+            if indeg > 0 {
+                counts.insert((n.index() as u32, 0u32), indeg);
+            }
+        }
+        let mut pt = Pt {
+            g,
+            block_of,
+            members,
+            xblock_of: vec![0; nblocks],
+            xmembers: vec![(0..nblocks as u32).collect()],
+            counts,
+            queue: VecDeque::new(),
+            queued: vec![false],
+        };
+        pt.enqueue(0);
+        pt
+    }
+
+    fn enqueue(&mut self, x: u32) {
+        if !self.queued[x as usize] && self.xmembers[x as usize].len() >= 2 {
+            self.queued[x as usize] = true;
+            self.queue.push_back(x);
+        }
+    }
+
+    /// Move `hit` members of Q-block `d` into a fresh Q-block within the
+    /// same X-block. `hit` must be a strict non-empty subset.
+    fn split_qblock(&mut self, d: u32, hit: &[NodeId]) -> u32 {
+        let new_q = self.members.len() as u32;
+        let hit_set: std::collections::HashSet<NodeId> = hit.iter().copied().collect();
+        let old = std::mem::take(&mut self.members[d as usize]);
+        let (moved, kept): (Vec<NodeId>, Vec<NodeId>) =
+            old.into_iter().partition(|n| hit_set.contains(n));
+        debug_assert!(!moved.is_empty() && !kept.is_empty());
+        for &n in &moved {
+            self.block_of[n.index()] = new_q;
+        }
+        self.members[d as usize] = kept;
+        self.members.push(moved);
+        let x = self.xblock_of[d as usize];
+        self.xblock_of.push(x);
+        self.xmembers[x as usize].push(new_q);
+        self.enqueue(x);
+        new_q
+    }
+
+    fn run(mut self) -> Partition {
+        while let Some(s) = self.queue.pop_front() {
+            self.queued[s as usize] = false;
+            if self.xmembers[s as usize].len() < 2 {
+                continue;
+            }
+            // Pick the smallest Q-block in S as the splitter B.
+            let (pos, &b) = self.xmembers[s as usize]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &q)| self.members[q as usize].len())
+                .expect("compound block has members");
+            self.xmembers[s as usize].swap_remove(pos);
+            // β becomes its own X-block {B}.
+            let beta = self.xmembers.len() as u32;
+            self.xmembers.push(vec![b]);
+            self.queued.push(false);
+            self.xblock_of[b as usize] = beta;
+            // S (now S' = S − B) may still be compound.
+            self.enqueue(s);
+
+            // Parent counts into B, per node with a parent in B.
+            let mut c_b: HashMap<u32, u32> = HashMap::new();
+            for &member in &self.members[b as usize] {
+                for &child in self.g.children_of(member) {
+                    *c_b.entry(child.index() as u32).or_insert(0) += 1;
+                }
+            }
+            if c_b.is_empty() {
+                continue;
+            }
+
+            // First split: D ∩ pred(B) vs D − pred(B).
+            let mut by_block: HashMap<u32, Vec<NodeId>> = HashMap::new();
+            for &node in c_b.keys() {
+                by_block
+                    .entry(self.block_of[node as usize])
+                    .or_default()
+                    .push(NodeId::from_index(node as usize));
+            }
+            let mut touched: Vec<u32> = by_block.keys().copied().collect();
+            touched.sort_unstable(); // determinism
+            let mut pred_b_blocks: Vec<u32> = Vec::new();
+            for d in touched {
+                let hit = &by_block[&d];
+                if hit.len() == self.members[d as usize].len() {
+                    pred_b_blocks.push(d);
+                } else {
+                    let new_q = self.split_qblock(d, hit);
+                    pred_b_blocks.push(new_q);
+                }
+            }
+
+            // Update counts: move B's contribution from S to β.
+            for (&node, &cb) in &c_b {
+                let total = self
+                    .counts
+                    .remove(&(node, s))
+                    .expect("node with a parent in B ⊆ S has an S count");
+                debug_assert!(total >= cb);
+                self.counts.insert((node, beta), cb);
+                if total > cb {
+                    self.counts.insert((node, s), total - cb);
+                }
+            }
+
+            // Second split: within pred(B), separate nodes with no parent
+            // left in S' (count(x, S') == 0) from the rest.
+            for d in pred_b_blocks {
+                let (only_b, both): (Vec<NodeId>, Vec<NodeId>) = self.members[d as usize]
+                    .iter()
+                    .partition(|&&n| !self.counts.contains_key(&(n.index() as u32, s)));
+                if !only_b.is_empty() && !both.is_empty() {
+                    self.split_qblock(d, &only_b);
+                }
+            }
+        }
+
+        Partition::from_block_of(
+            self.block_of
+                .iter()
+                .map(|&b| BlockId::from_index(b as usize))
+                .collect(),
+        )
+    }
+}
+
+/// The coarsest refinement of the label partition stable with respect to
+/// every block's successor set, via Paige–Tarjan in O(m log n). Equals
+/// [`crate::refine::bisimulation_fixpoint`] — the extents of the 1-index.
+pub fn paige_tarjan<G: LabeledGraph>(g: &G) -> Partition {
+    Pt::new(g).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsest::coarsest_stable_refinement;
+    use crate::refine::bisimulation_fixpoint;
+    use dkindex_graph::{DataGraph, EdgeKind};
+
+    fn assert_all_agree(g: &DataGraph) {
+        let pt = paige_tarjan(g);
+        pt.check_consistency().unwrap();
+        let fixpoint = bisimulation_fixpoint(g);
+        let worklist = coarsest_stable_refinement(g);
+        assert!(
+            pt.same_equivalence(&fixpoint),
+            "PT ({} blocks) != signature fixpoint ({} blocks)",
+            pt.block_count(),
+            fixpoint.block_count()
+        );
+        assert!(pt.same_equivalence(&worklist));
+    }
+
+    #[test]
+    fn chain() {
+        let mut g = DataGraph::new();
+        let a1 = g.add_labeled_node("a");
+        let a2 = g.add_labeled_node("a");
+        let a3 = g.add_labeled_node("a");
+        let r = g.root();
+        g.add_edge(r, a1, EdgeKind::Tree);
+        g.add_edge(a1, a2, EdgeKind::Tree);
+        g.add_edge(a2, a3, EdgeKind::Tree);
+        assert_all_agree(&g);
+        assert_eq!(paige_tarjan(&g).block_count(), 4);
+    }
+
+    #[test]
+    fn regular_tree_stays_coarse() {
+        let mut g = DataGraph::new();
+        let r = g.root();
+        for _ in 0..8 {
+            let item = g.add_labeled_node("item");
+            let name = g.add_labeled_node("name");
+            g.add_edge(r, item, EdgeKind::Tree);
+            g.add_edge(item, name, EdgeKind::Tree);
+        }
+        assert_eq!(paige_tarjan(&g).block_count(), 3);
+        assert_all_agree(&g);
+    }
+
+    #[test]
+    fn movie_shape_with_reference() {
+        let mut g = DataGraph::new();
+        let actor = g.add_labeled_node("actor");
+        let director = g.add_labeled_node("director");
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, actor, EdgeKind::Tree);
+        g.add_edge(r, director, EdgeKind::Tree);
+        g.add_edge(actor, m1, EdgeKind::Tree);
+        g.add_edge(director, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g.add_edge(director, m1, EdgeKind::Reference);
+        assert_all_agree(&g);
+    }
+
+    #[test]
+    fn cycles() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(b, a, EdgeKind::Reference);
+        g.add_edge(a, a, EdgeKind::Reference);
+        assert_all_agree(&g);
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        let mut seed = 0xDEADBEEFCAFEBABEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..40 {
+            let mut g = DataGraph::new();
+            let labels = ["a", "b", "c", "d"];
+            let n = 15 + (next() % 60) as usize;
+            let mut nodes = vec![g.root()];
+            for i in 0..n {
+                let node = g.add_labeled_node(labels[(next() % 4) as usize]);
+                let parent = nodes[(next() as usize) % (i + 1)];
+                g.add_edge(parent, node, EdgeKind::Tree);
+                nodes.push(node);
+            }
+            for _ in 0..n / 3 {
+                let u = nodes[(next() as usize) % nodes.len()];
+                let v = nodes[(next() as usize) % nodes.len()];
+                if u != v {
+                    g.add_edge(u, v, EdgeKind::Reference);
+                }
+            }
+            let pt = paige_tarjan(&g);
+            let fixpoint = bisimulation_fixpoint(&g);
+            assert!(
+                pt.same_equivalence(&fixpoint),
+                "round {round}: PT {} blocks vs fixpoint {}",
+                pt.block_count(),
+                fixpoint.block_count()
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_are_handled() {
+        let mut g = DataGraph::new();
+        g.add_labeled_node("orphan");
+        g.add_labeled_node("orphan");
+        let a = g.add_labeled_node("a");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        assert_all_agree(&g);
+    }
+}

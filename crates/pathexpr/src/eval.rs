@@ -1,0 +1,364 @@
+//! Path-expression evaluation over any [`LabeledGraph`] with the paper's
+//! in-memory cost model.
+//!
+//! The paper (§6.1, following the A(k)-index evaluation) defines the cost of
+//! a query as *the number of nodes visited in the index or data graph during
+//! path expression evaluation*; extent members of matched index nodes are
+//! free, data nodes touched during validation are charged. We realize the
+//! model by counting distinct `(automaton state, graph node)` activations —
+//! for a linear path query each graph node is charged at most once per query
+//! position, which reduces to the intuitive "nodes touched" count.
+//!
+//! Evaluation is *partial-match* (paper §3): a label path may start at any
+//! node, so the automaton is seeded at every node whose label a first
+//! transition can consume. Seeding uses a per-graph [`LabelIndex`] (label →
+//! nodes) built once per graph, so a query for `director.movie.title` starts
+//! only from `director` nodes, never scanning unrelated labels — matching how
+//! the A(k) experiments obtain small costs for small indexes.
+
+use crate::nfa::{Nfa, StateId, Step};
+use dkindex_graph::{LabeledGraph, NodeId};
+
+/// Label → nodes inverted index for one graph. Build once per graph (its
+/// construction is not charged to any query).
+#[derive(Clone, Debug)]
+pub struct LabelIndex {
+    by_label: Vec<Vec<NodeId>>,
+}
+
+impl LabelIndex {
+    /// Build the inverted index for `g` in O(n).
+    pub fn build<G: LabeledGraph>(g: &G) -> Self {
+        let mut by_label = vec![Vec::new(); g.labels().len()];
+        for node in g.node_ids() {
+            by_label[g.label_of(node).index()].push(node);
+        }
+        LabelIndex { by_label }
+    }
+
+    /// Nodes carrying `label`.
+    #[inline]
+    pub fn nodes_with(&self, label: dkindex_graph::LabelId) -> &[NodeId] {
+        &self.by_label[label.index()]
+    }
+
+    /// All nodes, flattened (used to seed wildcard-initial queries).
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_label.iter().flatten().copied()
+    }
+}
+
+/// Outcome of a forward evaluation: the matched nodes and the visit count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Nodes matched by the expression, in ascending id order.
+    pub matches: Vec<NodeId>,
+    /// Number of `(state, node)` activations — the paper's "nodes visited".
+    pub visited: u64,
+}
+
+/// Evaluate `nfa` over `g` with partial-match semantics.
+///
+/// `label_index` must have been built from the same graph.
+pub fn evaluate<G: LabeledGraph>(g: &G, nfa: &Nfa, label_index: &LabelIndex) -> EvalOutcome {
+    let states = nfa.state_count();
+    let nodes = g.node_count();
+    let closures = nfa.closures();
+
+    // active[s * nodes + n]: pair (s, n) already activated. `s` here is the
+    // post-consumption state *before* ε-closure; dedup on that pair bounds
+    // the work per node by the number of consuming transitions.
+    let mut active = vec![false; states * nodes];
+    let mut matched = vec![false; nodes];
+    let mut visited: u64 = 0;
+    let mut queue: Vec<(StateId, NodeId)> = Vec::new();
+
+    let accept = nfa.accept();
+    let activate = |state: StateId,
+                        node: NodeId,
+                        active: &mut Vec<bool>,
+                        matched: &mut Vec<bool>,
+                        queue: &mut Vec<(StateId, NodeId)>,
+                        visited: &mut u64| {
+        let slot = state.index() * nodes + node.index();
+        if active[slot] {
+            return;
+        }
+        active[slot] = true;
+        *visited += 1;
+        if closures[state.index()].contains(&accept) {
+            matched[node.index()] = true;
+        }
+        queue.push((state, node));
+    };
+
+    // Seed: consuming transitions reachable from the ε-closure of start.
+    let mut start_set = vec![false; states];
+    start_set[nfa.start().index()] = true;
+    nfa.eps_close(&mut start_set);
+    for (s, &on) in start_set.iter().enumerate() {
+        if !on {
+            continue;
+        }
+        for &(step, target) in nfa.steps_of(StateId(s as u32)) {
+            match step {
+                Step::Label(l) => {
+                    for &n in label_index.nodes_with(l) {
+                        activate(target, n, &mut active, &mut matched, &mut queue, &mut visited);
+                    }
+                }
+                Step::Any => {
+                    for n in label_index.all_nodes() {
+                        activate(target, n, &mut active, &mut matched, &mut queue, &mut visited);
+                    }
+                }
+            }
+        }
+    }
+
+    // Product BFS: from (q, n), extend the node path by one child.
+    let mut head = 0;
+    while head < queue.len() {
+        let (state, node) = queue[head];
+        head += 1;
+        for &q in &closures[state.index()] {
+            for &(step, target) in nfa.steps_of(q) {
+                for &child in g.children_of(node) {
+                    if step.matches(g.label_of(child)) {
+                        activate(
+                            target,
+                            child,
+                            &mut active,
+                            &mut matched,
+                            &mut queue,
+                            &mut visited,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let matches = matched
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    EvalOutcome { matches, visited }
+}
+
+/// Does some node path ending at `node` match a word of `nfa`'s language?
+/// Used by the validation process: `reversed` must be `nfa.reverse()`.
+///
+/// Walks backward along parent edges, consuming labels in reverse, and stops
+/// at the first witness. Returns the verdict and the number of
+/// `(state, node)` activations performed (charged as data-graph visits).
+pub fn matches_ending_at<G: LabeledGraph>(
+    g: &G,
+    reversed: &Nfa,
+    node: NodeId,
+) -> (bool, u64) {
+    let states = reversed.state_count();
+    let closures = reversed.closures();
+    let accept = reversed.accept();
+
+    let mut active: std::collections::HashSet<(StateId, NodeId)> = std::collections::HashSet::new();
+    let mut queue: Vec<(StateId, NodeId)> = Vec::new();
+    let mut visited: u64 = 0;
+
+    // Seed: consume `node`'s own label from the reversed start.
+    let mut start_set = vec![false; states];
+    start_set[reversed.start().index()] = true;
+    reversed.eps_close(&mut start_set);
+    let node_label = g.label_of(node);
+    for (s, &on) in start_set.iter().enumerate() {
+        if !on {
+            continue;
+        }
+        for &(step, target) in reversed.steps_of(StateId(s as u32)) {
+            if step.matches(node_label) && active.insert((target, node)) {
+                visited += 1;
+                if closures[target.index()].contains(&accept) {
+                    return (true, visited);
+                }
+                queue.push((target, node));
+            }
+        }
+    }
+
+    let mut head = 0;
+    while head < queue.len() {
+        let (state, n) = queue[head];
+        head += 1;
+        for &q in &closures[state.index()] {
+            for &(step, target) in reversed.steps_of(q) {
+                for &parent in g.parents_of(n) {
+                    if step.matches(g.label_of(parent)) && active.insert((target, parent)) {
+                        visited += 1;
+                        if closures[target.index()].contains(&accept) {
+                            return (true, visited);
+                        }
+                        queue.push((target, parent));
+                    }
+                }
+            }
+        }
+    }
+    (false, visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use dkindex_graph::{DataGraph, EdgeKind};
+
+    /// ROOT -> director -> movie -> title
+    ///      -> actor    -> movie(2) -> title(2)
+    ///      director -ref-> movie(2)
+    fn movie_graph() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let director = g.add_labeled_node("director");
+        let m1 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let actor = g.add_labeled_node("actor");
+        let m2 = g.add_labeled_node("movie");
+        let t2 = g.add_labeled_node("title");
+        let r = g.root();
+        g.add_edge(r, director, EdgeKind::Tree);
+        g.add_edge(director, m1, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(r, actor, EdgeKind::Tree);
+        g.add_edge(actor, m2, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g.add_edge(director, m2, EdgeKind::Reference);
+        (g, vec![director, m1, t1, actor, m2, t2])
+    }
+
+    fn eval(g: &DataGraph, expr: &str) -> EvalOutcome {
+        let e = parse(expr).unwrap();
+        let nfa = Nfa::compile(&e, g.labels());
+        let idx = LabelIndex::build(g);
+        evaluate(g, &nfa, &idx)
+    }
+
+    #[test]
+    fn linear_query_finds_both_titles() {
+        let (g, n) = movie_graph();
+        let out = eval(&g, "movie.title");
+        assert_eq!(out.matches, vec![n[2], n[5]]);
+    }
+
+    #[test]
+    fn longer_query_distinguishes_provenance() {
+        let (g, n) = movie_graph();
+        // Both titles are reachable via director (m2 through the reference).
+        let out = eval(&g, "director.movie.title");
+        assert_eq!(out.matches, vec![n[2], n[5]]);
+        let out = eval(&g, "actor.movie.title");
+        assert_eq!(out.matches, vec![n[5]]);
+    }
+
+    #[test]
+    fn wildcard_and_optional() {
+        let (g, n) = movie_graph();
+        let out = eval(&g, "ROOT._.movie");
+        assert_eq!(out.matches, vec![n[1], n[4]]);
+        // Optional hop: ROOT.(_)?.director finds director whether or not an
+        // intermediate exists.
+        let out = eval(&g, "ROOT.(_)?.director");
+        assert_eq!(out.matches, vec![n[0]]);
+    }
+
+    #[test]
+    fn star_query_over_cycle_terminates() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(b, a, EdgeKind::Reference);
+        let out = eval(&g, "a.(b.a)*");
+        // All `a` reachable (only one a node, matched at both lengths).
+        assert_eq!(out.matches, vec![a]);
+        let out2 = eval(&g, "a.b");
+        assert_eq!(out2.matches, vec![b]);
+    }
+
+    #[test]
+    fn no_match_costs_little() {
+        let (g, _) = movie_graph();
+        let out = eval(&g, "ghost.label");
+        assert!(out.matches.is_empty());
+        assert_eq!(out.visited, 0);
+    }
+
+    #[test]
+    fn cost_counts_seeded_and_expanded_nodes() {
+        let (g, _) = movie_graph();
+        let out = eval(&g, "movie.title");
+        // Seeds: 2 movie nodes. Expansion: 2 titles. No revisits.
+        assert_eq!(out.visited, 4);
+    }
+
+    #[test]
+    fn partial_match_seeds_anywhere() {
+        let (g, n) = movie_graph();
+        let out = eval(&g, "title");
+        assert_eq!(out.matches, vec![n[2], n[5]]);
+        assert_eq!(out.visited, 2);
+    }
+
+    #[test]
+    fn matches_ending_at_agrees_with_forward_eval() {
+        let (g, _) = movie_graph();
+        for expr in [
+            "movie.title",
+            "director.movie.title",
+            "actor.movie.title",
+            "ROOT._.movie",
+            "a.(b|c)",
+            "director.movie",
+            "_._.title",
+        ] {
+            let e = parse(expr).unwrap();
+            let nfa = Nfa::compile(&e, g.labels());
+            let rev = nfa.reverse();
+            let idx = LabelIndex::build(&g);
+            let forward = evaluate(&g, &nfa, &idx);
+            for node in g.node_ids() {
+                let (hit, _) = matches_ending_at(&g, &rev, node);
+                assert_eq!(
+                    hit,
+                    forward.matches.contains(&node),
+                    "expr {expr} node {node:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_ending_at_on_cycles_terminates() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, a, EdgeKind::Reference); // self loop
+        let e = parse("a.a.a.a").unwrap();
+        let nfa = Nfa::compile(&e, g.labels());
+        let rev = nfa.reverse();
+        let (hit, _) = matches_ending_at(&g, &rev, a);
+        assert!(hit); // a -> a -> a -> a through the self loop
+    }
+
+    #[test]
+    fn label_index_lists_nodes_per_label() {
+        let (g, _) = movie_graph();
+        let idx = LabelIndex::build(&g);
+        let movie = g.labels().get("movie").unwrap();
+        assert_eq!(idx.nodes_with(movie).len(), 2);
+        assert_eq!(idx.all_nodes().count(), g.node_count());
+    }
+}

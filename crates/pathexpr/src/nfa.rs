@@ -1,0 +1,393 @@
+//! Thompson NFA compilation of path expressions.
+//!
+//! The automaton alphabet is the [`LabelId`] space of one specific
+//! [`dkindex_graph::LabelInterner`]: compilation resolves label names against
+//! an interner, and names the interner has never seen produce transitions
+//! that can match nothing (the query can still succeed through other
+//! branches). A compiled NFA can be [reversed](Nfa::reverse) for the backward
+//! walks used by the validation process.
+
+use crate::ast::PathExpr;
+use dkindex_graph::{LabelId, LabelInterner};
+
+/// State index within an [`Nfa`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Numeric index of this state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a `StateId` from an index previously obtained through
+    /// [`StateId::index`]. The caller must keep it in range for the NFA it
+    /// is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        StateId(index as u32)
+    }
+}
+
+/// A consuming transition: matches one node label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Match exactly this label.
+    Label(LabelId),
+    /// Match any label (the wildcard `_`).
+    Any,
+}
+
+impl Step {
+    /// Does this transition accept `label`?
+    #[inline]
+    pub fn matches(self, label: LabelId) -> bool {
+        match self {
+            Step::Label(l) => l == label,
+            Step::Any => true,
+        }
+    }
+}
+
+/// A non-deterministic finite automaton over labels with ε-transitions,
+/// a single start state and a single accept state.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    eps: Vec<Vec<StateId>>,
+    steps: Vec<Vec<(Step, StateId)>>,
+    start: StateId,
+    accept: StateId,
+}
+
+struct Fragment {
+    start: StateId,
+    accept: StateId,
+}
+
+struct Builder {
+    eps: Vec<Vec<StateId>>,
+    steps: Vec<Vec<(Step, StateId)>>,
+}
+
+impl Builder {
+    fn state(&mut self) -> StateId {
+        let id = StateId(self.eps.len() as u32);
+        self.eps.push(Vec::new());
+        self.steps.push(Vec::new());
+        id
+    }
+
+    fn eps(&mut self, from: StateId, to: StateId) {
+        self.eps[from.index()].push(to);
+    }
+
+    fn step(&mut self, from: StateId, step: Step, to: StateId) {
+        self.steps[from.index()].push((step, to));
+    }
+
+    fn fragment(&mut self, expr: &PathExpr, labels: &LabelInterner) -> Fragment {
+        match expr {
+            PathExpr::Label(name) => {
+                let start = self.state();
+                let accept = self.state();
+                // Unknown labels simply get no transition: the fragment's
+                // language restricted to this alphabet is empty.
+                if let Some(id) = labels.get(name) {
+                    self.step(start, Step::Label(id), accept);
+                }
+                Fragment { start, accept }
+            }
+            PathExpr::Wildcard => {
+                let start = self.state();
+                let accept = self.state();
+                self.step(start, Step::Any, accept);
+                Fragment { start, accept }
+            }
+            PathExpr::Seq(a, b) => {
+                let fa = self.fragment(a, labels);
+                let fb = self.fragment(b, labels);
+                self.eps(fa.accept, fb.start);
+                Fragment {
+                    start: fa.start,
+                    accept: fb.accept,
+                }
+            }
+            PathExpr::Alt(a, b) => {
+                let fa = self.fragment(a, labels);
+                let fb = self.fragment(b, labels);
+                let start = self.state();
+                let accept = self.state();
+                self.eps(start, fa.start);
+                self.eps(start, fb.start);
+                self.eps(fa.accept, accept);
+                self.eps(fb.accept, accept);
+                Fragment { start, accept }
+            }
+            PathExpr::Opt(a) => {
+                let fa = self.fragment(a, labels);
+                let start = self.state();
+                let accept = self.state();
+                self.eps(start, fa.start);
+                self.eps(start, accept);
+                self.eps(fa.accept, accept);
+                Fragment { start, accept }
+            }
+            PathExpr::Star(a) => {
+                let fa = self.fragment(a, labels);
+                let start = self.state();
+                let accept = self.state();
+                self.eps(start, fa.start);
+                self.eps(start, accept);
+                self.eps(fa.accept, fa.start);
+                self.eps(fa.accept, accept);
+                Fragment { start, accept }
+            }
+        }
+    }
+}
+
+impl Nfa {
+    /// Compile `expr` against the label alphabet of `labels`.
+    pub fn compile(expr: &PathExpr, labels: &LabelInterner) -> Nfa {
+        let mut b = Builder {
+            eps: Vec::new(),
+            steps: Vec::new(),
+        };
+        let frag = b.fragment(expr, labels);
+        Nfa {
+            eps: b.eps,
+            steps: b.steps,
+            start: frag.start,
+            accept: frag.accept,
+        }
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.eps.len()
+    }
+
+    /// The start state.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The accept state.
+    #[inline]
+    pub fn accept(&self) -> StateId {
+        self.accept
+    }
+
+    /// ε-successors of `state`.
+    #[inline]
+    pub fn eps_of(&self, state: StateId) -> &[StateId] {
+        &self.eps[state.index()]
+    }
+
+    /// Consuming transitions out of `state`.
+    #[inline]
+    pub fn steps_of(&self, state: StateId) -> &[(Step, StateId)] {
+        &self.steps[state.index()]
+    }
+
+    /// The automaton recognizing the reversed language: every transition is
+    /// flipped, start and accept swap roles. Used by the validation process,
+    /// which walks *backward* from a candidate data node along parent edges.
+    pub fn reverse(&self) -> Nfa {
+        let n = self.state_count();
+        let mut eps = vec![Vec::new(); n];
+        let mut steps = vec![Vec::new(); n];
+        for s in 0..n {
+            for &t in &self.eps[s] {
+                eps[t.index()].push(StateId(s as u32));
+            }
+            for &(step, t) in &self.steps[s] {
+                steps[t.index()].push((step, StateId(s as u32)));
+            }
+        }
+        Nfa {
+            eps,
+            steps,
+            start: self.accept,
+            accept: self.start,
+        }
+    }
+
+    /// Expand `set` (a boolean per state) to its ε-closure in place.
+    pub fn eps_close(&self, set: &mut [bool]) {
+        debug_assert_eq!(set.len(), self.state_count());
+        let mut stack: Vec<StateId> = set
+            .iter()
+            .enumerate()
+            .filter(|&(_, &on)| on)
+            .map(|(i, _)| StateId(i as u32))
+            .collect();
+        while let Some(s) = stack.pop() {
+            for &t in self.eps_of(s) {
+                if !set[t.index()] {
+                    set[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    /// Per-state precomputed ε-closures (each row is the closure of the
+    /// singleton `{state}`), used to make repeated activation cheap during
+    /// evaluation.
+    pub fn closures(&self) -> Vec<Vec<StateId>> {
+        (0..self.state_count())
+            .map(|s| {
+                let mut set = vec![false; self.state_count()];
+                set[s] = true;
+                self.eps_close(&mut set);
+                set.iter()
+                    .enumerate()
+                    .filter(|&(_, &on)| on)
+                    .map(|(i, _)| StateId(i as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Does the automaton accept the given word (sequence of labels)?
+    /// Linear-time subset simulation; used by tests and the workload miner.
+    pub fn accepts(&self, word: &[LabelId]) -> bool {
+        let mut cur = vec![false; self.state_count()];
+        cur[self.start.index()] = true;
+        self.eps_close(&mut cur);
+        for &label in word {
+            let mut next = vec![false; self.state_count()];
+            for (s, &on) in cur.iter().enumerate() {
+                if !on {
+                    continue;
+                }
+                for &(step, t) in self.steps_of(StateId(s as u32)) {
+                    if step.matches(label) {
+                        next[t.index()] = true;
+                    }
+                }
+            }
+            self.eps_close(&mut next);
+            cur = next;
+            if !cur.iter().any(|&on| on) {
+                return false;
+            }
+        }
+        cur[self.accept.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn interner_with(labels: &[&str]) -> LabelInterner {
+        let mut i = LabelInterner::new();
+        for l in labels {
+            i.intern(l);
+        }
+        i
+    }
+
+    fn ids(i: &LabelInterner, names: &[&str]) -> Vec<LabelId> {
+        names.iter().map(|n| i.get(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn accepts_linear_path() {
+        let i = interner_with(&["a", "b", "c"]);
+        let nfa = Nfa::compile(&parse("a.b.c").unwrap(), &i);
+        assert!(nfa.accepts(&ids(&i, &["a", "b", "c"])));
+        assert!(!nfa.accepts(&ids(&i, &["a", "b"])));
+        assert!(!nfa.accepts(&ids(&i, &["a", "c", "c"])));
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn accepts_alternation() {
+        let i = interner_with(&["a", "b", "c"]);
+        let nfa = Nfa::compile(&parse("a.(b|c)").unwrap(), &i);
+        assert!(nfa.accepts(&ids(&i, &["a", "b"])));
+        assert!(nfa.accepts(&ids(&i, &["a", "c"])));
+        assert!(!nfa.accepts(&ids(&i, &["b", "c"])));
+    }
+
+    #[test]
+    fn accepts_optional_and_star() {
+        let i = interner_with(&["a", "b"]);
+        let opt = Nfa::compile(&parse("a.b?").unwrap(), &i);
+        assert!(opt.accepts(&ids(&i, &["a"])));
+        assert!(opt.accepts(&ids(&i, &["a", "b"])));
+        assert!(!opt.accepts(&ids(&i, &["a", "b", "b"])));
+
+        let star = Nfa::compile(&parse("a.b*").unwrap(), &i);
+        assert!(star.accepts(&ids(&i, &["a"])));
+        assert!(star.accepts(&ids(&i, &["a", "b", "b", "b"])));
+        assert!(!star.accepts(&ids(&i, &["b"])));
+    }
+
+    #[test]
+    fn wildcard_matches_anything() {
+        let i = interner_with(&["a", "zzz"]);
+        let nfa = Nfa::compile(&parse("a._").unwrap(), &i);
+        assert!(nfa.accepts(&ids(&i, &["a", "zzz"])));
+        assert!(nfa.accepts(&ids(&i, &["a", "a"])));
+        assert!(!nfa.accepts(&ids(&i, &["a"])));
+    }
+
+    #[test]
+    fn unknown_label_matches_nothing_but_alternatives_survive() {
+        let i = interner_with(&["a"]);
+        let dead = Nfa::compile(&parse("ghost").unwrap(), &i);
+        assert!(!dead.accepts(&ids(&i, &["a"])));
+
+        let alt = Nfa::compile(&parse("ghost|a").unwrap(), &i);
+        assert!(alt.accepts(&ids(&i, &["a"])));
+    }
+
+    #[test]
+    fn reverse_accepts_reversed_words() {
+        let i = interner_with(&["a", "b", "c"]);
+        let nfa = Nfa::compile(&parse("a.b.c").unwrap(), &i);
+        let rev = nfa.reverse();
+        assert!(rev.accepts(&ids(&i, &["c", "b", "a"])));
+        assert!(!rev.accepts(&ids(&i, &["a", "b", "c"])));
+    }
+
+    #[test]
+    fn reverse_of_reverse_is_equivalent() {
+        let i = interner_with(&["a", "b"]);
+        let nfa = Nfa::compile(&parse("a.b*|b").unwrap(), &i);
+        let back = nfa.reverse().reverse();
+        for word in [vec!["a"], vec!["a", "b"], vec!["b"], vec!["b", "b"], vec!["a", "a"]] {
+            let w = ids(&i, &word);
+            assert_eq!(nfa.accepts(&w), back.accepts(&w), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn closures_contain_self() {
+        let i = interner_with(&["a"]);
+        let nfa = Nfa::compile(&parse("a?*").unwrap(), &i);
+        let closures = nfa.closures();
+        for (s, closure) in closures.iter().enumerate() {
+            assert!(closure.contains(&StateId(s as u32)));
+        }
+        // Start of `a?*` reaches accept by epsilons alone.
+        assert!(closures[nfa.start().index()].contains(&nfa.accept()));
+    }
+
+    #[test]
+    fn paper_expression_automaton() {
+        let i = interner_with(&["movieDB", "movie", "actor", "name", "director"]);
+        let nfa = Nfa::compile(&parse("movieDB.(_)?.movie.actor.name").unwrap(), &i);
+        assert!(nfa.accepts(&ids(&i, &["movieDB", "movie", "actor", "name"])));
+        assert!(nfa.accepts(&ids(&i, &["movieDB", "director", "movie", "actor", "name"])));
+        assert!(!nfa.accepts(&ids(&i, &["movieDB", "actor", "name"])));
+    }
+}

@@ -1,0 +1,338 @@
+//! Branching path (twig) queries: `movie[actor][year]/title`.
+//!
+//! Simple path expressions constrain a node's *incoming* path only; a
+//! branching query additionally places predicates on subtrees, e.g. "titles
+//! of movies that have an actor". The D(k) paper's future-work section
+//! points at the F&B-index (Kaushik et al., SIGMOD 2002) as the covering
+//! index for this class; this module provides the query side so
+//! `dkindex-core`'s F&B-index has something to cover.
+//!
+//! Grammar (a deliberately small XPath-like fragment):
+//!
+//! ```text
+//! twig   = step ('/' step)*
+//! step   = (LABEL | '_') pred*
+//! pred   = '[' twig ']'
+//! ```
+//!
+//! Matching is partial (the spine may start anywhere), child-axis only, and
+//! a step matches a node when its label fits and, for every predicate, some
+//! child subtree matches the predicate twig.
+
+use crate::parse::ParseError;
+use dkindex_graph::{LabeledGraph, NodeId};
+use std::fmt;
+
+/// One step of a twig's spine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwigStep {
+    /// Label to match; `None` is the wildcard `_`.
+    pub label: Option<String>,
+    /// Existential child-subtree predicates.
+    pub predicates: Vec<Twig>,
+}
+
+/// A branching path query: a spine of steps with nested predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Twig {
+    /// The spine; the result node is matched by the last step.
+    pub steps: Vec<TwigStep>,
+}
+
+impl fmt::Display for Twig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            match &step.label {
+                Some(l) => write!(f, "{l}")?,
+                None => write!(f, "_")?,
+            }
+            for p in &step.predicates {
+                write!(f, "[{p}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a twig query such as `movie[actor/name]/title`.
+pub fn parse_twig(input: &str) -> Result<Twig, ParseError> {
+    let mut parser = TwigParser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let twig = parser.twig()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(ParseError {
+            position: parser.pos,
+            message: "trailing input after twig".to_string(),
+        });
+    }
+    Ok(twig)
+}
+
+struct TwigParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl TwigParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len()
+            && matches!(self.input[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn twig(&mut self) -> Result<Twig, ParseError> {
+        let mut steps = vec![self.step()?];
+        while self.peek() == Some(b'/') {
+            self.pos += 1;
+            steps.push(self.step()?);
+        }
+        Ok(Twig { steps })
+    }
+
+    fn step(&mut self) -> Result<TwigStep, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos] as char;
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(ParseError {
+                position: self.pos,
+                message: "expected a label or '_'".to_string(),
+            });
+        }
+        let word = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii names");
+        let label = if word == "_" { None } else { Some(word.to_string()) };
+        let mut predicates = Vec::new();
+        while self.peek() == Some(b'[') {
+            self.pos += 1;
+            predicates.push(self.twig()?);
+            if self.peek() != Some(b']') {
+                return Err(ParseError {
+                    position: self.pos,
+                    message: "expected ']'".to_string(),
+                });
+            }
+            self.pos += 1;
+        }
+        Ok(TwigStep { label, predicates })
+    }
+}
+
+/// Evaluate `twig` on `g` with partial-match semantics: the result is every
+/// node matched by the spine's last step. Also returns the number of nodes
+/// visited (same cost model as linear path evaluation).
+pub fn evaluate_twig<G: LabeledGraph>(g: &G, twig: &Twig) -> (Vec<NodeId>, u64) {
+    let mut visited = 0u64;
+    // Resolve step labels once.
+    let first = &twig.steps[0];
+    let mut current: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| step_label_matches(g, first, n))
+        .filter(|&n| {
+            visited += 1;
+            predicates_hold(g, first, n, &mut visited)
+        })
+        .collect();
+    for step in &twig.steps[1..] {
+        let mut next: Vec<NodeId> = Vec::new();
+        for &n in &current {
+            for &c in g.children_of(n) {
+                if step_label_matches(g, step, c) {
+                    visited += 1;
+                    if predicates_hold(g, step, c, &mut visited) {
+                        next.push(c);
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current.sort_unstable();
+    current.dedup();
+    (current, visited)
+}
+
+fn step_label_matches<G: LabeledGraph>(g: &G, step: &TwigStep, node: NodeId) -> bool {
+    match &step.label {
+        None => true,
+        Some(name) => g
+            .labels()
+            .get(name)
+            .is_some_and(|id| g.label_of(node) == id),
+    }
+}
+
+fn predicates_hold<G: LabeledGraph>(
+    g: &G,
+    step: &TwigStep,
+    node: NodeId,
+    visited: &mut u64,
+) -> bool {
+    step.predicates
+        .iter()
+        .all(|p| matches_from_children(g, p, node, visited))
+}
+
+/// Does some child subtree of `node` match `twig` (rooted at the child)?
+fn matches_from_children<G: LabeledGraph>(
+    g: &G,
+    twig: &Twig,
+    node: NodeId,
+    visited: &mut u64,
+) -> bool {
+    g.children_of(node)
+        .iter()
+        .any(|&c| matches_at(g, twig, 0, c, visited))
+}
+
+fn matches_at<G: LabeledGraph>(
+    g: &G,
+    twig: &Twig,
+    step_index: usize,
+    node: NodeId,
+    visited: &mut u64,
+) -> bool {
+    let step = &twig.steps[step_index];
+    if !step_label_matches(g, step, node) {
+        return false;
+    }
+    *visited += 1;
+    if !predicates_hold(g, step, node, visited) {
+        return false;
+    }
+    if step_index + 1 == twig.steps.len() {
+        return true;
+    }
+    g.children_of(node)
+        .iter()
+        .any(|&c| matches_at(g, twig, step_index + 1, c, visited))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::{DataGraph, EdgeKind};
+
+    /// movie₁(title, actor), movie₂(title) — only movie₁ has an actor.
+    fn data() -> (DataGraph, NodeId, NodeId) {
+        let mut g = DataGraph::new();
+        let m1 = g.add_labeled_node("movie");
+        let m2 = g.add_labeled_node("movie");
+        let t1 = g.add_labeled_node("title");
+        let t2 = g.add_labeled_node("title");
+        let a = g.add_labeled_node("actor");
+        let an = g.add_labeled_node("name");
+        let r = g.root();
+        g.add_edge(r, m1, EdgeKind::Tree);
+        g.add_edge(r, m2, EdgeKind::Tree);
+        g.add_edge(m1, t1, EdgeKind::Tree);
+        g.add_edge(m2, t2, EdgeKind::Tree);
+        g.add_edge(m1, a, EdgeKind::Tree);
+        g.add_edge(a, an, EdgeKind::Tree);
+        (g, t1, t2)
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [
+            "movie/title",
+            "movie[actor]/title",
+            "movie[actor/name][title]/title",
+            "_[b]/c",
+        ] {
+            let t = parse_twig(s).unwrap();
+            assert_eq!(t.to_string(), s);
+            assert_eq!(parse_twig(&t.to_string()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_twig("").is_err());
+        assert!(parse_twig("a[").is_err());
+        assert!(parse_twig("a[b").is_err());
+        assert!(parse_twig("a/").is_err());
+        assert!(parse_twig("a]b").is_err());
+    }
+
+    #[test]
+    fn predicate_filters_spine() {
+        let (g, t1, t2) = data();
+        let (all_titles, _) = evaluate_twig(&g, &parse_twig("movie/title").unwrap());
+        assert_eq!(all_titles, vec![t1, t2]);
+        let (with_actor, _) = evaluate_twig(&g, &parse_twig("movie[actor]/title").unwrap());
+        assert_eq!(with_actor, vec![t1]);
+    }
+
+    #[test]
+    fn nested_predicate_path() {
+        let (g, t1, _) = data();
+        let (found, _) = evaluate_twig(&g, &parse_twig("movie[actor/name]/title").unwrap());
+        assert_eq!(found, vec![t1]);
+        let (none, _) = evaluate_twig(&g, &parse_twig("movie[actor/title]/title").unwrap());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn multiple_predicates_conjoin() {
+        let (g, t1, _) = data();
+        let (found, _) =
+            evaluate_twig(&g, &parse_twig("movie[actor][title]/title").unwrap());
+        assert_eq!(found, vec![t1]);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let (g, ..) = data();
+        let (found, _) = evaluate_twig(&g, &parse_twig("ROOT/_[actor]").unwrap());
+        assert_eq!(found.len(), 1); // movie₁ only
+    }
+
+    #[test]
+    fn unknown_labels_match_nothing() {
+        let (g, ..) = data();
+        let (found, _) = evaluate_twig(&g, &parse_twig("ghost/title").unwrap());
+        assert!(found.is_empty());
+        let (found, _) = evaluate_twig(&g, &parse_twig("movie[ghost]/title").unwrap());
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn spine_is_partial_match() {
+        let (g, ..) = data();
+        // `name` matches without anchoring at the root.
+        let (found, _) = evaluate_twig(&g, &parse_twig("actor/name").unwrap());
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn visited_counts_are_positive() {
+        let (g, ..) = data();
+        let (_, visited) = evaluate_twig(&g, &parse_twig("movie[actor]/title").unwrap());
+        assert!(visited > 0);
+    }
+}

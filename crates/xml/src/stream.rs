@@ -1,0 +1,247 @@
+//! Streaming XML → data-graph construction: builds the graph directly from
+//! parser events without materializing a [`crate::Document`] tree. Uses the
+//! same [`GraphOptions`] and produces exactly the same graph as the DOM path
+//! (`parse → document_to_graph`) — asserted by tests — while holding only
+//! the open-element stack in memory, so multi-hundred-MB documents index in
+//! O(depth) space.
+//!
+//! ```
+//! use dkindex_graph::LabeledGraph;
+//! use dkindex_xml::{stream_to_graph, GraphOptions};
+//!
+//! let g = stream_to_graph(
+//!     r#"<db><a id="x"/><b idref="x"/></db>"#,
+//!     &GraphOptions::default(),
+//! ).unwrap();
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 4); // 3 containment + 1 reference
+//! ```
+
+use crate::parser::{XmlError, XmlEvent, XmlParser};
+use crate::to_graph::{GraphMappingError, GraphOptions};
+use dkindex_graph::{DataGraph, EdgeKind, LabelInterner, LabeledGraph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from the streaming builder: either a parse error or a mapping
+/// error (duplicate id / unresolved reference).
+#[derive(Debug)]
+pub enum StreamError {
+    /// XML is not well-formed.
+    Xml(XmlError),
+    /// The document parsed but could not be mapped onto the graph model.
+    Mapping(GraphMappingError),
+    /// Structural problem outside XML well-formedness (e.g. two roots).
+    Structure(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Xml(e) => write!(f, "{e}"),
+            StreamError::Mapping(e) => write!(f, "{e}"),
+            StreamError::Structure(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<XmlError> for StreamError {
+    fn from(e: XmlError) -> Self {
+        StreamError::Xml(e)
+    }
+}
+
+impl From<GraphMappingError> for StreamError {
+    fn from(e: GraphMappingError) -> Self {
+        StreamError::Mapping(e)
+    }
+}
+
+/// Build a [`DataGraph`] from XML text in one streaming pass (plus deferred
+/// reference resolution at the end).
+pub fn stream_to_graph(input: &str, options: &GraphOptions) -> Result<DataGraph, StreamError> {
+    let mut parser = XmlParser::new(input);
+    let mut g = DataGraph::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut pending_refs: Vec<(NodeId, String)> = Vec::new();
+    // Stack of (graph node, has_text_content) for open elements.
+    let mut stack: Vec<(NodeId, bool)> = Vec::new();
+    let mut seen_root = false;
+
+    while let Some(event) = parser.next()? {
+        match event {
+            XmlEvent::StartElement {
+                name,
+                attributes,
+                self_closing,
+            } => {
+                let parent = match stack.last() {
+                    Some(&(p, _)) => p,
+                    None => {
+                        if seen_root {
+                            return Err(StreamError::Structure(
+                                "multiple root elements".to_string(),
+                            ));
+                        }
+                        seen_root = true;
+                        g.root()
+                    }
+                };
+                let node = g.add_labeled_node(&name);
+                g.add_edge(parent, node, EdgeKind::Tree);
+                for (attr_name, attr_value) in &attributes {
+                    if options.id_attributes.iter().any(|a| a == attr_name) {
+                        if ids.insert(attr_value.clone(), node).is_some() {
+                            return Err(GraphMappingError::DuplicateId(attr_value.clone()).into());
+                        }
+                    } else if options.idref_attributes.iter().any(|a| a == attr_name) {
+                        for target in attr_value.split_whitespace() {
+                            pending_refs.push((node, target.to_string()));
+                        }
+                    } else if options.attribute_nodes {
+                        let attr_node = g.add_labeled_node(attr_name);
+                        g.add_edge(node, attr_node, EdgeKind::Tree);
+                        if options.value_nodes {
+                            let v = g.add_node(LabelInterner::VALUE);
+                            g.add_edge(attr_node, v, EdgeKind::Tree);
+                        }
+                    }
+                }
+                if self_closing {
+                    // No children, no text: nothing further for this node.
+                } else {
+                    stack.push((node, false));
+                }
+            }
+            XmlEvent::EndElement { name } => {
+                let Some((node, has_text)) = stack.pop() else {
+                    return Err(StreamError::Structure(format!(
+                        "unmatched end tag </{name}>"
+                    )));
+                };
+                let open_name = g.label_name(node).to_string();
+                if open_name != name {
+                    return Err(StreamError::Structure(format!(
+                        "mismatched end tag: <{open_name}> closed by </{name}>"
+                    )));
+                }
+                if has_text && options.value_nodes {
+                    let v = g.add_node(LabelInterner::VALUE);
+                    g.add_edge(node, v, EdgeKind::Tree);
+                }
+            }
+            XmlEvent::Text(t) => {
+                match stack.last_mut() {
+                    Some((_, has_text)) => *has_text |= !t.trim().is_empty(),
+                    None => {
+                        return Err(StreamError::Structure(
+                            "text outside the root element".to_string(),
+                        ))
+                    }
+                }
+            }
+            XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction(_) => {}
+        }
+    }
+    if let Some(&(open, _)) = stack.last() {
+        return Err(StreamError::Structure(format!(
+            "unclosed element <{}>",
+            g.label_name(open)
+        )));
+    }
+    if !seen_root {
+        return Err(StreamError::Structure("empty document".to_string()));
+    }
+    for (from, target) in pending_refs {
+        let Some(&to) = ids.get(&target) else {
+            return Err(GraphMappingError::UnresolvedReference(target).into());
+        };
+        g.add_edge(from, to, EdgeKind::Reference);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_graph::document_to_graph;
+    use crate::tree::Document;
+
+    const DOC: &str = r#"
+        <movieDB>
+          <director id="d1"><name>X</name>
+            <movie id="m1"><title>T</title></movie>
+          </director>
+          <actor idref="m1" role="lead"><name>Y</name></actor>
+        </movieDB>"#;
+
+    fn same_graph(a: &DataGraph, b: &DataGraph) -> bool {
+        a.node_count() == b.node_count()
+            && a.edges() == b.edges()
+            && a.node_ids().all(|n| a.label_name(n) == b.label_name(n))
+    }
+
+    #[test]
+    fn streaming_equals_dom_path() {
+        for options in [
+            GraphOptions::default(),
+            GraphOptions {
+                attribute_nodes: false,
+                ..GraphOptions::default()
+            },
+            GraphOptions {
+                value_nodes: true,
+                ..GraphOptions::default()
+            },
+        ] {
+            let doc = Document::parse(DOC).unwrap();
+            let via_dom = document_to_graph(&doc, &options).unwrap();
+            let via_stream = stream_to_graph(DOC, &options).unwrap();
+            assert!(
+                same_graph(&via_dom, &via_stream),
+                "options {options:?}: dom {} nodes vs stream {} nodes",
+                via_dom.node_count(),
+                via_stream.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_malformed_documents() {
+        let o = GraphOptions::default();
+        assert!(stream_to_graph("", &o).is_err());
+        assert!(stream_to_graph("<a><b></a></b>", &o).is_err());
+        assert!(stream_to_graph("<a/><b/>", &o).is_err());
+        assert!(stream_to_graph("<a>", &o).is_err());
+        assert!(stream_to_graph("text<a/>", &o).is_err());
+    }
+
+    #[test]
+    fn streaming_detects_duplicate_ids_and_bad_refs() {
+        let o = GraphOptions::default();
+        assert!(matches!(
+            stream_to_graph(r#"<r><a id="x"/><b id="x"/></r>"#, &o),
+            Err(StreamError::Mapping(GraphMappingError::DuplicateId(_)))
+        ));
+        assert!(matches!(
+            stream_to_graph(r#"<r><b idref="ghost"/></r>"#, &o),
+            Err(StreamError::Mapping(GraphMappingError::UnresolvedReference(_)))
+        ));
+    }
+
+    #[test]
+    fn forward_references_resolve_in_streaming_mode() {
+        let g = stream_to_graph(r#"<r><b idref="later"/><a id="later"/></r>"#, &GraphOptions::default()).unwrap();
+        let b = g.nodes_with_label(g.labels().get("b").unwrap())[0];
+        let a = g.nodes_with_label(g.labels().get("a").unwrap())[0];
+        assert!(g.has_edge(b, a));
+    }
+
+    #[test]
+    fn self_closing_elements_stream_correctly() {
+        let g = stream_to_graph("<r><a/><b/></r>", &GraphOptions::default()).unwrap();
+        assert_eq!(g.node_count(), 4);
+    }
+}

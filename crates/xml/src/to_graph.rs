@@ -1,0 +1,261 @@
+//! Mapping XML documents onto the paper's data-graph model (§3).
+//!
+//! * The document element becomes a child of the distinguished `ROOT` node.
+//! * Every element becomes a node labeled with its tag name; containment
+//!   edges are [`EdgeKind::Tree`].
+//! * Attributes configured as *ID* attributes register the element in the
+//!   id table; attributes configured as *IDREF(S)* attributes produce
+//!   [`EdgeKind::Reference`] edges to the referenced element(s), mirroring
+//!   the `ID/IDREF` construct that makes XML a graph.
+//! * Remaining attributes (optional) become child nodes labeled with the
+//!   attribute name, and element text content (optional) becomes `VALUE`
+//!   nodes, matching "simple objects given a distinguished label VALUE".
+
+use crate::tree::{Document, Element, XmlNode};
+use dkindex_graph::{DataGraph, EdgeKind, LabelInterner, LabeledGraph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options controlling the XML → graph mapping.
+#[derive(Clone, Debug)]
+pub struct GraphOptions {
+    /// Attribute names treated as element ids (default: `["id"]`).
+    pub id_attributes: Vec<String>,
+    /// Attribute names treated as (whitespace-separated) reference targets.
+    /// Default covers the common XMark/NASA-style spellings.
+    pub idref_attributes: Vec<String>,
+    /// Materialize non-id attributes as child nodes labeled by the
+    /// attribute name (default: true).
+    pub attribute_nodes: bool,
+    /// Materialize text content as `VALUE` child nodes (default: false —
+    /// the paper's experiments index element structure, and `VALUE` nodes
+    /// would dominate node counts without affecting label paths).
+    pub value_nodes: bool,
+}
+
+impl Default for GraphOptions {
+    fn default() -> Self {
+        GraphOptions {
+            id_attributes: vec!["id".to_string()],
+            idref_attributes: vec![
+                "idref".to_string(),
+                "ref".to_string(),
+                "person".to_string(),
+                "item".to_string(),
+            ],
+            attribute_nodes: true,
+            value_nodes: false,
+        }
+    }
+}
+
+/// Error from the XML → graph mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphMappingError {
+    /// Two elements declared the same id.
+    DuplicateId(String),
+    /// An IDREF attribute pointed at an id that no element declares.
+    UnresolvedReference(String),
+}
+
+impl fmt::Display for GraphMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphMappingError::DuplicateId(id) => write!(f, "duplicate id {id:?}"),
+            GraphMappingError::UnresolvedReference(id) => {
+                write!(f, "unresolved reference to id {id:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphMappingError {}
+
+/// Convert a parsed document into a [`DataGraph`] using `options`.
+pub fn document_to_graph(
+    doc: &Document,
+    options: &GraphOptions,
+) -> Result<DataGraph, GraphMappingError> {
+    let mut g = DataGraph::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut pending_refs: Vec<(NodeId, String)> = Vec::new();
+
+    let root = g.root();
+    build_element(&mut g, root, &doc.root, options, &mut ids, &mut pending_refs)?;
+
+    for (from, target) in pending_refs {
+        let Some(&to) = ids.get(&target) else {
+            return Err(GraphMappingError::UnresolvedReference(target));
+        };
+        g.add_edge(from, to, EdgeKind::Reference);
+    }
+    Ok(g)
+}
+
+/// Convenience: parse `input` and map it with default options.
+pub fn parse_to_graph(input: &str) -> Result<DataGraph, Box<dyn std::error::Error>> {
+    let doc = Document::parse(input)?;
+    Ok(document_to_graph(&doc, &GraphOptions::default())?)
+}
+
+fn build_element(
+    g: &mut DataGraph,
+    parent: NodeId,
+    elem: &Element,
+    options: &GraphOptions,
+    ids: &mut HashMap<String, NodeId>,
+    pending_refs: &mut Vec<(NodeId, String)>,
+) -> Result<(), GraphMappingError> {
+    let node = g.add_labeled_node(&elem.name);
+    g.add_edge(parent, node, EdgeKind::Tree);
+
+    for (attr_name, attr_value) in &elem.attributes {
+        if options.id_attributes.iter().any(|a| a == attr_name) {
+            if ids.insert(attr_value.clone(), node).is_some() {
+                return Err(GraphMappingError::DuplicateId(attr_value.clone()));
+            }
+        } else if options.idref_attributes.iter().any(|a| a == attr_name) {
+            for target in attr_value.split_whitespace() {
+                pending_refs.push((node, target.to_string()));
+            }
+        } else if options.attribute_nodes {
+            let attr_node = g.add_labeled_node(attr_name);
+            g.add_edge(node, attr_node, EdgeKind::Tree);
+            if options.value_nodes {
+                let v = g.add_node(LabelInterner::VALUE);
+                g.add_edge(attr_node, v, EdgeKind::Tree);
+            }
+        }
+    }
+
+    let mut has_text = false;
+    for child in &elem.children {
+        match child {
+            XmlNode::Element(e) => {
+                build_element(g, node, e, options, ids, pending_refs)?;
+            }
+            XmlNode::Text(t) => has_text |= !t.trim().is_empty(),
+        }
+    }
+    if has_text && options.value_nodes {
+        let v = g.add_node(LabelInterner::VALUE);
+        g.add_edge(node, v, EdgeKind::Tree);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkindex_graph::LabeledGraph;
+
+    const MOVIES: &str = r#"
+        <movieDB>
+          <director id="d1">
+            <name>Lynch</name>
+            <movie id="m1"><title>Dune</title></movie>
+          </director>
+          <actor id="a1" movie="m1">
+            <name>MacLachlan</name>
+          </actor>
+        </movieDB>"#;
+
+    fn options_with_movie_ref() -> GraphOptions {
+        GraphOptions {
+            idref_attributes: vec!["movie".to_string()],
+            ..GraphOptions::default()
+        }
+    }
+
+    #[test]
+    fn maps_elements_and_containment() {
+        let doc = Document::parse(MOVIES).unwrap();
+        let g = document_to_graph(&doc, &options_with_movie_ref()).unwrap();
+        // ROOT, movieDB, director, name, movie, title, actor, name
+        assert_eq!(g.node_count(), 8);
+        let movie_db = g.nodes_with_label(g.labels().get("movieDB").unwrap())[0];
+        assert!(g.children_of(g.root()).contains(&movie_db));
+    }
+
+    #[test]
+    fn resolves_idref_to_reference_edge() {
+        let doc = Document::parse(MOVIES).unwrap();
+        let g = document_to_graph(&doc, &options_with_movie_ref()).unwrap();
+        let actor = g.nodes_with_label(g.labels().get("actor").unwrap())[0];
+        let movie = g.nodes_with_label(g.labels().get("movie").unwrap())[0];
+        assert!(g.has_edge(actor, movie));
+        // The movie node has two parents: director (tree) and actor (ref).
+        assert_eq!(g.parents_of(movie).len(), 2);
+    }
+
+    #[test]
+    fn idrefs_split_on_whitespace() {
+        let src = r#"<r><a id="x"/><a id="y"/><b idref="x y"/></r>"#;
+        let g = parse_to_graph(src).unwrap();
+        let b = g.nodes_with_label(g.labels().get("b").unwrap())[0];
+        assert_eq!(g.children_of(b).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_id_is_an_error() {
+        let src = r#"<r><a id="x"/><b id="x"/></r>"#;
+        let doc = Document::parse(src).unwrap();
+        let err = document_to_graph(&doc, &GraphOptions::default()).unwrap_err();
+        assert_eq!(err, GraphMappingError::DuplicateId("x".to_string()));
+    }
+
+    #[test]
+    fn unresolved_reference_is_an_error() {
+        let src = r#"<r><b idref="ghost"/></r>"#;
+        let doc = Document::parse(src).unwrap();
+        let err = document_to_graph(&doc, &GraphOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            GraphMappingError::UnresolvedReference("ghost".to_string())
+        );
+    }
+
+    #[test]
+    fn attribute_nodes_can_be_disabled() {
+        let src = r#"<r><a class="big"/></r>"#;
+        let doc = Document::parse(src).unwrap();
+        let with = document_to_graph(&doc, &GraphOptions::default()).unwrap();
+        let without = document_to_graph(
+            &doc,
+            &GraphOptions {
+                attribute_nodes: false,
+                ..GraphOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.node_count(), without.node_count() + 1);
+    }
+
+    #[test]
+    fn value_nodes_materialize_text() {
+        let src = "<r><a>text</a></r>";
+        let doc = Document::parse(src).unwrap();
+        let g = document_to_graph(
+            &doc,
+            &GraphOptions {
+                value_nodes: true,
+                ..GraphOptions::default()
+            },
+        )
+        .unwrap();
+        let value_nodes = g.nodes_with_label(LabelInterner::VALUE);
+        assert_eq!(value_nodes.len(), 1);
+        let a = g.nodes_with_label(g.labels().get("a").unwrap())[0];
+        assert!(g.has_edge(a, value_nodes[0]));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // Reference appears before the element that declares the id.
+        let src = r#"<r><b idref="later"/><a id="later"/></r>"#;
+        let g = parse_to_graph(src).unwrap();
+        let b = g.nodes_with_label(g.labels().get("b").unwrap())[0];
+        let a = g.nodes_with_label(g.labels().get("a").unwrap())[0];
+        assert!(g.has_edge(b, a));
+    }
+}

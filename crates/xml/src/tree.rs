@@ -1,0 +1,280 @@
+//! An owned document tree over the pull parser, plus a serializer.
+//!
+//! [`Document::parse`] builds a [`Element`] tree from text;
+//! [`Document::to_xml`] writes it back out (round-trip tested).
+
+use crate::parser::{escape_attr, escape_text, XmlError, XmlEvent, XmlParser};
+use std::fmt::Write as _;
+
+/// A node in the document tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A child element.
+    Element(Element),
+    /// A run of character data.
+    Text(String),
+}
+
+/// An XML element: name, attributes and ordered children.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Ordered children (elements and text runs).
+    pub children: Vec<XmlNode>,
+}
+
+impl Element {
+    /// Create an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Value of the first attribute named `name`.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements (skipping text runs).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// Concatenated direct text content.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Total number of elements in this subtree (including self).
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
+    }
+}
+
+/// A parsed XML document: one root element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Document {
+    /// The document (root) element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Parse a complete document. Requires exactly one root element;
+    /// comments and processing instructions are discarded.
+    pub fn parse(input: &str) -> Result<Document, XmlError> {
+        let mut parser = XmlParser::new(input);
+        let mut stack: Vec<Element> = Vec::new();
+        let mut root: Option<Element> = None;
+        while let Some(event) = parser.next()? {
+            match event {
+                XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
+                    if root.is_some() && stack.is_empty() {
+                        return Err(XmlError {
+                            position: parser.position(),
+                            message: "multiple root elements".to_string(),
+                        });
+                    }
+                    let elem = Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    };
+                    if self_closing {
+                        attach(&mut stack, &mut root, elem);
+                    } else {
+                        stack.push(elem);
+                    }
+                }
+                XmlEvent::EndElement { name } => {
+                    let Some(elem) = stack.pop() else {
+                        return Err(XmlError {
+                            position: parser.position(),
+                            message: format!("unmatched end tag </{name}>"),
+                        });
+                    };
+                    if elem.name != name {
+                        return Err(XmlError {
+                            position: parser.position(),
+                            message: format!("mismatched end tag: <{}> closed by </{name}>", elem.name),
+                        });
+                    }
+                    attach(&mut stack, &mut root, elem);
+                }
+                XmlEvent::Text(t) => {
+                    if let Some(top) = stack.last_mut() {
+                        top.children.push(XmlNode::Text(t));
+                    } else {
+                        return Err(XmlError {
+                            position: parser.position(),
+                            message: "text outside the root element".to_string(),
+                        });
+                    }
+                }
+                XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction(_) => {}
+            }
+        }
+        if let Some(open) = stack.last() {
+            return Err(XmlError {
+                position: parser.position(),
+                message: format!("unclosed element <{}>", open.name),
+            });
+        }
+        root.map(|root| Document { root }).ok_or(XmlError {
+            position: parser.position(),
+            message: "empty document".to_string(),
+        })
+    }
+
+    /// Serialize with an XML declaration and 2-space indentation.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        write_element(&mut out, &self.root, 0);
+        out
+    }
+
+    /// Total number of elements in the document.
+    pub fn element_count(&self) -> usize {
+        self.root.subtree_size()
+    }
+}
+
+fn attach(stack: &mut [Element], root: &mut Option<Element>, elem: Element) {
+    if let Some(top) = stack.last_mut() {
+        top.children.push(XmlNode::Element(elem));
+    } else {
+        *root = Some(elem);
+    }
+}
+
+fn write_element(out: &mut String, elem: &Element, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = write!(out, "{pad}<{}", elem.name);
+    for (k, v) in &elem.attributes {
+        let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+    }
+    if elem.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Mixed/text content is written inline; element-only content indented.
+    let has_text = elem
+        .children
+        .iter()
+        .any(|c| matches!(c, XmlNode::Text(_)));
+    if has_text {
+        out.push('>');
+        for c in &elem.children {
+            match c {
+                XmlNode::Text(t) => out.push_str(&escape_text(t)),
+                XmlNode::Element(e) => {
+                    // Rare mixed content: inline without indentation.
+                    let mut inner = String::new();
+                    write_element(&mut inner, e, 0);
+                    out.push_str(inner.trim_end_matches('\n'));
+                }
+            }
+        }
+        let _ = writeln!(out, "</{}>", elem.name);
+    } else {
+        out.push_str(">\n");
+        for c in &elem.children {
+            if let XmlNode::Element(e) = c {
+                write_element(out, e, depth + 1);
+            }
+        }
+        let _ = writeln!(out, "{pad}</{}>", elem.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = Document::parse("<a x=\"1\"><b>t</b><c/></a>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        assert_eq!(doc.root.attr("x"), Some("1"));
+        assert_eq!(doc.root.child_elements().count(), 2);
+        assert_eq!(doc.root.child_elements().next().unwrap().text(), "t");
+        assert_eq!(doc.element_count(), 3);
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(Document::parse("<a><b></a></b>").is_err());
+        assert!(Document::parse("<a>").is_err());
+        assert!(Document::parse("</a>").is_err());
+        assert!(Document::parse("").is_err());
+        assert!(Document::parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = "<site><people><person id=\"p0\"><name>A &amp; B</name></person></people><refs><r person=\"p0\"/></refs></site>";
+        let doc = Document::parse(src).unwrap();
+        let printed = doc.to_xml();
+        let doc2 = Document::parse(&printed).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn round_trip_with_special_characters() {
+        let mut e = Element::new("a");
+        e.attributes.push(("t".into(), "x<y & \"z\"".into()));
+        e.children.push(XmlNode::Text("1 < 2 & 3 > 2".into()));
+        let doc = Document { root: e };
+        let doc2 = Document::parse(&doc.to_xml()).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn attr_returns_first_match() {
+        let doc = Document::parse("<a k=\"1\" k=\"2\"/>").unwrap();
+        assert_eq!(doc.root.attr("k"), Some("1"));
+        assert_eq!(doc.root.attr("missing"), None);
+    }
+
+    #[test]
+    fn text_concatenates_runs() {
+        let doc = Document::parse("<a>x<b/>y</a>").unwrap();
+        assert_eq!(doc.root.text(), "xy");
+    }
+
+    #[test]
+    fn subtree_size_counts_elements_only() {
+        let doc = Document::parse("<a><b><c/></b><d>text</d></a>").unwrap();
+        assert_eq!(doc.root.subtree_size(), 4);
+    }
+
+    #[test]
+    fn comments_and_pis_are_dropped() {
+        let doc = Document::parse("<?xml version=\"1.0\"?><a><!-- c --><b/></a>").unwrap();
+        assert_eq!(doc.root.child_elements().count(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! The full adaptive lifecycle of a D(k)-index (paper §5): build → data
+//! updates degrade local similarities → the promoting process restores
+//! performance → a changed query load demotes the index back to a smaller
+//! size — all without ever rebuilding from the data graph.
+//!
+//! Run with: `cargo run --release --example adaptive_tuning`
+
+use dkindex::core::{DkIndex, IndexEvaluator, Requirements};
+use dkindex::datagen::{nasa_graph, NasaConfig};
+use dkindex::graph::DataGraph;
+use dkindex::workload::{generate_test_paths, generate_update_edges, Workload, WorkloadConfig};
+
+fn main() {
+    let mut data = nasa_graph(&NasaConfig::scale(0.03));
+    let workload = generate_test_paths(&data, &WorkloadConfig::default());
+    let requirements = workload.mine_requirements();
+
+    // Phase 1: build for the current load.
+    let mut dk = DkIndex::build(&data, requirements);
+    snapshot("built", &dk, &data, &workload);
+
+    // Phase 2: a stream of edge additions (Algorithms 4+5). Size never
+    // changes; similarities drop, validation creeps in.
+    let edges = generate_update_edges(&data, 100, 42);
+    for (u, v) in edges {
+        dk.add_edge(&mut data, u, v);
+    }
+    snapshot("after 100 edge updates", &dk, &data, &workload);
+
+    // Phase 3: a new document arrives (Algorithm 3).
+    let new_file = nasa_graph(&NasaConfig {
+        datasets: 5,
+        seed: 77,
+        ..NasaConfig::scale(0.01)
+    });
+    dk.add_subgraph(&mut data, &new_file);
+    snapshot("after inserting a new document", &dk, &data, &workload);
+
+    // Phase 4: periodic promotion (Algorithm 6) restores the mined
+    // requirements — validation disappears again.
+    let splits = dk.promote_to_requirements(&data);
+    println!("    (promotion performed {splits} extent splits)");
+    snapshot("after promoting", &dk, &data, &workload);
+
+    // Phase 5: the query load shifts to short paths only; demote to a
+    // smaller index without touching the data graph.
+    let saved = dk.demote(Requirements::uniform(1));
+    println!("    (demotion merged away {saved} index nodes)");
+    snapshot("after demoting to k=1", &dk, &data, &workload);
+}
+
+fn snapshot(phase: &str, dk: &DkIndex, data: &DataGraph, workload: &Workload) {
+    let evaluator = IndexEvaluator::new(dk.index(), data);
+    let mut total = 0u64;
+    let mut validated = 0usize;
+    for q in workload.queries() {
+        let out = evaluator.evaluate(q);
+        total += out.cost.total();
+        validated += usize::from(out.validated);
+    }
+    println!(
+        "{phase:<35} size {:>6}  avg cost {:>9.1}  validated {:>3}/{}",
+        dk.size(),
+        total as f64 / workload.len() as f64,
+        validated,
+        workload.len()
+    );
+    dk.index()
+        .check_invariants(data)
+        .expect("index invariants must hold in every phase");
+}

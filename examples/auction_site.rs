@@ -1,0 +1,72 @@
+//! An XMark-style auction site: generate the benchmark-shaped dataset, mine
+//! a realistic query load, and compare the D(k)-index against the A(k)
+//! family — a miniature of the paper's Figure 4 experiment.
+//!
+//! Run with: `cargo run --release --example auction_site`
+
+use dkindex::core::{AkIndex, DkIndex, IndexEvaluator};
+use dkindex::datagen::{xmark_graph, XmarkConfig};
+use dkindex::graph::stats::GraphStats;
+use dkindex::graph::LabeledGraph;
+use dkindex::workload::{generate_test_paths, WorkloadConfig};
+
+fn main() {
+    // A small auction site (~0.5% of the paper's 10 MB file).
+    let data = xmark_graph(&XmarkConfig::scale(0.005));
+    println!("auction data: {}", GraphStats::of(&data));
+
+    // The paper's workload: 100 random test paths of 2–5 labels.
+    let workload = generate_test_paths(&data, &WorkloadConfig::default());
+    println!(
+        "workload: {} queries, length histogram {:?}",
+        workload.len(),
+        workload.length_histogram()
+    );
+    println!("sample queries:");
+    for q in workload.queries().iter().take(5) {
+        println!("  {q}");
+    }
+
+    // A(k) curve: size grows, cost falls as k rises.
+    println!("\n{:<8} {:>12} {:>16} {:>10}", "index", "size", "avg cost", "validated");
+    for k in 0..=4 {
+        let ak = AkIndex::build(&data, k);
+        report(&format!("A({k})"), ak.index(), &data, &workload);
+    }
+
+    // D(k): per-label requirements mined from the workload.
+    let requirements = workload.mine_requirements();
+    let dk = DkIndex::build(&data, requirements);
+    report("D(k)", dk.index(), &data, &workload);
+
+    println!(
+        "\nD(k) summarizes {} data nodes with {} index nodes ({:.1}% of A(4)'s size) \
+         while answering the whole load without validation.",
+        data.node_count(),
+        dk.size(),
+        100.0 * dk.size() as f64 / AkIndex::build(&data, 4).size() as f64
+    );
+}
+
+fn report(
+    name: &str,
+    index: &dkindex::core::IndexGraph,
+    data: &dkindex::graph::DataGraph,
+    workload: &dkindex::workload::Workload,
+) {
+    let evaluator = IndexEvaluator::new(index, data);
+    let mut total = 0u64;
+    let mut validated = 0usize;
+    for q in workload.queries() {
+        let out = evaluator.evaluate(q);
+        total += out.cost.total();
+        validated += usize::from(out.validated);
+    }
+    println!(
+        "{:<8} {:>12} {:>16.1} {:>10}",
+        name,
+        index.size(),
+        total as f64 / workload.len() as f64,
+        validated
+    );
+}

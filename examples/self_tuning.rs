@@ -1,0 +1,66 @@
+//! A self-tuning index server: the [`AdaptiveTuner`] watches a drifting
+//! query stream and promotes/demotes the D(k)-index automatically — the
+//! closed loop the paper sketches across §5.3, §5.4 and the future-work
+//! section on query-pattern mining.
+//!
+//! Run with: `cargo run --release --example self_tuning`
+
+use dkindex::core::{AdaptiveTuner, DkIndex, Requirements, TunerConfig, TuningAction};
+use dkindex::datagen::{xmark_graph, XmarkConfig};
+use dkindex::pathexpr::parse;
+
+fn main() {
+    let data = xmark_graph(&XmarkConfig::scale(0.003));
+    let mut tuner = AdaptiveTuner::new(
+        DkIndex::build(&data, Requirements::new()), // start with label-split
+        TunerConfig {
+            window: 50,
+            min_support: 3,
+            demote_slack: 1,
+        },
+    );
+
+    // Phase 1: a deep analytical load (long paths).
+    let deep = [
+        parse("open_auctions.open_auction.bidder.personref").unwrap(),
+        parse("regions.africa.item.mailbox.mail").unwrap(),
+        parse("people.person.profile.interest").unwrap(),
+    ];
+    // Phase 2: a shallow navigational load (short paths).
+    let shallow = [
+        parse("person.name").unwrap(),
+        parse("item.name").unwrap(),
+        parse("category").unwrap(),
+    ];
+
+    println!("{:<10} {:>8} {:>12} {:>10}", "phase", "size", "avg cost", "action");
+    for phase in 0..6 {
+        let queries: &[_] = if phase < 3 { &deep } else { &shallow };
+        let mut cost = 0u64;
+        let mut count = 0u64;
+        for _ in 0..20 {
+            for q in queries {
+                let out = tuner.evaluate(&data, q);
+                cost += out.cost.total();
+                count += 1;
+            }
+        }
+        let action = tuner.maybe_tune(&data);
+        println!(
+            "{:<10} {:>8} {:>12.1} {:>10}",
+            if phase < 3 { "deep" } else { "shallow" },
+            tuner.index().size(),
+            cost as f64 / count as f64,
+            match action {
+                TuningAction::None => "-".to_string(),
+                TuningAction::Promoted { splits } => format!("+{splits} splits"),
+                TuningAction::Demoted { nodes_saved } => format!("-{nodes_saved} nodes"),
+            }
+        );
+    }
+    println!(
+        "\nfinal requirements: max {} | lifetime validation rate {:.1}%",
+        tuner.index().requirements().max_requirement(),
+        100.0 * tuner.validation_rate()
+    );
+}

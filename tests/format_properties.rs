@@ -1,0 +1,286 @@
+//! Property tests for the textual and binary formats: XML round-trips,
+//! path-expression printing, and the `DKG1`/`DKI1` persistence formats.
+
+use dkindex::core::store::{load_dk, save_dk};
+use dkindex::core::{DkIndex, Requirements};
+use dkindex::graph::io::{read_graph, write_graph};
+use dkindex::graph::{DataGraph, EdgeKind, LabeledGraph, NodeId};
+use dkindex::pathexpr::{parse, PathExpr};
+use dkindex::xml::{Document, Element, XmlNode};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- XML
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes the characters that must be escaped; never whitespace-only
+    // (the parser folds inter-element whitespace away by design).
+    "[a-zA-Z<>&\"' ]{0,12}".prop_filter("non-blank", |s| !s.trim().is_empty())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+        prop::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attributes, text)| Element {
+            name,
+            attributes: dedup_attrs(attributes),
+            children: text.into_iter().map(XmlNode::Text).collect(),
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attributes, children)| Element {
+                name,
+                attributes: dedup_attrs(attributes),
+                children: children.into_iter().map(XmlNode::Element).collect(),
+            })
+    })
+}
+
+fn dedup_attrs(mut attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs.retain(|(k, _)| seen.insert(k.clone()));
+    attrs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xml_documents_round_trip(root in element_strategy()) {
+        let doc = Document { root };
+        let text = doc.to_xml();
+        let back = Document::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e} in:\n{text}")))?;
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn xml_parse_is_deterministic(root in element_strategy()) {
+        let doc = Document { root };
+        let text = doc.to_xml();
+        prop_assert_eq!(Document::parse(&text).unwrap(), Document::parse(&text).unwrap());
+    }
+}
+
+// ------------------------------------------------------- path expressions
+
+fn expr_strategy() -> impl Strategy<Value = PathExpr> {
+    let leaf = prop_oneof![
+        "[a-z]{1,5}".prop_map(PathExpr::Label),
+        Just(PathExpr::Wildcard),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::seq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::alt(a, b)),
+            inner.clone().prop_map(PathExpr::opt),
+            inner.prop_map(PathExpr::star),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `display ∘ parse` is a fixpoint: parsing the printed form and
+    /// printing again yields the same text (associativity may re-shape the
+    /// tree, but never the language or its rendering).
+    #[test]
+    fn pathexpr_display_parse_display_fixpoint(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed)
+            .map_err(|err| TestCaseError::fail(format!("{err} in {printed}")))?;
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Word-length analysis is stable under the print/parse cycle.
+    #[test]
+    fn pathexpr_lengths_survive_reparse(e in expr_strategy()) {
+        let reparsed = parse(&e.to_string()).unwrap();
+        prop_assert_eq!(reparsed.max_word_len(), e.max_word_len());
+        prop_assert_eq!(reparsed.min_word_len(), e.min_word_len());
+    }
+}
+
+// ------------------------------------------------------------ persistence
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    labels: Vec<u8>,
+    parents: Vec<u8>,
+    refs: Vec<(u8, u8)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (
+        prop::collection::vec(0u8..6, 1..25),
+        prop::collection::vec(any::<u8>(), 1..25),
+        prop::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+    )
+        .prop_map(|(labels, parents, refs)| GraphSpec {
+            parents: parents[..labels.len().min(parents.len())].to_vec(),
+            labels: labels[..labels.len().min(parents.len())].to_vec(),
+            refs,
+        })
+}
+
+fn build(spec: &GraphSpec) -> DataGraph {
+    let mut g = DataGraph::new();
+    let label_ids: Vec<_> = (0..6).map(|i| g.intern(&format!("l{i}"))).collect();
+    let mut nodes = vec![g.root()];
+    for (i, (&label, &parent)) in spec.labels.iter().zip(&spec.parents).enumerate() {
+        let node = g.add_node(label_ids[label as usize]);
+        let p = nodes[(parent as usize) % (i + 1)];
+        g.add_edge(p, node, EdgeKind::Tree);
+        nodes.push(node);
+    }
+    for &(from, to) in &spec.refs {
+        let u = nodes[(from as usize) % nodes.len()];
+        let v = nodes[(to as usize) % nodes.len()];
+        if u != v {
+            g.add_edge(u, v, EdgeKind::Reference);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graphs_round_trip_through_dkg1(spec in graph_spec()) {
+        let g = build(&spec);
+        let mut bytes = Vec::new();
+        write_graph(&g, &mut bytes).unwrap();
+        let back = read_graph(&mut bytes.as_slice()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edges(), g.edges());
+        for n in g.node_ids() {
+            prop_assert_eq!(back.label_name(n), g.label_name(n));
+        }
+    }
+
+    #[test]
+    fn indexes_round_trip_through_dki1(
+        spec in graph_spec(),
+        req_label in 0u8..6,
+        req_k in 0usize..4,
+        floor in 0usize..2,
+    ) {
+        let g = build(&spec);
+        let mut reqs = Requirements::from_pairs([(format!("l{req_label}").as_str(), req_k)]);
+        reqs.raise_floor(floor);
+        let dk = DkIndex::build(&g, reqs);
+        let mut bytes = Vec::new();
+        save_dk(&dk, &g, &mut bytes).unwrap();
+        let (back, g2) = load_dk(&mut bytes.as_slice())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(back.size(), dk.size());
+        prop_assert_eq!(back.requirements(), dk.requirements());
+        prop_assert!(back.index().to_partition().same_equivalence(&dk.index().to_partition()));
+        for inode in dk.index().node_ids() {
+            prop_assert_eq!(back.index().similarity(inode), dk.index().similarity(inode));
+        }
+    }
+
+    /// Bit-flips anywhere in the container either fail to load or load into
+    /// an index that still passes its invariants — never a silently broken
+    /// summary.
+    #[test]
+    fn corruption_never_loads_a_broken_index(
+        spec in graph_spec(),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let g = build(&spec);
+        let dk = DkIndex::build(&g, Requirements::uniform(1));
+        let mut bytes = Vec::new();
+        save_dk(&dk, &g, &mut bytes).unwrap();
+        let i = flip.index(bytes.len());
+        bytes[i] ^= 0xFF;
+        if let Ok((loaded, data)) = load_dk(&mut bytes.as_slice()) {
+            // If it loads at all, it must be a structurally valid summary.
+            loaded
+                .index()
+                .check_invariants(&data)
+                .map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Loaded indexes answer queries identically to the original.
+    #[test]
+    fn loaded_index_is_query_equivalent(spec in graph_spec(), salt in any::<u64>()) {
+        use dkindex::core::IndexEvaluator;
+        let g = build(&spec);
+        let dk = DkIndex::build(&g, Requirements::uniform(2));
+        let mut bytes = Vec::new();
+        save_dk(&dk, &g, &mut bytes).unwrap();
+        let (back, g2) = load_dk(&mut bytes.as_slice()).unwrap();
+        // A few deterministic pseudo-random walks as queries.
+        let mut x = salt | 1;
+        let mut next = move |m: usize| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x as usize) % m.max(1)
+        };
+        for _ in 0..5 {
+            let start = NodeId::from_index(next(g.node_count()));
+            let mut labels = vec![g.label_name(start).to_string()];
+            let mut cur = start;
+            for _ in 0..next(3) + 1 {
+                let children = g.children_of(cur);
+                if children.is_empty() {
+                    break;
+                }
+                cur = children[next(children.len())];
+                labels.push(g.label_name(cur).to_string());
+            }
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            let q = PathExpr::path(&refs);
+            let a = IndexEvaluator::new(dk.index(), &g).evaluate(&q);
+            let b = IndexEvaluator::new(back.index(), &g2).evaluate(&q);
+            prop_assert_eq!(a.matches, b.matches, "{}", q);
+        }
+    }
+}
+
+// ------------------------------------------------- streaming XML builder
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The streaming XML → graph builder produces exactly the same graph as
+    /// the DOM path on arbitrary generated documents.
+    #[test]
+    fn streaming_builder_equals_dom_builder(root in element_strategy()) {
+        use dkindex::xml::{document_to_graph, stream_to_graph, GraphOptions};
+        let doc = Document { root };
+        let text = doc.to_xml();
+        let options = GraphOptions {
+            // Generated attribute names are arbitrary; disable the id/idref
+            // interpretation so both paths build pure containment graphs.
+            id_attributes: vec![],
+            idref_attributes: vec![],
+            ..GraphOptions::default()
+        };
+        let via_dom = document_to_graph(&doc, &options).unwrap();
+        let via_stream = stream_to_graph(&text, &options)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(via_stream.node_count(), via_dom.node_count());
+        prop_assert_eq!(via_stream.edges(), via_dom.edges());
+        for n in via_dom.node_ids() {
+            prop_assert_eq!(via_stream.label_name(n), via_dom.label_name(n));
+        }
+    }
+}

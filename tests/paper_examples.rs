@@ -1,0 +1,132 @@
+//! The concrete examples stated in the paper's prose, §3–§4, replayed
+//! against this implementation.
+
+use dkindex::core::{evaluate_on_data, AkIndex, DkIndex, IndexEvaluator, Requirements};
+use dkindex::datagen::movie_graph;
+use dkindex::graph::LabeledGraph;
+use dkindex::partition::naive_k_bisimilar;
+use dkindex::pathexpr::parse;
+
+/// §3: "the path expression director.movie.title, evaluated on the graph in
+/// Figure 1, will return [all titles of director-reachable movies]".
+#[test]
+fn director_movie_title_returns_titles() {
+    let m = movie_graph();
+    let expr = parse("director.movie.title").unwrap();
+    let (matches, _) = evaluate_on_data(&m.graph, &expr);
+    // Movies 1 and 2 are under directors; movie 3 is not.
+    assert_eq!(matches, vec![m.titles[0], m.titles[1]]);
+}
+
+/// §3: "movieDB.(_)?.movie.actor.name finds names of actors in movies. The
+/// optional _ allows the query to ignore the irregularities in the data
+/// graph": movie appears directly under movieDB *and* under director.
+#[test]
+fn optional_wildcard_absorbs_irregularity() {
+    let m = movie_graph();
+    let g = &m.graph;
+    let expr = parse("movieDB.(_)?.movie.actor.name").unwrap();
+    let (matches, _) = evaluate_on_data(g, &expr);
+    // movie₂ (under director₂, depth needs the wildcard) references actor₂,
+    // whose name is found. Without the optional hop the query would miss
+    // paths through directors.
+    assert!(!matches.is_empty());
+    for n in &matches {
+        assert_eq!(g.label_name(*n), "name");
+        // Every returned name node is an actor's name.
+        let parent = g.parents_of(*n)[0];
+        assert_eq!(g.label_name(parent), "actor");
+    }
+    // Removing the optional hop loses the director-mediated match.
+    let strict = parse("movieDB.movie.actor.name").unwrap();
+    let (strict_matches, _) = evaluate_on_data(g, &strict);
+    assert!(strict_matches.len() < matches.len());
+}
+
+/// §3 (Figure 1 discussion): movies reached through the same kinds of
+/// parents are bisimilar; a movie with an actor parent is not bisimilar to
+/// one without.
+#[test]
+fn figure1_bisimilarity_facts() {
+    let m = movie_graph();
+    let g = &m.graph;
+    // movies[0] has parents {director, actor}; movies[1] only {director}.
+    assert!(naive_k_bisimilar(g, m.movies[0], m.movies[1], 0));
+    assert!(!naive_k_bisimilar(g, m.movies[0], m.movies[1], 1));
+}
+
+/// §4.1: "if queries are only concerned with the names of actors or
+/// directors, the index node for name satisfying 1-bisimilarity would be
+/// sufficient... but title nodes require 2-bisimilarity to answer queries
+/// asking for titles of movies directed by a specific director."
+#[test]
+fn per_label_requirements_match_paper_motivation() {
+    let m = movie_graph();
+    let g = &m.graph;
+
+    // name@1 answers actor.name and director.name without validation.
+    let dk = DkIndex::build(g, Requirements::from_pairs([("name", 1)]));
+    let evaluator = IndexEvaluator::new(dk.index(), g);
+    for q in ["actor.name", "director.name"] {
+        let out = evaluator.evaluate(&parse(q).unwrap());
+        assert!(!out.validated, "{q} should be sound with name@1");
+        assert_eq!(out.matches, evaluate_on_data(g, &parse(q).unwrap()).0);
+    }
+    // But title queries through directors validate at name@1...
+    let title_q = parse("director.movie.title").unwrap();
+    assert!(evaluator.evaluate(&title_q).validated);
+
+    // ...and stop validating once title gets 2-bisimilarity.
+    let dk2 = DkIndex::build(g, Requirements::from_pairs([("name", 1), ("title", 2)]));
+    let out = IndexEvaluator::new(dk2.index(), g).evaluate(&title_q);
+    assert!(!out.validated);
+    assert_eq!(out.matches, evaluate_on_data(g, &title_q).0);
+}
+
+/// §4.1 properties 2–3: the D(k)-index is safe for every expression and
+/// sound when local similarities cover the path length.
+#[test]
+fn dk_safety_on_all_figure1_queries() {
+    let m = movie_graph();
+    let g = &m.graph;
+    let dk = DkIndex::build(g, Requirements::from_pairs([("title", 2), ("name", 1)]));
+    for q in [
+        "movieDB",
+        "movie",
+        "movie.title",
+        "director.movie",
+        "actor.movie.title",
+        "movieDB.(_)?.movie.actor.name",
+        "ROOT.movieDB.director",
+        "(director|actor).name",
+        "movieDB._._",
+    ] {
+        let expr = parse(q).unwrap();
+        let truth = evaluate_on_data(g, &expr).0;
+        let out = IndexEvaluator::new(dk.index(), g).evaluate(&expr);
+        assert_eq!(out.matches, truth, "{q}");
+    }
+}
+
+/// §4 definition discussion: "the 1-index and A(k)-index are both special
+/// cases of the D(k)-index" and "the simplest index graph constructed by
+/// label splitting is a D(k)-index with local similarity 0".
+#[test]
+fn special_cases_on_the_movie_graph() {
+    let m = movie_graph();
+    let g = &m.graph;
+    for k in 0..4 {
+        let dk = DkIndex::build(g, Requirements::uniform(k));
+        let ak = AkIndex::build(g, k);
+        assert!(dk
+            .index()
+            .to_partition()
+            .same_equivalence(&ak.index().to_partition()));
+    }
+    let label_split = dkindex::core::label_split_index(g);
+    let dk0 = DkIndex::build(g, Requirements::new());
+    assert!(label_split
+        .to_partition()
+        .same_equivalence(&dk0.index().to_partition()));
+    assert!(dk0.index().node_ids().all(|i| dk0.index().similarity(i) == 0));
+}
