@@ -1,0 +1,15 @@
+.PHONY: verify test build bench-smoke
+
+# Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
+# that the arena evaluator and the refinement engine produce byte-identical
+# outcomes/partitions to the retained baselines, and exits non-zero if not.
+verify: build test bench-smoke
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+bench-smoke:
+	cargo run --release -q -p dkindex-bench --bin reproduce -- bench-smoke

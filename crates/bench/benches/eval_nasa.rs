@@ -16,7 +16,7 @@ fn eval_nasa(c: &mut Criterion) {
     for k in [0usize, 2, 4] {
         let ak = AkIndex::build(&data, k);
         group.bench_with_input(BenchmarkId::new("ak", k), &k, |b, _| {
-            let evaluator = IndexEvaluator::new(ak.index(), &data);
+            let mut evaluator = IndexEvaluator::new(ak.index(), &data);
             b.iter(|| {
                 let mut total = 0u64;
                 for q in workload.queries() {
@@ -28,7 +28,7 @@ fn eval_nasa(c: &mut Criterion) {
     }
     let dk = DkIndex::build(&data, workload.mine_requirements());
     group.bench_function("dk", |b| {
-        let evaluator = IndexEvaluator::new(dk.index(), &data);
+        let mut evaluator = IndexEvaluator::new(dk.index(), &data);
         b.iter(|| {
             let mut total = 0u64;
             for q in workload.queries() {

@@ -14,11 +14,17 @@
 //!   ablation-promote     promoting after updates (ablation B)
 //!   degradation          cost vs update count, with/without periodic promotion (D1)
 //!   length-sweep         cost by query length per index (D2)
+//!   bench-smoke          before/after perf check (arena evaluator, refinement
+//!                        engine); writes BENCH_eval.json
 //!   all        everything above in order
 //! ```
+//!
+//! `bench-smoke` extra flags: `--threads N` (0 = machine parallelism),
+//! `--repeats N`, `--out PATH` (default `BENCH_eval.json`).
 
 use dkindex_bench::datasets::{self, DEFAULT_NASA_SCALE, DEFAULT_XMARK_SCALE};
 use dkindex_bench::experiments::*;
+use dkindex_bench::perf::{self, PerfConfig};
 use dkindex_bench::report::{fmt_f64, render_table};
 use dkindex_graph::stats::GraphStats;
 use dkindex_graph::DataGraph;
@@ -29,6 +35,9 @@ struct Options {
     nasa_scale: f64,
     max_k: usize,
     seed: u64,
+    threads: usize,
+    repeats: usize,
+    out: String,
 }
 
 fn main() {
@@ -39,6 +48,9 @@ fn main() {
         nasa_scale: DEFAULT_NASA_SCALE,
         max_k: 4,
         seed: 2003,
+        threads: 0,
+        repeats: 3,
+        out: "BENCH_eval.json".to_string(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -47,6 +59,14 @@ fn main() {
             "--nasa-scale" => opts.nasa_scale = parse_next(&mut it, arg),
             "--max-k" => opts.max_k = parse_next(&mut it, arg),
             "--seed" => opts.seed = parse_next(&mut it, arg),
+            "--threads" => opts.threads = parse_next(&mut it, arg),
+            "--repeats" => opts.repeats = parse_next(&mut it, arg),
+            "--out" => {
+                opts.out = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("flag --out needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -77,6 +97,7 @@ fn main() {
         "ablation-promote" => run_ablation_promote(&opts),
         "degradation" => run_degradation(&opts),
         "length-sweep" => run_length_sweep(&opts),
+        "bench-smoke" => run_bench_smoke(&opts),
         "all" => {
             fig_before(&opts, Dataset::Xmark);
             fig_before(&opts, Dataset::Nasa);
@@ -108,8 +129,10 @@ fn parse_next<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag:
 
 fn print_usage() {
     println!(
-        "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|all>\n\
-         \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]"
+        "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|\n\
+         \x20                degradation|length-sweep|bench-smoke|all>\n\
+         \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]\n\
+         \x20       [--threads N] [--repeats N] [--out PATH]   (bench-smoke only)"
     );
 }
 
@@ -326,6 +349,55 @@ fn run_length_sweep(opts: &Options) {
             })
             .collect();
         print!("{}", render_table(&headers, &table));
+    }
+}
+
+fn run_bench_smoke(opts: &Options) {
+    let (data, workload) = load(opts, Dataset::Xmark);
+    let reqs = workload.mine_requirements();
+    let cfg = PerfConfig {
+        threads: opts.threads,
+        repeats: opts.repeats,
+    };
+    let (eval, builds) = perf::bench_smoke(&data, workload.queries(), &reqs, opts.max_k, &cfg);
+
+    println!("\n=== Bench smoke: arena evaluator + refinement engine ===");
+    println!(
+        "batch eval ({} indexes x {} queries): baseline {:.1} ms | arena {:.1} ms | \
+         parallel({}) {:.1} ms | speedup {:.2}x | identical outcomes: {}",
+        eval.indexes,
+        eval.queries,
+        eval.baseline_ms,
+        eval.arena_ms,
+        eval.threads,
+        eval.parallel_ms,
+        eval.speedup_best,
+        eval.identical,
+    );
+    for b in &builds {
+        println!(
+            "{} build: baseline {:.1} ms | engine {:.1} ms | parallel {:.1} ms | \
+             speedup {:.2}x | identical partition: {} | {} blocks",
+            b.name,
+            b.baseline_ms,
+            b.engine_ms,
+            b.engine_parallel_ms,
+            b.speedup,
+            b.identical,
+            b.blocks,
+        );
+    }
+
+    let json = perf::to_json("xmark", &cfg, &eval, &builds);
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("error: writing {}: {e}", opts.out);
+        std::process::exit(2);
+    }
+    println!("wrote {}", opts.out);
+
+    if !eval.identical || builds.iter().any(|b| !b.identical) {
+        eprintln!("FAIL: before/after paths disagree");
+        std::process::exit(1);
     }
 }
 

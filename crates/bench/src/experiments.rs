@@ -28,7 +28,7 @@ pub struct EvalPoint {
 }
 
 fn eval_point(name: impl Into<String>, index: &IndexGraph, data: &DataGraph, w: &Workload) -> EvalPoint {
-    let evaluator = IndexEvaluator::new(index, data);
+    let mut evaluator = IndexEvaluator::new(index, data);
     let mut total = 0u64;
     let mut validated = 0usize;
     for q in w.queries() {
@@ -193,7 +193,7 @@ pub fn ablation_broadcast(data: &DataGraph, workload: &Workload) -> BroadcastAbl
         }
     }
 
-    let evaluator = IndexEvaluator::new(&without, data);
+    let mut evaluator = IndexEvaluator::new(&without, data);
     let mut wrong = 0;
     for q in workload.queries() {
         let out = evaluator.evaluate(q);
@@ -323,8 +323,8 @@ mod tests {
     #[test]
     fn table1_dk_update_is_cheapest() {
         let g = small_xmark();
-        let w = standard_workload(&g, 3);
-        let edges = standard_updates(&g, 3);
+        let w = standard_workload(&g, 5);
+        let edges = standard_updates(&g, 5);
         let rows = table1(&g, &edges, 4, &w.mine_requirements());
         assert_eq!(rows.len(), 5);
         let dk = rows.last().unwrap();
@@ -480,7 +480,7 @@ pub fn length_sweep(
     let a4 = AkIndex::build(data, 4);
     let dk = DkIndex::build(data, workload.mine_requirements());
     let indexes: Vec<&IndexGraph> = vec![a0.index(), a2.index(), a4.index(), dk.index()];
-    let evaluators: Vec<IndexEvaluator> = indexes
+    let mut evaluators: Vec<IndexEvaluator> = indexes
         .iter()
         .map(|i| IndexEvaluator::new(i, data))
         .collect();
@@ -494,7 +494,7 @@ pub fn length_sweep(
         .into_iter()
         .map(|(labels, queries)| {
             let avg_costs = evaluators
-                .iter()
+                .iter_mut()
                 .map(|e| {
                     let total: u64 = queries.iter().map(|q| e.evaluate(q).cost.total()).sum();
                     total as f64 / queries.len() as f64

@@ -11,4 +11,5 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod perf;
 pub mod report;

@@ -1,0 +1,319 @@
+//! Before/after performance benchmark for the scratch-arena query engine and
+//! the interned-signature refinement engine.
+//!
+//! "Before" is the retained reference implementation (allocator-per-query
+//! evaluation, vector-keyed signature refinement); "after" is the arena +
+//! memo evaluator and the [`RefineEngine`]. Both sides are checked for
+//! **byte-identical results** — same matches, same [`QueryCost`] visit
+//! counts, same partitions — before any timing is reported, so the speedup
+//! numbers can never come from computing something different.
+//!
+//! The `reproduce bench-smoke` subcommand drives this module and writes the
+//! measurements to `BENCH_eval.json`.
+
+use dkindex_core::dk::{dk_partition_reference, dk_partition_with_engine};
+use dkindex_core::{
+    evaluate_workload_parallel, AkIndex, DkIndex, IndexEvalOutcome, IndexEvaluator, IndexGraph,
+    Requirements,
+};
+use dkindex_graph::DataGraph;
+use dkindex_partition::{k_bisimulation, RefineEngine};
+use dkindex_pathexpr::PathExpr;
+use std::time::Instant;
+
+/// Knobs for the smoke benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfConfig {
+    /// Threads for the parallel paths (`0` = available parallelism).
+    pub threads: usize,
+    /// Timing repeats per side; the minimum is reported.
+    pub repeats: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            threads: 0,
+            repeats: 3,
+        }
+    }
+}
+
+impl PerfConfig {
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Batch-evaluation measurements: reference vs arena vs parallel.
+#[derive(Clone, Debug)]
+pub struct EvalBenchResult {
+    /// Indexes the workload is evaluated through (the paper's figure-4 set:
+    /// A(0)..A(max_k) plus the workload-tuned D(k)).
+    pub indexes: usize,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Reference path: fresh allocations per query, no memo.
+    pub baseline_ms: f64,
+    /// Arena + memo evaluator, single thread.
+    pub arena_ms: f64,
+    /// Arena + memo evaluators across worker threads.
+    pub parallel_ms: f64,
+    /// Threads used by the parallel path.
+    pub threads: usize,
+    /// `baseline_ms / arena_ms`.
+    pub speedup_arena: f64,
+    /// `baseline_ms / min(arena_ms, parallel_ms)` — the headline number.
+    pub speedup_best: f64,
+    /// All three paths returned byte-identical outcomes (matches, visit
+    /// counts, validated flags).
+    pub identical: bool,
+    /// Total index visits across the workload (identical on every path).
+    pub index_visits: u64,
+    /// Total validation visits across the workload (identical on every path).
+    pub data_visits: u64,
+}
+
+/// Construction measurements for one summary: reference vs engine.
+#[derive(Clone, Debug)]
+pub struct BuildBenchResult {
+    /// Summary name, e.g. `"A(4)"`.
+    pub name: String,
+    /// Reference construction (vector-keyed signatures).
+    pub baseline_ms: f64,
+    /// [`RefineEngine`] construction, single thread.
+    pub engine_ms: f64,
+    /// [`RefineEngine`] construction with the configured thread count.
+    pub engine_parallel_ms: f64,
+    /// `baseline_ms / min(engine_ms, engine_parallel_ms)`.
+    pub speedup: f64,
+    /// Engine partitions equal the reference partitions (same block ids,
+    /// same member order).
+    pub identical: bool,
+    /// Blocks in the final partition.
+    pub blocks: usize,
+}
+
+/// Minimum over `repeats` timed runs, returning the last run's value.
+fn time_best<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("repeats >= 1"))
+}
+
+/// Benchmark batch workload evaluation through every index in `indexes` over
+/// `data` (the paper's figure-4 sweep shape: the coarse indexes validate
+/// heavily, the tuned ones barely — both regimes count).
+pub fn bench_eval(
+    indexes: &[IndexGraph],
+    data: &DataGraph,
+    queries: &[PathExpr],
+    cfg: &PerfConfig,
+) -> EvalBenchResult {
+    let threads = cfg.resolved_threads();
+    let (baseline_ms, base_out) = time_best(cfg.repeats, || {
+        let mut all: Vec<IndexEvalOutcome> = Vec::new();
+        for index in indexes {
+            let evaluator = IndexEvaluator::new(index, data);
+            all.extend(queries.iter().map(|q| evaluator.evaluate_baseline(q)));
+        }
+        all
+    });
+    let (arena_ms, arena_out) = time_best(cfg.repeats, || {
+        let mut all: Vec<IndexEvalOutcome> = Vec::new();
+        for index in indexes {
+            all.extend(IndexEvaluator::new(index, data).evaluate_all(queries));
+        }
+        all
+    });
+    let (parallel_ms, parallel_out) = time_best(cfg.repeats, || {
+        let mut all: Vec<IndexEvalOutcome> = Vec::new();
+        for index in indexes {
+            all.extend(evaluate_workload_parallel(index, data, queries, threads));
+        }
+        all
+    });
+
+    let identical = base_out == arena_out && base_out == parallel_out;
+    let index_visits = base_out.iter().map(|o| o.cost.index_visits).sum();
+    let data_visits = base_out.iter().map(|o| o.cost.data_visits).sum();
+    let best_after = arena_ms.min(parallel_ms);
+    EvalBenchResult {
+        indexes: indexes.len(),
+        queries: queries.len(),
+        baseline_ms,
+        arena_ms,
+        parallel_ms,
+        threads,
+        speedup_arena: baseline_ms / arena_ms.max(f64::MIN_POSITIVE),
+        speedup_best: baseline_ms / best_after.max(f64::MIN_POSITIVE),
+        identical,
+        index_visits,
+        data_visits,
+    }
+}
+
+/// Benchmark A(k) construction: reference [`k_bisimulation`] vs
+/// [`RefineEngine::k_bisimulation`].
+pub fn bench_ak_build(data: &DataGraph, k: usize, cfg: &PerfConfig) -> BuildBenchResult {
+    let threads = cfg.resolved_threads();
+    let (baseline_ms, reference) = time_best(cfg.repeats, || k_bisimulation(data, k));
+    let (engine_ms, sequential) = time_best(cfg.repeats, || {
+        let mut engine = RefineEngine::new();
+        engine.k_bisimulation(data, k)
+    });
+    let (engine_parallel_ms, parallel) = time_best(cfg.repeats, || {
+        let mut engine = RefineEngine::with_threads(threads);
+        engine.k_bisimulation(data, k)
+    });
+    let identical = reference == sequential && reference == parallel;
+    let best = engine_ms.min(engine_parallel_ms);
+    BuildBenchResult {
+        name: format!("A({k})"),
+        baseline_ms,
+        engine_ms,
+        engine_parallel_ms,
+        speedup: baseline_ms / best.max(f64::MIN_POSITIVE),
+        identical,
+        blocks: reference.block_count(),
+    }
+}
+
+/// Benchmark D(k) construction for `reqs`: the retained reference loop vs
+/// [`dk_partition_with_engine`].
+pub fn bench_dk_build(
+    data: &DataGraph,
+    reqs: &Requirements,
+    cfg: &PerfConfig,
+) -> BuildBenchResult {
+    let threads = cfg.resolved_threads();
+    let (baseline_ms, (ref_p, ref_sims)) =
+        time_best(cfg.repeats, || dk_partition_reference(data, reqs, true));
+    let (engine_ms, (seq_p, seq_sims)) = time_best(cfg.repeats, || {
+        dk_partition_with_engine(data, reqs, true, &mut RefineEngine::new())
+    });
+    let (engine_parallel_ms, (par_p, par_sims)) = time_best(cfg.repeats, || {
+        dk_partition_with_engine(data, reqs, true, &mut RefineEngine::with_threads(threads))
+    });
+    let identical =
+        ref_p == seq_p && ref_p == par_p && ref_sims == seq_sims && ref_sims == par_sims;
+    let best = engine_ms.min(engine_parallel_ms);
+    BuildBenchResult {
+        name: "D(k)".to_string(),
+        baseline_ms,
+        engine_ms,
+        engine_parallel_ms,
+        speedup: baseline_ms / best.max(f64::MIN_POSITIVE),
+        identical,
+        blocks: ref_p.block_count(),
+    }
+}
+
+/// Full smoke benchmark on an XMark-like dataset: batch evaluation of the
+/// workload through the figure-4 index set (A(0)..A(max_k) plus the
+/// workload-tuned D(k)), plus A(k) and D(k) construction. Returns the eval
+/// result and the construction results.
+pub fn bench_smoke(
+    data: &DataGraph,
+    queries: &[PathExpr],
+    reqs: &Requirements,
+    max_k: usize,
+    cfg: &PerfConfig,
+) -> (EvalBenchResult, Vec<BuildBenchResult>) {
+    let mut indexes: Vec<IndexGraph> = (0..=max_k)
+        .map(|k| AkIndex::build(data, k).index().clone())
+        .collect();
+    indexes.push(DkIndex::build(data, reqs.clone()).index().clone());
+    let eval = bench_eval(&indexes, data, queries, cfg);
+    let builds = vec![
+        bench_ak_build(data, max_k, cfg),
+        bench_dk_build(data, reqs, cfg),
+    ];
+    (eval, builds)
+}
+
+/// Render the results as a JSON document (hand-rolled: the workspace has no
+/// serialization dependency).
+pub fn to_json(
+    dataset: &str,
+    cfg: &PerfConfig,
+    eval: &EvalBenchResult,
+    builds: &[BuildBenchResult],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{ \"threads\": {}, \"repeats\": {} }},\n",
+        cfg.resolved_threads(),
+        cfg.repeats
+    ));
+    s.push_str("  \"eval\": {\n");
+    s.push_str(&format!("    \"indexes\": {},\n", eval.indexes));
+    s.push_str(&format!("    \"queries\": {},\n", eval.queries));
+    s.push_str(&format!("    \"baseline_ms\": {:.3},\n", eval.baseline_ms));
+    s.push_str(&format!("    \"arena_ms\": {:.3},\n", eval.arena_ms));
+    s.push_str(&format!("    \"parallel_ms\": {:.3},\n", eval.parallel_ms));
+    s.push_str(&format!("    \"threads\": {},\n", eval.threads));
+    s.push_str(&format!("    \"speedup_arena\": {:.2},\n", eval.speedup_arena));
+    s.push_str(&format!("    \"speedup_best\": {:.2},\n", eval.speedup_best));
+    s.push_str(&format!("    \"identical_outcomes\": {},\n", eval.identical));
+    s.push_str(&format!("    \"index_visits\": {},\n", eval.index_visits));
+    s.push_str(&format!("    \"data_visits\": {}\n", eval.data_visits));
+    s.push_str("  },\n");
+    s.push_str("  \"construction\": [\n");
+    for (i, b) in builds.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"baseline_ms\": {:.3}, \"engine_ms\": {:.3}, \
+             \"engine_parallel_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"identical_partition\": {}, \"blocks\": {} }}{}\n",
+            b.name,
+            b.baseline_ms,
+            b.engine_ms,
+            b.engine_parallel_ms,
+            b.speedup,
+            b.identical,
+            b.blocks,
+            if i + 1 < builds.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::experiments::standard_workload;
+
+    #[test]
+    fn smoke_results_are_identical_across_paths() {
+        let data = datasets::xmark(0.004);
+        let workload = standard_workload(&data, 7);
+        let reqs = workload.mine_requirements();
+        let cfg = PerfConfig {
+            threads: 2,
+            repeats: 1,
+        };
+        let (eval, builds) = bench_smoke(&data, workload.queries(), &reqs, 2, &cfg);
+        assert!(eval.identical, "evaluation paths disagree");
+        for b in &builds {
+            assert!(b.identical, "{} construction paths disagree", b.name);
+        }
+        let json = to_json("xmark-test", &cfg, &eval, &builds);
+        assert!(json.contains("\"identical_outcomes\": true"));
+        assert!(json.contains("\"identical_partition\": true"));
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, EdgeKind, LabeledGraph, NodeId};
-use dkindex_partition::k_bisimulation;
+use dkindex_partition::RefineEngine;
 use std::collections::{HashMap, HashSet};
 
 /// The A(k)-index.
@@ -43,7 +43,15 @@ impl std::ops::AddAssign for UpdateWork {
 impl AkIndex {
     /// Build the A(k)-index of `data` in O(k·m).
     pub fn build(data: &DataGraph, k: usize) -> Self {
-        let p = k_bisimulation(data, k);
+        AkIndex::build_with_engine(data, k, &mut RefineEngine::new())
+    }
+
+    /// [`Self::build`] on a caller-owned [`RefineEngine`]: repeated builds
+    /// reuse its scratch, and `RefineEngine::with_threads(n)` parallelises
+    /// the refinement rounds. The index is identical for every engine
+    /// configuration.
+    pub fn build_with_engine(data: &DataGraph, k: usize, engine: &mut RefineEngine) -> Self {
+        let p = engine.k_bisimulation(data, k);
         let sims = vec![k; p.block_count()];
         AkIndex {
             index: IndexGraph::from_data_partition(data, &p, sims),
@@ -265,7 +273,7 @@ mod tests {
         let actor = g.nodes_with_label(g.labels().get("actor").unwrap())[0];
         let m1 = g.nodes_with_label(g.labels().get("movie").unwrap())[0];
         ak.add_edge(&mut g, actor, m1);
-        let fresh = k_bisimulation(&g, 2);
+        let fresh = dkindex_partition::k_bisimulation(&g, 2);
         // The propagate update may over-split but never under-split.
         assert!(ak.index().to_partition().is_refinement_of(&fresh));
     }

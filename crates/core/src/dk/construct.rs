@@ -12,13 +12,16 @@ use crate::dk::broadcast::broadcast_requirements;
 use crate::index_graph::IndexGraph;
 use crate::requirements::Requirements;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
-use dkindex_partition::{refine_round_selective, Partition};
+use dkindex_partition::{Partition, RefineEngine};
 
 /// Compute the D(k) partition of `g` together with the per-block local
 /// similarity (the broadcast-adjusted requirement). Generic over
 /// [`LabeledGraph`] so the same routine re-indexes an index graph (the
 /// subgraph-addition update and the demoting process, via Theorem 2).
-pub fn dk_partition<G: LabeledGraph>(g: &G, reqs: &Requirements) -> (Partition, Vec<usize>) {
+pub fn dk_partition<G: LabeledGraph + Sync>(
+    g: &G,
+    reqs: &Requirements,
+) -> (Partition, Vec<usize>) {
     dk_partition_with_options(g, reqs, true)
 }
 
@@ -27,7 +30,60 @@ pub fn dk_partition<G: LabeledGraph>(g: &G, reqs: &Requirements) -> (Partition, 
 /// `use_broadcast = false` exists **only** for the ablation experiment that
 /// demonstrates why Algorithm 1 is necessary: without it the result can
 /// violate the Definition 3 constraint and claim soundness it does not have.
-pub fn dk_partition_with_options<G: LabeledGraph>(
+pub fn dk_partition_with_options<G: LabeledGraph + Sync>(
+    g: &G,
+    reqs: &Requirements,
+    use_broadcast: bool,
+) -> (Partition, Vec<usize>) {
+    dk_partition_with_engine(g, reqs, use_broadcast, &mut RefineEngine::new())
+}
+
+/// [`dk_partition_with_options`] running its selective rounds on a
+/// caller-owned [`RefineEngine`], so repeated constructions reuse scratch
+/// buffers and a multi-threaded engine fans signature computation out.
+/// The partition is identical for every engine configuration.
+pub fn dk_partition_with_engine<G: LabeledGraph + Sync>(
+    g: &G,
+    reqs: &Requirements,
+    use_broadcast: bool,
+    engine: &mut RefineEngine,
+) -> (Partition, Vec<usize>) {
+    let p0 = Partition::by_label(g);
+    let table = reqs.resolve(g.labels());
+    let mut block_req: Vec<usize> = p0
+        .block_ids()
+        .map(|b| table[g.label_of(p0.members(b)[0]).index()])
+        .collect();
+    if use_broadcast {
+        broadcast_requirements(g, &p0, &mut block_req);
+    }
+    let k_max = block_req.iter().copied().max().unwrap_or(0);
+
+    let mut p = p0;
+    for k in 1..=k_max {
+        let req_snapshot = block_req.clone();
+        let (next, changed) =
+            engine.refine_round_selective(g, &p, |b| req_snapshot[b.index()] >= k);
+        if changed {
+            // New blocks inherit the requirement of the block they split from.
+            let mut next_req = vec![0usize; next.block_count()];
+            for b in next.block_ids() {
+                let member = next.members(b)[0];
+                next_req[b.index()] = req_snapshot[p.block_of(member).index()];
+            }
+            block_req = next_req;
+        }
+        p = next;
+    }
+    (p, block_req)
+}
+
+/// The pre-engine D(k) partition loop, kept verbatim as the oracle for
+/// equivalence tests and the before/after construction benchmark: one
+/// allocation per node per round ([`dkindex_partition::refine_round_selective`]
+/// hashes freshly-built signature vectors). Produces partitions identical to
+/// [`dk_partition_with_engine`].
+pub fn dk_partition_reference<G: LabeledGraph>(
     g: &G,
     reqs: &Requirements,
     use_broadcast: bool,
@@ -46,10 +102,10 @@ pub fn dk_partition_with_options<G: LabeledGraph>(
     let mut p = p0;
     for k in 1..=k_max {
         let req_snapshot = block_req.clone();
-        let (next, changed) =
-            refine_round_selective(g, &p, |b| req_snapshot[b.index()] >= k);
+        let (next, changed) = dkindex_partition::refine_round_selective(g, &p, |b| {
+            req_snapshot[b.index()] >= k
+        });
         if changed {
-            // New blocks inherit the requirement of the block they split from.
             let mut next_req = vec![0usize; next.block_count()];
             for b in next.block_ids() {
                 let member = next.members(b)[0];
@@ -98,7 +154,19 @@ impl DkIndex {
     /// (Algorithm 2). Empty requirements give the label-split graph; uniform
     /// requirements `k` give exactly the A(k)-index.
     pub fn build(data: &DataGraph, requirements: Requirements) -> Self {
-        let (p, sims) = dk_partition(data, &requirements);
+        DkIndex::build_with_engine(data, requirements, &mut RefineEngine::new())
+    }
+
+    /// [`Self::build`] on a caller-owned [`RefineEngine`]: repeated builds
+    /// reuse its scratch, and `RefineEngine::with_threads(n)` parallelises
+    /// the refinement rounds. The index is identical for every engine
+    /// configuration.
+    pub fn build_with_engine(
+        data: &DataGraph,
+        requirements: Requirements,
+        engine: &mut RefineEngine,
+    ) -> Self {
+        let (p, sims) = dk_partition_with_engine(data, &requirements, true, engine);
         DkIndex {
             index: IndexGraph::from_data_partition(data, &p, sims),
             requirements,

@@ -15,7 +15,11 @@
 
 use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
-use dkindex_pathexpr::{evaluate, matches_ending_at, LabelIndex, Nfa, PathExpr};
+use dkindex_pathexpr::{
+    evaluate_baseline, evaluate_with, matches_ending_at_baseline, matches_ending_at_with,
+    EvalArena, LabelIndex, Nfa, PathExpr,
+};
+use std::collections::HashMap;
 
 /// Cost of one query under the paper's in-memory model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -50,7 +54,7 @@ impl std::ops::AddAssign for QueryCost {
 }
 
 /// Result of evaluating a query through an index graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexEvalOutcome {
     /// Matched data nodes, sorted ascending.
     pub matches: Vec<NodeId>,
@@ -61,11 +65,23 @@ pub struct IndexEvalOutcome {
 }
 
 /// Reusable evaluator for one `(index, data)` pair: caches the per-graph
-/// label index so repeated queries don't pay its construction.
+/// label index, owns an [`EvalArena`] so a batch of queries performs zero
+/// steady-state allocation, and memoizes validation verdicts per
+/// `(query, index node)` — candidates sharing an extent never repeat their
+/// backward walks, and replayed verdicts charge the *stored* visit count so
+/// `QueryCost` stays identical to recomputation.
+///
+/// The evaluator borrows `index` and `data` immutably for its whole
+/// lifetime, so the memo can never go stale.
 pub struct IndexEvaluator<'a> {
     index: &'a IndexGraph,
     data: &'a DataGraph,
     index_labels: LabelIndex,
+    arena: EvalArena,
+    /// Textual query form → dense id used in memo keys.
+    query_ids: HashMap<String, u32>,
+    /// `(query id, matched index node)` → (validated hits, data visits).
+    validation_memo: HashMap<(u32, NodeId), (Vec<NodeId>, u64)>,
 }
 
 impl<'a> IndexEvaluator<'a> {
@@ -75,14 +91,17 @@ impl<'a> IndexEvaluator<'a> {
             index,
             data,
             index_labels: LabelIndex::build(index),
+            arena: EvalArena::new(),
+            query_ids: HashMap::new(),
+            validation_memo: HashMap::new(),
         }
     }
 
     /// Evaluate `expr` through the index, validating approximate matches
     /// against the data graph.
-    pub fn evaluate(&self, expr: &PathExpr) -> IndexEvalOutcome {
+    pub fn evaluate(&mut self, expr: &PathExpr) -> IndexEvalOutcome {
         let nfa = Nfa::compile(expr, self.index.labels());
-        let on_index = evaluate(self.index, &nfa, &self.index_labels);
+        let on_index = evaluate_with(self.index, &nfa, &self.index_labels, &mut self.arena);
 
         // Path length in edges (paper's "length m" for l1...l_{m+1}); an
         // unbounded expression (contains *) can never be certified sound.
@@ -96,6 +115,70 @@ impl<'a> IndexEvaluator<'a> {
         let mut validated = false;
         // Compile against the data interner lazily — only if we validate.
         let mut reversed: Option<Nfa> = None;
+        let mut query_id: Option<u32> = None;
+
+        for inode in on_index.matches {
+            let sound = match required {
+                Some(m) => self.index.similarity(inode) >= m,
+                None => false,
+            };
+            if sound {
+                matches.extend_from_slice(self.index.extent(inode));
+                continue;
+            }
+            validated = true;
+            let qid = *query_id.get_or_insert_with(|| {
+                let next = self.query_ids.len() as u32;
+                *self.query_ids.entry(expr.to_string()).or_insert(next)
+            });
+            if let Some((hits, visits)) = self.validation_memo.get(&(qid, inode)) {
+                // Replay: identical hits AND identical charged visits.
+                cost.data_visits += visits;
+                matches.extend_from_slice(hits);
+                continue;
+            }
+            let rev = reversed
+                .get_or_insert_with(|| Nfa::compile(expr, self.data.labels()).reverse());
+            let mut hits: Vec<NodeId> = Vec::new();
+            let mut visits = 0u64;
+            for &candidate in self.index.extent(inode) {
+                let (hit, visited) =
+                    matches_ending_at_with(self.data, rev, candidate, &mut self.arena);
+                visits += visited;
+                if hit {
+                    hits.push(candidate);
+                }
+            }
+            cost.data_visits += visits;
+            matches.extend_from_slice(&hits);
+            self.validation_memo.insert((qid, inode), (hits, visits));
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        IndexEvalOutcome {
+            matches,
+            cost,
+            validated,
+        }
+    }
+
+    /// The pre-arena reference implementation: fresh allocations per query,
+    /// no memoization. Kept for equivalence property tests and the
+    /// before/after benchmark; `matches`, `cost` and `validated` must stay
+    /// byte-identical to [`evaluate`](Self::evaluate).
+    pub fn evaluate_baseline(&self, expr: &PathExpr) -> IndexEvalOutcome {
+        let nfa = Nfa::compile(expr, self.index.labels());
+        let on_index = evaluate_baseline(self.index, &nfa, &self.index_labels);
+
+        let required = expr.max_word_len().map(|labels| labels.saturating_sub(1));
+
+        let mut matches: Vec<NodeId> = Vec::new();
+        let mut cost = QueryCost {
+            index_visits: on_index.visited,
+            data_visits: 0,
+        };
+        let mut validated = false;
+        let mut reversed: Option<Nfa> = None;
 
         for inode in on_index.matches {
             let sound = match required {
@@ -106,11 +189,10 @@ impl<'a> IndexEvaluator<'a> {
                 matches.extend_from_slice(self.index.extent(inode));
             } else {
                 validated = true;
-                let rev = reversed.get_or_insert_with(|| {
-                    Nfa::compile(expr, self.data.labels()).reverse()
-                });
+                let rev = reversed
+                    .get_or_insert_with(|| Nfa::compile(expr, self.data.labels()).reverse());
                 for &candidate in self.index.extent(inode) {
-                    let (hit, visited) = matches_ending_at(self.data, rev, candidate);
+                    let (hit, visited) = matches_ending_at_baseline(self.data, rev, candidate);
                     cost.data_visits += visited;
                     if hit {
                         matches.push(candidate);
@@ -128,13 +210,13 @@ impl<'a> IndexEvaluator<'a> {
     }
 
     /// Evaluate a whole workload, returning per-query outcomes.
-    pub fn evaluate_all(&self, exprs: &[PathExpr]) -> Vec<IndexEvalOutcome> {
+    pub fn evaluate_all(&mut self, exprs: &[PathExpr]) -> Vec<IndexEvalOutcome> {
         exprs.iter().map(|e| self.evaluate(e)).collect()
     }
 
     /// Average total cost (nodes visited) over a workload — the Y axis of
     /// the paper's figures 4–7.
-    pub fn average_cost(&self, exprs: &[PathExpr]) -> f64 {
+    pub fn average_cost(&mut self, exprs: &[PathExpr]) -> f64 {
         if exprs.is_empty() {
             return 0.0;
         }
@@ -151,7 +233,7 @@ impl<'a> IndexEvaluator<'a> {
 pub fn evaluate_on_data(data: &DataGraph, expr: &PathExpr) -> (Vec<NodeId>, u64) {
     let nfa = Nfa::compile(expr, data.labels());
     let idx = LabelIndex::build(data);
-    let out = evaluate(data, &nfa, &idx);
+    let out = dkindex_pathexpr::evaluate(data, &nfa, &idx);
     (out.matches, out.visited)
 }
 
@@ -173,10 +255,9 @@ pub fn evaluate_workload_parallel(
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             handles.push(scope.spawn(move || {
-                // Each worker builds its own evaluator (the label index is
-                // cheap relative to a workload slice) and takes every
-                // `threads`-th query.
-                let evaluator = IndexEvaluator::new(index, data);
+                // Each worker builds its own evaluator — with its own arena
+                // and memo — and takes every `threads`-th query.
+                let mut evaluator = IndexEvaluator::new(index, data);
                 exprs
                     .iter()
                     .enumerate()

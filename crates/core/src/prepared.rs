@@ -29,7 +29,7 @@
 use crate::eval::{IndexEvalOutcome, QueryCost};
 use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
-use dkindex_pathexpr::{evaluate, matches_ending_at, LabelIndex, Nfa, PathExpr};
+use dkindex_pathexpr::{evaluate_with, matches_ending_at_with, EvalArena, LabelIndex, Nfa, PathExpr};
 use std::collections::HashMap;
 
 /// A path expression compiled for one `(index, data)` label alphabet pair.
@@ -70,7 +70,21 @@ impl PreparedQuery {
         data: &DataGraph,
         index_labels: &LabelIndex,
     ) -> IndexEvalOutcome {
-        let on_index = evaluate(index, &self.forward, index_labels);
+        let mut arena = EvalArena::new();
+        self.evaluate_in(index, data, index_labels, &mut arena)
+    }
+
+    /// [`Self::evaluate`] with caller-owned scratch: a batch of prepared
+    /// queries sharing one [`EvalArena`] allocates nothing per query once the
+    /// arena has grown to the workload's high-water mark.
+    pub fn evaluate_in(
+        &self,
+        index: &IndexGraph,
+        data: &DataGraph,
+        index_labels: &LabelIndex,
+        arena: &mut EvalArena,
+    ) -> IndexEvalOutcome {
+        let on_index = evaluate_with(index, &self.forward, index_labels, arena);
         let mut matches: Vec<NodeId> = Vec::new();
         let mut cost = QueryCost {
             index_visits: on_index.visited,
@@ -87,7 +101,8 @@ impl PreparedQuery {
             } else {
                 validated = true;
                 for &candidate in index.extent(inode) {
-                    let (hit, visited) = matches_ending_at(data, &self.reversed, candidate);
+                    let (hit, visited) =
+                        matches_ending_at_with(data, &self.reversed, candidate, arena);
                     cost.data_visits += visited;
                     if hit {
                         matches.push(candidate);
@@ -112,6 +127,7 @@ pub struct CachedEvaluator {
     version: u64,
     prepared: HashMap<String, PreparedQuery>,
     results: HashMap<String, IndexEvalOutcome>,
+    arena: EvalArena,
     hits: u64,
     misses: u64,
 }
@@ -124,6 +140,7 @@ impl CachedEvaluator {
             version: index.version(),
             prepared: HashMap::new(),
             results: HashMap::new(),
+            arena: EvalArena::new(),
             hits: 0,
             misses: 0,
         }
@@ -157,7 +174,7 @@ impl CachedEvaluator {
             .prepared
             .entry(key.clone())
             .or_insert_with(|| PreparedQuery::new(expr.clone(), index, data));
-        let outcome = prepared.evaluate(index, data, &self.index_labels);
+        let outcome = prepared.evaluate_in(index, data, &self.index_labels, &mut self.arena);
         self.results.insert(key, outcome.clone());
         outcome
     }

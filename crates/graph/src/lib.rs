@@ -13,6 +13,8 @@
 //!   distinguished `ROOT` and `VALUE` labels.
 //! * [`traversal`] — BFS/DFS, depth maps and incoming-label-path enumeration
 //!   (the raw material of the k-bisimilarity properties).
+//! * [`Marks`] — epoch-stamped visited flags shared by every hot traversal
+//!   loop in the workspace (O(1) clear, zero steady-state allocation).
 //! * [`dot`] — GraphViz export in the style of the paper's Figure 1.
 //! * [`stats`] — dataset shape reporting for the experiment harness.
 //!
@@ -36,6 +38,7 @@
 
 mod graph;
 mod label;
+mod marks;
 
 pub mod dot;
 pub mod io;
@@ -44,3 +47,4 @@ pub mod traversal;
 
 pub use graph::{DataGraph, EdgeKind, LabeledGraph, NodeId, NodeIds};
 pub use label::{LabelId, LabelInterner, ROOT_LABEL, VALUE_LABEL};
+pub use marks::Marks;

@@ -5,20 +5,25 @@
 
 use crate::graph::{LabeledGraph, NodeId};
 use crate::label::LabelId;
+use crate::marks::Marks;
 use std::collections::{HashSet, VecDeque};
 
 /// Nodes of `g` in breadth-first order from `start`.
 pub fn bfs_order<G: LabeledGraph>(g: &G, start: NodeId) -> Vec<NodeId> {
-    let mut seen = vec![false; g.node_count()];
+    bfs_order_with(g, start, &mut Marks::new())
+}
+
+/// [`bfs_order`] reusing caller-owned visited marks across calls.
+pub fn bfs_order_with<G: LabeledGraph>(g: &G, start: NodeId, seen: &mut Marks) -> Vec<NodeId> {
+    seen.reset(g.node_count());
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
-    seen[start.index()] = true;
+    seen.mark(start.index());
     queue.push_back(start);
     while let Some(n) = queue.pop_front() {
         order.push(n);
         for &c in g.children_of(n) {
-            if !seen[c.index()] {
-                seen[c.index()] = true;
+            if seen.mark(c.index()) {
                 queue.push_back(c);
             }
         }
@@ -28,14 +33,18 @@ pub fn bfs_order<G: LabeledGraph>(g: &G, start: NodeId) -> Vec<NodeId> {
 
 /// Nodes of `g` in depth-first (preorder) order from `start`.
 pub fn dfs_order<G: LabeledGraph>(g: &G, start: NodeId) -> Vec<NodeId> {
-    let mut seen = vec![false; g.node_count()];
+    dfs_order_with(g, start, &mut Marks::new())
+}
+
+/// [`dfs_order`] reusing caller-owned visited marks across calls.
+pub fn dfs_order_with<G: LabeledGraph>(g: &G, start: NodeId, seen: &mut Marks) -> Vec<NodeId> {
+    seen.reset(g.node_count());
     let mut order = Vec::new();
     let mut stack = vec![start];
     while let Some(n) = stack.pop() {
-        if seen[n.index()] {
+        if !seen.mark(n.index()) {
             continue;
         }
-        seen[n.index()] = true;
         order.push(n);
         // Push children in reverse so the leftmost child is visited first.
         for &c in g.children_of(n).iter().rev() {

@@ -8,6 +8,9 @@
 //!   (A(k) extents), fixpoint (1-index extents), and the *selective* round
 //!   used by D(k) construction (only blocks whose similarity requirement is
 //!   high enough get split).
+//! * [`RefineEngine`] — the interned-signature, optionally multi-threaded
+//!   implementation of the same rounds with reusable scratch buffers;
+//!   produces partitions identical to [`refine`].
 //! * [`coarsest`] — worklist coarsest-stable-refinement in the style of
 //!   Paige–Tarjan, cross-checked against the signature fixpoint.
 //! * [`naive`] — quadratic pairwise k-bisimilarity, a test oracle for
@@ -42,12 +45,14 @@
 mod partition;
 
 pub mod coarsest;
+pub mod engine;
 pub mod forward;
 pub mod naive;
 pub mod paige_tarjan;
 pub mod refine;
 
 pub use coarsest::coarsest_stable_refinement;
+pub use engine::RefineEngine;
 pub use forward::{child_signature, fb_bisimulation, k_forward_bisimulation, refine_round_forward};
 pub use naive::{naive_k_bisimilar, KBisimTable};
 pub use paige_tarjan::paige_tarjan;

@@ -180,6 +180,20 @@ impl Partition {
         Ok(())
     }
 
+    /// Assemble a partition from maps already known to be consistent
+    /// (node → block and block → members agree, blocks dense and non-empty).
+    /// Used by the refinement engine, which builds both sides in one pass.
+    pub(crate) fn from_parts(block_of: Vec<BlockId>, members: Vec<Vec<NodeId>>) -> Self {
+        debug_assert!({
+            let p = Partition {
+                block_of: block_of.clone(),
+                members: members.clone(),
+            };
+            p.check_consistency().is_ok()
+        });
+        Partition { block_of, members }
+    }
+
     /// Replace this partition with one obtained by regrouping nodes by `key`:
     /// nodes with equal `(old block, key)` pairs share a new block. New block
     /// ids are assigned in order of first appearance by node id, so the

@@ -17,7 +17,7 @@
 //! the A(k) experiments obtain small costs for small indexes.
 
 use crate::nfa::{Nfa, StateId, Step};
-use dkindex_graph::{LabeledGraph, NodeId};
+use dkindex_graph::{LabeledGraph, Marks, NodeId};
 
 /// Label → nodes inverted index for one graph. Build once per graph (its
 /// construction is not charged to any query).
@@ -57,17 +57,203 @@ pub struct EvalOutcome {
     pub visited: u64,
 }
 
+/// Reusable scratch state for [`evaluate_with`] and
+/// [`matches_ending_at_with`]: epoch-stamped `(state, node)` activation
+/// marks, the matched set, the product-BFS queue, and the start-closure
+/// buffer. After warm-up, a batch of queries sharing one arena performs zero
+/// steady-state allocation.
+#[derive(Clone, Debug, Default)]
+pub struct EvalArena {
+    active: Marks,
+    matched: Marks,
+    matched_list: Vec<NodeId>,
+    queue: Vec<(StateId, NodeId)>,
+}
+
+impl EvalArena {
+    /// Fresh, empty arena. Buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        EvalArena::default()
+    }
+}
+
 /// Evaluate `nfa` over `g` with partial-match semantics.
 ///
-/// `label_index` must have been built from the same graph.
+/// `label_index` must have been built from the same graph. Allocates scratch
+/// per call; batches should prefer [`evaluate_with`] and a shared arena.
 pub fn evaluate<G: LabeledGraph>(g: &G, nfa: &Nfa, label_index: &LabelIndex) -> EvalOutcome {
+    evaluate_with(g, nfa, label_index, &mut EvalArena::new())
+}
+
+/// [`evaluate`] with caller-owned scratch: identical matches and visit
+/// counts, no steady-state allocation across a batch of queries.
+pub fn evaluate_with<G: LabeledGraph>(
+    g: &G,
+    nfa: &Nfa,
+    label_index: &LabelIndex,
+    arena: &mut EvalArena,
+) -> EvalOutcome {
+    let states = nfa.state_count();
+    let nodes = g.node_count();
+
+    // active slot s * nodes + n: pair (s, n) already activated. `s` here is
+    // the post-consumption state *before* ε-closure; dedup on that pair
+    // bounds the work per node by the number of consuming transitions.
+    let EvalArena {
+        active,
+        matched,
+        matched_list,
+        queue,
+        ..
+    } = arena;
+    active.reset(states * nodes);
+    matched.reset(nodes);
+    matched_list.clear();
+    queue.clear();
+    let mut visited: u64 = 0;
+
+    let activate = |state: StateId,
+                        node: NodeId,
+                        active: &mut Marks,
+                        matched: &mut Marks,
+                        matched_list: &mut Vec<NodeId>,
+                        queue: &mut Vec<(StateId, NodeId)>,
+                        visited: &mut u64| {
+        if !active.mark(state.index() * nodes + node.index()) {
+            return;
+        }
+        *visited += 1;
+        if nfa.is_accepting(state) && matched.mark(node.index()) {
+            matched_list.push(node);
+        }
+        queue.push((state, node));
+    };
+
+    // Seed: consuming transitions reachable from the ε-closure of start.
+    // `closure_steps_of(start)` is that closure's transitions precomputed in
+    // ascending-state order — the same sequence the baseline's boolean-set
+    // scan visits.
+    for &(step, target) in nfa.closure_steps_of(nfa.start()) {
+        match step {
+            Step::Label(l) => {
+                for &n in label_index.nodes_with(l) {
+                    activate(target, n, active, matched, matched_list, queue, &mut visited);
+                }
+            }
+            Step::Any => {
+                for n in label_index.all_nodes() {
+                    activate(target, n, active, matched, matched_list, queue, &mut visited);
+                }
+            }
+        }
+    }
+
+    // Product BFS: from (q, n), extend the node path by one child. The
+    // flattened closure-steps slice yields the same (step, target) sequence
+    // as the nested closure × steps loop, so activation order — and with it
+    // the visit count — is unchanged.
+    let mut head = 0;
+    while head < queue.len() {
+        let (state, node) = queue[head];
+        head += 1;
+        let children = g.children_of(node);
+        for &(step, target) in nfa.closure_steps_of(state) {
+            for &child in children {
+                if step.matches(g.label_of(child)) {
+                    activate(
+                        target,
+                        child,
+                        active,
+                        matched,
+                        matched_list,
+                        queue,
+                        &mut visited,
+                    );
+                }
+            }
+        }
+    }
+
+    let mut matches = std::mem::take(matched_list);
+    matches.sort_unstable();
+    EvalOutcome { matches, visited }
+}
+
+/// Does some node path ending at `node` match a word of `nfa`'s language?
+/// Used by the validation process: `reversed` must be `nfa.reverse()`.
+///
+/// Walks backward along parent edges, consuming labels in reverse, and stops
+/// at the first witness. Returns the verdict and the number of
+/// `(state, node)` activations performed (charged as data-graph visits).
+pub fn matches_ending_at<G: LabeledGraph>(g: &G, reversed: &Nfa, node: NodeId) -> (bool, u64) {
+    matches_ending_at_with(g, reversed, node, &mut EvalArena::new())
+}
+
+/// [`matches_ending_at`] with caller-owned scratch: identical verdicts and
+/// visit counts, no steady-state allocation across a batch of candidates.
+pub fn matches_ending_at_with<G: LabeledGraph>(
+    g: &G,
+    reversed: &Nfa,
+    node: NodeId,
+    arena: &mut EvalArena,
+) -> (bool, u64) {
+    let states = reversed.state_count();
+    let nodes = g.node_count();
+
+    let EvalArena { active, queue, .. } = arena;
+    active.reset(states * nodes);
+    queue.clear();
+    let mut visited: u64 = 0;
+
+    // Seed: consume `node`'s own label from the reversed start, using the
+    // precomputed start-closure transitions (same sequence the baseline's
+    // boolean-set scan visits).
+    let node_label = g.label_of(node);
+    for &(step, target) in reversed.closure_steps_of(reversed.start()) {
+        if step.matches(node_label) && active.mark(target.index() * nodes + node.index()) {
+            visited += 1;
+            if reversed.is_accepting(target) {
+                return (true, visited);
+            }
+            queue.push((target, node));
+        }
+    }
+
+    let mut head = 0;
+    while head < queue.len() {
+        let (state, n) = queue[head];
+        head += 1;
+        let parents = g.parents_of(n);
+        for &(step, target) in reversed.closure_steps_of(state) {
+            for &parent in parents {
+                if step.matches(g.label_of(parent))
+                    && active.mark(target.index() * nodes + parent.index())
+                {
+                    visited += 1;
+                    if reversed.is_accepting(target) {
+                        return (true, visited);
+                    }
+                    queue.push((target, parent));
+                }
+            }
+        }
+    }
+    (false, visited)
+}
+
+/// The pre-arena reference implementation of [`evaluate`]: allocates fresh
+/// scratch per call. Kept for the equivalence property tests and the
+/// before/after benchmark comparison; behaviour (matches *and* visit counts)
+/// must stay byte-identical to [`evaluate_with`].
+pub fn evaluate_baseline<G: LabeledGraph>(
+    g: &G,
+    nfa: &Nfa,
+    label_index: &LabelIndex,
+) -> EvalOutcome {
     let states = nfa.state_count();
     let nodes = g.node_count();
     let closures = nfa.closures();
 
-    // active[s * nodes + n]: pair (s, n) already activated. `s` here is the
-    // post-consumption state *before* ε-closure; dedup on that pair bounds
-    // the work per node by the number of consuming transitions.
     let mut active = vec![false; states * nodes];
     let mut matched = vec![false; nodes];
     let mut visited: u64 = 0;
@@ -92,7 +278,6 @@ pub fn evaluate<G: LabeledGraph>(g: &G, nfa: &Nfa, label_index: &LabelIndex) -> 
         queue.push((state, node));
     };
 
-    // Seed: consuming transitions reachable from the ε-closure of start.
     let mut start_set = vec![false; states];
     start_set[nfa.start().index()] = true;
     nfa.eps_close(&mut start_set);
@@ -100,7 +285,7 @@ pub fn evaluate<G: LabeledGraph>(g: &G, nfa: &Nfa, label_index: &LabelIndex) -> 
         if !on {
             continue;
         }
-        for &(step, target) in nfa.steps_of(StateId(s as u32)) {
+        for &(step, target) in nfa.steps_of(StateId::from_index(s)) {
             match step {
                 Step::Label(l) => {
                     for &n in label_index.nodes_with(l) {
@@ -116,7 +301,6 @@ pub fn evaluate<G: LabeledGraph>(g: &G, nfa: &Nfa, label_index: &LabelIndex) -> 
         }
     }
 
-    // Product BFS: from (q, n), extend the node path by one child.
     let mut head = 0;
     while head < queue.len() {
         let (state, node) = queue[head];
@@ -148,13 +332,10 @@ pub fn evaluate<G: LabeledGraph>(g: &G, nfa: &Nfa, label_index: &LabelIndex) -> 
     EvalOutcome { matches, visited }
 }
 
-/// Does some node path ending at `node` match a word of `nfa`'s language?
-/// Used by the validation process: `reversed` must be `nfa.reverse()`.
-///
-/// Walks backward along parent edges, consuming labels in reverse, and stops
-/// at the first witness. Returns the verdict and the number of
-/// `(state, node)` activations performed (charged as data-graph visits).
-pub fn matches_ending_at<G: LabeledGraph>(
+/// The pre-arena reference implementation of [`matches_ending_at`]
+/// (`HashSet`-based dedup, fresh allocations per call). Kept for equivalence
+/// tests and the before/after benchmark comparison.
+pub fn matches_ending_at_baseline<G: LabeledGraph>(
     g: &G,
     reversed: &Nfa,
     node: NodeId,
@@ -167,7 +348,6 @@ pub fn matches_ending_at<G: LabeledGraph>(
     let mut queue: Vec<(StateId, NodeId)> = Vec::new();
     let mut visited: u64 = 0;
 
-    // Seed: consume `node`'s own label from the reversed start.
     let mut start_set = vec![false; states];
     start_set[reversed.start().index()] = true;
     reversed.eps_close(&mut start_set);
@@ -176,7 +356,7 @@ pub fn matches_ending_at<G: LabeledGraph>(
         if !on {
             continue;
         }
-        for &(step, target) in reversed.steps_of(StateId(s as u32)) {
+        for &(step, target) in reversed.steps_of(StateId::from_index(s)) {
             if step.matches(node_label) && active.insert((target, node)) {
                 visited += 1;
                 if closures[target.index()].contains(&accept) {
@@ -351,6 +531,39 @@ mod tests {
         let rev = nfa.reverse();
         let (hit, _) = matches_ending_at(&g, &rev, a);
         assert!(hit); // a -> a -> a -> a through the self loop
+    }
+
+    #[test]
+    fn arena_reuse_is_byte_identical_to_baseline() {
+        let (g, _) = movie_graph();
+        let idx = LabelIndex::build(&g);
+        let mut arena = EvalArena::new();
+        // One arena across queries of very different state/node footprints.
+        for expr in [
+            "movie.title",
+            "director.movie.title",
+            "_._.title",
+            "ghost.label",
+            "ROOT.(_)?.director",
+            "a.(b|c)",
+            "movie.title", // repeat after the arena has been stretched
+            "title",
+        ] {
+            let e = parse(expr).unwrap();
+            let nfa = Nfa::compile(&e, g.labels());
+            let base = evaluate_baseline(&g, &nfa, &idx);
+            let fast = evaluate_with(&g, &nfa, &idx, &mut arena);
+            assert_eq!(base, fast, "expr {expr}");
+
+            let rev = nfa.reverse();
+            for node in g.node_ids() {
+                assert_eq!(
+                    matches_ending_at_baseline(&g, &rev, node),
+                    matches_ending_at_with(&g, &rev, node, &mut arena),
+                    "expr {expr} node {node:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   backward validation walks.
 //! * [`evaluate`] / [`matches_ending_at`] — partial-match evaluation over any
 //!   [`dkindex_graph::LabeledGraph`] with the paper's node-visit cost model.
+//! * [`EvalArena`] + [`evaluate_with`] / [`matches_ending_at_with`] —
+//!   allocation-free batch evaluation with reusable epoch-stamped scratch.
 //!
 //! ## Example
 //!
@@ -42,7 +44,10 @@ pub mod parse;
 pub mod twig;
 
 pub use ast::{LastLabels, PathExpr};
-pub use eval::{evaluate, matches_ending_at, EvalOutcome, LabelIndex};
+pub use eval::{
+    evaluate, evaluate_baseline, evaluate_with, matches_ending_at, matches_ending_at_baseline,
+    matches_ending_at_with, EvalArena, EvalOutcome, LabelIndex,
+};
 pub use nfa::{Nfa, StateId, Step};
 pub use parse::{parse, ParseError};
 pub use twig::{evaluate_twig, parse_twig, Twig, TwigStep};

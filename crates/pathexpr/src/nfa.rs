@@ -58,6 +58,12 @@ pub struct Nfa {
     steps: Vec<Vec<(Step, StateId)>>,
     start: StateId,
     accept: StateId,
+    // Precomputed at construction so the evaluation hot loops never allocate:
+    // per-state ε-closures, whether each state's closure contains accept, and
+    // each closure's consuming transitions flattened in closure order.
+    closures: Vec<Vec<StateId>>,
+    accepting: Vec<bool>,
+    closure_steps: Vec<Vec<(Step, StateId)>>,
 }
 
 struct Fragment {
@@ -155,11 +161,54 @@ impl Nfa {
             steps: Vec::new(),
         };
         let frag = b.fragment(expr, labels);
+        Nfa::from_parts(b.eps, b.steps, frag.start, frag.accept)
+    }
+
+    fn from_parts(
+        eps: Vec<Vec<StateId>>,
+        steps: Vec<Vec<(Step, StateId)>>,
+        start: StateId,
+        accept: StateId,
+    ) -> Nfa {
+        let n = eps.len();
+        let closures: Vec<Vec<StateId>> = (0..n)
+            .map(|s| {
+                let mut set = vec![false; n];
+                set[s] = true;
+                let mut stack = vec![StateId(s as u32)];
+                while let Some(q) = stack.pop() {
+                    for &t in &eps[q.index()] {
+                        if !set[t.index()] {
+                            set[t.index()] = true;
+                            stack.push(t);
+                        }
+                    }
+                }
+                set.iter()
+                    .enumerate()
+                    .filter(|&(_, &on)| on)
+                    .map(|(i, _)| StateId(i as u32))
+                    .collect()
+            })
+            .collect();
+        let accepting = closures.iter().map(|c| c.contains(&accept)).collect();
+        let closure_steps = closures
+            .iter()
+            .map(|closure| {
+                closure
+                    .iter()
+                    .flat_map(|&q| steps[q.index()].iter().copied())
+                    .collect()
+            })
+            .collect();
         Nfa {
-            eps: b.eps,
-            steps: b.steps,
-            start: frag.start,
-            accept: frag.accept,
+            eps,
+            steps,
+            start,
+            accept,
+            closures,
+            accepting,
+            closure_steps,
         }
     }
 
@@ -208,12 +257,7 @@ impl Nfa {
                 steps[t.index()].push((step, StateId(s as u32)));
             }
         }
-        Nfa {
-            eps,
-            steps,
-            start: self.accept,
-            accept: self.start,
-        }
+        Nfa::from_parts(eps, steps, self.accept, self.start)
     }
 
     /// Expand `set` (a boolean per state) to its ε-closure in place.
@@ -235,22 +279,29 @@ impl Nfa {
         }
     }
 
-    /// Per-state precomputed ε-closures (each row is the closure of the
-    /// singleton `{state}`), used to make repeated activation cheap during
-    /// evaluation.
-    pub fn closures(&self) -> Vec<Vec<StateId>> {
-        (0..self.state_count())
-            .map(|s| {
-                let mut set = vec![false; self.state_count()];
-                set[s] = true;
-                self.eps_close(&mut set);
-                set.iter()
-                    .enumerate()
-                    .filter(|&(_, &on)| on)
-                    .map(|(i, _)| StateId(i as u32))
-                    .collect()
-            })
-            .collect()
+    /// Per-state ε-closures (each row is the closure of the singleton
+    /// `{state}`), precomputed at construction so evaluation never recomputes
+    /// or allocates them.
+    #[inline]
+    pub fn closures(&self) -> &[Vec<StateId>] {
+        &self.closures
+    }
+
+    /// Does `state`'s ε-closure contain the accept state? Precomputed so the
+    /// evaluation hot loop checks acceptance in O(1).
+    #[inline]
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state.index()]
+    }
+
+    /// Consuming transitions of every state in `state`'s ε-closure, flattened
+    /// in closure order — exactly the pairs the nested
+    /// `closures()[s] × steps_of(q)` loop yields, in the same order, so hot
+    /// loops can use one contiguous slice without changing activation order
+    /// (and therefore without changing visit counts).
+    #[inline]
+    pub fn closure_steps_of(&self, state: StateId) -> &[(Step, StateId)] {
+        &self.closure_steps[state.index()]
     }
 
     /// Does the automaton accept the given word (sequence of labels)?

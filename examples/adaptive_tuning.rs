@@ -50,7 +50,7 @@ fn main() {
 }
 
 fn snapshot(phase: &str, dk: &DkIndex, data: &DataGraph, workload: &Workload) {
-    let evaluator = IndexEvaluator::new(dk.index(), data);
+    let mut evaluator = IndexEvaluator::new(dk.index(), data);
     let mut total = 0u64;
     let mut validated = 0usize;
     for q in workload.queries() {

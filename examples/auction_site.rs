@@ -54,7 +54,7 @@ fn report(
     data: &dkindex::graph::DataGraph,
     workload: &dkindex::workload::Workload,
 ) {
-    let evaluator = IndexEvaluator::new(index, data);
+    let mut evaluator = IndexEvaluator::new(index, data);
     let mut total = 0u64;
     let mut validated = 0usize;
     for q in workload.queries() {

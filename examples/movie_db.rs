@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dk = DkIndex::build(data, reqs);
     println!("\nD(k) with name:1, title:2 -> {} nodes", dk.size());
 
-    let evaluator = IndexEvaluator::new(dk.index(), data);
+    let mut evaluator = IndexEvaluator::new(dk.index(), data);
     for q in [
         "director.movie.title", // needs title@2: sound
         "actor.name",           // needs name@1: sound
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same queries against a too-coarse A(0): exact but costlier.
     let a0 = AkIndex::build(data, 0);
-    let a0_eval = IndexEvaluator::new(a0.index(), data);
+    let mut a0_eval = IndexEvaluator::new(a0.index(), data);
     let long = parse("director.movie.title")?;
     let coarse = a0_eval.evaluate(&long);
     let tuned = evaluator.evaluate(&long);

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Evaluate queries through the index. Every mined query is *sound*:
     //    answered from extents alone, without validating against the data.
-    let evaluator = IndexEvaluator::new(dk.index(), &data);
+    let mut evaluator = IndexEvaluator::new(dk.index(), &data);
     for query in &query_load {
         let out = evaluator.evaluate(query);
         println!(

@@ -66,7 +66,7 @@ fn per_label_requirements_match_paper_motivation() {
 
     // name@1 answers actor.name and director.name without validation.
     let dk = DkIndex::build(g, Requirements::from_pairs([("name", 1)]));
-    let evaluator = IndexEvaluator::new(dk.index(), g);
+    let mut evaluator = IndexEvaluator::new(dk.index(), g);
     for q in ["actor.name", "director.name"] {
         let out = evaluator.evaluate(&parse(q).unwrap());
         assert!(!out.validated, "{q} should be sound with name@1");

@@ -94,7 +94,7 @@ fn dk_answers_whole_mined_workload_without_validation() {
     let data = xmark_via_xml_text();
     let workload = generate_test_paths(&data, &WorkloadConfig::default());
     let dk = DkIndex::build(&data, workload.mine_requirements());
-    let evaluator = IndexEvaluator::new(dk.index(), &data);
+    let mut evaluator = IndexEvaluator::new(dk.index(), &data);
     for q in workload.queries() {
         let out = evaluator.evaluate(q);
         assert!(!out.validated, "mined D(k) validated {q}");
@@ -132,7 +132,7 @@ fn one_index_never_validates() {
     let data = nasa_via_xml_text();
     let workload = generate_test_paths(&data, &WorkloadConfig::default());
     let one = OneIndex::build(&data);
-    let evaluator = IndexEvaluator::new(one.index(), &data);
+    let mut evaluator = IndexEvaluator::new(one.index(), &data);
     for q in workload.queries() {
         assert!(!evaluator.evaluate(q).validated);
     }

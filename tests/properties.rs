@@ -361,3 +361,71 @@ proptest! {
         pt.check_consistency().map_err(TestCaseError::fail)?;
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The scratch-arena evaluator (reused arena + validation memo) returns
+    /// byte-identical matches AND costs to the allocator-per-query baseline,
+    /// including on repeated queries where the memo replays stored verdicts.
+    #[test]
+    fn arena_evaluator_matches_baseline_byte_for_byte(
+        spec in graph_spec(),
+        salt in any::<u64>(),
+        req_label in 0u8..5,
+        req_k in 0usize..4,
+    ) {
+        let g = build(&spec);
+        let queries = queries_for(&g, salt);
+        let reqs = Requirements::from_pairs([(format!("l{req_label}").as_str(), req_k)]);
+        let dk = DkIndex::build(&g, reqs);
+        let ak = AkIndex::build(&g, 2);
+        for index in [dk.index(), ak.index()] {
+            let mut evaluator = IndexEvaluator::new(index, &g);
+            // Two passes: the second runs with a warm arena and a populated
+            // validation memo, which must not change any outcome.
+            for _pass in 0..2 {
+                for q in &queries {
+                    let arena_out = evaluator.evaluate(q);
+                    let baseline_out = evaluator.evaluate_baseline(q);
+                    prop_assert_eq!(&arena_out, &baseline_out, "arena != baseline on {}", q);
+                }
+            }
+        }
+    }
+
+    /// Thread count is invisible: parallel refinement reproduces the
+    /// reference partitions exactly, and parallel workload evaluation
+    /// returns the same outcomes as the sequential evaluator.
+    #[test]
+    fn parallel_paths_are_deterministic(
+        spec in graph_spec(),
+        salt in any::<u64>(),
+        req_label in 0u8..5,
+        req_k in 0usize..4,
+    ) {
+        use dkindex::core::dk::{dk_partition_reference, dk_partition_with_engine};
+        use dkindex::core::evaluate_workload_parallel;
+        use dkindex::partition::RefineEngine;
+
+        let g = build(&spec);
+        let queries = queries_for(&g, salt);
+        let reqs = Requirements::from_pairs([(format!("l{req_label}").as_str(), req_k)]);
+
+        let (ref_part, ref_sims) = dk_partition_reference(&g, &reqs, true);
+        for threads in [1usize, 2, 8] {
+            let mut engine = RefineEngine::with_threads(threads);
+            let (part, sims) = dk_partition_with_engine(&g, &reqs, true, &mut engine);
+            prop_assert_eq!(&part, &ref_part, "D(k) partition differs at {} threads", threads);
+            prop_assert_eq!(&sims, &ref_sims, "D(k) sims differ at {} threads", threads);
+            prop_assert_eq!(engine.k_bisimulation(&g, 2), k_bisimulation(&g, 2));
+        }
+
+        let dk = DkIndex::build(&g, reqs);
+        let sequential = evaluate_workload_parallel(dk.index(), &g, &queries, 1);
+        for threads in [2usize, 3, 8] {
+            let parallel = evaluate_workload_parallel(dk.index(), &g, &queries, threads);
+            prop_assert_eq!(&parallel, &sequential, "outcomes differ at {} threads", threads);
+        }
+    }
+}

@@ -19,7 +19,7 @@ fn assert_exact(dk: &DkIndex, data: &DataGraph, seed: u64) {
             ..WorkloadConfig::default()
         },
     );
-    let evaluator = IndexEvaluator::new(dk.index(), data);
+    let mut evaluator = IndexEvaluator::new(dk.index(), data);
     for q in workload.queries() {
         let truth = evaluate_on_data(data, q).0;
         let out = evaluator.evaluate(q);
@@ -94,7 +94,7 @@ fn promote_after_stream_removes_validation_for_mined_load() {
         dk.add_edge(&mut data, u, v);
     }
     dk.promote_to_requirements(&data);
-    let evaluator = IndexEvaluator::new(dk.index(), &data);
+    let mut evaluator = IndexEvaluator::new(dk.index(), &data);
     for q in workload.queries() {
         let out = evaluator.evaluate(q);
         assert!(!out.validated, "still validating {q} after promotion");
