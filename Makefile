@@ -1,9 +1,11 @@
-.PHONY: verify test build bench-smoke
+.PHONY: verify test build bench-smoke doc clippy
 
 # Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
 # that the arena evaluator and the refinement engine produce byte-identical
-# outcomes/partitions to the retained baselines, and exits non-zero if not.
-verify: build test bench-smoke
+# outcomes/partitions to the retained baselines — and that the telemetry
+# recorder changes no observable result — exiting non-zero if not. `doc`
+# and `clippy` must both come back warning-free.
+verify: build test bench-smoke doc clippy
 
 build:
 	cargo build --release
@@ -13,3 +15,9 @@ test:
 
 bench-smoke:
 	cargo run --release -q -p dkindex-bench --bin reproduce -- bench-smoke
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+clippy:
+	cargo clippy -q --workspace --all-targets -- -D warnings

@@ -20,7 +20,12 @@
 //! ```
 //!
 //! `bench-smoke` extra flags: `--threads N` (0 = machine parallelism),
-//! `--repeats N`, `--out PATH` (default `BENCH_eval.json`).
+//! `--repeats N`, `--out PATH` (default `BENCH_eval.json`), `--metrics PATH`
+//! (default `METRICS.json`). Besides the before/after timing comparison it
+//! runs one telemetry-instrumented build → query → adapt pass and writes the
+//! recorder snapshot (per-phase span timings, refinement-round counts, query
+//! visit-count histograms) to the `--metrics` file, after verifying the
+//! recorder changes no observable result.
 
 use dkindex_bench::datasets::{self, DEFAULT_NASA_SCALE, DEFAULT_XMARK_SCALE};
 use dkindex_bench::experiments::*;
@@ -38,6 +43,7 @@ struct Options {
     threads: usize,
     repeats: usize,
     out: String,
+    metrics: String,
 }
 
 fn main() {
@@ -51,6 +57,7 @@ fn main() {
         threads: 0,
         repeats: 3,
         out: "BENCH_eval.json".to_string(),
+        metrics: "METRICS.json".to_string(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -64,6 +71,12 @@ fn main() {
             "--out" => {
                 opts.out = it.next().cloned().unwrap_or_else(|| {
                     eprintln!("flag --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--metrics" => {
+                opts.metrics = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("flag --metrics needs a path");
                     std::process::exit(2);
                 });
             }
@@ -132,7 +145,7 @@ fn print_usage() {
         "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|\n\
          \x20                degradation|length-sweep|bench-smoke|all>\n\
          \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]\n\
-         \x20       [--threads N] [--repeats N] [--out PATH]   (bench-smoke only)"
+         \x20       [--threads N] [--repeats N] [--out PATH] [--metrics PATH]   (bench-smoke only)"
     );
 }
 
@@ -395,8 +408,28 @@ fn run_bench_smoke(opts: &Options) {
     }
     println!("wrote {}", opts.out);
 
+    let tel = perf::bench_telemetry(&data, workload.queries(), &reqs, opts.max_k, opts.seed);
+    println!(
+        "telemetry pass: identical with recorder off: {} | on: {} | \
+         partition rounds {} | eval queries {}",
+        tel.identical_off,
+        tel.identical_on,
+        tel.snapshot.counter("partition.rounds").unwrap_or(0),
+        tel.snapshot.counter("eval.queries").unwrap_or(0),
+    );
+    let metrics = perf::metrics_to_json("xmark", &cfg, opts.max_k, workload.len(), &tel);
+    if let Err(e) = std::fs::write(&opts.metrics, &metrics) {
+        eprintln!("error: writing {}: {e}", opts.metrics);
+        std::process::exit(2);
+    }
+    println!("wrote {}", opts.metrics);
+
     if !eval.identical || builds.iter().any(|b| !b.identical) {
         eprintln!("FAIL: before/after paths disagree");
+        std::process::exit(1);
+    }
+    if !tel.identical() {
+        eprintln!("FAIL: telemetry recorder changed observable results");
         std::process::exit(1);
     }
 }

@@ -4,7 +4,7 @@
 //! "Before" is the retained reference implementation (allocator-per-query
 //! evaluation, vector-keyed signature refinement); "after" is the arena +
 //! memo evaluator and the [`RefineEngine`]. Both sides are checked for
-//! **byte-identical results** — same matches, same [`QueryCost`] visit
+//! **byte-identical results** — same matches, same [`dkindex_core::QueryCost`] visit
 //! counts, same partitions — before any timing is reported, so the speedup
 //! numbers can never come from computing something different.
 //!
@@ -13,12 +13,14 @@
 
 use dkindex_core::dk::{dk_partition_reference, dk_partition_with_engine};
 use dkindex_core::{
-    evaluate_workload_parallel, AkIndex, DkIndex, IndexEvalOutcome, IndexEvaluator, IndexGraph,
-    Requirements,
+    evaluate_workload_parallel, AdaptiveTuner, AkIndex, DkIndex, IndexEvalOutcome,
+    IndexEvaluator, IndexGraph, Requirements, TunerConfig,
 };
 use dkindex_graph::DataGraph;
 use dkindex_partition::{k_bisimulation, RefineEngine};
 use dkindex_pathexpr::PathExpr;
+use dkindex_telemetry as telemetry;
+use dkindex_workload::generate_update_edges;
 use std::time::Instant;
 
 /// Knobs for the smoke benchmark.
@@ -242,6 +244,142 @@ pub fn bench_smoke(
     (eval, builds)
 }
 
+/// Result of the telemetry transparency check plus one fully instrumented
+/// build → query → adapt pass.
+#[derive(Clone, Debug)]
+pub struct TelemetryBenchResult {
+    /// Fast paths matched the reference oracles with the recorder **off**.
+    pub identical_off: bool,
+    /// Fast paths matched the reference oracles with the recorder **on**.
+    pub identical_on: bool,
+    /// Snapshot taken after the instrumented pass (recorder already off).
+    pub snapshot: telemetry::Snapshot,
+}
+
+impl TelemetryBenchResult {
+    /// Both checks passed: telemetry is observationally transparent.
+    pub fn identical(&self) -> bool {
+        self.identical_off && self.identical_on
+    }
+}
+
+/// Verify that the telemetry recorder is observationally transparent and
+/// collect one instrumented pass for `METRICS.json`.
+///
+/// The oracles are the retained PR 1 reference paths — [`dk_partition_reference`]
+/// and [`IndexEvaluator::evaluate_baseline`], run with the recorder off. The
+/// fast paths ([`dk_partition_with_engine`], [`IndexEvaluator::evaluate_all`])
+/// are then run twice, recorder off and recorder on, and compared for
+/// byte-identical partitions, similarities, matches, and visit counts. The
+/// recorder-on run is wrapped in the `phase.build_ns` / `phase.query_ns`
+/// spans; a follow-up update + tuning round on cloned state fills
+/// `phase.adapt_ns` (it mutates the index, so it is exercised for its
+/// telemetry rather than compared).
+pub fn bench_telemetry(
+    data: &DataGraph,
+    queries: &[PathExpr],
+    reqs: &Requirements,
+    max_k: usize,
+    seed: u64,
+) -> TelemetryBenchResult {
+    telemetry::disable();
+
+    // Oracles: reference construction + baseline evaluation, recorder off.
+    let (oracle_p, oracle_sims) = dk_partition_reference(data, reqs, true);
+    let mut indexes: Vec<IndexGraph> = (0..=max_k)
+        .map(|k| AkIndex::build(data, k).index().clone())
+        .collect();
+    indexes.push(DkIndex::build(data, reqs.clone()).index().clone());
+    let mut oracle_out: Vec<IndexEvalOutcome> = Vec::new();
+    for index in &indexes {
+        let evaluator = IndexEvaluator::new(index, data);
+        oracle_out.extend(queries.iter().map(|q| evaluator.evaluate_baseline(q)));
+    }
+
+    let fast_pass = |indexes: &[IndexGraph]| {
+        let (p, sims) = {
+            let _span = telemetry::Span::start(&telemetry::metrics::PHASE_BUILD_NS);
+            dk_partition_with_engine(data, reqs, true, &mut RefineEngine::new())
+        };
+        let out = {
+            let _span = telemetry::Span::start(&telemetry::metrics::PHASE_QUERY_NS);
+            let mut all: Vec<IndexEvalOutcome> = Vec::new();
+            for index in indexes {
+                all.extend(IndexEvaluator::new(index, data).evaluate_all(queries));
+            }
+            all
+        };
+        (p, sims, out)
+    };
+
+    // Recorder off: the disabled spans above are inert.
+    let (p_off, sims_off, out_off) = fast_pass(&indexes);
+    let identical_off =
+        p_off == oracle_p && sims_off == oracle_sims && out_off == oracle_out;
+
+    // Recorder on: same work, now recorded under the phase spans.
+    telemetry::reset();
+    telemetry::enable();
+    let (p_on, sims_on, out_on) = fast_pass(&indexes);
+    {
+        // Adapt phase: the paper's update + tune loop on cloned state.
+        let _span = telemetry::Span::start(&telemetry::metrics::PHASE_ADAPT_NS);
+        let mut adapted = data.clone();
+        let mut dk = DkIndex::build(&adapted, reqs.clone());
+        for (u, v) in generate_update_edges(&adapted, 10, seed) {
+            dk.add_edge(&mut adapted, u, v);
+        }
+        dk.promote_to_requirements(&adapted);
+        let window = queries.len().max(1);
+        let mut tuner = AdaptiveTuner::new(
+            dk,
+            TunerConfig {
+                window,
+                ..TunerConfig::default()
+            },
+        );
+        for q in queries {
+            tuner.evaluate(&adapted, q);
+        }
+        tuner.maybe_tune(&adapted);
+    }
+    telemetry::disable();
+    let snapshot = telemetry::snapshot();
+    let identical_on = p_on == oracle_p && sims_on == oracle_sims && out_on == oracle_out;
+
+    TelemetryBenchResult {
+        identical_off,
+        identical_on,
+        snapshot,
+    }
+}
+
+/// Render the telemetry bench as the `METRICS.json` document: dataset +
+/// config header, the transparency verdicts, and the full recorder snapshot
+/// (per-phase span timings, refinement-round counts, visit histograms).
+pub fn metrics_to_json(
+    dataset: &str,
+    cfg: &PerfConfig,
+    max_k: usize,
+    queries: usize,
+    tel: &TelemetryBenchResult,
+) -> String {
+    let snapshot_json = tel.snapshot.to_json();
+    format!(
+        "{{\n  \"dataset\": \"{dataset}\",\n  \
+         \"config\": {{ \"threads\": {}, \"repeats\": {}, \"max_k\": {max_k}, \
+         \"queries\": {queries} }},\n  \
+         \"identical_with_telemetry_off\": {},\n  \
+         \"identical_with_telemetry_on\": {},\n  \
+         \"telemetry\": {}\n}}\n",
+        cfg.resolved_threads(),
+        cfg.repeats,
+        tel.identical_off,
+        tel.identical_on,
+        snapshot_json.trim_end(),
+    )
+}
+
 /// Render the results as a JSON document (hand-rolled: the workspace has no
 /// serialization dependency).
 pub fn to_json(
@@ -315,5 +453,27 @@ mod tests {
         let json = to_json("xmark-test", &cfg, &eval, &builds);
         assert!(json.contains("\"identical_outcomes\": true"));
         assert!(json.contains("\"identical_partition\": true"));
+    }
+
+    #[test]
+    fn telemetry_is_observationally_transparent() {
+        let data = datasets::xmark(0.004);
+        let workload = standard_workload(&data, 7);
+        let reqs = workload.mine_requirements();
+        let tel = bench_telemetry(&data, workload.queries(), &reqs, 2, 7);
+        assert!(tel.identical_off, "fast paths diverge with recorder off");
+        assert!(tel.identical_on, "fast paths diverge with recorder on");
+        assert!(tel.snapshot.counter("partition.rounds").unwrap_or(0) > 0);
+        assert!(tel.snapshot.counter("eval.queries").unwrap_or(0) > 0);
+        let cfg = PerfConfig {
+            threads: 2,
+            repeats: 1,
+        };
+        let json = metrics_to_json("xmark-test", &cfg, 2, workload.len(), &tel);
+        assert!(json.contains("\"identical_with_telemetry_off\": true"));
+        assert!(json.contains("\"identical_with_telemetry_on\": true"));
+        assert!(json.contains("phase.build_ns"));
+        assert!(json.contains("phase.query_ns"));
+        assert!(json.contains("phase.adapt_ns"));
     }
 }

@@ -6,6 +6,7 @@ use dkindex_core::{mine_requirements, DkIndex, FbIndex, IndexEvaluator, Requirem
 use dkindex_graph::stats::{label_histogram, GraphStats};
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
 use dkindex_pathexpr::{parse, parse_twig, PathExpr};
+use dkindex_telemetry as telemetry;
 use dkindex_xml::{stream_to_graph, GraphOptions};
 use std::fmt::Write as _;
 use std::fs;
@@ -13,7 +14,7 @@ use std::fs;
 /// CLI usage text.
 pub const USAGE: &str = "\
 usage:
-  dkindex stats <doc.xml> [--idref ATTR]...
+  dkindex stats <doc.xml> [--queries <file>] [--idref ATTR]...
   dkindex dot   <doc.xml> [--idref ATTR]...
   dkindex build <doc.xml> --out <index.dki> [--req LABEL=K]... [--uniform K]
                 [--queries <file>] [--idref ATTR]...
@@ -22,13 +23,55 @@ usage:
   dkindex twig  <doc.xml> <twig-query> [--idref ATTR]...
   dkindex add-edge <index.dki> <from-id> <to-id> --out <index2.dki>
   dkindex add-file <index.dki> <doc.xml> --out <index2.dki> [--idref ATTR]...
-  dkindex tune  <index.dki> --queries <file> --out <index2.dki>";
+  dkindex tune  <index.dki> --queries <file> --out <index2.dki>
+
+global flags:
+  --metrics <path>   record hot-path telemetry across the command and write
+                     a JSON snapshot to <path> on success";
 
 /// Top-level error type: every failure is reported as a message.
 pub type CliError = String;
 
 /// Dispatch a full argument vector (without the program name).
+///
+/// The global `--metrics <path>` flag is handled here, before the command is
+/// chosen: the telemetry recorder is reset and enabled for the duration of
+/// the command, and the resulting snapshot is written to `<path>` as JSON
+/// when the command succeeds. Telemetry never changes a command's output —
+/// only observes it.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let metrics_path = extract_metrics_flag(&mut args)?;
+    if metrics_path.is_some() {
+        telemetry::reset();
+        telemetry::enable();
+    }
+    let result = dispatch_command(&args);
+    if let Some(path) = metrics_path {
+        telemetry::disable();
+        if result.is_ok() {
+            fs::write(&path, telemetry::snapshot().to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    result
+}
+
+/// Strip `--metrics <path>` (anywhere in the argument vector) and return the
+/// path if the flag was present.
+fn extract_metrics_flag(args: &mut Vec<String>) -> Result<Option<String>, CliError> {
+    let Some(pos) = args.iter().position(|a| a == "--metrics") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("flag --metrics needs a value".to_string());
+    }
+    let path = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(path))
+}
+
+fn dispatch_command(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("stats") => cmd_stats(&args[1..]),
@@ -147,6 +190,39 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(out, "top labels:");
     for (name, count) in label_histogram(&g).into_iter().take(10) {
         let _ = writeln!(out, "  {name:<24} {count}");
+    }
+
+    // With a query file, exercise the build → query pipeline under the
+    // telemetry recorder and append a hot-path report: D(k) construction
+    // (requirements mined from the load), then evaluation of every query.
+    if let Some(qfile) = parsed.queries {
+        let queries = read_query_file(qfile)?;
+        let was_enabled = telemetry::is_enabled();
+        if !was_enabled {
+            telemetry::reset();
+            telemetry::enable();
+        }
+        let dk = {
+            let _span = telemetry::Span::start(&telemetry::metrics::PHASE_BUILD_NS);
+            DkIndex::build(&g, mine_requirements(&queries))
+        };
+        {
+            let _span = telemetry::Span::start(&telemetry::metrics::PHASE_QUERY_NS);
+            let mut evaluator = IndexEvaluator::new(dk.index(), &g);
+            for q in &queries {
+                evaluator.evaluate(q);
+            }
+        }
+        if !was_enabled {
+            telemetry::disable();
+        }
+        let _ = writeln!(
+            out,
+            "\ntelemetry (D(k) build + {} queries, {} index nodes):",
+            queries.len(),
+            dk.size()
+        );
+        out.push_str(&telemetry::snapshot().render_text());
     }
     Ok(out)
 }
@@ -538,6 +614,87 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("demoted"), "{out}");
+    }
+
+    /// The telemetry recorder is process-global and tests run on parallel
+    /// threads; tests that toggle it serialize here.
+    fn telemetry_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn stats_with_queries_appends_telemetry_report() {
+        let _guard = telemetry_test_lock();
+        let dir = TempDir::new("statstel");
+        let doc = write_doc(&dir);
+        let queries = dir.file("load.txt");
+        fs::write(&queries, "director.movie.title\nmovie.title\n").unwrap();
+        let out = run(&[
+            "stats",
+            doc.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("nodes"), "{out}"); // plain stats still present
+        assert!(out.contains("telemetry"), "{out}");
+        assert!(out.contains("eval.queries"), "{out}");
+        assert!(out.contains("dk.constructions"), "{out}");
+        assert!(out.contains("phase.build_ns"), "{out}");
+        assert!(out.contains("phase.query_ns"), "{out}");
+    }
+
+    #[test]
+    fn metrics_flag_writes_snapshot_and_leaves_output_unchanged() {
+        let _guard = telemetry_test_lock();
+        let dir = TempDir::new("metrics");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        let plain = run(&[
+            "build",
+            doc.to_str().unwrap(),
+            "--out",
+            idx.to_str().unwrap(),
+            "--uniform",
+            "1",
+        ])
+        .unwrap();
+
+        let idx2 = dir.file("index2.dki");
+        let metrics = dir.file("METRICS.json");
+        let recorded = run(&[
+            "build",
+            doc.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--out",
+            idx2.to_str().unwrap(),
+            "--uniform",
+            "1",
+        ])
+        .unwrap();
+        // Telemetry observes; it must not change what the command reports
+        // (up to the differing output path) or builds.
+        assert_eq!(
+            plain.replace(idx.to_str().unwrap(), "X"),
+            recorded.replace(idx2.to_str().unwrap(), "X")
+        );
+        assert_eq!(fs::read(&idx).unwrap(), fs::read(&idx2).unwrap());
+
+        let json = fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"histograms\""), "{json}");
+        assert!(json.contains("\"dk.constructions\""), "{json}");
+        assert!(!telemetry::is_enabled());
+    }
+
+    #[test]
+    fn metrics_flag_requires_a_value() {
+        let err = run(&["build", "doc.xml", "--metrics"]).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `dkindex` — command-line front-end for the D(k)-index library.
 //!
 //! ```text
-//! dkindex stats <doc.xml> [--idref ATTR]...
+//! dkindex stats <doc.xml> [--queries <file>] [--idref ATTR]...
 //! dkindex dot   <doc.xml> [--idref ATTR]...
 //! dkindex build <doc.xml> --out <index.dki> [--req LABEL=K]... [--uniform K]
 //!               [--queries <file>] [--idref ATTR]...
@@ -16,6 +16,12 @@
 //! and stores graph + index in a single `.dki` file; `query` loads it and
 //! evaluates with validation; `add-edge` applies the paper's edge-addition
 //! update and re-saves — no rebuild.
+//!
+//! Every command accepts the global `--metrics <path>` flag: the hot-path
+//! telemetry recorder (`dkindex-telemetry`) is enabled for the duration of
+//! the command and the snapshot is written to `<path>` as JSON. `stats
+//! --queries <file>` additionally runs the build → query pipeline on the
+//! document and appends a human-readable telemetry report.
 
 mod commands;
 

@@ -13,6 +13,7 @@ use crate::index_graph::IndexGraph;
 use crate::requirements::Requirements;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
 use dkindex_partition::{Partition, RefineEngine};
+use dkindex_telemetry as telemetry;
 
 /// Compute the D(k) partition of `g` together with the per-block local
 /// similarity (the broadcast-adjusted requirement). Generic over
@@ -48,6 +49,7 @@ pub fn dk_partition_with_engine<G: LabeledGraph + Sync>(
     use_broadcast: bool,
     engine: &mut RefineEngine,
 ) -> (Partition, Vec<usize>) {
+    let span = telemetry::Span::start(&telemetry::metrics::DK_CONSTRUCT_NS);
     let p0 = Partition::by_label(g);
     let table = reqs.resolve(g.labels());
     let mut block_req: Vec<usize> = p0
@@ -75,6 +77,10 @@ pub fn dk_partition_with_engine<G: LabeledGraph + Sync>(
         }
         p = next;
     }
+    drop(span);
+    telemetry::metrics::DK_CONSTRUCTIONS.incr();
+    telemetry::metrics::DK_CONSTRUCT_ROUNDS.add(k_max as u64);
+    telemetry::metrics::DK_BLOCKS_PER_CONSTRUCTION.record(p.block_count() as u64);
     (p, block_req)
 }
 

@@ -17,17 +17,22 @@ use crate::dk::construct::DkIndex;
 use crate::index_graph::IndexGraph;
 use crate::requirements::Requirements;
 use dkindex_graph::{LabeledGraph, NodeId};
+use dkindex_telemetry as telemetry;
 use std::collections::VecDeque;
 
 impl DkIndex {
     /// Demote to (lower) `new_requirements`, merging index nodes without
     /// touching the data graph. Returns the number of index nodes saved.
     pub fn demote(&mut self, new_requirements: Requirements) -> usize {
+        let _span = telemetry::Span::start(&telemetry::metrics::DK_DEMOTE_NS);
         let before = self.size();
         let merged = crate::dk::construct::reindex_dk(self.index(), &new_requirements);
         self.replace_index(merged);
         self.set_requirements(new_requirements);
-        before.saturating_sub(self.size())
+        let saved = before.saturating_sub(self.size());
+        telemetry::metrics::DK_DEMOTIONS.incr();
+        telemetry::metrics::DK_DEMOTE_NODES_SAVED.add(saved as u64);
+        saved
     }
 }
 

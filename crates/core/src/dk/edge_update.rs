@@ -13,6 +13,7 @@
 use crate::dk::construct::DkIndex;
 use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, EdgeKind, LabelId, LabeledGraph, NodeId};
+use dkindex_telemetry as telemetry;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Outcome of a D(k) edge-addition update.
@@ -121,6 +122,7 @@ impl DkIndex {
     /// adjust local similarities. Never touches the data graph beyond the
     /// edge insertion itself, and never changes extents or index size.
     pub fn add_edge(&mut self, data: &mut DataGraph, u: NodeId, v: NodeId) -> EdgeUpdateOutcome {
+        let _span = telemetry::Span::start(&telemetry::metrics::DK_EDGE_UPDATE_NS);
         let mut outcome = EdgeUpdateOutcome::default();
         if !data.add_edge(u, v, EdgeKind::Reference) {
             outcome.new_similarity = self.index().similarity(self.index().index_of(v));
@@ -144,6 +146,9 @@ impl DkIndex {
             outcome.lowered += 1;
         }
         lower_downstream(index, v_inode, &mut outcome);
+        telemetry::metrics::DK_EDGE_UPDATES.incr();
+        telemetry::metrics::DK_EDGE_NODES_LOWERED.add(outcome.lowered);
+        telemetry::metrics::DK_EDGE_NODES_TOUCHED.add(outcome.index_nodes_touched);
         outcome
     }
 }

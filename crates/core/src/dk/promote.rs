@@ -11,18 +11,21 @@
 use crate::dk::construct::DkIndex;
 use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_telemetry as telemetry;
 use std::collections::HashSet;
 
 impl DkIndex {
     /// Promote the index node containing `data_node` to local similarity
     /// `k_n`. Returns the number of extent splits performed.
     pub fn promote(&mut self, data: &DataGraph, data_node: NodeId, k_n: usize) -> usize {
+        telemetry::metrics::DK_PROMOTE_CALLS.incr();
         let mut splits = 0;
         // A split performed during promotion can move `data_node` into the
         // fresh fragment; re-resolve and continue until its node is raised.
         loop {
             let inode = self.index().index_of(data_node);
             if self.index().similarity(inode) >= k_n {
+                telemetry::metrics::DK_PROMOTE_SPLITS.add(splits as u64);
                 return splits;
             }
             promote_inode(self.index_mut(), data, inode, k_n, &mut splits, 0);
@@ -48,6 +51,7 @@ impl DkIndex {
     /// promoting one node splits others (its recursive parents), and the
     /// split fragments may themselves still need a raise.
     pub fn promote_to_requirements(&mut self, data: &DataGraph) -> usize {
+        let _span = telemetry::Span::start(&telemetry::metrics::DK_PROMOTE_NS);
         let reqs = self.requirements().clone();
         let mut splits = 0;
         loop {

@@ -12,9 +12,16 @@
 //! Cost accounting: `index_visits` counts `(state, node)` activations on the
 //! index graph; `data_visits` counts activations during validation walks.
 //! Extent members of sound matches are not counted (per §6.1).
+//!
+//! Every [`IndexEvaluator::evaluate`] call feeds the `eval.*` telemetry
+//! metrics (queries, index/data visits, sound extents, validated queries,
+//! memo hits, per-query visit histogram and the `eval.query_ns` span);
+//! [`IndexEvaluator::evaluate_baseline`] is the retained §6.1 oracle and is
+//! deliberately uninstrumented.
 
 use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_telemetry as telemetry;
 use dkindex_pathexpr::{
     evaluate_baseline, evaluate_with, matches_ending_at_baseline, matches_ending_at_with,
     EvalArena, LabelIndex, Nfa, PathExpr,
@@ -100,6 +107,7 @@ impl<'a> IndexEvaluator<'a> {
     /// Evaluate `expr` through the index, validating approximate matches
     /// against the data graph.
     pub fn evaluate(&mut self, expr: &PathExpr) -> IndexEvalOutcome {
+        let span = telemetry::Span::start(&telemetry::metrics::EVAL_QUERY_NS);
         let nfa = Nfa::compile(expr, self.index.labels());
         let on_index = evaluate_with(self.index, &nfa, &self.index_labels, &mut self.arena);
 
@@ -123,6 +131,7 @@ impl<'a> IndexEvaluator<'a> {
                 None => false,
             };
             if sound {
+                telemetry::metrics::EVAL_SOUND_EXTENTS.incr();
                 matches.extend_from_slice(self.index.extent(inode));
                 continue;
             }
@@ -133,6 +142,7 @@ impl<'a> IndexEvaluator<'a> {
             });
             if let Some((hits, visits)) = self.validation_memo.get(&(qid, inode)) {
                 // Replay: identical hits AND identical charged visits.
+                telemetry::metrics::EVAL_MEMO_HITS.incr();
                 cost.data_visits += visits;
                 matches.extend_from_slice(hits);
                 continue;
@@ -155,6 +165,16 @@ impl<'a> IndexEvaluator<'a> {
         }
         matches.sort_unstable();
         matches.dedup();
+
+        telemetry::metrics::EVAL_QUERIES.incr();
+        telemetry::metrics::EVAL_INDEX_VISITS.add(cost.index_visits);
+        telemetry::metrics::EVAL_DATA_VISITS.add(cost.data_visits);
+        if validated {
+            telemetry::metrics::EVAL_VALIDATED_QUERIES.incr();
+        }
+        telemetry::metrics::EVAL_VISITS_PER_QUERY.record(cost.total());
+        drop(span);
+
         IndexEvalOutcome {
             matches,
             cost,

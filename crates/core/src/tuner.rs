@@ -38,6 +38,7 @@ use crate::mining::mine_requirements_weighted;
 use crate::requirements::Requirements;
 use dkindex_graph::DataGraph;
 use dkindex_pathexpr::PathExpr;
+use dkindex_telemetry as telemetry;
 use std::collections::HashMap;
 
 /// Tuning policy knobs.
@@ -132,6 +133,10 @@ impl AdaptiveTuner {
         self.seen += 1;
         self.total_queries += 1;
         self.validations += u64::from(out.validated);
+        telemetry::metrics::TUNER_QUERIES.incr();
+        if out.validated {
+            telemetry::metrics::TUNER_VALIDATIONS.incr();
+        }
         out
     }
 
@@ -141,6 +146,8 @@ impl AdaptiveTuner {
         if self.seen < self.config.window {
             return TuningAction::None;
         }
+        telemetry::metrics::TUNER_WINDOWS.incr();
+        let _span = telemetry::Span::start(&telemetry::metrics::TUNER_TUNE_NS);
         let weighted: Vec<(PathExpr, u64)> = self.observed.drain().collect();
         self.seen = 0;
         let mined = mine_requirements_weighted(&weighted, self.config.min_support);
@@ -164,12 +171,14 @@ impl AdaptiveTuner {
             }
             self.dk.set_requirements_public(merged);
             let splits = self.dk.promote_to_requirements(data);
+            telemetry::metrics::TUNER_PROMOTIONS.incr();
             return TuningAction::Promoted { splits };
         }
 
         // Shrink only when the load clearly got shallower (hysteresis).
         if mined.max_requirement() + self.config.demote_slack < current.max_requirement() {
             let saved = self.dk.demote(mined);
+            telemetry::metrics::TUNER_DEMOTIONS.incr();
             return TuningAction::Demoted { nodes_saved: saved };
         }
         TuningAction::None

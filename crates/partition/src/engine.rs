@@ -1,5 +1,13 @@
 //! The allocation-free, batch-parallel refinement engine.
 //!
+//! This is the workhorse behind every summary construction in the paper:
+//! A(k) k-bisimulation (§2) and the D(k)-index's selective refinement rounds
+//! (§4.2, Algorithm 2) are both driven through it. Each round (one per
+//! k-level) is recorded under the `partition.*` telemetry metrics —
+//! `partition.rounds`, `partition.symbols_interned`,
+//! `partition.blocks_per_round` and the `partition.round_ns` span — when the
+//! recorder is enabled.
+//!
 //! [`RefineEngine`] computes the same rounds as [`crate::refine`] — regroup
 //! nodes by `(current block, sorted parent-block set)` — but holds every
 //! piece of scratch state across rounds:
@@ -26,6 +34,7 @@
 
 use crate::partition::{BlockId, Partition};
 use dkindex_graph::{LabeledGraph, NodeId};
+use dkindex_telemetry as telemetry;
 use std::collections::HashMap;
 
 /// Symbol given to members of blocks a selective round passes through
@@ -149,9 +158,26 @@ impl RefineEngine {
     ) -> (Partition, bool) {
         let n = g.node_count();
         debug_assert_eq!(n, prev.node_count());
+        let span = telemetry::Span::start(&telemetry::metrics::PARTITION_ROUND_NS);
         self.compute_signatures(g, prev, &refine_block);
         self.intern_symbols(prev, &refine_block, n);
-        self.regroup(prev, n)
+        let (next, changed) = self.regroup(prev, n);
+        drop(span);
+        telemetry::metrics::PARTITION_ROUNDS.incr();
+        if changed {
+            telemetry::metrics::PARTITION_ROUNDS_CHANGED.incr();
+        }
+        telemetry::metrics::PARTITION_SYMBOLS_INTERNED.add(self.sym_slice.len() as u64);
+        telemetry::metrics::PARTITION_BLOCKS_PER_ROUND.record(next.block_count() as u64);
+        if telemetry::is_enabled() {
+            let refined = self
+                .node_symbol
+                .iter()
+                .filter(|&&s| s != SKIP_SYMBOL)
+                .count();
+            telemetry::metrics::PARTITION_NODES_REFINED.add(refined as u64);
+        }
+        (next, changed)
     }
 
     /// Stage 1: fill `sig_data` / `sig_bounds` with every refined node's
@@ -389,7 +415,7 @@ mod tests {
         let mut engine = RefineEngine::new();
         let p = refine::k_bisimulation(&g, 1);
         // Refine only even-numbered blocks.
-        let flag = |b: BlockId| b.index() % 2 == 0;
+        let flag = |b: BlockId| b.index() & 1 == 0;
         let (reference, ref_changed) = refine::refine_round_selective(&g, &p, flag);
         let (fast, fast_changed) = engine.refine_round_selective(&g, &p, flag);
         assert_eq!(reference, fast);

@@ -18,6 +18,7 @@
 
 use crate::nfa::{Nfa, StateId, Step};
 use dkindex_graph::{LabeledGraph, Marks, NodeId};
+use dkindex_telemetry as telemetry;
 
 /// Label → nodes inverted index for one graph. Build once per graph (its
 /// construction is not charged to any query).
@@ -174,6 +175,10 @@ pub fn evaluate_with<G: LabeledGraph>(
         }
     }
 
+    telemetry::metrics::PATHEXPR_EVALUATIONS.incr();
+    telemetry::metrics::PATHEXPR_ACTIVATIONS.add(visited);
+    telemetry::metrics::PATHEXPR_VISITS_PER_EVAL.record(visited);
+
     let mut matches = std::mem::take(matched_list);
     matches.sort_unstable();
     EvalOutcome { matches, visited }
@@ -197,6 +202,13 @@ pub fn matches_ending_at_with<G: LabeledGraph>(
     node: NodeId,
     arena: &mut EvalArena,
 ) -> (bool, u64) {
+    // Aggregate recording at every exit; the walk itself is untouched.
+    fn finish(hit: bool, visited: u64) -> (bool, u64) {
+        telemetry::metrics::PATHEXPR_VALIDATION_WALKS.incr();
+        telemetry::metrics::PATHEXPR_VALIDATION_ACTIVATIONS.add(visited);
+        (hit, visited)
+    }
+
     let states = reversed.state_count();
     let nodes = g.node_count();
 
@@ -213,7 +225,7 @@ pub fn matches_ending_at_with<G: LabeledGraph>(
         if step.matches(node_label) && active.mark(target.index() * nodes + node.index()) {
             visited += 1;
             if reversed.is_accepting(target) {
-                return (true, visited);
+                return finish(true, visited);
             }
             queue.push((target, node));
         }
@@ -231,14 +243,14 @@ pub fn matches_ending_at_with<G: LabeledGraph>(
                 {
                     visited += 1;
                     if reversed.is_accepting(target) {
-                        return (true, visited);
+                        return finish(true, visited);
                     }
                     queue.push((target, parent));
                 }
             }
         }
     }
-    (false, visited)
+    finish(false, visited)
 }
 
 /// The pre-arena reference implementation of [`evaluate`]: allocates fresh

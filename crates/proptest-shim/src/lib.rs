@@ -436,7 +436,7 @@ pub mod prop {
             }
         }
 
-        /// Lengths accepted by [`vec`].
+        /// Lengths accepted by [`vec()`].
         pub trait IntoSizeRange {
             /// Convert into `[lo, hi)` bounds.
             fn bounds(self) -> (usize, usize);
@@ -743,9 +743,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "property")]
     fn failing_property_panics_with_case_info() {
+        // No `#[test]` on the inner fn: nested test attributes are inert and
+        // rustc warns about them; the property is driven by hand below.
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
-            #[test]
             fn always_fails(_x in 0u8..4) {
                 prop_assert!(false, "intentional");
             }

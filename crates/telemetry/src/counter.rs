@@ -1,0 +1,84 @@
+//! Monotone atomic event counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named, monotonically increasing `u64` counter.
+///
+/// `const`-constructible so every workspace metric is a `static` in
+/// [`crate::metrics`] — no registration step, no allocation, no locks.
+/// [`add`](Counter::add) is a no-op while the global recorder is off.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh zero counter. `name` is the stable identifier reported in
+    /// snapshots (`"partition.rounds"`, `"eval.queries"`, ...).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` to the counter if the recorder is enabled; no-op otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one if the recorder is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (readable regardless of the recorder state).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::recorder_lock;
+
+    static TEST_COUNTER: Counter = Counter::new("test.counter");
+
+    #[test]
+    fn add_and_incr_accumulate_only_when_enabled() {
+        let _guard = recorder_lock();
+        TEST_COUNTER.reset();
+        crate::disable();
+        TEST_COUNTER.add(10);
+        TEST_COUNTER.incr();
+        assert_eq!(TEST_COUNTER.get(), 0);
+        crate::enable();
+        TEST_COUNTER.add(10);
+        TEST_COUNTER.incr();
+        crate::disable();
+        assert_eq!(TEST_COUNTER.get(), 11);
+        TEST_COUNTER.reset();
+        assert_eq!(TEST_COUNTER.get(), 0);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        assert_eq!(TEST_COUNTER.name(), "test.counter");
+    }
+}

@@ -1,0 +1,201 @@
+//! # dkindex-telemetry
+//!
+//! Zero-dependency observability for the D(k)-index hot paths. The paper's
+//! central claim (§6) is that the D(k)-index *adapts* — its k-values,
+//! partition sizes and query costs shift with the workload — and this crate
+//! makes that adaptation visible while it happens instead of only in
+//! end-of-run aggregates:
+//!
+//! * [`Counter`] — a monotone `AtomicU64` event counter.
+//! * [`Histogram`] — a fixed-size log2-bucket histogram (65 buckets covering
+//!   the whole `u64` range) with sum / count / min / max, used both for
+//!   value distributions (query visit counts, blocks per round) and for
+//!   span durations in nanoseconds.
+//! * [`Span`] — an RAII timer: construct at the top of a scope, the elapsed
+//!   nanoseconds are recorded into a [`Histogram`] on drop.
+//! * a **global recorder switch** ([`enable`] / [`disable`] / [`reset`]):
+//!   telemetry is *off by default*; every record operation first checks one
+//!   relaxed atomic load and is a no-op when the recorder is off, so
+//!   instrumented hot paths cost (almost) nothing unless observability was
+//!   asked for. Recording only ever *reads* the values it is handed, so
+//!   enabling the recorder can never change matches, visit counts or
+//!   partitions — the test suite and `reproduce bench-smoke` assert this
+//!   byte-for-byte.
+//! * [`metrics`] — the workspace-wide registry of every metric: NFA
+//!   evaluation and validation walks (`dkindex-pathexpr`), signature
+//!   interning and regroup rounds (`dkindex-partition`'s `RefineEngine`),
+//!   D(k) construction / promotion / demotion / edge updates and the
+//!   adaptive tuning loop (`dkindex-core`), update-stream generation
+//!   (`dkindex-workload`), and the build → query → adapt phase spans used
+//!   by the CLI and the bench harness.
+//! * [`snapshot`] / [`Snapshot`] — a consistent-enough point-in-time read
+//!   of every registered metric, renderable as JSON (`METRICS.json`,
+//!   `dkindex --metrics <path>`) or as a human-readable text report
+//!   (`dkindex stats`).
+//!
+//! ## Example
+//!
+//! ```
+//! use dkindex_telemetry as telemetry;
+//!
+//! telemetry::reset();
+//! telemetry::enable();
+//! telemetry::metrics::EVAL_QUERIES.add(1);
+//! telemetry::metrics::EVAL_VISITS_PER_QUERY.record(42);
+//! {
+//!     let _span = telemetry::Span::start(&telemetry::metrics::PHASE_QUERY_NS);
+//!     // ... evaluate ...
+//! } // elapsed nanoseconds recorded here
+//! telemetry::disable();
+//!
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter("eval.queries"), Some(1));
+//! assert!(snap.to_json().contains("\"eval.visits_per_query\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+pub mod metrics;
+mod snapshot;
+mod span;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, Unit, BUCKETS};
+pub use snapshot::{CounterSnapshot, HistogramSnapshot, Snapshot};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The global recorder switch. Off by default; every record operation checks
+/// this with one `Relaxed` load before doing any work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is the recorder currently on?
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the recorder on: subsequent counter adds, histogram records and span
+/// timings take effect.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the recorder off: subsequent record operations become no-ops.
+/// Already-recorded values are kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Zero every registered metric. Does not change the on/off state.
+pub fn reset() {
+    for c in metrics::counters() {
+        c.reset();
+    }
+    for h in metrics::histograms() {
+        h.reset();
+    }
+}
+
+/// Read every registered metric into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    Snapshot::collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! The recorder switch is process-global and `cargo test` runs tests on
+    //! multiple threads, so tests that enable/disable/reset serialize on this
+    //! lock.
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+    pub fn recorder_lock() -> MutexGuard<'static, ()> {
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_starts_disabled_and_toggles() {
+        let _guard = test_support::recorder_lock();
+        disable();
+        assert!(!is_enabled());
+        enable();
+        assert!(is_enabled());
+        disable();
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let _guard = test_support::recorder_lock();
+        disable();
+        reset();
+        metrics::EVAL_QUERIES.add(5);
+        metrics::EVAL_VISITS_PER_QUERY.record(100);
+        assert_eq!(metrics::EVAL_QUERIES.get(), 0);
+        assert_eq!(metrics::EVAL_VISITS_PER_QUERY.count(), 0);
+    }
+
+    #[test]
+    fn enabled_recorder_accumulates_and_reset_clears() {
+        let _guard = test_support::recorder_lock();
+        reset();
+        enable();
+        metrics::EVAL_QUERIES.add(2);
+        metrics::EVAL_QUERIES.add(3);
+        metrics::EVAL_VISITS_PER_QUERY.record(7);
+        disable();
+        assert_eq!(metrics::EVAL_QUERIES.get(), 5);
+        assert_eq!(metrics::EVAL_VISITS_PER_QUERY.count(), 1);
+        assert_eq!(metrics::EVAL_VISITS_PER_QUERY.sum(), 7);
+        reset();
+        assert_eq!(metrics::EVAL_QUERIES.get(), 0);
+        assert_eq!(metrics::EVAL_VISITS_PER_QUERY.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_from_scoped_workers_sum_exactly() {
+        let _guard = test_support::recorder_lock();
+        reset();
+        enable();
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        metrics::PATHEXPR_ACTIVATIONS.add(1);
+                        metrics::PATHEXPR_VISITS_PER_EVAL.record(t as u64 * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        disable();
+        let expected = THREADS as u64 * PER_THREAD;
+        assert_eq!(metrics::PATHEXPR_ACTIVATIONS.get(), expected);
+        assert_eq!(metrics::PATHEXPR_VISITS_PER_EVAL.count(), expected);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_names_are_unique() {
+        let mut names: Vec<&str> = metrics::counters().iter().map(|c| c.name()).collect();
+        names.extend(metrics::histograms().iter().map(|h| h.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric name registered");
+    }
+}

@@ -1,0 +1,192 @@
+//! The workspace-wide metric registry.
+//!
+//! Every metric recorded anywhere in the D(k)-index workspace is a `static`
+//! defined here, grouped by the crate that records it. Centralizing the
+//! definitions keeps snapshotting trivial (one flat list per kind, no
+//! runtime registration) and makes the full observable surface reviewable
+//! in one file. Naming convention: `<area>.<event>`, durations end in
+//! `_ns`.
+
+use crate::{Counter, Histogram, Unit};
+
+// ---- dkindex-pathexpr: NFA evaluation and validation walks --------------
+
+/// Forward NFA evaluations performed (`evaluate_with`).
+pub static PATHEXPR_EVALUATIONS: Counter = Counter::new("pathexpr.evaluations");
+/// Total `(state, node)` activations across forward evaluations — the
+/// paper's §6.1 "nodes visited" cost, summed.
+pub static PATHEXPR_ACTIVATIONS: Counter = Counter::new("pathexpr.activations");
+/// Backward validation walks performed (`matches_ending_at_with`).
+pub static PATHEXPR_VALIDATION_WALKS: Counter = Counter::new("pathexpr.validation_walks");
+/// Total activations charged during backward validation walks.
+pub static PATHEXPR_VALIDATION_ACTIVATIONS: Counter =
+    Counter::new("pathexpr.validation_activations");
+/// Distribution of per-evaluation visit counts (forward evaluations).
+pub static PATHEXPR_VISITS_PER_EVAL: Histogram =
+    Histogram::new("pathexpr.visits_per_eval", Unit::Count);
+
+// ---- dkindex-partition: RefineEngine rounds ------------------------------
+
+/// Refinement rounds executed by `RefineEngine`.
+pub static PARTITION_ROUNDS: Counter = Counter::new("partition.rounds");
+/// Rounds that actually split at least one block.
+pub static PARTITION_ROUNDS_CHANGED: Counter = Counter::new("partition.rounds_changed");
+/// Nodes whose signature was computed (i.e. not skipped by a selective
+/// round) summed over all rounds.
+pub static PARTITION_NODES_REFINED: Counter = Counter::new("partition.nodes_refined");
+/// Distinct signatures interned, summed over all rounds.
+pub static PARTITION_SYMBOLS_INTERNED: Counter = Counter::new("partition.symbols_interned");
+/// Distribution of block counts after each round — the index size
+/// trajectory during construction.
+pub static PARTITION_BLOCKS_PER_ROUND: Histogram =
+    Histogram::new("partition.blocks_per_round", Unit::Count);
+/// Wall-clock per refinement round.
+pub static PARTITION_ROUND_NS: Histogram = Histogram::new("partition.round_ns", Unit::Nanos);
+
+// ---- dkindex-core: index-level query evaluation (§6.1) -------------------
+
+/// Queries evaluated through `IndexEvaluator::evaluate`.
+pub static EVAL_QUERIES: Counter = Counter::new("eval.queries");
+/// Index-graph activations charged across all queries.
+pub static EVAL_INDEX_VISITS: Counter = Counter::new("eval.index_visits");
+/// Data-graph activations charged during validation across all queries.
+pub static EVAL_DATA_VISITS: Counter = Counter::new("eval.data_visits");
+/// Matched index nodes answered soundly (whole extent free, no validation).
+pub static EVAL_SOUND_EXTENTS: Counter = Counter::new("eval.sound_extents");
+/// Queries that needed the validation process for at least one match.
+pub static EVAL_VALIDATED_QUERIES: Counter = Counter::new("eval.validated_queries");
+/// Validation verdicts replayed from the evaluator's memo instead of
+/// re-walking the data graph.
+pub static EVAL_MEMO_HITS: Counter = Counter::new("eval.memo_hits");
+/// Distribution of per-query total visit counts (index + data) — the
+/// paper's cost-model Y axis as a histogram.
+pub static EVAL_VISITS_PER_QUERY: Histogram =
+    Histogram::new("eval.visits_per_query", Unit::Count);
+/// Wall-clock per query (evaluation + validation).
+pub static EVAL_QUERY_NS: Histogram = Histogram::new("eval.query_ns", Unit::Nanos);
+
+// ---- dkindex-core: D(k) construction and maintenance (§4–§5) -------------
+
+/// D(k) partition constructions (Algorithm 2 runs).
+pub static DK_CONSTRUCTIONS: Counter = Counter::new("dk.constructions");
+/// Selective refinement rounds driven by D(k) construction, summed.
+pub static DK_CONSTRUCT_ROUNDS: Counter = Counter::new("dk.construct_rounds");
+/// Distribution of final block counts per construction.
+pub static DK_BLOCKS_PER_CONSTRUCTION: Histogram =
+    Histogram::new("dk.blocks_per_construction", Unit::Count);
+/// Wall-clock per construction.
+pub static DK_CONSTRUCT_NS: Histogram = Histogram::new("dk.construct_ns", Unit::Nanos);
+/// Promoting-process invocations (`DkIndex::promote`, §5.3).
+pub static DK_PROMOTE_CALLS: Counter = Counter::new("dk.promote_calls");
+/// Extent splits performed by promotions.
+pub static DK_PROMOTE_SPLITS: Counter = Counter::new("dk.promote_splits");
+/// Wall-clock per `promote_to_requirements` pass.
+pub static DK_PROMOTE_NS: Histogram = Histogram::new("dk.promote_ns", Unit::Nanos);
+/// Demoting-process invocations (`DkIndex::demote`, §5.4).
+pub static DK_DEMOTIONS: Counter = Counter::new("dk.demotions");
+/// Index nodes merged away by demotions.
+pub static DK_DEMOTE_NODES_SAVED: Counter = Counter::new("dk.demote_nodes_saved");
+/// Wall-clock per demotion.
+pub static DK_DEMOTE_NS: Histogram = Histogram::new("dk.demote_ns", Unit::Nanos);
+/// Edge-addition updates applied (Algorithms 4+5, §5.2).
+pub static DK_EDGE_UPDATES: Counter = Counter::new("dk.edge_updates");
+/// Index nodes whose similarity an edge update lowered.
+pub static DK_EDGE_NODES_LOWERED: Counter = Counter::new("dk.edge_nodes_lowered");
+/// Index nodes touched by edge updates (the Table 1 work measure).
+pub static DK_EDGE_NODES_TOUCHED: Counter = Counter::new("dk.edge_nodes_touched");
+/// Wall-clock per edge update.
+pub static DK_EDGE_UPDATE_NS: Histogram = Histogram::new("dk.edge_update_ns", Unit::Nanos);
+
+// ---- dkindex-core: the adaptive tuning loop (§5.3/§5.4/§7) ---------------
+
+/// Queries recorded by `AdaptiveTuner::evaluate`.
+pub static TUNER_QUERIES: Counter = Counter::new("tuner.queries");
+/// Recorded queries that triggered validation.
+pub static TUNER_VALIDATIONS: Counter = Counter::new("tuner.validations");
+/// Observation windows that filled and ran the tuning step.
+pub static TUNER_WINDOWS: Counter = Counter::new("tuner.windows");
+/// Tuning steps that promoted (index split up toward the load).
+pub static TUNER_PROMOTIONS: Counter = Counter::new("tuner.promotions");
+/// Tuning steps that demoted (index shrunk away from a shallow load).
+pub static TUNER_DEMOTIONS: Counter = Counter::new("tuner.demotions");
+/// Wall-clock per executed tuning step (full windows only).
+pub static TUNER_TUNE_NS: Histogram = Histogram::new("tuner.tune_ns", Unit::Nanos);
+
+// ---- dkindex-workload: update-stream generation (§6.2) -------------------
+
+/// Update edges generated.
+pub static UPDATES_EDGES_GENERATED: Counter = Counter::new("updates.edges_generated");
+/// Candidate draws rejected (duplicate edge, self loop, empty label group).
+pub static UPDATES_REJECTED_DRAWS: Counter = Counter::new("updates.rejected_draws");
+/// Wall-clock per update-stream generation.
+pub static UPDATES_GENERATE_NS: Histogram =
+    Histogram::new("updates.generate_ns", Unit::Nanos);
+
+// ---- build → query → adapt phase spans (CLI + bench harness) -------------
+
+/// Wall-clock of whole build phases (XML → graph → index).
+pub static PHASE_BUILD_NS: Histogram = Histogram::new("phase.build_ns", Unit::Nanos);
+/// Wall-clock of whole query phases (workload evaluation).
+pub static PHASE_QUERY_NS: Histogram = Histogram::new("phase.query_ns", Unit::Nanos);
+/// Wall-clock of whole adapt phases (updates + promote/demote/tuning).
+pub static PHASE_ADAPT_NS: Histogram = Histogram::new("phase.adapt_ns", Unit::Nanos);
+
+/// Every registered counter, in reporting order.
+pub fn counters() -> &'static [&'static Counter] {
+    static ALL: [&Counter; 30] = [
+        &PATHEXPR_EVALUATIONS,
+        &PATHEXPR_ACTIVATIONS,
+        &PATHEXPR_VALIDATION_WALKS,
+        &PATHEXPR_VALIDATION_ACTIVATIONS,
+        &PARTITION_ROUNDS,
+        &PARTITION_ROUNDS_CHANGED,
+        &PARTITION_NODES_REFINED,
+        &PARTITION_SYMBOLS_INTERNED,
+        &EVAL_QUERIES,
+        &EVAL_INDEX_VISITS,
+        &EVAL_DATA_VISITS,
+        &EVAL_SOUND_EXTENTS,
+        &EVAL_VALIDATED_QUERIES,
+        &EVAL_MEMO_HITS,
+        &DK_CONSTRUCTIONS,
+        &DK_CONSTRUCT_ROUNDS,
+        &DK_PROMOTE_CALLS,
+        &DK_PROMOTE_SPLITS,
+        &DK_DEMOTIONS,
+        &DK_DEMOTE_NODES_SAVED,
+        &DK_EDGE_UPDATES,
+        &DK_EDGE_NODES_LOWERED,
+        &DK_EDGE_NODES_TOUCHED,
+        &TUNER_QUERIES,
+        &TUNER_VALIDATIONS,
+        &TUNER_WINDOWS,
+        &TUNER_PROMOTIONS,
+        &TUNER_DEMOTIONS,
+        &UPDATES_EDGES_GENERATED,
+        &UPDATES_REJECTED_DRAWS,
+    ];
+    &ALL
+}
+
+/// Every registered histogram (value distributions and span timings), in
+/// reporting order.
+pub fn histograms() -> &'static [&'static Histogram] {
+    static ALL: [&Histogram; 15] = [
+        &PATHEXPR_VISITS_PER_EVAL,
+        &PARTITION_BLOCKS_PER_ROUND,
+        &PARTITION_ROUND_NS,
+        &EVAL_VISITS_PER_QUERY,
+        &EVAL_QUERY_NS,
+        &DK_BLOCKS_PER_CONSTRUCTION,
+        &DK_CONSTRUCT_NS,
+        &DK_PROMOTE_NS,
+        &DK_DEMOTE_NS,
+        &DK_EDGE_UPDATE_NS,
+        &TUNER_TUNE_NS,
+        &UPDATES_GENERATE_NS,
+        &PHASE_BUILD_NS,
+        &PHASE_QUERY_NS,
+        &PHASE_ADAPT_NS,
+    ];
+    &ALL
+}

@@ -1,0 +1,79 @@
+//! RAII span timers.
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// An RAII timer: created at the top of a scope, records the scope's
+/// elapsed nanoseconds into its [`Histogram`] when dropped.
+///
+/// If the recorder is off at construction time the span holds no start
+/// instant and drop is a no-op — a disabled span never calls
+/// [`Instant::now`] at all. A span started while the recorder was on but
+/// dropped after it was turned off also records nothing (the histogram's
+/// own gate drops the value), so toggling mid-span cannot tear state.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    histogram: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Start timing into `histogram` (which should have
+    /// [`Unit::Nanos`](crate::Unit::Nanos)).
+    #[inline]
+    pub fn start(histogram: &'static Histogram) -> Self {
+        Span {
+            histogram,
+            start: crate::is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Elapsed nanoseconds so far, or `None` for a disabled span.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start
+            .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(ns) = self.elapsed_ns() {
+            self.histogram.record(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::recorder_lock;
+    use crate::Unit;
+
+    static SPAN_HIST: Histogram = Histogram::new("test.span_ns", Unit::Nanos);
+
+    #[test]
+    fn span_records_elapsed_time_when_enabled() {
+        let _guard = recorder_lock();
+        SPAN_HIST.reset();
+        crate::enable();
+        {
+            let _span = Span::start(&SPAN_HIST);
+            std::hint::black_box(0u64);
+        }
+        crate::disable();
+        assert_eq!(SPAN_HIST.count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = recorder_lock();
+        SPAN_HIST.reset();
+        crate::disable();
+        {
+            let span = Span::start(&SPAN_HIST);
+            assert_eq!(span.elapsed_ns(), None);
+        }
+        assert_eq!(SPAN_HIST.count(), 0);
+    }
+}

@@ -11,6 +11,7 @@
 //! genuine references.
 
 use dkindex_graph::{DataGraph, EdgeKind, LabelId, LabeledGraph, NodeId};
+use dkindex_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,6 +37,7 @@ pub fn generate_update_edges(
     count: usize,
     seed: u64,
 ) -> Vec<(NodeId, NodeId)> {
+    let _span = telemetry::Span::start(&telemetry::metrics::UPDATES_GENERATE_NS);
     let pairs = reference_label_pairs(data);
     assert!(
         !pairs.is_empty(),
@@ -58,15 +60,18 @@ pub fn generate_update_edges(
         let sources = &by_label[src_label.index()];
         let targets = &by_label[dst_label.index()];
         if sources.is_empty() || targets.is_empty() {
+            telemetry::metrics::UPDATES_REJECTED_DRAWS.incr();
             continue;
         }
         let u = sources[rng.gen_range(0..sources.len())];
         let v = targets[rng.gen_range(0..targets.len())];
         if u == v || data.has_edge(u, v) || edges.contains(&(u, v)) {
+            telemetry::metrics::UPDATES_REJECTED_DRAWS.incr();
             continue;
         }
         edges.push((u, v));
     }
+    telemetry::metrics::UPDATES_EDGES_GENERATED.add(edges.len() as u64);
     edges
 }
 

@@ -20,6 +20,9 @@
 //!   validation; query-load mining.
 //! * [`datagen`] — XMark-like and NASA-like dataset generators.
 //! * [`workload`] — the paper's test-path and update-stream generators.
+//! * [`telemetry`] — zero-dependency counters, histograms and span timers
+//!   wired through the build/query/adapt hot paths; off by default and
+//!   observationally transparent (see `tests/telemetry_transparency.rs`).
 //!
 //! ## Quickstart
 //!
@@ -51,5 +54,6 @@ pub use dkindex_datagen as datagen;
 pub use dkindex_graph as graph;
 pub use dkindex_partition as partition;
 pub use dkindex_pathexpr as pathexpr;
+pub use dkindex_telemetry as telemetry;
 pub use dkindex_workload as workload;
 pub use dkindex_xml as xml;

@@ -1,0 +1,163 @@
+//! Telemetry transparency: the recorder must add **no observable change** to
+//! any result the library produces.
+//!
+//! Every instrumented fast path is run three ways — recorder off, recorder
+//! on, and recorder off again — and compared against the retained PR 1
+//! reference oracles ([`pathexpr::evaluate_baseline`],
+//! [`partition::k_bisimulation`], `core::dk::dk_partition_reference`,
+//! [`core::IndexEvaluator::evaluate_baseline`]): same matches, same visit
+//! counts, same partition identity, byte for byte.
+//!
+//! The recorder is process-global, so every test takes [`lock`] before
+//! toggling it (the test harness runs tests on parallel threads).
+
+use dkindex::core::dk::{dk_partition_reference, dk_partition_with_engine};
+use dkindex::core::{DkIndex, IndexEvaluator};
+use dkindex::datagen::{xmark_graph, XmarkConfig};
+use dkindex::graph::{DataGraph, LabeledGraph};
+use dkindex::partition::{k_bisimulation, RefineEngine};
+use dkindex::pathexpr::{
+    evaluate, evaluate_baseline, matches_ending_at, matches_ending_at_baseline, LabelIndex, Nfa,
+};
+use dkindex::telemetry;
+use dkindex::workload::{generate_test_paths, WorkloadConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn data() -> DataGraph {
+    xmark_graph(&XmarkConfig::tiny())
+}
+
+/// Run `f` with the recorder off, then on, then off again, asserting all
+/// three results are equal; returns the recorder-off result.
+fn run_in_all_recorder_states<T: PartialEq + std::fmt::Debug>(mut f: impl FnMut() -> T) -> T {
+    telemetry::disable();
+    let off = f();
+    telemetry::reset();
+    telemetry::enable();
+    let on = f();
+    telemetry::disable();
+    let off_again = f();
+    assert_eq!(off, on, "recorder on changed the result");
+    assert_eq!(off, off_again, "recorder left residual state");
+    off
+}
+
+#[test]
+fn pathexpr_evaluation_is_unchanged_by_recorder() {
+    let _guard = lock();
+    let g = data();
+    let idx = LabelIndex::build(&g);
+    let workload = generate_test_paths(
+        &g,
+        &WorkloadConfig {
+            count: 25,
+            seed: 11,
+            ..WorkloadConfig::default()
+        },
+    );
+    for q in workload.queries() {
+        let nfa = Nfa::compile(q, g.labels());
+        let fast = run_in_all_recorder_states(|| evaluate(&g, &nfa, &idx));
+        let oracle = evaluate_baseline(&g, &nfa, &idx);
+        assert_eq!(fast.matches, oracle.matches, "{q}");
+        assert_eq!(fast.visited, oracle.visited, "{q}");
+
+        // Validation walks: compare the instrumented reverse walk too.
+        let reversed = nfa.reverse();
+        for node in g.node_ids().take(40) {
+            let fast = run_in_all_recorder_states(|| matches_ending_at(&g, &reversed, node));
+            assert_eq!(fast, matches_ending_at_baseline(&g, &reversed, node), "{q}");
+        }
+    }
+}
+
+#[test]
+fn partition_refinement_is_unchanged_by_recorder() {
+    let _guard = lock();
+    let g = data();
+    for k in [0, 1, 3] {
+        let fast = run_in_all_recorder_states(|| RefineEngine::new().k_bisimulation(&g, k));
+        let oracle = k_bisimulation(&g, k);
+        assert_eq!(fast, oracle, "A({k}) partition identity");
+    }
+}
+
+#[test]
+fn dk_construction_is_unchanged_by_recorder() {
+    let _guard = lock();
+    let g = data();
+    let workload = generate_test_paths(
+        &g,
+        &WorkloadConfig {
+            count: 30,
+            seed: 5,
+            ..WorkloadConfig::default()
+        },
+    );
+    let reqs = workload.mine_requirements();
+    let fast = run_in_all_recorder_states(|| {
+        dk_partition_with_engine(&g, &reqs, true, &mut RefineEngine::new())
+    });
+    let (oracle_p, oracle_sims) = dk_partition_reference(&g, &reqs, true);
+    assert_eq!(fast.0, oracle_p, "D(k) partition identity");
+    assert_eq!(fast.1, oracle_sims, "D(k) similarities");
+}
+
+#[test]
+fn index_evaluation_is_unchanged_by_recorder() {
+    let _guard = lock();
+    let g = data();
+    let workload = generate_test_paths(
+        &g,
+        &WorkloadConfig {
+            count: 30,
+            seed: 5,
+            ..WorkloadConfig::default()
+        },
+    );
+    let dk = DkIndex::build(&g, workload.mine_requirements());
+    let fast = run_in_all_recorder_states(|| {
+        IndexEvaluator::new(dk.index(), &g).evaluate_all(workload.queries())
+    });
+    let evaluator = IndexEvaluator::new(dk.index(), &g);
+    for (q, out) in workload.queries().iter().zip(&fast) {
+        let oracle = evaluator.evaluate_baseline(q);
+        assert_eq!(out.matches, oracle.matches, "{q}: matches");
+        assert_eq!(out.cost, oracle.cost, "{q}: visit counts");
+        assert_eq!(out.validated, oracle.validated, "{q}: validation");
+    }
+}
+
+#[test]
+fn recorder_on_actually_records_the_oracle_checked_work() {
+    // Guard against the transparency tests passing vacuously because the
+    // hooks were compiled out: the same fast paths must move the counters.
+    let _guard = lock();
+    let g = data();
+    let workload = generate_test_paths(
+        &g,
+        &WorkloadConfig {
+            count: 10,
+            seed: 2,
+            ..WorkloadConfig::default()
+        },
+    );
+    let reqs = workload.mine_requirements();
+    telemetry::reset();
+    telemetry::enable();
+    let dk = DkIndex::build(&g, reqs);
+    IndexEvaluator::new(dk.index(), &g).evaluate_all(workload.queries());
+    telemetry::disable();
+    let snap = telemetry::snapshot();
+    assert!(snap.counter("dk.constructions").unwrap_or(0) > 0);
+    assert!(snap.counter("partition.rounds").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("eval.queries"), Some(workload.len() as u64));
+    assert!(snap.histogram("eval.visits_per_query").is_some());
+}
