@@ -1,11 +1,13 @@
-.PHONY: verify test build bench-smoke doc clippy
+.PHONY: verify test build bench-smoke verify-faults doc clippy
 
 # Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
 # that the arena evaluator and the refinement engine produce byte-identical
 # outcomes/partitions to the retained baselines — and that the telemetry
-# recorder changes no observable result — exiting non-zero if not. `doc`
-# and `clippy` must both come back warning-free.
-verify: build test bench-smoke doc clippy
+# recorder changes no observable result — exiting non-zero if not.
+# `verify-faults` sweeps injected snapshot/WAL corruption and fails on any
+# panic or silently accepted damage. `doc` and `clippy` must both come back
+# warning-free.
+verify: build test bench-smoke verify-faults doc clippy
 
 build:
 	cargo build --release
@@ -15,6 +17,9 @@ test:
 
 bench-smoke:
 	cargo run --release -q -p dkindex-bench --bin reproduce -- bench-smoke
+
+verify-faults:
+	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-faults
 
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -11,5 +11,6 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod faults;
 pub mod perf;
 pub mod report;

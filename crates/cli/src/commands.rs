@@ -1,7 +1,13 @@
 //! Command implementations for the `dkindex` binary. Each command returns
 //! its textual output so the test suite can drive the full CLI in-process.
+//!
+//! Failures are typed ([`CliError`]) and each class maps to a distinct exit
+//! code (see [`CliError::exit_code`]); no user input — malformed flags,
+//! unreadable files, corrupt indexes, hostile XML — reaches a panic.
 
-use dkindex_core::store::{load_dk, save_dk};
+use dkindex_core::audit::{audit_dk, AuditConfig, Severity};
+use dkindex_core::snapshot::{self, load_index_bytes, save_snapshot_file, snapshot_bytes};
+use dkindex_core::wal::{self, WalRecord, WalTail, WalWriter};
 use dkindex_core::{mine_requirements, DkIndex, FbIndex, IndexEvaluator, Requirements};
 use dkindex_graph::stats::{label_histogram, GraphStats};
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
@@ -19,18 +25,108 @@ usage:
   dkindex build <doc.xml> --out <index.dki> [--req LABEL=K]... [--uniform K]
                 [--queries <file>] [--idref ATTR]...
   dkindex info  <index.dki>
-  dkindex query <index.dki> <path-expression>
+  dkindex query <index.dki> <path-expression> [--budget N]
   dkindex twig  <doc.xml> <twig-query> [--idref ATTR]...
   dkindex add-edge <index.dki> <from-id> <to-id> --out <index2.dki>
+                [--wal <file.wal>]
   dkindex add-file <index.dki> <doc.xml> --out <index2.dki> [--idref ATTR]...
   dkindex tune  <index.dki> --queries <file> --out <index2.dki>
+  dkindex snapshot <index.dki> --out <snap.dki> [--wal <file.wal>]
+  dkindex recover  <snap.dki> --out <fixed.dki> [--wal <file.wal>]
+  dkindex doctor   <index.dki>
 
 global flags:
   --metrics <path>   record hot-path telemetry across the command and write
-                     a JSON snapshot to <path> on success";
+                     a JSON snapshot to <path> on success
 
-/// Top-level error type: every failure is reported as a message.
-pub type CliError = String;
+exit codes:
+  0 success   2 usage/query syntax   3 I/O   4 corrupt input
+  5 doctor found corruption          6 query aborted (budget)";
+
+/// Top-level error type: every failure class is distinguishable by the
+/// caller, and each maps to its own process exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed command line: unknown command or flag, missing argument,
+    /// unparseable number or `LABEL=K` spec.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path the operation failed on.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// An input file was readable but its content is malformed — hostile
+    /// XML, a corrupt snapshot or WAL, a truncated legacy index.
+    Invalid {
+        /// The offending file.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A path expression or twig query failed to parse.
+    Query(String),
+    /// `doctor` found invariant violations that make answers untrustworthy.
+    Unsound {
+        /// Number of corruption-severity findings.
+        corruptions: usize,
+        /// The rendered report.
+        report: String,
+    },
+    /// A bounded query exhausted its visit budget.
+    Aborted(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::Query(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Invalid { .. } => 4,
+            CliError::Unsound { .. } => 5,
+            CliError::Aborted(_) => 6,
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError::Usage(message.into())
+    }
+
+    fn io(path: impl Into<String>, source: std::io::Error) -> CliError {
+        CliError::Io { path: path.into(), source }
+    }
+
+    fn invalid(path: impl Into<String>, message: impl ToString) -> CliError {
+        CliError::Invalid {
+            path: path.into(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Query(m) | CliError::Aborted(m) => write!(f, "{m}"),
+            CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
+            CliError::Invalid { path, message } => write!(f, "{path}: {message}"),
+            CliError::Unsound { corruptions, report } => {
+                write!(f, "index is unsound ({corruptions} corruption finding(s))\n{report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Dispatch a full argument vector (without the program name).
 ///
@@ -51,7 +147,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         telemetry::disable();
         if result.is_ok() {
             fs::write(&path, telemetry::snapshot().to_json())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                .map_err(|e| CliError::io(&path, e))?;
         }
     }
     result
@@ -64,7 +160,7 @@ fn extract_metrics_flag(args: &mut Vec<String>) -> Result<Option<String>, CliErr
         return Ok(None);
     };
     if pos + 1 >= args.len() {
-        return Err("flag --metrics needs a value".to_string());
+        return Err(CliError::usage("flag --metrics needs a value"));
     }
     let path = args.remove(pos + 1);
     args.remove(pos);
@@ -83,9 +179,12 @@ fn dispatch_command(args: &[String]) -> Result<String, CliError> {
         Some("add-edge") => cmd_add_edge(&args[1..]),
         Some("add-file") => cmd_add_file(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
+        Some("doctor") => cmd_doctor(&args[1..]),
         Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
-        Some(other) => Err(format!("unknown command {other:?}")),
-        None => Err("missing command".to_string()),
+        Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
+        None => Err(CliError::usage("missing command")),
     }
 }
 
@@ -97,6 +196,8 @@ struct Parsed<'a> {
     uniform: Option<usize>,
     out: Option<&'a str>,
     queries: Option<&'a str>,
+    wal: Option<&'a str>,
+    budget: Option<u64>,
 }
 
 fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
@@ -107,6 +208,8 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
         uniform: None,
         out: None,
         queries: None,
+        wal: None,
+        budget: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -118,22 +221,32 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
                 let spec = next_value(&mut it, "--req")?;
                 let (label, k) = spec
                     .split_once('=')
-                    .ok_or_else(|| format!("--req expects LABEL=K, got {spec:?}"))?;
+                    .ok_or_else(|| CliError::usage(format!("--req expects LABEL=K, got {spec:?}")))?;
                 let k: usize = k
                     .parse()
-                    .map_err(|_| format!("--req {label}: K must be a number"))?;
+                    .map_err(|_| CliError::usage(format!("--req {label}: K must be a number")))?;
                 parsed.reqs.push((label.to_string(), k));
             }
             "--uniform" => {
                 parsed.uniform = Some(
                     next_value(&mut it, "--uniform")?
                         .parse()
-                        .map_err(|_| "--uniform expects a number".to_string())?,
+                        .map_err(|_| CliError::usage("--uniform expects a number"))?,
+                )
+            }
+            "--budget" => {
+                parsed.budget = Some(
+                    next_value(&mut it, "--budget")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--budget expects a number"))?,
                 )
             }
             "--out" => parsed.out = Some(next_value(&mut it, "--out")?),
             "--queries" => parsed.queries = Some(next_value(&mut it, "--queries")?),
-            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            "--wal" => parsed.wal = Some(next_value(&mut it, "--wal")?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown flag {flag:?}")))
+            }
             positional => parsed.positional.push(positional),
         }
     }
@@ -146,43 +259,72 @@ fn next_value<'a>(
 ) -> Result<&'a str, CliError> {
     it.next()
         .map(String::as_str)
-        .ok_or_else(|| format!("flag {flag} needs a value"))
+        .ok_or_else(|| CliError::usage(format!("flag {flag} needs a value")))
 }
 
 /// Read a query-load file: one path expression per line, `#` comments and
 /// blank lines ignored.
 fn read_query_file(path: &str) -> Result<Vec<PathExpr>, CliError> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
     let mut queries: Vec<PathExpr> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        queries.push(parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+        queries.push(
+            parse(line).map_err(|e| CliError::Query(format!("{path}:{}: {e}", lineno + 1)))?,
+        );
     }
     Ok(queries)
 }
 
 fn load_xml(path: &str, idrefs: &[String]) -> Result<DataGraph, CliError> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
     let mut options = GraphOptions::default();
     if !idrefs.is_empty() {
         options.idref_attributes = idrefs.to_vec();
     }
     // Streaming build: O(depth) memory, same graph as the DOM path.
-    stream_to_graph(&text, &options).map_err(|e| format!("{path}: {e}"))
+    stream_to_graph(&text, &options).map_err(|e| CliError::invalid(path, e))
 }
 
+/// Load an index of either format (checksummed `DKSN` snapshot or legacy
+/// bare stream), sniffing the magic. Strict: corruption is a typed error,
+/// never a panic (see `recover` for the graceful path).
 fn load_index(path: &str) -> Result<(DkIndex, DataGraph), CliError> {
-    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    load_dk(&mut bytes.as_slice()).map_err(|e| format!("{path}: {e}"))
+    let bytes = fs::read(path).map_err(|e| CliError::io(path, e))?;
+    let (dk, g, _) = load_index_bytes(&bytes).map_err(|e| CliError::invalid(path, e))?;
+    Ok((dk, g))
+}
+
+/// Serialize `dk` + `g` as a checksummed snapshot and write it to `path`.
+fn save_index(dk: &DkIndex, g: &DataGraph, path: &str) -> Result<usize, CliError> {
+    let bytes = snapshot_bytes(dk, g);
+    fs::write(path, &bytes).map_err(|e| CliError::io(path, e))?;
+    Ok(bytes.len())
+}
+
+/// Replay a WAL file (if given) into `dk`/`g`, returning a human-readable
+/// one-liner about what was applied.
+fn replay_wal_file(
+    dk: &mut DkIndex,
+    g: &mut DataGraph,
+    path: &str,
+) -> Result<String, CliError> {
+    let bytes = fs::read(path).map_err(|e| CliError::io(path, e))?;
+    let report = wal::replay(dk, g, &bytes).map_err(|e| CliError::invalid(path, e))?;
+    let torn = match report.tail {
+        WalTail::Clean => "",
+        WalTail::Torn { .. } => " (torn tail truncated)",
+    };
+    Ok(format!("replayed {} WAL record(s) from {path}{torn}", report.applied))
 }
 
 fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path] = parsed.positional[..] else {
-        return Err("stats expects exactly one XML file".to_string());
+        return Err(CliError::usage("stats expects exactly one XML file"));
     };
     let g = load_xml(path, &parsed.idrefs)?;
     let mut out = String::new();
@@ -230,7 +372,7 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
 fn cmd_dot(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path] = parsed.positional[..] else {
-        return Err("dot expects exactly one XML file".to_string());
+        return Err(CliError::usage("dot expects exactly one XML file"));
     };
     let g = load_xml(path, &parsed.idrefs)?;
     Ok(dkindex_graph::dot::to_dot(&g))
@@ -239,9 +381,11 @@ fn cmd_dot(args: &[String]) -> Result<String, CliError> {
 fn cmd_build(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path] = parsed.positional[..] else {
-        return Err("build expects exactly one XML file".to_string());
+        return Err(CliError::usage("build expects exactly one XML file"));
     };
-    let out_path = parsed.out.ok_or("build needs --out <index.dki>")?;
+    let out_path = parsed
+        .out
+        .ok_or_else(|| CliError::usage("build needs --out <index.dki>"))?;
     let g = load_xml(path, &parsed.idrefs)?;
 
     let mut reqs = match parsed.uniform {
@@ -261,21 +405,18 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     }
 
     let dk = DkIndex::build(&g, reqs);
-    let mut bytes = Vec::new();
-    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
-    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let bytes = save_index(&dk, &g, out_path)?;
     Ok(format!(
-        "indexed {} data nodes into {} index nodes -> {out_path} ({} bytes)\n",
+        "indexed {} data nodes into {} index nodes -> {out_path} ({bytes} bytes)\n",
         g.node_count(),
         dk.size(),
-        bytes.len()
     ))
 }
 
 fn cmd_info(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path] = parsed.positional[..] else {
-        return Err("info expects exactly one index file".to_string());
+        return Err(CliError::usage("info expects exactly one index file"));
     };
     let (dk, g) = load_index(path)?;
     let mut out = String::new();
@@ -287,11 +428,18 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
 fn cmd_query(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path, expr_text] = parsed.positional[..] else {
-        return Err("query expects <index.dki> <path-expression>".to_string());
+        return Err(CliError::usage("query expects <index.dki> <path-expression>"));
     };
     let (dk, g) = load_index(path)?;
-    let expr = parse(expr_text).map_err(|e| e.to_string())?;
-    let out = IndexEvaluator::new(dk.index(), &g).evaluate(&expr);
+    let expr = parse(expr_text).map_err(|e| CliError::Query(e.to_string()))?;
+    let mut evaluator = IndexEvaluator::new(dk.index(), &g);
+    let out = match parsed.budget {
+        // Bounded execution: a typed abort, never a partial answer.
+        Some(budget) => evaluator
+            .evaluate_bounded(&expr, budget)
+            .map_err(|e| CliError::Aborted(e.to_string()))?,
+        None => evaluator.evaluate(&expr),
+    };
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -314,10 +462,10 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
 fn cmd_twig(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path, twig_text] = parsed.positional[..] else {
-        return Err("twig expects <doc.xml> <twig-query>".to_string());
+        return Err(CliError::usage("twig expects <doc.xml> <twig-query>"));
     };
     let g = load_xml(path, &parsed.idrefs)?;
-    let twig = parse_twig(twig_text).map_err(|e| e.to_string())?;
+    let twig = parse_twig(twig_text).map_err(|e| CliError::Query(e.to_string()))?;
     let fb = FbIndex::build(&g);
     let (matches, visited) = fb.evaluate_twig(&twig);
     let mut text = String::new();
@@ -337,24 +485,48 @@ fn cmd_twig(args: &[String]) -> Result<String, CliError> {
 fn cmd_add_edge(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path, from, to] = parsed.positional[..] else {
-        return Err("add-edge expects <index.dki> <from-id> <to-id>".to_string());
+        return Err(CliError::usage("add-edge expects <index.dki> <from-id> <to-id>"));
     };
-    let out_path = parsed.out.ok_or("add-edge needs --out <index.dki>")?;
+    let out_path = parsed
+        .out
+        .ok_or_else(|| CliError::usage("add-edge needs --out <index.dki>"))?;
     let (mut dk, mut g) = load_index(path)?;
-    let from: usize = from.parse().map_err(|_| "from-id must be a number")?;
-    let to: usize = to.parse().map_err(|_| "to-id must be a number")?;
+    let from: usize = from
+        .parse()
+        .map_err(|_| CliError::usage("from-id must be a number"))?;
+    let to: usize = to
+        .parse()
+        .map_err(|_| CliError::usage("to-id must be a number"))?;
     if from >= g.node_count() || to >= g.node_count() {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "node ids must be < {} (data node count)",
             g.node_count()
-        ));
+        )));
+    }
+    let record = WalRecord::AddEdge {
+        from: NodeId::from_index(from),
+        to: NodeId::from_index(to),
+    };
+    // Durability ordering: log the update before applying it, so a crash
+    // between the two leaves a WAL that replays to the intended state.
+    let mut wal_note = String::new();
+    if let Some(wal_path) = parsed.wal {
+        let mut writer = if fs::metadata(wal_path).is_ok() {
+            WalWriter::open(std::path::Path::new(wal_path))
+                .map_err(|e| CliError::invalid(wal_path, e))?
+        } else {
+            WalWriter::create(std::path::Path::new(wal_path))
+                .map_err(|e| CliError::io(wal_path, e))?
+        };
+        writer
+            .append(&record)
+            .map_err(|e| CliError::io(wal_path, e))?;
+        wal_note = format!("; logged to {wal_path}");
     }
     let outcome = dk.add_edge(&mut g, NodeId::from_index(from), NodeId::from_index(to));
-    let mut bytes = Vec::new();
-    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
-    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    save_index(&dk, &g, out_path)?;
     Ok(format!(
-        "added edge {from} -> {to}; target similarity now {}, {} node(s) lowered -> {out_path}\n",
+        "added edge {from} -> {to}; target similarity now {}, {} node(s) lowered -> {out_path}{wal_note}\n",
         outcome.new_similarity, outcome.lowered
     ))
 }
@@ -362,16 +534,16 @@ fn cmd_add_edge(args: &[String]) -> Result<String, CliError> {
 fn cmd_add_file(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [index_path, doc_path] = parsed.positional[..] else {
-        return Err("add-file expects <index.dki> <doc.xml>".to_string());
+        return Err(CliError::usage("add-file expects <index.dki> <doc.xml>"));
     };
-    let out_path = parsed.out.ok_or("add-file needs --out <index.dki>")?;
+    let out_path = parsed
+        .out
+        .ok_or_else(|| CliError::usage("add-file needs --out <index.dki>"))?;
     let (mut dk, mut g) = load_index(index_path)?;
     let sub = load_xml(doc_path, &parsed.idrefs)?;
     let before = g.node_count();
     dk.add_subgraph(&mut g, &sub);
-    let mut bytes = Vec::new();
-    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
-    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    save_index(&dk, &g, out_path)?;
     Ok(format!(
         "inserted {} new data nodes (now {}); index has {} nodes -> {out_path}\n",
         g.node_count() - before,
@@ -383,10 +555,14 @@ fn cmd_add_file(args: &[String]) -> Result<String, CliError> {
 fn cmd_tune(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [index_path] = parsed.positional[..] else {
-        return Err("tune expects exactly one index file".to_string());
+        return Err(CliError::usage("tune expects exactly one index file"));
     };
-    let out_path = parsed.out.ok_or("tune needs --out <index.dki>")?;
-    let qfile = parsed.queries.ok_or("tune needs --queries <file>")?;
+    let out_path = parsed
+        .out
+        .ok_or_else(|| CliError::usage("tune needs --out <index.dki>"))?;
+    let qfile = parsed
+        .queries
+        .ok_or_else(|| CliError::usage("tune needs --queries <file>"))?;
     let (mut dk, g) = load_index(index_path)?;
     let queries = read_query_file(qfile)?;
     let mined = mine_requirements(&queries);
@@ -406,10 +582,126 @@ fn cmd_tune(args: &[String]) -> Result<String, CliError> {
         let saved = dk.demote(mined);
         format!("demoted: {saved} index nodes merged, size {before} -> {}", dk.size())
     };
-    let mut bytes = Vec::new();
-    save_dk(&dk, &g, &mut bytes).map_err(|e| format!("serialize: {e}"))?;
-    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    save_index(&dk, &g, out_path)?;
     Ok(format!("{report} -> {out_path}\n"))
+}
+
+/// `snapshot`: load an index of either format (optionally replaying a WAL
+/// on top) and write it as a checksummed `DKSN` snapshot, atomically.
+fn cmd_snapshot(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path] = parsed.positional[..] else {
+        return Err(CliError::usage("snapshot expects exactly one index file"));
+    };
+    let out_path = parsed
+        .out
+        .ok_or_else(|| CliError::usage("snapshot needs --out <snap.dki>"))?;
+    let (mut dk, mut g) = load_index(path)?;
+    let mut notes = Vec::new();
+    if let Some(wal_path) = parsed.wal {
+        notes.push(replay_wal_file(&mut dk, &mut g, wal_path)?);
+    }
+    save_snapshot_file(&dk, &g, std::path::Path::new(out_path))
+        .map_err(|e| CliError::io(out_path, e))?;
+    let mut out = String::new();
+    for note in notes {
+        let _ = writeln!(out, "{note}");
+    }
+    let _ = writeln!(
+        out,
+        "snapshot of {} data / {} index nodes -> {out_path}",
+        g.node_count(),
+        dk.size()
+    );
+    Ok(out)
+}
+
+/// `recover`: gracefully load a (possibly damaged) snapshot — rebuilding
+/// the index from the data graph where necessary — optionally replay a WAL,
+/// and write a fresh snapshot. Only an unrecoverable file (damaged graph
+/// section) fails.
+fn cmd_recover(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path] = parsed.positional[..] else {
+        return Err(CliError::usage("recover expects exactly one snapshot file"));
+    };
+    let out_path = parsed
+        .out
+        .ok_or_else(|| CliError::usage("recover needs --out <fixed.dki>"))?;
+    let bytes = fs::read(path).map_err(|e| CliError::io(path, e))?;
+    let (mut dk, mut g, recovery) = if bytes.starts_with(snapshot::MAGIC) {
+        snapshot::load_with_recovery(&bytes).map_err(|e| CliError::invalid(path, e))?
+    } else {
+        // Legacy files have no per-section checksums to recover with; a
+        // strict read either works or is a typed error.
+        let (dk, g, _) = load_index_bytes(&bytes).map_err(|e| CliError::invalid(path, e))?;
+        (dk, g, snapshot::Recovery::default())
+    };
+    let mut out = String::new();
+    if recovery.is_intact() {
+        let _ = writeln!(out, "snapshot intact");
+    } else {
+        for note in &recovery.notes {
+            let _ = writeln!(out, "recovered: {note}");
+        }
+    }
+    if let Some(wal_path) = parsed.wal {
+        let note = replay_wal_file(&mut dk, &mut g, wal_path)?;
+        let _ = writeln!(out, "{note}");
+    }
+    save_snapshot_file(&dk, &g, std::path::Path::new(out_path))
+        .map_err(|e| CliError::io(out_path, e))?;
+    let _ = writeln!(
+        out,
+        "{} data / {} index nodes -> {out_path}",
+        g.node_count(),
+        dk.size()
+    );
+    Ok(out)
+}
+
+/// `doctor`: diagnose without repairing. Loads the file (gracefully for
+/// snapshots, so section-level damage is reported rather than fatal), runs
+/// the invariant auditor, and exits non-zero exactly when the stored index
+/// could return wrong answers.
+fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [path] = parsed.positional[..] else {
+        return Err(CliError::usage("doctor expects exactly one index file"));
+    };
+    let bytes = fs::read(path).map_err(|e| CliError::io(path, e))?;
+    let (dk, g, recovery) = if bytes.starts_with(snapshot::MAGIC) {
+        snapshot::load_with_recovery(&bytes).map_err(|e| CliError::invalid(path, e))?
+    } else {
+        let (dk, g, _) = load_index_bytes(&bytes).map_err(|e| CliError::invalid(path, e))?;
+        (dk, g, snapshot::Recovery::default())
+    };
+
+    let report = audit_dk(&dk, &g, &AuditConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {} data / {} index nodes", g.node_count(), dk.size());
+    for note in &recovery.notes {
+        let _ = writeln!(out, "  container: {note}");
+    }
+    out.push_str(&report.render_text());
+
+    // A rebuilt/degraded section is storage corruption even though the
+    // in-memory index (post-recovery) audits clean.
+    let corruptions = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Corruption)
+        .count()
+        + recovery.notes.len();
+    if corruptions > 0 {
+        return Err(CliError::Unsound { corruptions, report: out });
+    }
+    if report.is_clean() {
+        let _ = writeln!(out, "index is healthy");
+    } else {
+        let _ = writeln!(out, "index is degraded but exact (promotion will restore targets)");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -694,27 +986,185 @@ mod tests {
     #[test]
     fn metrics_flag_requires_a_value() {
         let err = run(&["build", "doc.xml", "--metrics"]).unwrap_err();
-        assert!(err.contains("--metrics"), "{err}");
+        assert!(err.to_string().contains("--metrics"), "{err}");
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
-    fn helpful_errors() {
-        assert!(run(&[]).is_err());
-        assert!(run(&["frobnicate"]).is_err());
-        assert!(run(&["build", "nope.xml"]).unwrap_err().contains("--out"));
-        assert!(run(&["query", "missing.dki", "a.b"])
-            .unwrap_err()
-            .contains("missing.dki"));
+    fn helpful_errors_with_typed_exit_codes() {
+        assert_eq!(run(&[]).unwrap_err().exit_code(), 2);
+        assert_eq!(run(&["frobnicate"]).unwrap_err().exit_code(), 2);
+        let err = run(&["build", "nope.xml"]).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&["query", "missing.dki", "a.b"]).unwrap_err();
+        assert!(err.to_string().contains("missing.dki"));
+        assert_eq!(err.exit_code(), 3);
         let dir = TempDir::new("err");
         let doc = write_doc(&dir);
-        assert!(run(&["build", doc.to_str().unwrap(), "--out", "/x", "--req", "bad"])
-            .unwrap_err()
-            .contains("LABEL=K"));
+        let err = run(&["build", doc.to_str().unwrap(), "--out", "/x", "--req", "bad"])
+            .unwrap_err();
+        assert!(err.to_string().contains("LABEL=K"));
+        assert_eq!(err.exit_code(), 2);
+        // A bad query expression against a real index is a syntax error.
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap()]).unwrap();
+        let err = run(&["query", idx.to_str().unwrap(), "movie..title"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn corrupt_index_is_a_typed_error_not_a_panic() {
+        let dir = TempDir::new("corrupt");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap()]).unwrap();
+        let mut bytes = fs::read(&idx).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let bad = dir.file("bad.dki");
+        fs::write(&bad, &bytes).unwrap();
+        // Strict consumers (info/query) refuse with exit code 4; doctor
+        // reports what is wrong with exit code 4 or 5 — nobody panics.
+        for verb in ["info", "query"] {
+            let mut args = vec![verb, bad.to_str().unwrap()];
+            if verb == "query" {
+                args.push("movie");
+            }
+            let err = run(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 4, "{verb}: {err}");
+        }
+        let err = run(&["doctor", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.exit_code() == 4 || err.exit_code() == 5, "{err}");
+    }
+
+    #[test]
+    fn snapshot_recover_doctor_round_trip() {
+        let dir = TempDir::new("srd");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "1"])
+            .unwrap();
+
+        // Healthy: doctor exits zero (Ok) and says so.
+        let out = run(&["doctor", idx.to_str().unwrap()]).unwrap();
+        assert!(out.contains("healthy"), "{out}");
+
+        // snapshot re-emits a loadable file.
+        let snap = dir.file("snap.dki");
+        run(&["snapshot", idx.to_str().unwrap(), "--out", snap.to_str().unwrap()]).unwrap();
+        let q = run(&["query", snap.to_str().unwrap(), "movie.title"]).unwrap();
+        assert!(q.contains("match(es)"), "{q}");
+
+        // Corrupt the index section; recover rebuilds from the graph.
+        let healthy = fs::read(&snap).unwrap();
+        let mut bytes = healthy.clone();
+        let pos = bytes.len() - 12; // inside the INDX payload
+        bytes[pos] ^= 0x01;
+        let bad = dir.file("bad.dki");
+        fs::write(&bad, &bytes).unwrap();
+        let err = run(&["doctor", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+
+        let fixed = dir.file("fixed.dki");
+        let out = run(&[
+            "recover",
+            bad.to_str().unwrap(),
+            "--out",
+            fixed.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("recovered"), "{out}");
+        // The recovered snapshot is byte-identical to the healthy one
+        // (deterministic rebuild from the intact graph + requirements).
+        assert_eq!(fs::read(&fixed).unwrap(), healthy);
+        let out = run(&["doctor", fixed.to_str().unwrap()]).unwrap();
+        assert!(out.contains("healthy"), "{out}");
+    }
+
+    #[test]
+    fn add_edge_logs_to_wal_and_snapshot_replays_it() {
+        let dir = TempDir::new("waledge");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "2"])
+            .unwrap();
+        let walp = dir.file("updates.wal");
+        let idx2 = dir.file("index2.dki");
+        let out = run(&[
+            "add-edge", idx.to_str().unwrap(), "2", "4",
+            "--out", idx2.to_str().unwrap(),
+            "--wal", walp.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("logged to"), "{out}");
+        // A second logged update appends to the same WAL.
+        let idx3 = dir.file("index3.dki");
+        run(&[
+            "add-edge", idx2.to_str().unwrap(), "6", "3",
+            "--out", idx3.to_str().unwrap(),
+            "--wal", walp.to_str().unwrap(),
+        ])
+        .unwrap();
+        // snapshot --wal replays the log over the *original* index and must
+        // land on the same bytes as the incrementally updated index.
+        let replayed = dir.file("replayed.dki");
+        let out = run(&[
+            "snapshot", idx.to_str().unwrap(),
+            "--out", replayed.to_str().unwrap(),
+            "--wal", walp.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("replayed 2 WAL record(s)"), "{out}");
+        assert_eq!(fs::read(&replayed).unwrap(), fs::read(&idx3).unwrap());
+    }
+
+    #[test]
+    fn query_budget_aborts_with_typed_error() {
+        let dir = TempDir::new("budget");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap()]).unwrap();
+        // A generous budget answers normally…
+        let ok = run(&[
+            "query", idx.to_str().unwrap(), "director.movie.title",
+            "--budget", "100000",
+        ])
+        .unwrap();
+        assert!(ok.contains("match(es)"), "{ok}");
+        // …a starved one aborts with the dedicated exit code, not a panic
+        // and not a partial answer.
+        let err = run(&[
+            "query", idx.to_str().unwrap(), "director.movie.title",
+            "--budget", "1",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        assert!(err.to_string().contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn legacy_index_files_still_load() {
+        use dkindex_core::store::save_dk;
+        let dir = TempDir::new("legacy");
+        let doc = write_doc(&dir);
+        let g = load_xml(doc.to_str().unwrap(), &[]).unwrap();
+        let dk = DkIndex::build(&g, Requirements::uniform(1));
+        let mut bytes = Vec::new();
+        save_dk(&dk, &g, &mut bytes).unwrap();
+        let legacy = dir.file("legacy.dki");
+        fs::write(&legacy, &bytes).unwrap();
+        let q = run(&["query", legacy.to_str().unwrap(), "movie"]).unwrap();
+        assert!(q.contains("match(es)"), "{q}");
+        let out = run(&["doctor", legacy.to_str().unwrap()]).unwrap();
+        assert!(out.contains("healthy"), "{out}");
     }
 
     #[test]
     fn help_prints_usage() {
         let out = run(&["--help"]).unwrap();
         assert!(out.contains("usage:"));
+        assert!(out.contains("doctor"));
+        assert!(out.contains("exit codes"));
     }
 }

@@ -8,20 +8,31 @@
 //! dkindex info  <index.dki>
 //! dkindex query <index.dki> <path-expression>
 //! dkindex twig  <doc.xml> <twig-query> [--idref ATTR]...
-//! dkindex add-edge <index.dki> <from-id> <to-id> --out <index2.dki>
+//! dkindex add-edge <index.dki> <from-id> <to-id> --out <index2.dki> [--wal <file>]
+//! dkindex snapshot <index.dki> --out <snap.dki> [--wal <file>]
+//! dkindex recover  <snap.dki> --out <fixed.dki> [--wal <file>]
+//! dkindex doctor   <index.dki>
 //! ```
 //!
 //! `build` mines requirements from `--queries` (one path expression per
 //! line) and/or explicit `--req label=k` pairs, constructs the D(k)-index
-//! and stores graph + index in a single `.dki` file; `query` loads it and
-//! evaluates with validation; `add-edge` applies the paper's edge-addition
-//! update and re-saves — no rebuild.
+//! and stores graph + index in a single checksummed `.dki` snapshot;
+//! `query` loads it and evaluates with validation (optionally under a
+//! `--budget` visit cap); `add-edge` applies the paper's edge-addition
+//! update — logging it durably first when `--wal` is given — and re-saves;
+//! `snapshot`/`recover`/`doctor` are the durability verbs (write a
+//! checksummed snapshot, gracefully rebuild a damaged one, audit the stored
+//! invariants).
 //!
 //! Every command accepts the global `--metrics <path>` flag: the hot-path
 //! telemetry recorder (`dkindex-telemetry`) is enabled for the duration of
 //! the command and the snapshot is written to `<path>` as JSON. `stats
 //! --queries <file>` additionally runs the build → query pipeline on the
 //! document and appends a human-readable telemetry report.
+//!
+//! Failures never panic: each [`commands::CliError`] class maps to its own
+//! exit code (2 usage, 3 I/O, 4 corrupt input, 5 unsound index, 6 aborted
+//! query).
 
 mod commands;
 
@@ -36,9 +47,11 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
-            ExitCode::from(2)
+            if e.exit_code() == 2 {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) for the durability layer.
+//!
+//! The snapshot container and the write-ahead log both checksum their
+//! payloads so corruption is *detected* rather than surfacing as a panic or
+//! a silently-wrong index. The table is generated at compile time; the whole
+//! implementation is dependency-free by design (the container image bans new
+//! crates).
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes` (standard init `!0`, final xor `!0` — matches zlib).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib/IEEE test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"dkindex snapshot payload".to_vec();
+        let reference = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut copy = data.clone();
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -23,8 +23,9 @@ use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
 use dkindex_telemetry as telemetry;
 use dkindex_pathexpr::{
-    evaluate_baseline, evaluate_with, matches_ending_at_baseline, matches_ending_at_with,
-    EvalArena, LabelIndex, Nfa, PathExpr,
+    evaluate_baseline, evaluate_bounded_with, evaluate_with, matches_ending_at_baseline,
+    matches_ending_at_bounded_with, matches_ending_at_with, EvalArena, LabelIndex, Nfa, PathExpr,
+    VisitBudget,
 };
 use std::collections::HashMap;
 
@@ -59,6 +60,29 @@ impl std::ops::AddAssign for QueryCost {
         *self = *self + rhs;
     }
 }
+
+/// Typed abort from [`IndexEvaluator::evaluate_bounded`]: the visit budget
+/// ran out before the query completed. Carries the work charged up to the
+/// abort for telemetry/reporting; no partial matches are ever exposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryAborted {
+    /// The budget the query was given.
+    pub budget: u64,
+    /// Visits charged before the abort.
+    pub cost: QueryCost,
+}
+
+impl std::fmt::Display for QueryAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query aborted: visit budget of {} exhausted ({} index visits, {} data visits)",
+            self.budget, self.cost.index_visits, self.cost.data_visits
+        )
+    }
+}
+
+impl std::error::Error for QueryAborted {}
 
 /// Result of evaluating a query through an index graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -180,6 +204,128 @@ impl<'a> IndexEvaluator<'a> {
             cost,
             validated,
         }
+    }
+
+    /// [`evaluate`](Self::evaluate) under a visit budget shared across the
+    /// index-graph phase and every validation walk.
+    ///
+    /// While the budget covers the query's cost, the outcome is identical to
+    /// the unbounded path (matches, cost *and* validated flag). Once the
+    /// budget runs out the query aborts with a typed [`QueryAborted`] —
+    /// partial results are discarded, never returned, because a truncated
+    /// match set would be silently wrong. Memoized validation verdicts
+    /// replay against the budget at their stored visit count, so bounded and
+    /// unbounded evaluation stay cost-identical; verdicts are stored only
+    /// for *completed* validations, so an aborted query never poisons the
+    /// memo.
+    pub fn evaluate_bounded(
+        &mut self,
+        expr: &PathExpr,
+        budget: u64,
+    ) -> Result<IndexEvalOutcome, QueryAborted> {
+        let span = telemetry::Span::start(&telemetry::metrics::EVAL_QUERY_NS);
+        let abort = |spent: QueryCost| {
+            telemetry::metrics::EVAL_ABORTED_QUERIES.incr();
+            QueryAborted { budget, cost: spent }
+        };
+        let mut remaining = VisitBudget::new(budget);
+        let nfa = Nfa::compile(expr, self.index.labels());
+        let on_index = match evaluate_bounded_with(
+            self.index,
+            &nfa,
+            &self.index_labels,
+            &mut self.arena,
+            &mut remaining,
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                return Err(abort(QueryCost {
+                    index_visits: e.visited,
+                    data_visits: 0,
+                }))
+            }
+        };
+
+        let required = expr.max_word_len().map(|labels| labels.saturating_sub(1));
+
+        let mut matches: Vec<NodeId> = Vec::new();
+        let mut cost = QueryCost {
+            index_visits: on_index.visited,
+            data_visits: 0,
+        };
+        let mut validated = false;
+        let mut reversed: Option<Nfa> = None;
+        let mut query_id: Option<u32> = None;
+
+        for inode in on_index.matches {
+            let sound = match required {
+                Some(m) => self.index.similarity(inode) >= m,
+                None => false,
+            };
+            if sound {
+                telemetry::metrics::EVAL_SOUND_EXTENTS.incr();
+                matches.extend_from_slice(self.index.extent(inode));
+                continue;
+            }
+            validated = true;
+            let qid = *query_id.get_or_insert_with(|| {
+                let next = self.query_ids.len() as u32;
+                *self.query_ids.entry(expr.to_string()).or_insert(next)
+            });
+            if let Some((hits, visits)) = self.validation_memo.get(&(qid, inode)) {
+                if !remaining.try_charge_many(*visits) {
+                    return Err(abort(cost));
+                }
+                telemetry::metrics::EVAL_MEMO_HITS.incr();
+                cost.data_visits += visits;
+                matches.extend_from_slice(hits);
+                continue;
+            }
+            let rev = reversed
+                .get_or_insert_with(|| Nfa::compile(expr, self.data.labels()).reverse());
+            let mut hits: Vec<NodeId> = Vec::new();
+            let mut visits = 0u64;
+            for &candidate in self.index.extent(inode) {
+                match matches_ending_at_bounded_with(
+                    self.data,
+                    rev,
+                    candidate,
+                    &mut self.arena,
+                    &mut remaining,
+                ) {
+                    Ok((hit, visited)) => {
+                        visits += visited;
+                        if hit {
+                            hits.push(candidate);
+                        }
+                    }
+                    Err(e) => {
+                        cost.data_visits += visits + e.visited;
+                        return Err(abort(cost));
+                    }
+                }
+            }
+            cost.data_visits += visits;
+            matches.extend_from_slice(&hits);
+            self.validation_memo.insert((qid, inode), (hits, visits));
+        }
+        matches.sort_unstable();
+        matches.dedup();
+
+        telemetry::metrics::EVAL_QUERIES.incr();
+        telemetry::metrics::EVAL_INDEX_VISITS.add(cost.index_visits);
+        telemetry::metrics::EVAL_DATA_VISITS.add(cost.data_visits);
+        if validated {
+            telemetry::metrics::EVAL_VALIDATED_QUERIES.incr();
+        }
+        telemetry::metrics::EVAL_VISITS_PER_QUERY.record(cost.total());
+        drop(span);
+
+        Ok(IndexEvalOutcome {
+            matches,
+            cost,
+            validated,
+        })
     }
 
     /// The pre-arena reference implementation: fresh allocations per query,
@@ -450,6 +596,68 @@ mod tests {
                 assert_eq!(p.cost, s.cost);
             }
         }
+    }
+
+    #[test]
+    fn bounded_evaluation_with_ample_budget_matches_unbounded() {
+        let data = movie_data();
+        for k in [0, 2] {
+            let dk = DkIndex::build(&data, Requirements::uniform(k));
+            for expr in [
+                "movie.title",
+                "director.movie.title",
+                "_*.title",
+                "title",
+                "ghost.label",
+            ] {
+                let e = parse(expr).unwrap();
+                let plain = IndexEvaluator::new(dk.index(), &data).evaluate(&e);
+                let bounded = IndexEvaluator::new(dk.index(), &data)
+                    .evaluate_bounded(&e, u64::MAX)
+                    .expect("ample budget never aborts");
+                assert_eq!(plain, bounded, "expr {expr} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_evaluation_aborts_below_query_cost() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::new()); // A(0): validates
+        let e = parse("director.movie.title").unwrap();
+        let full = IndexEvaluator::new(dk.index(), &data).evaluate(&e);
+        assert!(full.validated);
+        let total = full.cost.total();
+        assert!(total > 0);
+        // Every insufficient budget aborts with a typed error; the exact
+        // budget succeeds and reproduces the unbounded outcome.
+        for limit in [0, 1, total / 2, total - 1] {
+            let aborted = IndexEvaluator::new(dk.index(), &data)
+                .evaluate_bounded(&e, limit)
+                .expect_err("insufficient budget must abort");
+            assert_eq!(aborted.budget, limit);
+            assert!(aborted.cost.total() <= limit);
+        }
+        let ok = IndexEvaluator::new(dk.index(), &data)
+            .evaluate_bounded(&e, total)
+            .expect("exact budget suffices");
+        assert_eq!(ok, full);
+    }
+
+    #[test]
+    fn bounded_evaluation_memo_replay_charges_budget() {
+        let data = movie_data();
+        let dk = DkIndex::build(&data, Requirements::new());
+        let e = parse("director.movie.title").unwrap();
+        let mut evaluator = IndexEvaluator::new(dk.index(), &data);
+        let first = evaluator.evaluate_bounded(&e, u64::MAX).unwrap();
+        // Second run replays memoized verdicts — same outcome, and an
+        // insufficient budget still aborts (replays are not free).
+        let second = evaluator.evaluate_bounded(&e, first.cost.total()).unwrap();
+        assert_eq!(first, second);
+        evaluator
+            .evaluate_bounded(&e, first.cost.total() - 1)
+            .expect_err("memo replay must still charge the budget");
     }
 
     #[test]

@@ -194,6 +194,14 @@ impl IndexGraph {
         self.node_to_index[data_node.index()]
     }
 
+    /// Length of the node→extent map (equals the data graph's node count on
+    /// a healthy index; the auditor bounds-checks against this instead of
+    /// assuming it).
+    #[inline]
+    pub fn node_map_len(&self) -> usize {
+        self.node_to_index.len()
+    }
+
     /// Local similarity of `inode`.
     #[inline]
     pub fn similarity(&self, inode: NodeId) -> usize {

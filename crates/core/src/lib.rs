@@ -46,6 +46,8 @@
 #![warn(missing_docs)]
 
 pub mod akindex;
+pub mod audit;
+pub mod crc32;
 pub mod dataguide;
 pub mod dk;
 pub mod eval;
@@ -57,13 +59,16 @@ pub mod mining;
 pub mod one_index;
 pub mod prepared;
 pub mod requirements;
+pub mod snapshot;
 pub mod store;
 pub mod tuner;
+pub mod wal;
 
 pub use akindex::{AkIndex, UpdateWork};
+pub use audit::{audit, audit_dk, recover_or_rebuild, AuditConfig, AuditReport, Finding, Invariant, RecoveryAction, Severity};
 pub use dataguide::{DataGuide, DataGuideError};
 pub use dk::{DkIndex, EdgeUpdateOutcome};
-pub use eval::{evaluate_on_data, evaluate_workload_parallel, IndexEvalOutcome, IndexEvaluator, QueryCost};
+pub use eval::{evaluate_on_data, evaluate_workload_parallel, IndexEvalOutcome, IndexEvaluator, QueryAborted, QueryCost};
 pub use fbindex::FbIndex;
 pub use index_graph::{IndexGraph, SIM_EXACT};
 pub use index_stats::IndexStats;
@@ -72,4 +77,6 @@ pub use mining::{mine_requirements, mine_requirements_weighted};
 pub use one_index::OneIndex;
 pub use prepared::{CachedEvaluator, PreparedQuery};
 pub use requirements::Requirements;
+pub use snapshot::{load_with_recovery, read_snapshot, save_snapshot_file, snapshot_bytes, write_snapshot, Recovery, SnapshotError, SnapshotFormat};
 pub use tuner::{AdaptiveTuner, TunerConfig, TuningAction};
+pub use wal::{ReplayReport, WalError, WalRecord, WalTail, WalWriter};

@@ -163,7 +163,7 @@ pub fn read_index<R: Read>(r: &mut R, data_nodes: usize) -> Result<IndexGraph, R
     Ok(index)
 }
 
-fn write_requirements<W: Write>(reqs: &Requirements, w: &mut W) -> io::Result<()> {
+pub(crate) fn write_requirements<W: Write>(reqs: &Requirements, w: &mut W) -> io::Result<()> {
     write_u32(w, reqs.floor() as u32)?;
     let mut entries: Vec<(&str, usize)> = reqs.iter().collect();
     entries.sort(); // deterministic output
@@ -175,7 +175,7 @@ fn write_requirements<W: Write>(reqs: &Requirements, w: &mut W) -> io::Result<()
     Ok(())
 }
 
-fn read_requirements<R: Read>(r: &mut R) -> Result<Requirements, ReadError> {
+pub(crate) fn read_requirements<R: Read>(r: &mut R) -> Result<Requirements, ReadError> {
     let floor = read_u32(r)? as usize;
     let mut reqs = Requirements::new();
     reqs.raise_floor(floor);

@@ -1,0 +1,442 @@
+//! Write-ahead log of edge updates (§5's update stream, made crash-safe).
+//!
+//! A snapshot captures the index at one point in time; the WAL captures the
+//! edge updates applied since. `snapshot + replay(WAL)` therefore
+//! reconstructs exactly the state reached by applying the same stream
+//! directly — byte-identical serialization, asserted by the fault-injection
+//! suite and the robustness property tests.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! header   b"DKWL", u32 version (= 1)
+//! record   u8 tag (1 = add-edge), u32 from, u32 to,
+//!          u32 CRC-32 of the preceding 9 bytes
+//! ```
+//!
+//! Decoding distinguishes two failure shapes with different semantics:
+//!
+//! * **Torn tail** — the file ends mid-record. This is the expected crash
+//!   signature (the process died while appending); decoding *succeeds* with
+//!   the complete prefix and reports [`WalTail::Torn`].
+//! * **Corrupt record** — a complete record whose CRC does not match. This
+//!   is bit rot or tampering, never a clean crash; decoding fails with a
+//!   typed [`WalError::CorruptRecord`].
+//!
+//! [`WalWriter`] orders appends for durability: each record is written and
+//! `sync_data`ed before `append` returns, so a record acknowledged to the
+//! caller survives a crash.
+
+use crate::crc32::crc32;
+use crate::dk::construct::DkIndex;
+use crate::dk::edge_update::EdgeUpdateOutcome;
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_telemetry as telemetry;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DKWL";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8;
+const RECORD_LEN: usize = 13;
+const TAG_ADD_EDGE: u8 = 1;
+
+/// One logged update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// The paper's edge-addition update (Algorithms 4–5).
+    AddEdge {
+        /// Source data node.
+        from: NodeId,
+        /// Target data node.
+        to: NodeId,
+    },
+}
+
+/// How the log ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ends exactly on a record boundary.
+    Clean,
+    /// The file ends mid-record (crash during append); `valid_len` is the
+    /// byte length of the complete prefix.
+    Torn {
+        /// Length of the valid prefix in bytes.
+        valid_len: usize,
+    },
+}
+
+/// Typed WAL failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header magic is wrong — not a WAL file.
+    BadMagic,
+    /// The file is shorter than the header.
+    TruncatedHeader,
+    /// The header declares a version this build cannot read.
+    UnsupportedVersion(u32),
+    /// A complete record failed its CRC or carries an unknown tag.
+    CorruptRecord {
+        /// Zero-based record index.
+        index: usize,
+        /// Byte offset of the record start.
+        offset: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A record references a data node the graph does not have.
+    RecordOutOfRange {
+        /// Zero-based record index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::BadMagic => write!(f, "not a WAL file (bad magic, expected DKWL)"),
+            WalError::TruncatedHeader => write!(f, "WAL truncated inside the header"),
+            WalError::UnsupportedVersion(v) => write!(f, "unsupported WAL version {v}"),
+            WalError::CorruptRecord { index, offset, reason } => {
+                write!(f, "corrupt WAL record {index} at byte {offset}: {reason}")
+            }
+            WalError::RecordOutOfRange { index } => {
+                write!(f, "WAL record {index} references a node outside the data graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Encode one record into its 13-byte wire form.
+pub fn encode_record(record: &WalRecord) -> [u8; RECORD_LEN] {
+    let WalRecord::AddEdge { from, to } = record;
+    let mut buf = [0u8; RECORD_LEN];
+    buf[0] = TAG_ADD_EDGE;
+    buf[1..5].copy_from_slice(&(from.index() as u32).to_le_bytes());
+    buf[5..9].copy_from_slice(&(to.index() as u32).to_le_bytes());
+    let crc = crc32(&buf[..9]);
+    buf[9..13].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// The 8-byte WAL header.
+pub fn encode_header() -> [u8; HEADER_LEN] {
+    let mut buf = [0u8; HEADER_LEN];
+    buf[..4].copy_from_slice(MAGIC);
+    buf[4..].copy_from_slice(&VERSION.to_le_bytes());
+    buf
+}
+
+/// Decode a WAL byte stream into records. A file ending mid-record yields
+/// the complete prefix with [`WalTail::Torn`]; a complete record with a bad
+/// CRC is a typed error.
+pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WalError::TruncatedHeader);
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(WalError::UnsupportedVersion(version));
+    }
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN;
+    let mut index = 0usize;
+    while offset < bytes.len() {
+        let Some(rec) = bytes.get(offset..offset + RECORD_LEN) else {
+            // Incomplete trailing record: a crash mid-append, not corruption.
+            telemetry::metrics::WAL_TORN_TAILS.incr();
+            return Ok((records, WalTail::Torn { valid_len: offset }));
+        };
+        let stored = u32::from_le_bytes(rec[9..13].try_into().expect("4-byte slice"));
+        if crc32(&rec[..9]) != stored {
+            telemetry::metrics::STORE_CRC_FAILURES.incr();
+            return Err(WalError::CorruptRecord {
+                index,
+                offset,
+                reason: "CRC mismatch".to_string(),
+            });
+        }
+        if rec[0] != TAG_ADD_EDGE {
+            return Err(WalError::CorruptRecord {
+                index,
+                offset,
+                reason: format!("unknown record tag {}", rec[0]),
+            });
+        }
+        let from = u32::from_le_bytes(rec[1..5].try_into().expect("4-byte slice")) as usize;
+        let to = u32::from_le_bytes(rec[5..9].try_into().expect("4-byte slice")) as usize;
+        records.push(WalRecord::AddEdge {
+            from: NodeId::from_index(from),
+            to: NodeId::from_index(to),
+        });
+        offset += RECORD_LEN;
+        index += 1;
+    }
+    Ok((records, WalTail::Clean))
+}
+
+/// Outcome of replaying a WAL against a snapshot.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Records applied.
+    pub applied: usize,
+    /// Per-record update outcomes (same order as the log).
+    pub outcomes: Vec<EdgeUpdateOutcome>,
+    /// How the log ended.
+    pub tail: WalTail,
+}
+
+/// Replay decoded `records` into `dk`/`data` via the paper's edge-addition
+/// update. Records referencing nodes outside the graph are a typed error
+/// (the WAL belongs to a different snapshot), applied *before* any mutation
+/// of that record.
+pub fn replay_records(
+    dk: &mut DkIndex,
+    data: &mut DataGraph,
+    records: &[WalRecord],
+    tail: WalTail,
+) -> Result<ReplayReport, WalError> {
+    let span = telemetry::Span::start(&telemetry::metrics::WAL_REPLAY_NS);
+    let mut outcomes = Vec::with_capacity(records.len());
+    for (index, record) in records.iter().enumerate() {
+        let WalRecord::AddEdge { from, to } = *record;
+        if from.index() >= data.node_count() || to.index() >= data.node_count() {
+            return Err(WalError::RecordOutOfRange { index });
+        }
+        outcomes.push(dk.add_edge(data, from, to));
+        telemetry::metrics::WAL_RECORDS_REPLAYED.incr();
+    }
+    drop(span);
+    Ok(ReplayReport {
+        applied: outcomes.len(),
+        outcomes,
+        tail,
+    })
+}
+
+/// Decode `bytes` and replay into `dk`/`data` in one step.
+pub fn replay(
+    dk: &mut DkIndex,
+    data: &mut DataGraph,
+    bytes: &[u8],
+) -> Result<ReplayReport, WalError> {
+    let (records, tail) = decode_wal(bytes)?;
+    replay_records(dk, data, records.as_slice(), tail)
+}
+
+/// Append-only WAL file handle with fsync-ordered writes: every record is
+/// flushed to stable storage before `append` returns.
+pub struct WalWriter {
+    file: File,
+}
+
+impl WalWriter {
+    /// Create (or truncate) a WAL at `path`, writing and syncing the header.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        file.write_all(&encode_header())?;
+        file.sync_data()?;
+        Ok(WalWriter { file })
+    }
+
+    /// Open an existing WAL for appending. The whole file is validated
+    /// first; a torn tail (crash during a previous append) is truncated away
+    /// so new records extend the valid prefix.
+    pub fn open(path: &Path) -> Result<Self, WalError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let (_, tail) = decode_wal(&bytes)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        if let WalTail::Torn { valid_len } = tail {
+            file.set_len(valid_len as u64)?;
+            file.sync_data()?;
+        }
+        let mut writer = WalWriter { file };
+        use std::io::Seek;
+        writer.file.seek(io::SeekFrom::End(0))?;
+        Ok(writer)
+    }
+
+    /// Append one record durably: write, then `sync_data`, then return.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.file.write_all(&encode_record(record))?;
+        self.file.sync_data()?;
+        telemetry::metrics::WAL_RECORDS_APPENDED.incr();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requirements::Requirements;
+    use dkindex_graph::EdgeKind;
+
+    fn sample() -> (DataGraph, DkIndex) {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let c = g.add_labeled_node("c");
+        let r = g.root();
+        g.add_edge(r, a, EdgeKind::Tree);
+        g.add_edge(a, b, EdgeKind::Tree);
+        g.add_edge(r, c, EdgeKind::Tree);
+        let dk = DkIndex::build(&g, Requirements::uniform(2));
+        (g, dk)
+    }
+
+    fn log_bytes(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = encode_header().to_vec();
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        bytes
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let records = vec![
+            WalRecord::AddEdge { from: NodeId::from_index(3), to: NodeId::from_index(1) },
+            WalRecord::AddEdge { from: NodeId::from_index(0), to: NodeId::from_index(2) },
+        ];
+        let (back, tail) = decode_wal(&log_bytes(&records)).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn torn_tail_yields_prefix() {
+        let records = vec![
+            WalRecord::AddEdge { from: NodeId::from_index(3), to: NodeId::from_index(1) },
+            WalRecord::AddEdge { from: NodeId::from_index(0), to: NodeId::from_index(2) },
+        ];
+        let full = log_bytes(&records);
+        // Every truncation point inside the second record keeps record one.
+        for cut in (HEADER_LEN + RECORD_LEN + 1)..full.len() {
+            let (back, tail) = decode_wal(&full[..cut]).unwrap();
+            assert_eq!(back, records[..1], "cut at {cut}");
+            assert_eq!(tail, WalTail::Torn { valid_len: HEADER_LEN + RECORD_LEN });
+        }
+    }
+
+    #[test]
+    fn complete_record_with_bad_crc_is_a_typed_error() {
+        let records = vec![WalRecord::AddEdge {
+            from: NodeId::from_index(3),
+            to: NodeId::from_index(1),
+        }];
+        for byte in HEADER_LEN..HEADER_LEN + RECORD_LEN {
+            let mut bytes = log_bytes(&records);
+            bytes[byte] ^= 0x40;
+            let err = decode_wal(&bytes).unwrap_err();
+            assert!(
+                matches!(err, WalError::CorruptRecord { .. }),
+                "flip at {byte}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_corruption_is_typed() {
+        assert!(matches!(decode_wal(b""), Err(WalError::TruncatedHeader)));
+        assert!(matches!(decode_wal(b"DKW"), Err(WalError::TruncatedHeader)));
+        assert!(matches!(decode_wal(b"XXXX\x01\0\0\0"), Err(WalError::BadMagic)));
+        assert!(matches!(
+            decode_wal(b"DKWL\x63\0\0\0"),
+            Err(WalError::UnsupportedVersion(0x63))
+        ));
+    }
+
+    #[test]
+    fn replay_matches_direct_application() {
+        let (mut g_direct, mut dk_direct) = sample();
+        let (mut g_replayed, mut dk_replayed) = sample();
+        let updates = [(3usize, 1usize), (0, 2), (2, 3)];
+
+        let records: Vec<WalRecord> = updates
+            .iter()
+            .map(|&(f, t)| WalRecord::AddEdge {
+                from: NodeId::from_index(f),
+                to: NodeId::from_index(t),
+            })
+            .collect();
+        for &(f, t) in &updates {
+            dk_direct.add_edge(&mut g_direct, NodeId::from_index(f), NodeId::from_index(t));
+        }
+        let report =
+            replay(&mut dk_replayed, &mut g_replayed, &log_bytes(&records)).unwrap();
+        assert_eq!(report.applied, updates.len());
+
+        let mut direct_bytes = Vec::new();
+        let mut replayed_bytes = Vec::new();
+        crate::store::save_dk(&dk_direct, &g_direct, &mut direct_bytes).unwrap();
+        crate::store::save_dk(&dk_replayed, &g_replayed, &mut replayed_bytes).unwrap();
+        assert_eq!(direct_bytes, replayed_bytes, "replay must be byte-identical");
+    }
+
+    #[test]
+    fn replay_rejects_out_of_range_records() {
+        let (mut g, mut dk) = sample();
+        let bytes = log_bytes(&[WalRecord::AddEdge {
+            from: NodeId::from_index(99),
+            to: NodeId::from_index(0),
+        }]);
+        assert!(matches!(
+            replay(&mut dk, &mut g, &bytes),
+            Err(WalError::RecordOutOfRange { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn writer_appends_durably_and_reopens_after_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("dkindex-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.wal");
+
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(&WalRecord::AddEdge {
+            from: NodeId::from_index(3),
+            to: NodeId::from_index(1),
+        })
+        .unwrap();
+        drop(w);
+
+        // Simulate a crash mid-append: chop half a record off the end.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&encode_record(&WalRecord::AddEdge {
+            from: NodeId::from_index(0),
+            to: NodeId::from_index(2),
+        })[..5]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::AddEdge {
+            from: NodeId::from_index(2),
+            to: NodeId::from_index(3),
+        })
+        .unwrap();
+        drop(w);
+
+        let bytes = std::fs::read(&path).unwrap();
+        let (records, tail) = decode_wal(&bytes).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(records.len(), 2, "torn tail truncated, then one append");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

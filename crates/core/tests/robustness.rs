@@ -1,0 +1,177 @@
+//! Property tests for the durability layer (ISSUE: robustness): random
+//! update streams must make `snapshot + WAL replay` indistinguishable from
+//! direct construction, WAL truncation must replay exactly the surviving
+//! prefix, recovery must always produce a well-formed index, and bounded
+//! evaluation must agree with unbounded evaluation whenever it completes.
+
+use dkindex_core::wal::{self, WalRecord, WalTail};
+use dkindex_core::{
+    audit_dk, load_with_recovery, read_snapshot, snapshot_bytes, AuditConfig, DkIndex,
+    IndexEvaluator, Requirements,
+};
+use dkindex_datagen::{random_graph, RandomGraphConfig};
+use dkindex_graph::{DataGraph, NodeId};
+use dkindex_pathexpr::parse;
+use proptest::prelude::*;
+
+/// A generated robustness scenario: a connected random graph, a requirement
+/// level and a stream of edge updates (arbitrary node pairs).
+#[derive(Clone, Debug)]
+struct Scenario {
+    graph_seed: u64,
+    nodes: usize,
+    labels: usize,
+    reference_edges: usize,
+    k: usize,
+    updates: Vec<(usize, usize)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        any::<u64>(),
+        10usize..60,
+        2usize..5,
+        0usize..8,
+        0usize..=3,
+        prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..12),
+    )
+        .prop_map(|(graph_seed, nodes, labels, reference_edges, k, raw)| {
+            let updates = raw
+                .into_iter()
+                .map(|(f, t)| (f.index(nodes + 1), t.index(nodes + 1)))
+                .filter(|(f, t)| f != t)
+                .collect();
+            Scenario {
+                graph_seed,
+                nodes,
+                labels,
+                reference_edges,
+                k,
+                updates,
+            }
+        })
+}
+
+fn build(s: &Scenario) -> (DataGraph, DkIndex) {
+    let g = random_graph(&RandomGraphConfig {
+        nodes: s.nodes,
+        labels: s.labels,
+        reference_edges: s.reference_edges,
+        max_fanout: 6,
+        seed: s.graph_seed,
+    });
+    let dk = DkIndex::build(&g, Requirements::uniform(s.k));
+    (g, dk)
+}
+
+fn wal_bytes(updates: &[(usize, usize)]) -> Vec<u8> {
+    let mut log = wal::encode_header().to_vec();
+    for &(f, t) in updates {
+        log.extend_from_slice(&wal::encode_record(&WalRecord::AddEdge {
+            from: NodeId::from_index(f),
+            to: NodeId::from_index(t),
+        }));
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot + WAL replay reconstructs exactly the state reached by
+    /// applying the same update stream directly — byte-identical.
+    #[test]
+    fn snapshot_plus_replay_equals_direct_construction(s in scenario()) {
+        let (mut g_direct, mut dk_direct) = build(&s);
+        let snap = snapshot_bytes(&dk_direct, &g_direct);
+
+        for &(f, t) in &s.updates {
+            dk_direct.add_edge(&mut g_direct, NodeId::from_index(f), NodeId::from_index(t));
+        }
+
+        let (mut dk_replayed, mut g_replayed) =
+            read_snapshot(&snap).expect("pristine snapshot must load");
+        let report = wal::replay(&mut dk_replayed, &mut g_replayed, &wal_bytes(&s.updates))
+            .expect("in-range records must replay");
+        prop_assert_eq!(report.applied, s.updates.len());
+        prop_assert_eq!(report.tail, WalTail::Clean);
+        prop_assert_eq!(
+            snapshot_bytes(&dk_replayed, &g_replayed),
+            snapshot_bytes(&dk_direct, &g_direct),
+            "replayed state diverged from direct construction"
+        );
+    }
+
+    /// Truncating the WAL anywhere replays exactly the complete-record
+    /// prefix; the reached state equals direct application of that prefix.
+    #[test]
+    fn wal_truncation_replays_the_surviving_prefix(
+        s in scenario(),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let (g0, dk0) = build(&s);
+        let log = wal_bytes(&s.updates);
+        let cut = cut_at.index(log.len() + 1);
+
+        let mut g_replayed = g0.clone();
+        let mut dk_replayed = dk0.clone();
+        match wal::replay(&mut dk_replayed, &mut g_replayed, &log[..cut]) {
+            Ok(report) => {
+                prop_assert!(report.applied <= s.updates.len());
+                let mut g_direct = g0.clone();
+                let mut dk_direct = dk0.clone();
+                for &(f, t) in &s.updates[..report.applied] {
+                    dk_direct.add_edge(&mut g_direct, NodeId::from_index(f), NodeId::from_index(t));
+                }
+                prop_assert_eq!(
+                    snapshot_bytes(&dk_replayed, &g_replayed),
+                    snapshot_bytes(&dk_direct, &g_direct),
+                    "prefix of {} records diverged", report.applied
+                );
+            }
+            // Cuts inside the 8-byte header are a typed error, never a panic.
+            Err(e) => prop_assert!(cut < 8, "unexpected error at cut {}: {}", cut, e),
+        }
+    }
+
+    /// A single flipped bit anywhere in a snapshot either yields a typed
+    /// error or recovers to an index that passes both the structural
+    /// invariant check and the full auditor.
+    #[test]
+    fn corrupted_snapshots_recover_or_fail_typed(
+        s in scenario(),
+        at in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let (g, dk) = build(&s);
+        let mut bytes = snapshot_bytes(&dk, &g);
+        let i = at.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        if let Ok((rec_dk, rec_g, _)) = load_with_recovery(&bytes) {
+            rec_dk.index().check_invariants(&rec_g).expect("recovered index is well-formed");
+            let report = audit_dk(&rec_dk, &rec_g, &AuditConfig::default());
+            prop_assert!(report.is_sound(), "auditor found corruption:\n{}", report);
+        }
+    }
+
+    /// Bounded evaluation with an ample budget returns exactly the unbounded
+    /// matches; a too-small budget is a typed abort, never a partial answer.
+    #[test]
+    fn bounded_evaluation_agrees_with_unbounded(s in scenario(), q in 0usize..4) {
+        let (g, dk) = build(&s);
+        let exprs = ["l0", "l0.l1", "l1.l0.l2", "_*.l1"];
+        let expr = parse(exprs[q % exprs.len()]).expect("query parses");
+
+        let full = IndexEvaluator::new(dk.index(), &g).evaluate(&expr);
+        let bounded = IndexEvaluator::new(dk.index(), &g)
+            .evaluate_bounded(&expr, u64::MAX)
+            .expect("unlimited budget cannot abort");
+        prop_assert_eq!(&bounded.matches, &full.matches);
+
+        let total = full.cost.index_visits + full.cost.data_visits;
+        if total > 0 {
+            let aborted = IndexEvaluator::new(dk.index(), &g).evaluate_bounded(&expr, 0);
+            prop_assert!(aborted.is_err(), "zero budget must abort a non-trivial query");
+        }
+    }
+}

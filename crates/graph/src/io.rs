@@ -62,9 +62,16 @@ pub fn read_u32<R: Read>(r: &mut R) -> Result<u32, ReadError> {
     Ok(u32::from_le_bytes(buf))
 }
 
-/// Write a `u16`-length-prefixed UTF-8 string.
+/// Write a `u16`-length-prefixed UTF-8 string. Labels longer than
+/// `u16::MAX` bytes (possible in adversarial XML input) are an
+/// `InvalidInput` error, never a panic.
 pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
-    let len = u16::try_from(s.len()).expect("label too long for format");
+    let len = u16::try_from(s.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("label of {} bytes exceeds the format's u16 limit", s.len()),
+        )
+    })?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(s.as_bytes())
 }

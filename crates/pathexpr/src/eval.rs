@@ -253,6 +253,231 @@ pub fn matches_ending_at_with<G: LabeledGraph>(
     finish(false, visited)
 }
 
+/// A cap on `(state, node)` activations shared across the phases of one
+/// query execution — the robustness layer's defence against runaway queries
+/// (adversarial star expressions over dense cyclic graphs).
+///
+/// One budget is threaded through the index-graph evaluation *and* every
+/// validation walk of a query, so the cap bounds the query's total work, not
+/// each phase separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VisitBudget {
+    remaining: u64,
+}
+
+impl VisitBudget {
+    /// A budget allowing `limit` activations.
+    pub fn new(limit: u64) -> Self {
+        VisitBudget { remaining: limit }
+    }
+
+    /// A budget that never exhausts (bounded evaluation then behaves
+    /// identically to the unbounded evaluators).
+    pub fn unlimited() -> Self {
+        VisitBudget { remaining: u64::MAX }
+    }
+
+    /// Activations still allowed.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Charge one activation; `false` means the budget is exhausted.
+    #[inline]
+    pub fn try_charge(&mut self) -> bool {
+        self.try_charge_many(1)
+    }
+
+    /// Charge `n` activations at once (used when replaying memoized
+    /// validation verdicts, which charge their stored visit count); `false`
+    /// means the budget cannot cover them.
+    #[inline]
+    pub fn try_charge_many(&mut self, n: u64) -> bool {
+        if self.remaining < n {
+            return false;
+        }
+        self.remaining -= n;
+        true
+    }
+}
+
+/// Typed abort: the visit budget ran out mid-evaluation.
+///
+/// Partial results are discarded by design — a truncated match set would be
+/// silently wrong, which is exactly what the robustness layer exists to
+/// prevent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Activations performed before the abort (the full budget).
+    pub visited: u64,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "visit budget exhausted after {} activations", self.visited)
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// [`evaluate_with`] under a [`VisitBudget`]: identical matches and visit
+/// counts while the budget holds, a typed [`BudgetExhausted`] once it
+/// doesn't. The budget is `&mut` so validation walks can share it.
+pub fn evaluate_bounded_with<G: LabeledGraph>(
+    g: &G,
+    nfa: &Nfa,
+    label_index: &LabelIndex,
+    arena: &mut EvalArena,
+    budget: &mut VisitBudget,
+) -> Result<EvalOutcome, BudgetExhausted> {
+    let states = nfa.state_count();
+    let nodes = g.node_count();
+
+    let EvalArena {
+        active,
+        matched,
+        matched_list,
+        queue,
+        ..
+    } = arena;
+    active.reset(states * nodes);
+    matched.reset(nodes);
+    matched_list.clear();
+    queue.clear();
+    let mut visited: u64 = 0;
+
+    // Same activation discipline as `evaluate_with`, plus the budget charge.
+    // Returns false exactly when the budget ran out.
+    let activate = |state: StateId,
+                        node: NodeId,
+                        active: &mut Marks,
+                        matched: &mut Marks,
+                        matched_list: &mut Vec<NodeId>,
+                        queue: &mut Vec<(StateId, NodeId)>,
+                        visited: &mut u64,
+                        budget: &mut VisitBudget|
+     -> bool {
+        if !active.mark(state.index() * nodes + node.index()) {
+            return true;
+        }
+        if !budget.try_charge() {
+            return false;
+        }
+        *visited += 1;
+        if nfa.is_accepting(state) && matched.mark(node.index()) {
+            matched_list.push(node);
+        }
+        queue.push((state, node));
+        true
+    };
+
+    for &(step, target) in nfa.closure_steps_of(nfa.start()) {
+        match step {
+            Step::Label(l) => {
+                for &n in label_index.nodes_with(l) {
+                    if !activate(target, n, active, matched, matched_list, queue, &mut visited, budget) {
+                        return Err(BudgetExhausted { visited });
+                    }
+                }
+            }
+            Step::Any => {
+                for n in label_index.all_nodes() {
+                    if !activate(target, n, active, matched, matched_list, queue, &mut visited, budget) {
+                        return Err(BudgetExhausted { visited });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut head = 0;
+    while head < queue.len() {
+        let (state, node) = queue[head];
+        head += 1;
+        let children = g.children_of(node);
+        for &(step, target) in nfa.closure_steps_of(state) {
+            for &child in children {
+                if step.matches(g.label_of(child))
+                    && !activate(target, child, active, matched, matched_list, queue, &mut visited, budget)
+                {
+                    return Err(BudgetExhausted { visited });
+                }
+            }
+        }
+    }
+
+    telemetry::metrics::PATHEXPR_EVALUATIONS.incr();
+    telemetry::metrics::PATHEXPR_ACTIVATIONS.add(visited);
+    telemetry::metrics::PATHEXPR_VISITS_PER_EVAL.record(visited);
+
+    let mut matches = std::mem::take(matched_list);
+    matches.sort_unstable();
+    Ok(EvalOutcome { matches, visited })
+}
+
+/// [`matches_ending_at_with`] under a [`VisitBudget`]: identical verdicts
+/// and visit counts while the budget holds, [`BudgetExhausted`] once it
+/// doesn't.
+pub fn matches_ending_at_bounded_with<G: LabeledGraph>(
+    g: &G,
+    reversed: &Nfa,
+    node: NodeId,
+    arena: &mut EvalArena,
+    budget: &mut VisitBudget,
+) -> Result<(bool, u64), BudgetExhausted> {
+    fn finish(hit: bool, visited: u64) -> Result<(bool, u64), BudgetExhausted> {
+        telemetry::metrics::PATHEXPR_VALIDATION_WALKS.incr();
+        telemetry::metrics::PATHEXPR_VALIDATION_ACTIVATIONS.add(visited);
+        Ok((hit, visited))
+    }
+
+    let states = reversed.state_count();
+    let nodes = g.node_count();
+
+    let EvalArena { active, queue, .. } = arena;
+    active.reset(states * nodes);
+    queue.clear();
+    let mut visited: u64 = 0;
+
+    let node_label = g.label_of(node);
+    for &(step, target) in reversed.closure_steps_of(reversed.start()) {
+        if step.matches(node_label) && active.mark(target.index() * nodes + node.index()) {
+            if !budget.try_charge() {
+                return Err(BudgetExhausted { visited });
+            }
+            visited += 1;
+            if reversed.is_accepting(target) {
+                return finish(true, visited);
+            }
+            queue.push((target, node));
+        }
+    }
+
+    let mut head = 0;
+    while head < queue.len() {
+        let (state, n) = queue[head];
+        head += 1;
+        let parents = g.parents_of(n);
+        for &(step, target) in reversed.closure_steps_of(state) {
+            for &parent in parents {
+                if step.matches(g.label_of(parent))
+                    && active.mark(target.index() * nodes + parent.index())
+                {
+                    if !budget.try_charge() {
+                        return Err(BudgetExhausted { visited });
+                    }
+                    visited += 1;
+                    if reversed.is_accepting(target) {
+                        return finish(true, visited);
+                    }
+                    queue.push((target, parent));
+                }
+            }
+        }
+    }
+    finish(false, visited)
+}
+
 /// The pre-arena reference implementation of [`evaluate`]: allocates fresh
 /// scratch per call. Kept for the equivalence property tests and the
 /// before/after benchmark comparison; behaviour (matches *and* visit counts)
@@ -576,6 +801,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn bounded_eval_with_ample_budget_is_identical() {
+        let (g, _) = movie_graph();
+        let idx = LabelIndex::build(&g);
+        let mut arena = EvalArena::new();
+        for expr in ["movie.title", "director.movie.title", "_._.title", "title"] {
+            let e = parse(expr).unwrap();
+            let nfa = Nfa::compile(&e, g.labels());
+            let free = evaluate_with(&g, &nfa, &idx, &mut arena);
+            let mut budget = VisitBudget::unlimited();
+            let bounded = evaluate_bounded_with(&g, &nfa, &idx, &mut arena, &mut budget)
+                .expect("unlimited budget never aborts");
+            assert_eq!(free, bounded, "expr {expr}");
+
+            let rev = nfa.reverse();
+            for node in g.node_ids() {
+                let plain = matches_ending_at_with(&g, &rev, node, &mut arena);
+                let mut budget = VisitBudget::unlimited();
+                let bounded =
+                    matches_ending_at_bounded_with(&g, &rev, node, &mut arena, &mut budget)
+                        .expect("unlimited budget never aborts");
+                assert_eq!(plain, bounded, "expr {expr} node {node:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_eval_aborts_at_every_budget_below_cost() {
+        let (g, _) = movie_graph();
+        let idx = LabelIndex::build(&g);
+        let mut arena = EvalArena::new();
+        let e = parse("director.movie.title").unwrap();
+        let nfa = Nfa::compile(&e, g.labels());
+        let full = evaluate_with(&g, &nfa, &idx, &mut arena);
+        assert!(full.visited > 0);
+        for limit in 0..full.visited {
+            let mut budget = VisitBudget::new(limit);
+            let err = evaluate_bounded_with(&g, &nfa, &idx, &mut arena, &mut budget)
+                .expect_err("budget below the query's cost must abort");
+            assert_eq!(err.visited, limit, "abort charges exactly the budget");
+            assert_eq!(budget.remaining(), 0);
+        }
+        // Exactly the query's cost suffices.
+        let mut budget = VisitBudget::new(full.visited);
+        let out = evaluate_bounded_with(&g, &nfa, &idx, &mut arena, &mut budget).unwrap();
+        assert_eq!(out, full);
+        assert_eq!(budget.remaining(), 0);
+    }
+
+    #[test]
+    fn bounded_backward_walk_aborts_with_tiny_budget() {
+        let (g, n) = movie_graph();
+        let e = parse("director.movie.title").unwrap();
+        let nfa = Nfa::compile(&e, g.labels());
+        let rev = nfa.reverse();
+        let mut arena = EvalArena::new();
+        let (hit, visited) = matches_ending_at_with(&g, &rev, n[2], &mut arena);
+        assert!(hit);
+        assert!(visited > 0);
+        let mut budget = VisitBudget::new(visited - 1);
+        matches_ending_at_bounded_with(&g, &rev, n[2], &mut arena, &mut budget)
+            .expect_err("insufficient budget must abort");
     }
 
     #[test]

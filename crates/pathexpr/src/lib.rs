@@ -45,8 +45,9 @@ pub mod twig;
 
 pub use ast::{LastLabels, PathExpr};
 pub use eval::{
-    evaluate, evaluate_baseline, evaluate_with, matches_ending_at, matches_ending_at_baseline,
-    matches_ending_at_with, EvalArena, EvalOutcome, LabelIndex,
+    evaluate, evaluate_baseline, evaluate_bounded_with, evaluate_with, matches_ending_at,
+    matches_ending_at_baseline, matches_ending_at_bounded_with, matches_ending_at_with,
+    BudgetExhausted, EvalArena, EvalOutcome, LabelIndex, VisitBudget,
 };
 pub use nfa::{Nfa, StateId, Step};
 pub use parse::{parse, ParseError};

@@ -58,12 +58,40 @@ pub static EVAL_VALIDATED_QUERIES: Counter = Counter::new("eval.validated_querie
 /// Validation verdicts replayed from the evaluator's memo instead of
 /// re-walking the data graph.
 pub static EVAL_MEMO_HITS: Counter = Counter::new("eval.memo_hits");
+/// Bounded queries aborted because their visit budget ran out.
+pub static EVAL_ABORTED_QUERIES: Counter = Counter::new("eval.aborted_queries");
 /// Distribution of per-query total visit counts (index + data) — the
 /// paper's cost-model Y axis as a histogram.
 pub static EVAL_VISITS_PER_QUERY: Histogram =
     Histogram::new("eval.visits_per_query", Unit::Count);
 /// Wall-clock per query (evaluation + validation).
 pub static EVAL_QUERY_NS: Histogram = Histogram::new("eval.query_ns", Unit::Nanos);
+
+// ---- dkindex-core: durability (snapshots, WAL, audit, recovery) ----------
+
+/// Versioned snapshots written (`core::snapshot`).
+pub static STORE_SNAPSHOT_WRITES: Counter = Counter::new("store.snapshot_writes");
+/// Versioned snapshots loaded successfully.
+pub static STORE_SNAPSHOT_LOADS: Counter = Counter::new("store.snapshot_loads");
+/// Section CRC mismatches detected while loading snapshots.
+pub static STORE_CRC_FAILURES: Counter = Counter::new("store.crc_failures");
+/// WAL records appended (`core::wal`).
+pub static WAL_RECORDS_APPENDED: Counter = Counter::new("wal.records_appended");
+/// WAL records replayed onto an index.
+pub static WAL_RECORDS_REPLAYED: Counter = Counter::new("wal.records_replayed");
+/// WAL streams that ended in a torn (incomplete) trailing record — the
+/// expected signature of a crash mid-append, recovered by dropping the tail.
+pub static WAL_TORN_TAILS: Counter = Counter::new("wal.torn_tails");
+/// Invariant audit passes executed (`core::audit`).
+pub static AUDIT_RUNS: Counter = Counter::new("audit.runs");
+/// Individual invariant violations found across all audits.
+pub static AUDIT_VIOLATIONS: Counter = Counter::new("audit.violations");
+/// Recoveries that fell back to rebuilding the index from the data graph.
+pub static AUDIT_REBUILDS: Counter = Counter::new("audit.rebuilds");
+/// Wall-clock per full audit pass.
+pub static AUDIT_NS: Histogram = Histogram::new("audit.audit_ns", Unit::Nanos);
+/// Wall-clock per WAL replay.
+pub static WAL_REPLAY_NS: Histogram = Histogram::new("wal.replay_ns", Unit::Nanos);
 
 // ---- dkindex-core: D(k) construction and maintenance (§4–§5) -------------
 
@@ -133,7 +161,7 @@ pub static PHASE_ADAPT_NS: Histogram = Histogram::new("phase.adapt_ns", Unit::Na
 
 /// Every registered counter, in reporting order.
 pub fn counters() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 30] = [
+    static ALL: [&Counter; 40] = [
         &PATHEXPR_EVALUATIONS,
         &PATHEXPR_ACTIVATIONS,
         &PATHEXPR_VALIDATION_WALKS,
@@ -148,6 +176,16 @@ pub fn counters() -> &'static [&'static Counter] {
         &EVAL_SOUND_EXTENTS,
         &EVAL_VALIDATED_QUERIES,
         &EVAL_MEMO_HITS,
+        &EVAL_ABORTED_QUERIES,
+        &STORE_SNAPSHOT_WRITES,
+        &STORE_SNAPSHOT_LOADS,
+        &STORE_CRC_FAILURES,
+        &WAL_RECORDS_APPENDED,
+        &WAL_RECORDS_REPLAYED,
+        &WAL_TORN_TAILS,
+        &AUDIT_RUNS,
+        &AUDIT_VIOLATIONS,
+        &AUDIT_REBUILDS,
         &DK_CONSTRUCTIONS,
         &DK_CONSTRUCT_ROUNDS,
         &DK_PROMOTE_CALLS,
@@ -171,12 +209,14 @@ pub fn counters() -> &'static [&'static Counter] {
 /// Every registered histogram (value distributions and span timings), in
 /// reporting order.
 pub fn histograms() -> &'static [&'static Histogram] {
-    static ALL: [&Histogram; 15] = [
+    static ALL: [&Histogram; 17] = [
         &PATHEXPR_VISITS_PER_EVAL,
         &PARTITION_BLOCKS_PER_ROUND,
         &PARTITION_ROUND_NS,
         &EVAL_VISITS_PER_QUERY,
         &EVAL_QUERY_NS,
+        &AUDIT_NS,
+        &WAL_REPLAY_NS,
         &DK_BLOCKS_PER_CONSTRUCTION,
         &DK_CONSTRUCT_NS,
         &DK_PROMOTE_NS,

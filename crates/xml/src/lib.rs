@@ -27,7 +27,7 @@ pub mod stream;
 pub mod to_graph;
 pub mod tree;
 
-pub use parser::{decode_entities, escape_attr, escape_text, XmlError, XmlEvent, XmlParser};
-pub use stream::{stream_to_graph, StreamError};
+pub use parser::{decode_entities, escape_attr, escape_text, XmlError, XmlEvent, XmlLimits, XmlParser};
+pub use stream::{stream_to_graph, stream_to_graph_with_limits, StreamError};
 pub use to_graph::{document_to_graph, parse_to_graph, GraphMappingError, GraphOptions};
 pub use tree::{Document, Element, XmlNode};

@@ -51,21 +51,85 @@ pub enum XmlEvent {
     ProcessingInstruction(String),
 }
 
+/// Resource limits enforced while parsing — defence against hostile inputs
+/// (pathological nesting that would overflow recursive consumers, or
+/// entity-reference floods). Exceeding a limit is an ordinary [`XmlError`],
+/// never a crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XmlLimits {
+    /// Maximum open-element nesting depth.
+    pub max_depth: usize,
+    /// Maximum number of entity/character references decoded across the
+    /// whole document.
+    pub max_entity_refs: usize,
+}
+
+impl Default for XmlLimits {
+    fn default() -> Self {
+        // Generous for real datasets (XMark nests ~12 deep), tight enough
+        // that adversarial documents fail fast.
+        XmlLimits {
+            max_depth: 512,
+            max_entity_refs: 1 << 20,
+        }
+    }
+}
+
+impl XmlLimits {
+    /// No limits (the pre-hardening behaviour).
+    pub fn unlimited() -> Self {
+        XmlLimits {
+            max_depth: usize::MAX,
+            max_entity_refs: usize::MAX,
+        }
+    }
+}
+
 /// Streaming XML pull parser over an in-memory string.
 pub struct XmlParser<'a> {
     input: &'a str,
     pos: usize,
+    limits: XmlLimits,
+    depth: usize,
+    entity_refs: usize,
 }
 
 impl<'a> XmlParser<'a> {
-    /// Create a parser over `input`.
+    /// Create a parser over `input` with the default [`XmlLimits`].
     pub fn new(input: &'a str) -> Self {
-        XmlParser { input, pos: 0 }
+        XmlParser::with_limits(input, XmlLimits::default())
+    }
+
+    /// Create a parser over `input` with explicit limits.
+    pub fn with_limits(input: &'a str, limits: XmlLimits) -> Self {
+        XmlParser {
+            input,
+            pos: 0,
+            limits,
+            depth: 0,
+            entity_refs: 0,
+        }
     }
 
     /// Current byte offset.
     pub fn position(&self) -> usize {
         self.pos
+    }
+
+    /// Decode entities while charging the document-wide reference budget.
+    fn decode(&mut self, raw: &str, at: usize) -> Result<String, XmlError> {
+        let (text, used) = decode_entities_counted(raw, at)?;
+        self.entity_refs = self.entity_refs.saturating_add(used);
+        if self.entity_refs > self.limits.max_entity_refs {
+            return Err(XmlError {
+                position: at,
+                message: format!(
+                    "more than {} entity references in document",
+                    self.limits.max_entity_refs
+                ),
+            });
+        }
+        Ok(text)
     }
 
     fn err(&self, message: impl Into<String>) -> XmlError {
@@ -144,7 +208,8 @@ impl<'a> XmlParser<'a> {
             };
             self.advance(1);
             let raw = self.take_until(&quote.to_string(), "attribute value")?;
-            attrs.push((name, decode_entities(raw, self.pos)?));
+            let at = self.pos;
+            attrs.push((name, self.decode(raw, at)?));
         }
     }
 
@@ -160,7 +225,7 @@ impl<'a> XmlParser<'a> {
             let raw = &self.rest()[..end];
             let at = self.pos;
             self.advance(end);
-            let text = decode_entities(raw, at)?;
+            let text = self.decode(raw, at)?;
             if text.trim().is_empty() {
                 // Skip inter-element whitespace and continue pulling.
                 return self.next();
@@ -207,6 +272,7 @@ impl<'a> XmlParser<'a> {
                 return Err(self.err(format!("malformed end tag </{name}")));
             }
             self.advance(1);
+            self.depth = self.depth.saturating_sub(1);
             return Ok(Some(XmlEvent::EndElement { name }));
         }
         // Start tag.
@@ -224,6 +290,13 @@ impl<'a> XmlParser<'a> {
         }
         if self.starts_with(">") {
             self.advance(1);
+            self.depth += 1;
+            if self.depth > self.limits.max_depth {
+                return Err(self.err(format!(
+                    "element nesting deeper than {} levels",
+                    self.limits.max_depth
+                )));
+            }
             return Ok(Some(XmlEvent::StartElement {
                 name,
                 attributes,
@@ -249,10 +322,17 @@ fn is_name_char(c: char) -> bool {
 
 /// Decode the five predefined entities and numeric character references.
 pub fn decode_entities(raw: &str, position: usize) -> Result<String, XmlError> {
+    decode_entities_counted(raw, position).map(|(text, _)| text)
+}
+
+/// [`decode_entities`] plus the number of references that were expanded, so
+/// the parser can charge them against [`XmlLimits::max_entity_refs`].
+fn decode_entities_counted(raw: &str, position: usize) -> Result<(String, usize), XmlError> {
     if !raw.contains('&') {
-        return Ok(raw.to_string());
+        return Ok((raw.to_string(), 0));
     }
     let mut out = String::with_capacity(raw.len());
+    let mut used = 0usize;
     let mut rest = raw;
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
@@ -297,10 +377,11 @@ pub fn decode_entities(raw: &str, position: usize) -> Result<String, XmlError> {
                 })
             }
         }
+        used += 1;
         rest = &rest[semi + 1..];
     }
     out.push_str(rest);
-    Ok(out)
+    Ok((out, used))
 }
 
 /// Escape text content for serialization.
@@ -459,5 +540,81 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    fn nested_doc(depth: usize) -> String {
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<a>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</a>");
+        }
+        doc
+    }
+
+    #[test]
+    fn default_limits_reject_pathological_nesting() {
+        let doc = nested_doc(600);
+        let err = XmlParser::new(&doc).into_events().unwrap_err();
+        assert!(err.message.contains("nesting"), "message: {}", err.message);
+        // The same document parses fine without limits.
+        let ev = XmlParser::with_limits(&doc, XmlLimits::unlimited())
+            .into_events()
+            .unwrap();
+        assert_eq!(ev.len(), 1200);
+    }
+
+    #[test]
+    fn documents_at_the_depth_limit_still_parse() {
+        let doc = nested_doc(512);
+        assert!(XmlParser::new(&doc).into_events().is_ok());
+    }
+
+    #[test]
+    fn custom_depth_limit_is_enforced() {
+        let doc = nested_doc(4);
+        let tight = XmlLimits {
+            max_depth: 3,
+            ..XmlLimits::default()
+        };
+        assert!(XmlParser::with_limits(&doc, tight).into_events().is_err());
+        let exact = XmlLimits {
+            max_depth: 4,
+            ..XmlLimits::default()
+        };
+        assert!(XmlParser::with_limits(&doc, exact).into_events().is_ok());
+    }
+
+    #[test]
+    fn entity_flood_is_rejected() {
+        let mut doc = String::from("<a>");
+        for _ in 0..100 {
+            doc.push_str("&amp;");
+        }
+        doc.push_str("</a>");
+        let tight = XmlLimits {
+            max_entity_refs: 99,
+            ..XmlLimits::default()
+        };
+        let err = XmlParser::with_limits(&doc, tight).into_events().unwrap_err();
+        assert!(err.message.contains("entity references"), "message: {}", err.message);
+        // 100 references are fine at the exact budget and under defaults.
+        let exact = XmlLimits {
+            max_entity_refs: 100,
+            ..XmlLimits::default()
+        };
+        assert!(XmlParser::with_limits(&doc, exact).into_events().is_ok());
+        assert!(XmlParser::new(&doc).into_events().is_ok());
+    }
+
+    #[test]
+    fn entity_budget_counts_attributes_too() {
+        let doc = r#"<a k="&lt;&gt;&amp;"/>"#;
+        let tight = XmlLimits {
+            max_entity_refs: 2,
+            ..XmlLimits::default()
+        };
+        assert!(XmlParser::with_limits(doc, tight).into_events().is_err());
     }
 }

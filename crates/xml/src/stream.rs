@@ -17,7 +17,7 @@
 //! assert_eq!(g.edge_count(), 4); // 3 containment + 1 reference
 //! ```
 
-use crate::parser::{XmlError, XmlEvent, XmlParser};
+use crate::parser::{XmlError, XmlEvent, XmlLimits, XmlParser};
 use crate::to_graph::{GraphMappingError, GraphOptions};
 use dkindex_graph::{DataGraph, EdgeKind, LabelInterner, LabeledGraph, NodeId};
 use std::collections::HashMap;
@@ -60,9 +60,20 @@ impl From<GraphMappingError> for StreamError {
 }
 
 /// Build a [`DataGraph`] from XML text in one streaming pass (plus deferred
-/// reference resolution at the end).
+/// reference resolution at the end). Parses under [`XmlLimits::default`];
+/// use [`stream_to_graph_with_limits`] to tighten or lift the bounds.
 pub fn stream_to_graph(input: &str, options: &GraphOptions) -> Result<DataGraph, StreamError> {
-    let mut parser = XmlParser::new(input);
+    stream_to_graph_with_limits(input, options, XmlLimits::default())
+}
+
+/// [`stream_to_graph`] with explicit parser hardening limits (nesting depth
+/// and entity-expansion budget).
+pub fn stream_to_graph_with_limits(
+    input: &str,
+    options: &GraphOptions,
+    limits: XmlLimits,
+) -> Result<DataGraph, StreamError> {
+    let mut parser = XmlParser::with_limits(input, limits);
     let mut g = DataGraph::new();
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     let mut pending_refs: Vec<(NodeId, String)> = Vec::new();
@@ -243,5 +254,22 @@ mod tests {
     fn self_closing_elements_stream_correctly() {
         let g = stream_to_graph("<r><a/><b/></r>", &GraphOptions::default()).unwrap();
         assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_typed_error_not_a_crash() {
+        let mut doc = String::new();
+        for _ in 0..600 {
+            doc.push_str("<a>");
+        }
+        for _ in 0..600 {
+            doc.push_str("</a>");
+        }
+        let out = stream_to_graph(&doc, &GraphOptions::default());
+        assert!(matches!(out, Err(StreamError::Xml(_))), "expected Xml error");
+        // Explicitly lifting the limits restores the old behaviour.
+        let g = stream_to_graph_with_limits(&doc, &GraphOptions::default(), XmlLimits::unlimited())
+            .unwrap();
+        assert_eq!(g.node_count(), 601); // ROOT + 600 <a>
     }
 }
