@@ -1,13 +1,16 @@
-.PHONY: verify test build bench-smoke verify-faults doc clippy
+.PHONY: verify test build bench-smoke verify-faults verify-serve doc clippy
 
 # Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
 # that the arena evaluator and the refinement engine produce byte-identical
 # outcomes/partitions to the retained baselines — and that the telemetry
 # recorder changes no observable result — exiting non-zero if not.
 # `verify-faults` sweeps injected snapshot/WAL corruption and fails on any
-# panic or silently accepted damage. `doc` and `clippy` must both come back
-# warning-free.
-verify: build test bench-smoke verify-faults doc clippy
+# panic or silently accepted damage. `verify-serve` re-runs the concurrent
+# serving suite (sharded-construction byte-identity, serve-vs-serial
+# determinism, racing-reader consistency) in release mode, where thread
+# interleavings differ from the debug test run. `doc` and `clippy` must both
+# come back warning-free.
+verify: build test bench-smoke verify-faults verify-serve doc clippy
 
 build:
 	cargo build --release
@@ -20,6 +23,9 @@ bench-smoke:
 
 verify-faults:
 	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-faults
+
+verify-serve:
+	cargo test --release -q -p dkindex-core --test serve
 
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

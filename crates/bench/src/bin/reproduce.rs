@@ -405,7 +405,20 @@ fn run_bench_smoke(opts: &Options) {
         );
     }
 
-    let json = perf::to_json("xmark", &cfg, &eval, &builds);
+    let serve = perf::bench_serve(&data, workload.queries(), &reqs, &cfg, opts.seed);
+    println!(
+        "serve: {} readers x {} rounds over {} update(s) in {} epoch(s): \
+         {:.1} ms | {:.0} queries/s | deterministic vs serial replay: {}",
+        serve.readers,
+        serve.rounds,
+        serve.updates,
+        serve.epochs,
+        serve.serve_ms,
+        serve.queries_per_sec,
+        serve.deterministic,
+    );
+
+    let json = perf::to_json("xmark", &cfg, &eval, &builds, &serve);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("error: writing {}: {e}", opts.out);
         std::process::exit(2);
@@ -430,6 +443,10 @@ fn run_bench_smoke(opts: &Options) {
 
     if !eval.identical || builds.iter().any(|b| !b.identical) {
         eprintln!("FAIL: before/after paths disagree");
+        std::process::exit(1);
+    }
+    if !serve.deterministic {
+        eprintln!("FAIL: concurrent serve diverged from serial replay");
         std::process::exit(1);
     }
     if !tel.identical() {

@@ -13,8 +13,9 @@
 
 use dkindex_core::dk::{dk_partition_reference, dk_partition_with_engine};
 use dkindex_core::{
-    evaluate_workload_parallel, AdaptiveTuner, AkIndex, DkIndex, IndexEvalOutcome,
-    IndexEvaluator, IndexGraph, Requirements, TunerConfig,
+    apply_serial, evaluate_workload_parallel, snapshot_bytes, AdaptiveTuner, AkIndex, DkIndex,
+    DkServer, IndexEvalOutcome, IndexEvaluator, IndexGraph, Requirements, ServeConfig, ServeOp,
+    TunerConfig,
 };
 use dkindex_graph::DataGraph;
 use dkindex_partition::{k_bisimulation, RefineEngine};
@@ -221,6 +222,99 @@ pub fn bench_dk_build(
     }
 }
 
+/// Concurrent serving measurements: reader throughput under a live update
+/// stream, plus the determinism cross-check against a serial replay.
+#[derive(Clone, Debug)]
+pub struct ServeBenchResult {
+    /// Reader threads evaluating queries against published epochs.
+    pub readers: usize,
+    /// Query evaluations issued per reader.
+    pub rounds: usize,
+    /// Total queries answered (`readers * rounds`).
+    pub queries: u64,
+    /// Edge updates applied by the maintenance thread.
+    pub updates: usize,
+    /// Epochs published (batching collapses updates, so `<= updates`).
+    pub epochs: u64,
+    /// Wall-clock for the whole mixed run.
+    pub serve_ms: f64,
+    /// Queries answered per second across all readers.
+    pub queries_per_sec: f64,
+    /// Final published state is byte-identical to a serial replay of the
+    /// same op sequence.
+    pub deterministic: bool,
+}
+
+/// Benchmark the epoch-published serving layer ([`DkServer`]): reader
+/// threads evaluate `queries` round-robin while the maintenance thread
+/// applies a generated edge-update stream in batches, then the final state
+/// is compared byte-for-byte against [`apply_serial`].
+pub fn bench_serve(
+    data: &DataGraph,
+    queries: &[PathExpr],
+    reqs: &Requirements,
+    cfg: &PerfConfig,
+    seed: u64,
+) -> ServeBenchResult {
+    let readers = cfg.resolved_threads().max(1);
+    let rounds = 200;
+    let updates = 32;
+    let dk = DkIndex::build(data, reqs.clone());
+    let ops: Vec<ServeOp> = generate_update_edges(data, updates, seed)
+        .into_iter()
+        .map(|(from, to)| ServeOp::AddEdge { from, to })
+        .collect();
+
+    let mut serial_dk = dk.clone();
+    let mut serial_g = data.clone();
+    apply_serial(&mut serial_dk, &mut serial_g, &ops);
+    let expected = snapshot_bytes(&serial_dk, &serial_g);
+
+    let start = Instant::now();
+    let server = DkServer::start(
+        data.clone(),
+        dk,
+        ServeConfig {
+            max_batch: 8,
+            threads: readers,
+        },
+    );
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for r in 0..readers {
+            let handle = server.handle();
+            workers.push(s.spawn(move || {
+                for round in 0..rounds {
+                    let q = &queries[(r + round) % queries.len()];
+                    let _ = handle.evaluate(q);
+                }
+            }));
+        }
+        for op in &ops {
+            server.submit(op.clone());
+        }
+        for w in workers {
+            w.join().expect("reader thread panicked");
+        }
+    });
+    let epochs = server.flush();
+    let serve_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (final_dk, final_g) = server.shutdown();
+    let deterministic = snapshot_bytes(&final_dk, &final_g) == expected;
+
+    let answered = (readers * rounds) as u64;
+    ServeBenchResult {
+        readers,
+        rounds,
+        queries: answered,
+        updates: ops.len(),
+        epochs,
+        serve_ms,
+        queries_per_sec: answered as f64 / (serve_ms / 1e3).max(f64::MIN_POSITIVE),
+        deterministic,
+    }
+}
+
 /// Full smoke benchmark on an XMark-like dataset: batch evaluation of the
 /// workload through the figure-4 index set (A(0)..A(max_k) plus the
 /// workload-tuned D(k)), plus A(k) and D(k) construction. Returns the eval
@@ -387,6 +481,7 @@ pub fn to_json(
     cfg: &PerfConfig,
     eval: &EvalBenchResult,
     builds: &[BuildBenchResult],
+    serve: &ServeBenchResult,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -425,7 +520,23 @@ pub fn to_json(
             if i + 1 < builds.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"serve\": {\n");
+    s.push_str(&format!("    \"readers\": {},\n", serve.readers));
+    s.push_str(&format!("    \"rounds\": {},\n", serve.rounds));
+    s.push_str(&format!("    \"queries\": {},\n", serve.queries));
+    s.push_str(&format!("    \"updates\": {},\n", serve.updates));
+    s.push_str(&format!("    \"epochs\": {},\n", serve.epochs));
+    s.push_str(&format!("    \"serve_ms\": {:.3},\n", serve.serve_ms));
+    s.push_str(&format!(
+        "    \"queries_per_sec\": {:.1},\n",
+        serve.queries_per_sec
+    ));
+    s.push_str(&format!(
+        "    \"deterministic\": {}\n",
+        serve.deterministic
+    ));
+    s.push_str("  }\n");
     s.push_str("}\n");
     s
 }
@@ -450,9 +561,15 @@ mod tests {
         for b in &builds {
             assert!(b.identical, "{} construction paths disagree", b.name);
         }
-        let json = to_json("xmark-test", &cfg, &eval, &builds);
+        let serve = bench_serve(&data, workload.queries(), &reqs, &cfg, 7);
+        assert!(serve.deterministic, "serve diverged from serial replay");
+        assert_eq!(serve.queries, (serve.readers * serve.rounds) as u64);
+        assert!(serve.epochs >= 1 && serve.epochs <= serve.updates as u64);
+        let json = to_json("xmark-test", &cfg, &eval, &builds, &serve);
         assert!(json.contains("\"identical_outcomes\": true"));
         assert!(json.contains("\"identical_partition\": true"));
+        assert!(json.contains("\"serve\""), "{json}");
+        assert!(json.contains("\"deterministic\": true"), "{json}");
     }
 
     #[test]

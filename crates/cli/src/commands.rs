@@ -8,7 +8,10 @@
 use dkindex_core::audit::{audit_dk, AuditConfig, Severity};
 use dkindex_core::snapshot::{self, load_index_bytes, save_snapshot_file, snapshot_bytes};
 use dkindex_core::wal::{self, WalRecord, WalTail, WalWriter};
-use dkindex_core::{mine_requirements, DkIndex, FbIndex, IndexEvaluator, Requirements};
+use dkindex_core::{
+    apply_serial, mine_requirements, DkIndex, DkServer, FbIndex, IndexEvaluator, Requirements,
+    ServeConfig, ServeOp,
+};
 use dkindex_graph::stats::{label_histogram, GraphStats};
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
 use dkindex_pathexpr::{parse, parse_twig, PathExpr};
@@ -34,6 +37,8 @@ usage:
   dkindex snapshot <index.dki> --out <snap.dki> [--wal <file.wal>]
   dkindex recover  <snap.dki> --out <fixed.dki> [--wal <file.wal>]
   dkindex doctor   <index.dki>
+  dkindex serve <index.dki> --queries <file> [--threads N] [--updates N]
+                [--batch N] [--rounds N]
 
 global flags:
   --metrics <path>   record hot-path telemetry across the command and write
@@ -182,6 +187,7 @@ fn dispatch_command(args: &[String]) -> Result<String, CliError> {
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("doctor") => cmd_doctor(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
         Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
         None => Err(CliError::usage("missing command")),
@@ -198,6 +204,10 @@ struct Parsed<'a> {
     queries: Option<&'a str>,
     wal: Option<&'a str>,
     budget: Option<u64>,
+    threads: Option<usize>,
+    updates: Option<usize>,
+    batch: Option<usize>,
+    rounds: Option<usize>,
 }
 
 fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
@@ -210,6 +220,10 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
         queries: None,
         wal: None,
         budget: None,
+        threads: None,
+        updates: None,
+        batch: None,
+        rounds: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -239,6 +253,34 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
                     next_value(&mut it, "--budget")?
                         .parse()
                         .map_err(|_| CliError::usage("--budget expects a number"))?,
+                )
+            }
+            "--threads" => {
+                parsed.threads = Some(
+                    next_value(&mut it, "--threads")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--threads expects a number"))?,
+                )
+            }
+            "--updates" => {
+                parsed.updates = Some(
+                    next_value(&mut it, "--updates")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--updates expects a number"))?,
+                )
+            }
+            "--batch" => {
+                parsed.batch = Some(
+                    next_value(&mut it, "--batch")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--batch expects a number"))?,
+                )
+            }
+            "--rounds" => {
+                parsed.rounds = Some(
+                    next_value(&mut it, "--rounds")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--rounds expects a number"))?,
                 )
             }
             "--out" => parsed.out = Some(next_value(&mut it, "--out")?),
@@ -296,6 +338,23 @@ fn load_index(path: &str) -> Result<(DkIndex, DataGraph), CliError> {
     let bytes = fs::read(path).map_err(|e| CliError::io(path, e))?;
     let (dk, g, _) = load_index_bytes(&bytes).map_err(|e| CliError::invalid(path, e))?;
     Ok((dk, g))
+}
+
+/// Load an index for *serving*: a checksummed snapshot with a damaged-but-
+/// recoverable section (e.g. a corrupt INDX payload whose index is rebuilt
+/// deterministically from the graph) still answers queries. Only genuinely
+/// unrecoverable damage is a typed `Invalid` error. Using this in `query`
+/// keeps failure classes honest: a `--budget` abort during evaluation over a
+/// recovered snapshot is exit 6 (aborted), not exit 4 (corrupt).
+fn load_index_graceful(path: &str) -> Result<(DkIndex, DataGraph), CliError> {
+    let bytes = fs::read(path).map_err(|e| CliError::io(path, e))?;
+    if bytes.starts_with(snapshot::MAGIC) {
+        let (dk, g, _) = snapshot::load_with_recovery(&bytes).map_err(|e| CliError::invalid(path, e))?;
+        Ok((dk, g))
+    } else {
+        let (dk, g, _) = load_index_bytes(&bytes).map_err(|e| CliError::invalid(path, e))?;
+        Ok((dk, g))
+    }
 }
 
 /// Serialize `dk` + `g` as a checksummed snapshot and write it to `path`.
@@ -430,7 +489,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
     let [path, expr_text] = parsed.positional[..] else {
         return Err(CliError::usage("query expects <index.dki> <path-expression>"));
     };
-    let (dk, g) = load_index(path)?;
+    let (dk, g) = load_index_graceful(path)?;
     let expr = parse(expr_text).map_err(|e| CliError::Query(e.to_string()))?;
     let mut evaluator = IndexEvaluator::new(dk.index(), &g);
     let out = match parsed.budget {
@@ -701,6 +760,108 @@ fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
     } else {
         let _ = writeln!(out, "index is degraded but exact (promotion will restore targets)");
     }
+    Ok(out)
+}
+
+/// `serve`: drive a mixed concurrent query/update workload through the
+/// epoch-published serving layer ([`DkServer`]). `--threads` reader threads
+/// evaluate the query file round-robin while the maintenance thread applies
+/// `--updates` synthetic edge additions in batches of `--batch`, publishing
+/// a fresh epoch per batch. The final published state is checked
+/// byte-for-byte against a serial replay of the same op sequence; a
+/// mismatch is reported as an unsound index (exit 5).
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [index_path] = parsed.positional[..] else {
+        return Err(CliError::usage("serve expects exactly one index file"));
+    };
+    let qfile = parsed
+        .queries
+        .ok_or_else(|| CliError::usage("serve needs --queries <file>"))?;
+    let threads = parsed.threads.unwrap_or(2).max(1);
+    let updates = parsed.updates.unwrap_or(16);
+    let batch = parsed.batch.unwrap_or(8).max(1);
+    let rounds = parsed.rounds.unwrap_or(50);
+
+    let (dk, g) = load_index_graceful(index_path)?;
+    let queries = read_query_file(qfile)?;
+    if queries.is_empty() {
+        return Err(CliError::usage(format!("{qfile}: no queries to serve")));
+    }
+    let mut notes = Vec::new();
+    let ops: Vec<ServeOp> = if updates > 0 {
+        if dkindex_workload::reference_label_pairs(&g).is_empty() {
+            notes.push("no reference edges in the data graph; update stream skipped".to_string());
+            Vec::new()
+        } else {
+            dkindex_workload::generate_update_edges(&g, updates, 0x5EE0)
+                .into_iter()
+                .map(|(from, to)| ServeOp::AddEdge { from, to })
+                .collect()
+        }
+    } else {
+        Vec::new()
+    };
+
+    // Serial oracle first: the concurrent run must land on these bytes.
+    let mut serial_dk = dk.clone();
+    let mut serial_g = g.clone();
+    apply_serial(&mut serial_dk, &mut serial_g, &ops);
+    let expected = snapshot_bytes(&serial_dk, &serial_g);
+
+    let server = DkServer::start(g, dk, ServeConfig { max_batch: batch, threads });
+    let answered = std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for r in 0..threads {
+            let handle = server.handle();
+            let queries = &queries;
+            workers.push(s.spawn(move || {
+                let mut matches = 0usize;
+                for round in 0..rounds {
+                    let q = &queries[(r + round) % queries.len()];
+                    matches += handle.evaluate(q).matches.len();
+                }
+                matches
+            }));
+        }
+        for op in &ops {
+            server.submit(op.clone());
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("reader thread panicked"))
+            .sum::<usize>()
+    });
+    let last_epoch = server.flush();
+    let (final_dk, final_g) = server.shutdown();
+
+    if snapshot_bytes(&final_dk, &final_g) != expected {
+        return Err(CliError::Unsound {
+            corruptions: 1,
+            report: "concurrent serve diverged from serial replay of the same op sequence"
+                .to_string(),
+        });
+    }
+    let mut out = String::new();
+    for note in notes {
+        let _ = writeln!(out, "{note}");
+    }
+    let _ = writeln!(
+        out,
+        "served {} quer{} x {rounds} round(s) on {threads} reader thread(s): {answered} match(es)",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+    );
+    let _ = writeln!(
+        out,
+        "applied {} update(s) in batches of {batch}: {last_epoch} epoch(s) published",
+        ops.len(),
+    );
+    let _ = writeln!(
+        out,
+        "final index has {} nodes; deterministic vs serial replay: ok",
+        final_dk.size()
+    );
     Ok(out)
 }
 
@@ -1019,23 +1180,109 @@ mod tests {
         let doc = write_doc(&dir);
         let idx = dir.file("index.dki");
         run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap()]).unwrap();
-        let mut bytes = fs::read(&idx).unwrap();
+        let healthy = fs::read(&idx).unwrap();
+        let mut bytes = healthy.clone();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         let bad = dir.file("bad.dki");
         fs::write(&bad, &bytes).unwrap();
-        // Strict consumers (info/query) refuse with exit code 4; doctor
-        // reports what is wrong with exit code 4 or 5 — nobody panics.
-        for verb in ["info", "query"] {
-            let mut args = vec![verb, bad.to_str().unwrap()];
-            if verb == "query" {
-                args.push("movie");
-            }
-            let err = run(&args).unwrap_err();
-            assert_eq!(err.exit_code(), 4, "{verb}: {err}");
-        }
+        // The strict consumer (info) refuses any damage with exit code 4;
+        // doctor reports what is wrong with exit code 4 or 5 — nobody panics.
+        let err = run(&["info", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "info: {err}");
         let err = run(&["doctor", bad.to_str().unwrap()]).unwrap_err();
         assert!(err.exit_code() == 4 || err.exit_code() == 5, "{err}");
+        // query serves through recovery when it can, but unrecoverable
+        // damage (a broken graph section) is still a typed exit-4 error.
+        let grph_at = healthy
+            .windows(4)
+            .position(|w| w == b"GRPH")
+            .expect("snapshot has a GRPH section");
+        let mut bytes = healthy.clone();
+        bytes[grph_at + 16] ^= 0xFF;
+        let bad_graph = dir.file("bad-graph.dki");
+        fs::write(&bad_graph, &bytes).unwrap();
+        let err = run(&["query", bad_graph.to_str().unwrap(), "movie"]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "query: {err}");
+    }
+
+    /// End-to-end assertion of the whole exit-code matrix: 0 success,
+    /// 2 usage, 3 I/O, 4 corrupt, 5 unsound, 6 aborted — including the
+    /// regression for budget aborts on a *recoverable* snapshot, which must
+    /// be exit 6 (aborted), not exit 4 (corrupt).
+    #[test]
+    fn exit_code_matrix_is_asserted_end_to_end() {
+        let dir = TempDir::new("exit-matrix");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+
+        // 0: a healthy build → query pipeline succeeds.
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "1"])
+            .unwrap();
+        run(&["query", idx.to_str().unwrap(), "movie.title"]).unwrap();
+
+        // 2: usage errors and query syntax errors.
+        assert_eq!(run(&["query", idx.to_str().unwrap()]).unwrap_err().exit_code(), 2);
+        assert_eq!(
+            run(&["query", idx.to_str().unwrap(), "movie..title"]).unwrap_err().exit_code(),
+            2
+        );
+
+        // 3: unreadable input file.
+        let missing = dir.file("missing.dki");
+        assert_eq!(
+            run(&["query", missing.to_str().unwrap(), "movie"]).unwrap_err().exit_code(),
+            3
+        );
+
+        let healthy = fs::read(&idx).unwrap();
+
+        // 4: unrecoverable corruption — damage the GRPH payload; without an
+        // intact graph there is nothing to rebuild the index from.
+        let grph_at = healthy
+            .windows(4)
+            .position(|w| w == b"GRPH")
+            .expect("snapshot has a GRPH section");
+        let mut bytes = healthy.clone();
+        bytes[grph_at + 16] ^= 0xFF;
+        let bad_graph = dir.file("bad-graph.dki");
+        fs::write(&bad_graph, &bytes).unwrap();
+        assert_eq!(
+            run(&["query", bad_graph.to_str().unwrap(), "movie"]).unwrap_err().exit_code(),
+            4
+        );
+
+        // 5: recoverable INDX damage — doctor flags the stored index as
+        // untrustworthy.
+        let mut bytes = healthy.clone();
+        let pos = bytes.len() - 12; // inside the INDX payload
+        bytes[pos] ^= 0x01;
+        let bad_index = dir.file("bad-index.dki");
+        fs::write(&bad_index, &bytes).unwrap();
+        assert_eq!(
+            run(&["doctor", bad_index.to_str().unwrap()]).unwrap_err().exit_code(),
+            5
+        );
+
+        // 6: a budget abort is exit 6 on a healthy snapshot…
+        let err =
+            run(&["query", idx.to_str().unwrap(), "movie.title", "--budget", "0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        // …and on a recoverable snapshot: query rebuilds the index from the
+        // intact graph and the abort keeps its own failure class (the old
+        // behavior surfaced this as exit 4).
+        let err = run(&[
+            "query",
+            bad_index.to_str().unwrap(),
+            "movie.title",
+            "--budget",
+            "0",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        // Sanity: without a budget the recovered snapshot answers normally.
+        let out = run(&["query", bad_index.to_str().unwrap(), "movie.title"]).unwrap();
+        assert!(out.contains("match(es)"), "{out}");
     }
 
     #[test]
@@ -1165,6 +1412,60 @@ mod tests {
         let out = run(&["--help"]).unwrap();
         assert!(out.contains("usage:"));
         assert!(out.contains("doctor"));
+        assert!(out.contains("serve"));
         assert!(out.contains("exit codes"));
+    }
+
+    #[test]
+    fn serve_runs_a_mixed_workload_deterministically() {
+        let dir = TempDir::new("serve");
+        // Needs several nodes per referenced label: the update generator
+        // only emits edges that do not already exist.
+        let doc = dir.file("doc.xml");
+        fs::write(
+            &doc,
+            r#"
+            <movieDB>
+              <director id="d1"><name/><movie id="m1"><title/></movie>
+                                        <movie id="m2"><title/></movie></director>
+              <director id="d2"><name/><movie id="m3"><title/></movie></director>
+              <actor id="a1" idref="m1"><name/></actor>
+              <actor id="a2" idref="m2"><name/></actor>
+              <actor id="a3"><name/></actor>
+            </movieDB>"#,
+        )
+        .unwrap();
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "2"])
+            .unwrap();
+        let qfile = dir.file("queries.txt");
+        fs::write(&qfile, "movie.title\ndirector.movie\nactor\n").unwrap();
+        let out = run(&[
+            "serve", idx.to_str().unwrap(),
+            "--queries", qfile.to_str().unwrap(),
+            "--threads", "3",
+            "--updates", "6",
+            "--batch", "2",
+            "--rounds", "20",
+        ])
+        .unwrap();
+        assert!(out.contains("3 reader thread(s)"), "{out}");
+        assert!(out.contains("applied 6 update(s)"), "{out}");
+        assert!(out.contains("epoch(s) published"), "{out}");
+        assert!(out.contains("deterministic vs serial replay: ok"), "{out}");
+
+        // Missing flags are usage errors, and the verb is telemetry-clean.
+        assert_eq!(run(&["serve", idx.to_str().unwrap()]).unwrap_err().exit_code(), 2);
+        let metrics = dir.file("serve-metrics.json");
+        run(&[
+            "serve", idx.to_str().unwrap(),
+            "--queries", qfile.to_str().unwrap(),
+            "--updates", "4",
+            "--metrics", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"serve.epoch_publishes\""), "{json}");
+        assert!(json.contains("\"serve.queries\""), "{json}");
     }
 }

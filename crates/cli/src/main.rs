@@ -12,6 +12,8 @@
 //! dkindex snapshot <index.dki> --out <snap.dki> [--wal <file>]
 //! dkindex recover  <snap.dki> --out <fixed.dki> [--wal <file>]
 //! dkindex doctor   <index.dki>
+//! dkindex serve    <index.dki> --queries <file> [--threads N] [--updates N]
+//!                  [--batch N] [--rounds N]
 //! ```
 //!
 //! `build` mines requirements from `--queries` (one path expression per
@@ -22,7 +24,9 @@
 //! update — logging it durably first when `--wal` is given — and re-saves;
 //! `snapshot`/`recover`/`doctor` are the durability verbs (write a
 //! checksummed snapshot, gracefully rebuild a damaged one, audit the stored
-//! invariants).
+//! invariants); `serve` drives a concurrent mixed query/update workload
+//! through the epoch-published serving layer and cross-checks the final
+//! state against a serial replay.
 //!
 //! Every command accepts the global `--metrics <path>` flag: the hot-path
 //! telemetry recorder (`dkindex-telemetry`) is enabled for the duration of

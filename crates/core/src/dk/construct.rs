@@ -179,6 +179,15 @@ impl DkIndex {
         }
     }
 
+    /// Sharded construction: [`Self::build`] with the initial refinement
+    /// work fanned across `threads` worker threads (`0` = machine
+    /// parallelism). The engine's deterministic node-order merge makes the
+    /// result byte-identical to the single-threaded build — and to the
+    /// retained [`dk_partition_reference`] oracle — for every thread count.
+    pub fn build_sharded(data: &DataGraph, requirements: Requirements, threads: usize) -> Self {
+        DkIndex::build_with_engine(data, requirements, &mut RefineEngine::with_threads(threads))
+    }
+
     /// Reassemble a D(k)-index from stored parts (the `store` module's
     /// loader, which validates invariants against the loaded data graph).
     pub(crate) fn from_parts(index: IndexGraph, requirements: Requirements) -> Self {
@@ -219,8 +228,29 @@ impl DkIndex {
     }
 
     /// The extent of the index node containing `data_node`.
-    pub fn extent_of(&self, data_node: NodeId) -> &[NodeId] {
-        self.index.extent(self.index.index_of(data_node))
+    ///
+    /// A data node appended to the graph after construction is not yet
+    /// refined into any index block; until the next update or rebuild folds
+    /// it in, its extent is the singleton `{data_node}` — returned here as
+    /// an owned fallback rather than panicking on the unmapped id.
+    pub fn extent_of(&self, data_node: NodeId) -> std::borrow::Cow<'_, [NodeId]> {
+        if data_node.index() < self.index.node_map_len() {
+            std::borrow::Cow::Borrowed(self.index.extent(self.index.index_of(data_node)))
+        } else {
+            std::borrow::Cow::Owned(vec![data_node])
+        }
+    }
+
+    /// Register every data node appended after construction (ids at or past
+    /// the index's node map) as a fresh singleton index node with local
+    /// similarity 0. Called by the update algorithms before they resolve
+    /// node → block mappings, so updates touching fresh nodes never panic.
+    pub(crate) fn register_fresh_nodes(&mut self, data: &DataGraph) {
+        while self.index.node_map_len() < data.node_count() {
+            let n = NodeId::from_index(self.index.node_map_len());
+            let label = self.index.intern(data.label_name(n));
+            self.index.push_node(label, vec![n], 0);
+        }
     }
 }
 
@@ -351,5 +381,15 @@ mod tests {
         let dk = DkIndex::build(&g, Requirements::new());
         let extent = dk.extent_of(n[5]); // an E node under label-split
         assert!(extent.contains(&n[5]) && extent.contains(&n[6]));
+    }
+
+    #[test]
+    fn extent_of_falls_back_to_singleton_for_post_construction_nodes() {
+        let (mut g, _) = figure2_like();
+        let dk = DkIndex::build(&g, Requirements::new());
+        // A node appended after construction has no index block yet: its
+        // extent is the singleton fallback, not a panic.
+        let fresh = g.add_labeled_node("Z");
+        assert_eq!(dk.extent_of(fresh).as_ref(), &[fresh]);
     }
 }

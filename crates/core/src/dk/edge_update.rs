@@ -123,6 +123,9 @@ impl DkIndex {
     /// edge insertion itself, and never changes extents or index size.
     pub fn add_edge(&mut self, data: &mut DataGraph, u: NodeId, v: NodeId) -> EdgeUpdateOutcome {
         let _span = telemetry::Span::start(&telemetry::metrics::DK_EDGE_UPDATE_NS);
+        // Nodes appended to the data graph since construction have no index
+        // block yet; fold them in as singletons before resolving u and v.
+        self.register_fresh_nodes(data);
         let mut outcome = EdgeUpdateOutcome::default();
         if !data.add_edge(u, v, EdgeKind::Reference) {
             outcome.new_similarity = self.index().similarity(self.index().index_of(v));
@@ -292,6 +295,32 @@ mod tests {
         assert_eq!(idx.similarity(idx.index_of(d1)), 0);
         assert_eq!(idx.similarity(idx.index_of(e1)), 1);
         idx.check_extent_path_similarity(&g, 5).unwrap();
+    }
+
+    #[test]
+    fn add_edge_on_a_fresh_node_registers_a_singleton() {
+        let mut g = figure3_data();
+        let mut dk = DkIndex::build(&g, Requirements::uniform(2));
+        let size_before = dk.size();
+        // A node appended after construction: extent_of falls back to the
+        // singleton, and add_edge registers it instead of panicking.
+        let fresh = g.add_labeled_node("f");
+        assert_eq!(dk.extent_of(fresh).as_ref(), &[fresh]);
+        let b1 = node(&g, "b", 0);
+        dk.add_edge(&mut g, b1, fresh);
+        assert_eq!(dk.size(), size_before + 1);
+        assert_eq!(dk.extent_of(fresh).as_ref(), &[fresh]);
+        dk.index().check_invariants(&g).unwrap();
+        // The fresh node is reachable through the index, exactly.
+        let e = parse("b.f").unwrap();
+        let out = IndexEvaluator::new(dk.index(), &g).evaluate(&e);
+        assert_eq!(out.matches, evaluate_on_data(&g, &e).0);
+        assert_eq!(out.matches, vec![fresh]);
+        // An update *originating* at a fresh node also registers it.
+        let fresh2 = g.add_labeled_node("f");
+        let e1 = node(&g, "e", 0);
+        dk.add_edge(&mut g, fresh2, e1);
+        dk.index().check_invariants(&g).unwrap();
     }
 
     #[test]

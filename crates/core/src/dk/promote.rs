@@ -33,11 +33,24 @@ impl DkIndex {
     }
 
     /// Promote a batch of `(data node, k)` targets, highest `k` first.
+    ///
+    /// Duplicate targets — the same data node twice, or two members of the
+    /// same extent — describe one promotion, not two: the batch is deduped by
+    /// the target's *current* index block (keeping the highest requested `k`
+    /// per block) before any split work, so the returned split count matches
+    /// a sequential [`DkIndex::promote`] loop over the same targets.
     pub fn promote_batch(&mut self, data: &DataGraph, targets: &[(NodeId, usize)]) -> usize {
-        let mut ordered: Vec<(NodeId, usize)> = targets.to_vec();
-        ordered.sort_by_key(|&(_, k)| std::cmp::Reverse(k));
+        // (block, data node, k); deterministic dedupe: group by block, keep
+        // the highest k (ties broken by lowest data-node index).
+        let mut ordered: Vec<(NodeId, NodeId, usize)> = targets
+            .iter()
+            .map(|&(n, k)| (self.index().index_of(n), n, k))
+            .collect();
+        ordered.sort_by_key(|&(b, n, k)| (b.index(), std::cmp::Reverse(k), n.index()));
+        ordered.dedup_by_key(|entry| entry.0);
+        ordered.sort_by_key(|&(_, n, k)| (std::cmp::Reverse(k), n.index()));
         let mut splits = 0;
-        for (n, k) in ordered {
+        for (_, n, k) in ordered {
             splits += self.promote(data, n, k);
         }
         splits
@@ -249,6 +262,35 @@ mod tests {
         assert!(idx.similarity(idx.index_of(t1)) >= 2);
         assert!(idx.similarity(idx.index_of(m1)) >= 1);
         idx.check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn promote_batch_dedupes_duplicate_and_same_block_targets() {
+        let g = data();
+        let title = g.labels().get("title").unwrap();
+        let movie = g.labels().get("movie").unwrap();
+        let t1 = g.nodes_with_label(title)[0];
+        let t2 = g.nodes_with_label(title)[1];
+        let m1 = g.nodes_with_label(movie)[0];
+        // t1 appears twice and t2 shares t1's initial block: three of the
+        // five entries describe promotions already covered by another entry.
+        let targets = [(t1, 2), (t1, 2), (t2, 2), (t2, 1), (m1, 1)];
+
+        let mut batched = DkIndex::build(&g, Requirements::new());
+        let batch_splits = batched.promote_batch(&g, &targets);
+
+        let mut sequential = DkIndex::build(&g, Requirements::new());
+        let mut seq_splits = 0;
+        for &(n, k) in &targets {
+            seq_splits += sequential.promote(&g, n, k);
+        }
+
+        assert_eq!(batch_splits, seq_splits, "batch must not double-count splits");
+        assert!(batched
+            .index()
+            .to_partition()
+            .same_equivalence(&sequential.index().to_partition()));
+        batched.index().check_invariants(&g).unwrap();
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod mining;
 pub mod one_index;
 pub mod prepared;
 pub mod requirements;
+pub mod serve;
 pub mod snapshot;
 pub mod store;
 pub mod tuner;
@@ -77,6 +78,7 @@ pub use mining::{mine_requirements, mine_requirements_weighted};
 pub use one_index::OneIndex;
 pub use prepared::{CachedEvaluator, PreparedQuery};
 pub use requirements::Requirements;
+pub use serve::{apply_serial, DkServer, Epoch, ServeConfig, ServeHandle, ServeOp};
 pub use snapshot::{load_with_recovery, read_snapshot, save_snapshot_file, snapshot_bytes, write_snapshot, Recovery, SnapshotError, SnapshotFormat};
 pub use tuner::{AdaptiveTuner, TunerConfig, TuningAction};
 pub use wal::{ReplayReport, WalError, WalRecord, WalTail, WalWriter};

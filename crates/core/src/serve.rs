@@ -1,0 +1,384 @@
+//! Concurrent serving: epoch-published D(k)-indexes with a single
+//! maintenance thread.
+//!
+//! The paper's update and tuning algorithms (§5) all take `&mut` access to
+//! one [`DkIndex`]; this module turns that single-writer discipline into a
+//! concurrent read path without changing any algorithm:
+//!
+//! ```text
+//!           readers (N threads)                maintenance (1 thread)
+//!   ┌────────────────────────────┐      ┌──────────────────────────────┐
+//!   │ epoch = handle.epoch()     │      │ recv op, drain up to a batch │
+//!   │ answer = epoch.evaluate(q) │      │ apply ops in order on the    │
+//!   │   (memo hit or evaluator)  │      │   owned DkIndex + DataGraph  │
+//!   └────────────▲───────────────┘      │ publish Arc<Epoch> (id + 1)  │
+//!                │     lock-free reads  └──────────────┬───────────────┘
+//!                └──────── RwLock<Arc<Epoch>> ◄────────┘  swap on publish
+//! ```
+//!
+//! * **Epoch publication**: the current [`Epoch`] — an immutable snapshot of
+//!   index + data graph — sits behind a `RwLock<Arc<Epoch>>` used only as an
+//!   atomic pointer swap (the write lock is held for one `Arc` store, never
+//!   across any work). Readers clone the `Arc` and evaluate against their
+//!   epoch without further synchronization; a reader holding an old epoch
+//!   keeps a fully consistent view until it drops it.
+//! * **Maintenance batching**: one thread owns the mutable index. It blocks
+//!   on an op channel, drains up to [`ServeConfig::max_batch`] queued ops,
+//!   applies them **in submission order** (edge updates, promotions,
+//!   demotions, tuning), then publishes a fresh epoch. Because application
+//!   order equals submission order, an N-thread serve run ends in exactly
+//!   the state of a serial run over the same op sequence — snapshot bytes
+//!   and all.
+//! * **Cache invalidation contract**: each epoch carries its own query memo
+//!   keyed by the query alone — the epoch *is* the other half of the
+//!   `(epoch, query)` key. Publishing a new epoch drops the whole memo with
+//!   the superseded `Arc`, so a stale cached answer is impossible by
+//!   construction, not by bookkeeping.
+//!
+//! Telemetry: `serve.epoch_publishes`, `serve.batch_ops`, `serve.queries`,
+//! `serve.stale_epoch_reads`, `serve.cache_hits`/`serve.cache_misses`, and
+//! the `serve.publish_ns` span.
+
+use crate::dk::construct::DkIndex;
+use crate::eval::{IndexEvalOutcome, IndexEvaluator};
+use crate::requirements::Requirements;
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_pathexpr::PathExpr;
+use dkindex_telemetry as telemetry;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Knobs for a [`DkServer`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum operations applied per maintenance batch (one epoch publish
+    /// per batch). `1` publishes after every op; larger batches amortize the
+    /// publish cost under update-heavy load.
+    pub max_batch: usize,
+    /// Worker threads for the sharded initial construction
+    /// ([`DkIndex::build_sharded`]); `0` means machine parallelism.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            threads: 1,
+        }
+    }
+}
+
+/// A maintenance operation, applied by the single maintenance thread in
+/// submission order.
+#[derive(Clone, Debug)]
+pub enum ServeOp {
+    /// The paper's edge-addition update (Algorithms 4–5).
+    AddEdge {
+        /// Source data node.
+        from: NodeId,
+        /// Target data node.
+        to: NodeId,
+    },
+    /// Promote the block containing `node` to local similarity `k`
+    /// (Algorithm 6).
+    Promote {
+        /// A data node identifying the target block.
+        node: NodeId,
+        /// Requested local similarity.
+        k: usize,
+    },
+    /// Run the full promoting pass against the stored requirements.
+    PromoteToRequirements,
+    /// Demote the index to the given requirements.
+    Demote(Requirements),
+    /// Replace the stored requirements and promote up to them (the tuner's
+    /// promotion action).
+    SetRequirements(Requirements),
+}
+
+/// An immutable published snapshot: index + data graph + per-epoch memo.
+///
+/// The memo is keyed by the query alone because the epoch itself is the
+/// other key half — it dies wholesale when the epoch's last `Arc` drops, so
+/// it can never serve an answer computed against different data.
+#[derive(Debug)]
+pub struct Epoch {
+    id: u64,
+    dk: DkIndex,
+    data: DataGraph,
+    memo: Mutex<HashMap<PathExpr, IndexEvalOutcome>>,
+}
+
+impl Epoch {
+    fn new(id: u64, dk: DkIndex, data: DataGraph) -> Self {
+        Epoch {
+            id,
+            dk,
+            data,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// This epoch's publication number (0 for the initial build).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The index as of this epoch.
+    pub fn index(&self) -> &DkIndex {
+        &self.dk
+    }
+
+    /// The data graph as of this epoch.
+    pub fn data(&self) -> &DataGraph {
+        &self.data
+    }
+
+    /// Evaluate `query` against this epoch, consulting the per-epoch memo
+    /// first. Exact with respect to this epoch's data graph.
+    pub fn evaluate(&self, query: &PathExpr) -> IndexEvalOutcome {
+        telemetry::metrics::SERVE_QUERIES.incr();
+        if let Some(hit) = self
+            .memo
+            .lock()
+            .expect("epoch memo lock poisoned")
+            .get(query)
+            .cloned()
+        {
+            telemetry::metrics::SERVE_CACHE_HITS.incr();
+            return hit;
+        }
+        telemetry::metrics::SERVE_CACHE_MISSES.incr();
+        let out = IndexEvaluator::new(self.dk.index(), &self.data).evaluate(query);
+        self.memo
+            .lock()
+            .expect("epoch memo lock poisoned")
+            .insert(query.clone(), out.clone());
+        out
+    }
+}
+
+/// A cloneable reader handle: grabs the current epoch lock-free (one
+/// uncontended `RwLock` read to clone an `Arc`) and evaluates against it.
+#[derive(Clone)]
+pub struct ServeHandle {
+    current: Arc<RwLock<Arc<Epoch>>>,
+}
+
+impl ServeHandle {
+    /// The currently published epoch. The returned `Arc` stays fully
+    /// consistent even if the maintenance thread publishes successors.
+    pub fn epoch(&self) -> Arc<Epoch> {
+        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+    }
+
+    /// Evaluate `query` against the current epoch. The answer is exact for
+    /// the epoch it was computed on; if a publish raced the evaluation the
+    /// read is counted as stale (`serve.stale_epoch_reads`) but never wrong.
+    pub fn evaluate(&self, query: &PathExpr) -> IndexEvalOutcome {
+        let epoch = self.epoch();
+        let out = epoch.evaluate(query);
+        if self.current.read().expect("epoch lock poisoned").id != epoch.id {
+            telemetry::metrics::SERVE_STALE_EPOCH_READS.incr();
+        }
+        out
+    }
+}
+
+enum Msg {
+    Op(ServeOp),
+    Flush(mpsc::Sender<u64>),
+    Shutdown,
+}
+
+/// The concurrent serving layer: spawn with [`DkServer::start`] (or
+/// [`DkServer::build_and_start`] for a sharded fresh build), hand
+/// [`ServeHandle`]s to reader threads, feed updates through
+/// [`DkServer::submit`], and [`DkServer::shutdown`] to reclaim the final
+/// state.
+pub struct DkServer {
+    handle: ServeHandle,
+    tx: mpsc::Sender<Msg>,
+    join: Option<JoinHandle<(DkIndex, DataGraph)>>,
+}
+
+impl DkServer {
+    /// Publish `(dk, data)` as epoch 0 and spawn the maintenance thread.
+    pub fn start(data: DataGraph, dk: DkIndex, config: ServeConfig) -> DkServer {
+        let epoch0 = Arc::new(Epoch::new(0, dk.clone(), data.clone()));
+        let current = Arc::new(RwLock::new(epoch0));
+        let handle = ServeHandle {
+            current: Arc::clone(&current),
+        };
+        telemetry::metrics::SERVE_EPOCH_PUBLISHES.incr();
+        let (tx, rx) = mpsc::channel();
+        let max_batch = config.max_batch.max(1);
+        let join = std::thread::spawn(move || maintenance_loop(dk, data, rx, current, max_batch));
+        DkServer {
+            handle,
+            tx,
+            join: Some(join),
+        }
+    }
+
+    /// Build the index with sharded construction
+    /// ([`DkIndex::build_sharded`] over `config.threads` workers), then
+    /// [`DkServer::start`] serving it.
+    pub fn build_and_start(
+        data: DataGraph,
+        requirements: Requirements,
+        config: ServeConfig,
+    ) -> DkServer {
+        let dk = DkIndex::build_sharded(&data, requirements, config.threads);
+        DkServer::start(data, dk, config)
+    }
+
+    /// A cloneable reader handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Enqueue a maintenance operation. Ops are applied in submission order
+    /// by the maintenance thread, batched, and become visible atomically at
+    /// the next epoch publish.
+    pub fn submit(&self, op: ServeOp) {
+        self.tx
+            .send(Msg::Op(op))
+            .expect("maintenance thread is alive while the server exists");
+    }
+
+    /// Block until every previously submitted op has been applied and
+    /// published; returns the epoch id current after the drain.
+    pub fn flush(&self) -> u64 {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Flush(ack_tx))
+            .expect("maintenance thread is alive while the server exists");
+        ack_rx
+            .recv()
+            .expect("maintenance thread acknowledges flushes")
+    }
+
+    /// Stop the maintenance thread after it drains all previously submitted
+    /// ops, returning the final index and data graph (for snapshotting —
+    /// determinism tests compare these bytes against a serial run).
+    pub fn shutdown(mut self) -> (DkIndex, DataGraph) {
+        let _ = self.tx.send(Msg::Shutdown);
+        self.join
+            .take()
+            .expect("shutdown is the only taker")
+            .join()
+            .expect("maintenance thread never panics")
+    }
+}
+
+impl Drop for DkServer {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = join.join();
+        }
+    }
+}
+
+/// The single-writer loop: block for one message, drain the channel up to
+/// `max_batch` ops, apply them in submission order, publish one new epoch
+/// per non-empty batch, acknowledge flushes, and hand the owned state back
+/// on shutdown.
+fn maintenance_loop(
+    mut dk: DkIndex,
+    mut data: DataGraph,
+    rx: mpsc::Receiver<Msg>,
+    current: Arc<RwLock<Arc<Epoch>>>,
+    max_batch: usize,
+) -> (DkIndex, DataGraph) {
+    let mut epoch_id = 0u64;
+    loop {
+        let Ok(first) = rx.recv() else {
+            // Every sender dropped without a Shutdown: nothing more can
+            // arrive, the final state is whatever was last published.
+            return (dk, data);
+        };
+        let mut batch: Vec<ServeOp> = Vec::new();
+        let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
+        let mut shutdown = false;
+        let mut staged = Some(first);
+        loop {
+            match staged.take() {
+                Some(Msg::Op(op)) => batch.push(op),
+                Some(Msg::Flush(ack)) => flushes.push(ack),
+                Some(Msg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                None => unreachable!("staged is always set when the inner loop runs"),
+            }
+            if batch.len() >= max_batch {
+                break;
+            }
+            match rx.try_recv() {
+                Ok(m) => staged = Some(m),
+                Err(_) => break,
+            }
+        }
+        if !batch.is_empty() {
+            let span = telemetry::Span::start(&telemetry::metrics::SERVE_PUBLISH_NS);
+            telemetry::metrics::SERVE_BATCH_OPS.record(batch.len() as u64);
+            for op in batch.drain(..) {
+                apply(&mut dk, &mut data, op);
+            }
+            epoch_id += 1;
+            let fresh = Arc::new(Epoch::new(epoch_id, dk.clone(), data.clone()));
+            *current.write().expect("epoch lock poisoned") = fresh;
+            drop(span);
+            telemetry::metrics::SERVE_EPOCH_PUBLISHES.incr();
+        }
+        for ack in flushes.drain(..) {
+            let _ = ack.send(epoch_id);
+        }
+        if shutdown {
+            return (dk, data);
+        }
+    }
+}
+
+/// Apply one op on the owned mutable state. Edge updates naming a node that
+/// does not exist in the data graph are skipped (deterministically — the
+/// serial oracle sees the same sequence), so a bad op cannot take the
+/// maintenance thread down.
+fn apply(dk: &mut DkIndex, data: &mut DataGraph, op: ServeOp) {
+    match op {
+        ServeOp::AddEdge { from, to } => {
+            if from.index() < data.node_count() && to.index() < data.node_count() {
+                dk.add_edge(data, from, to);
+            }
+        }
+        ServeOp::Promote { node, k } => {
+            if node.index() < data.node_count() {
+                dk.promote(data, node, k);
+            }
+        }
+        ServeOp::PromoteToRequirements => {
+            dk.promote_to_requirements(data);
+        }
+        ServeOp::Demote(reqs) => {
+            dk.demote(reqs);
+        }
+        ServeOp::SetRequirements(reqs) => {
+            dk.set_requirements_public(reqs);
+            dk.promote_to_requirements(data);
+        }
+    }
+}
+
+/// Apply `ops` serially to `(dk, data)` — the single-threaded oracle used by
+/// the determinism tests: an N-thread serve run over the same submission
+/// order must end byte-identical to this.
+pub fn apply_serial(dk: &mut DkIndex, data: &mut DataGraph, ops: &[ServeOp]) {
+    for op in ops {
+        apply(dk, data, op.clone());
+    }
+}

@@ -91,7 +91,6 @@ pub struct AdaptiveTuner {
     observed: HashMap<PathExpr, u64>,
     seen: usize,
     validations: u64,
-    total_queries: u64,
 }
 
 impl AdaptiveTuner {
@@ -103,7 +102,6 @@ impl AdaptiveTuner {
             observed: HashMap::new(),
             seen: 0,
             validations: 0,
-            total_queries: 0,
         }
     }
 
@@ -117,12 +115,14 @@ impl AdaptiveTuner {
         self.dk
     }
 
-    /// Fraction of recorded queries that triggered validation.
+    /// Fraction of queries in the *current* observation window that
+    /// triggered validation. An empty window (no query recorded since the
+    /// last tuning pass) has no rate yet and reports 0.0 — never NaN.
     pub fn validation_rate(&self) -> f64 {
-        if self.total_queries == 0 {
+        if self.seen == 0 {
             0.0
         } else {
-            self.validations as f64 / self.total_queries as f64
+            self.validations as f64 / self.seen as f64
         }
     }
 
@@ -131,7 +131,6 @@ impl AdaptiveTuner {
         let out = IndexEvaluator::new(self.dk.index(), data).evaluate(query);
         *self.observed.entry(query.clone()).or_insert(0) += 1;
         self.seen += 1;
-        self.total_queries += 1;
         self.validations += u64::from(out.validated);
         telemetry::metrics::TUNER_QUERIES.incr();
         if out.validated {
@@ -143,13 +142,16 @@ impl AdaptiveTuner {
     /// Run the periodic tuning step if the observation window is full.
     /// Call after a batch of [`AdaptiveTuner::evaluate`] calls.
     pub fn maybe_tune(&mut self, data: &DataGraph) -> TuningAction {
-        if self.seen < self.config.window {
+        // An empty window carries no evidence about the load: never act on
+        // it, even under degenerate configs such as `window == 0`.
+        if self.seen == 0 || self.seen < self.config.window {
             return TuningAction::None;
         }
         telemetry::metrics::TUNER_WINDOWS.incr();
         let _span = telemetry::Span::start(&telemetry::metrics::TUNER_TUNE_NS);
         let weighted: Vec<(PathExpr, u64)> = self.observed.drain().collect();
         self.seen = 0;
+        self.validations = 0;
         let mined = mine_requirements_weighted(&weighted, self.config.min_support);
 
         let current = self.dk.requirements().clone();
@@ -301,6 +303,41 @@ mod tests {
         t.evaluate(&g, &sound);
         t.evaluate(&g, &approx);
         assert!((t.validation_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rate_is_finite_on_an_empty_window() {
+        let g = data();
+        let mut t = tuner(&g, 2);
+        // Before any query: empty window, rate must be 0.0 (not NaN).
+        assert_eq!(t.validation_rate(), 0.0);
+        assert!(t.validation_rate().is_finite());
+        let q = parse("director.movie.title").unwrap();
+        t.evaluate(&g, &q);
+        t.evaluate(&g, &q);
+        assert!(t.validation_rate() > 0.0);
+        // Tuning drains the window: the rate resets to 0.0, again finite.
+        assert!(matches!(t.maybe_tune(&g), TuningAction::Promoted { .. }));
+        assert_eq!(t.validation_rate(), 0.0);
+        assert!(t.validation_rate().is_finite());
+    }
+
+    #[test]
+    fn empty_window_never_tunes_even_with_zero_window_config() {
+        let g = data();
+        let mut t = AdaptiveTuner::new(
+            DkIndex::build(&g, Requirements::uniform(3)),
+            TunerConfig {
+                window: 0,
+                min_support: 1,
+                demote_slack: 1,
+            },
+        );
+        let size_before = t.index().size();
+        // `seen == 0 >= window == 0`, but there is no evidence to act on:
+        // the degenerate config must not demote the index to nothing.
+        assert_eq!(t.maybe_tune(&g), TuningAction::None);
+        assert_eq!(t.index().size(), size_before);
     }
 
     #[test]

@@ -157,12 +157,11 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
     let mut records = Vec::new();
     let mut offset = HEADER_LEN;
     let mut index = 0usize;
-    while offset < bytes.len() {
-        let Some(rec) = bytes.get(offset..offset + RECORD_LEN) else {
-            // Incomplete trailing record: a crash mid-append, not corruption.
-            telemetry::metrics::WAL_TORN_TAILS.incr();
-            return Ok((records, WalTail::Torn { valid_len: offset }));
-        };
+    // A file ending exactly on a record boundary (offset == len) is a clean
+    // tail: every appended record survived. Only a strictly partial trailing
+    // record — fewer than RECORD_LEN bytes past the last boundary — is torn.
+    while bytes.len() - offset >= RECORD_LEN {
+        let rec = &bytes[offset..offset + RECORD_LEN];
         let stored = u32::from_le_bytes(rec[9..13].try_into().expect("4-byte slice"));
         if crc32(&rec[..9]) != stored {
             telemetry::metrics::STORE_CRC_FAILURES.incr();
@@ -187,6 +186,11 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
         });
         offset += RECORD_LEN;
         index += 1;
+    }
+    if offset != bytes.len() {
+        // Incomplete trailing record: a crash mid-append, not corruption.
+        telemetry::metrics::WAL_TORN_TAILS.incr();
+        return Ok((records, WalTail::Torn { valid_len: offset }));
     }
     Ok((records, WalTail::Clean))
 }
@@ -332,6 +336,36 @@ mod tests {
             let (back, tail) = decode_wal(&full[..cut]).unwrap();
             assert_eq!(back, records[..1], "cut at {cut}");
             assert_eq!(tail, WalTail::Torn { valid_len: HEADER_LEN + RECORD_LEN });
+        }
+    }
+
+    #[test]
+    fn record_boundary_cuts_are_clean_tails() {
+        let records = vec![
+            WalRecord::AddEdge { from: NodeId::from_index(3), to: NodeId::from_index(1) },
+            WalRecord::AddEdge { from: NodeId::from_index(0), to: NodeId::from_index(2) },
+            WalRecord::AddEdge { from: NodeId::from_index(2), to: NodeId::from_index(4) },
+        ];
+        let full = log_bytes(&records);
+        // A cut landing exactly on a record boundary — including the bare
+        // header and the full file — is a clean tail with that many records.
+        for n in 0..=records.len() {
+            let cut = HEADER_LEN + n * RECORD_LEN;
+            let (back, tail) = decode_wal(&full[..cut]).unwrap();
+            assert_eq!(back, records[..n], "boundary cut after {n} records");
+            assert_eq!(tail, WalTail::Clean, "boundary cut after {n} records");
+        }
+        // One byte either side of each interior boundary is torn back to it.
+        for n in 1..=records.len() {
+            let boundary = HEADER_LEN + n * RECORD_LEN;
+            if boundary < full.len() {
+                let (back, tail) = decode_wal(&full[..boundary + 1]).unwrap();
+                assert_eq!(back, records[..n]);
+                assert_eq!(tail, WalTail::Torn { valid_len: boundary });
+            }
+            let (back, tail) = decode_wal(&full[..boundary - 1]).unwrap();
+            assert_eq!(back, records[..n - 1]);
+            assert_eq!(tail, WalTail::Torn { valid_len: boundary - RECORD_LEN });
         }
     }
 

@@ -64,6 +64,11 @@ fn build(s: &Scenario) -> (DataGraph, DkIndex) {
     (g, dk)
 }
 
+/// Wire-format sizes, mirrored from `core::wal` (kept private there): the
+/// 8-byte `DKWL` header and the 13-byte add-edge record.
+const HEADER_LEN: usize = 8;
+const RECORD_LEN: usize = 13;
+
 fn wal_bytes(updates: &[(usize, usize)]) -> Vec<u8> {
     let mut log = wal::encode_header().to_vec();
     for &(f, t) in updates {
@@ -118,6 +123,21 @@ proptest! {
         match wal::replay(&mut dk_replayed, &mut g_replayed, &log[..cut]) {
             Ok(report) => {
                 prop_assert!(report.applied <= s.updates.len());
+                // The surviving prefix is exactly the complete records before
+                // the cut; a cut landing on a record boundary (including the
+                // bare header and the intact file) is a *clean* tail, never a
+                // torn record.
+                let payload = cut - HEADER_LEN;
+                prop_assert_eq!(report.applied, payload / RECORD_LEN);
+                if payload.is_multiple_of(RECORD_LEN) {
+                    prop_assert_eq!(
+                        report.tail, WalTail::Clean,
+                        "boundary cut at {} must be a clean tail", cut
+                    );
+                } else {
+                    let valid_len = HEADER_LEN + (payload / RECORD_LEN) * RECORD_LEN;
+                    prop_assert_eq!(report.tail, WalTail::Torn { valid_len });
+                }
                 let mut g_direct = g0.clone();
                 let mut dk_direct = dk0.clone();
                 for &(f, t) in &s.updates[..report.applied] {
@@ -132,6 +152,27 @@ proptest! {
             // Cuts inside the 8-byte header are a typed error, never a panic.
             Err(e) => prop_assert!(cut < 8, "unexpected error at cut {}: {}", cut, e),
         }
+    }
+
+    /// A truncation landing exactly on a record boundary replays *all* the
+    /// surviving records and reports a clean tail — the off-by-one regression
+    /// guard for `decode_wal`.
+    #[test]
+    fn record_boundary_truncation_is_a_clean_tail(
+        s in scenario(),
+        n_idx in any::<prop::sample::Index>(),
+    ) {
+        let (g0, dk0) = build(&s);
+        let log = wal_bytes(&s.updates);
+        let n = n_idx.index(s.updates.len() + 1);
+        let cut = HEADER_LEN + n * RECORD_LEN;
+
+        let mut g = g0.clone();
+        let mut dk = dk0.clone();
+        let report = wal::replay(&mut dk, &mut g, &log[..cut])
+            .expect("in-range records must replay");
+        prop_assert_eq!(report.applied, n, "boundary cut after {} records", n);
+        prop_assert_eq!(report.tail, WalTail::Clean);
     }
 
     /// A single flipped bit anywhere in a snapshot either yields a typed

@@ -1,0 +1,239 @@
+//! Integration tests for the concurrent serving layer (`core::serve`):
+//!
+//! * sharded construction is byte-identical to the `dk_partition_reference`
+//!   oracle on the XMark-like and NASA-like generators for every thread
+//!   count (and actually exercises the engine's parallel path);
+//! * an N-thread serve run ends in exactly the state of a serial run over
+//!   the same op sequence — final snapshot bytes and all;
+//! * an interleaving stress run: readers race small-batch publishes and
+//!   every answer must be exact against the epoch it was computed on.
+
+use dkindex_core::dk::{dk_partition_reference, dk_partition_with_engine};
+use dkindex_core::serve::{apply_serial, DkServer, ServeConfig, ServeOp};
+use dkindex_core::{evaluate_on_data, snapshot_bytes, DkIndex, Requirements};
+use dkindex_datagen::{
+    nasa_graph, random_graph, xmark_graph, NasaConfig, RandomGraphConfig, XmarkConfig,
+};
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_partition::RefineEngine;
+use dkindex_pathexpr::parse;
+use dkindex_workload::generate_update_edges;
+
+/// The engine only fans out above its internal threshold; byte-identity on
+/// smaller graphs would not exercise the parallel merge at all.
+const ENGINE_PARALLEL_THRESHOLD: usize = 4096;
+
+fn assert_sharded_identical(g: &DataGraph, reqs: &Requirements, dataset: &str) {
+    assert!(
+        g.node_count() >= ENGINE_PARALLEL_THRESHOLD,
+        "{dataset}: {} nodes do not reach the engine's parallel threshold",
+        g.node_count()
+    );
+    let (ref_partition, ref_sims) = dk_partition_reference(g, reqs, true);
+    for threads in [1, 2, 4, 8] {
+        let mut engine = RefineEngine::with_threads(threads);
+        let (p, sims) = dk_partition_with_engine(g, reqs, true, &mut engine);
+        assert_eq!(p, ref_partition, "{dataset}: partition diverged at {threads} threads");
+        assert_eq!(sims, ref_sims, "{dataset}: similarities diverged at {threads} threads");
+    }
+    // End to end: the sharded build serializes byte-identically too.
+    let serial = DkIndex::build(g, reqs.clone());
+    for threads in [2, 8] {
+        let sharded = DkIndex::build_sharded(g, reqs.clone(), threads);
+        assert_eq!(
+            snapshot_bytes(&sharded, g),
+            snapshot_bytes(&serial, g),
+            "{dataset}: sharded build bytes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sharded_construction_matches_reference_on_xmark() {
+    let g = xmark_graph(&XmarkConfig::scale(0.02));
+    let reqs = Requirements::from_pairs([("item", 2), ("person", 1), ("keyword", 3)]);
+    assert_sharded_identical(&g, &reqs, "xmark");
+}
+
+#[test]
+fn sharded_construction_matches_reference_on_nasa() {
+    let g = nasa_graph(&NasaConfig::scale(0.15));
+    let reqs = Requirements::from_pairs([("dataset", 1), ("author", 2), ("title", 2)]);
+    assert_sharded_identical(&g, &reqs, "nasa");
+}
+
+/// A compact random graph plus a deterministic mixed op sequence: edge
+/// updates from the workload generator interleaved with promote / tune /
+/// demote actions.
+fn serve_fixture() -> (DataGraph, DkIndex, Vec<ServeOp>) {
+    let g = random_graph(&RandomGraphConfig {
+        nodes: 220,
+        labels: 5,
+        reference_edges: 24,
+        max_fanout: 6,
+        seed: 0xD5EE,
+    });
+    let dk = DkIndex::build(&g, Requirements::uniform(2));
+    let mut ops: Vec<ServeOp> = Vec::new();
+    let edges = generate_update_edges(&g, 24, 7);
+    for (i, (from, to)) in edges.into_iter().enumerate() {
+        ops.push(ServeOp::AddEdge { from, to });
+        match i {
+            5 => ops.push(ServeOp::Promote {
+                node: NodeId::from_index(3),
+                k: 2,
+            }),
+            11 => ops.push(ServeOp::PromoteToRequirements),
+            15 => ops.push(ServeOp::Demote(Requirements::uniform(1))),
+            19 => ops.push(ServeOp::SetRequirements(Requirements::uniform(2))),
+            _ => {}
+        }
+    }
+    (g, dk, ops)
+}
+
+/// Determinism: submitting the op sequence through the server — while
+/// reader threads hammer queries — ends byte-identical to applying the same
+/// sequence serially, for every batch size and reader count tried.
+#[test]
+fn threaded_serve_matches_serial_application() {
+    let (g, dk, ops) = serve_fixture();
+
+    let mut serial_dk = dk.clone();
+    let mut serial_g = g.clone();
+    apply_serial(&mut serial_dk, &mut serial_g, &ops);
+    let expected = snapshot_bytes(&serial_dk, &serial_g);
+
+    let queries = ["l0", "l1.l2", "_*.l3", "l0.l1"];
+    for (readers, max_batch) in [(2usize, 1usize), (4, 4), (4, 64)] {
+        let server = DkServer::start(
+            g.clone(),
+            dk.clone(),
+            ServeConfig {
+                max_batch,
+                threads: 1,
+            },
+        );
+        std::thread::scope(|s| {
+            for r in 0..readers {
+                let handle = server.handle();
+                let queries = &queries;
+                s.spawn(move || {
+                    for round in 0..30 {
+                        let q = parse(queries[(r + round) % queries.len()]).unwrap();
+                        let _ = handle.evaluate(&q);
+                    }
+                });
+            }
+            for op in &ops {
+                server.submit(op.clone());
+            }
+            let drained_epoch = server.flush();
+            assert!(drained_epoch >= 1, "ops must have published at least one epoch");
+        });
+        let (final_dk, final_g) = server.shutdown();
+        assert_eq!(
+            snapshot_bytes(&final_dk, &final_g),
+            expected,
+            "serve with {readers} readers / batch {max_batch} diverged from serial run"
+        );
+    }
+}
+
+/// Interleaving stress: publishes race reads (batch size 1 → one publish per
+/// op) and every reader answer must be exact with respect to the epoch the
+/// reader grabbed — staleness is allowed, wrongness is not. Epoch ids must
+/// be monotone from each reader's point of view.
+#[test]
+fn racing_readers_always_see_a_consistent_epoch() {
+    let (g, dk, ops) = serve_fixture();
+    let server = DkServer::start(
+        g,
+        dk,
+        ServeConfig {
+            max_batch: 1,
+            threads: 1,
+        },
+    );
+    let queries = ["l0", "l1.l2", "_*.l3", "l2"];
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for r in 0..4usize {
+            let handle = server.handle();
+            let queries = &queries;
+            workers.push(s.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut checked = 0usize;
+                for round in 0..60 {
+                    let epoch = handle.epoch();
+                    assert!(
+                        epoch.id() >= last_epoch,
+                        "epoch ids went backwards: {} after {}",
+                        epoch.id(),
+                        last_epoch
+                    );
+                    last_epoch = epoch.id();
+                    let q = parse(queries[(r + round) % queries.len()]).unwrap();
+                    let out = epoch.evaluate(&q);
+                    // Exactness against the *same* epoch's data graph: the
+                    // serving layer may hand out a superseded epoch, never
+                    // an inconsistent one.
+                    let truth = evaluate_on_data(epoch.data(), &q).0;
+                    assert_eq!(out.matches, truth, "reader {r} round {round}");
+                    checked += 1;
+                }
+                checked
+            }));
+        }
+        // Feed updates while the readers run, one publish per op.
+        for op in &ops {
+            server.submit(op.clone());
+        }
+        let checks: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(checks, 4 * 60);
+    });
+
+    let final_epoch = server.flush();
+    assert_eq!(final_epoch as usize, ops.len(), "batch size 1 publishes once per op");
+    let (final_dk, final_g) = server.shutdown();
+    final_dk.index().check_invariants(&final_g).unwrap();
+}
+
+/// The per-epoch memo returns the identical outcome for a repeated query and
+/// is dropped wholesale on publish (fresh epoch → fresh memo), so an update
+/// can never leak a stale cached answer.
+#[test]
+fn epoch_memo_is_dropped_on_publish() {
+    let (g, dk, _) = serve_fixture();
+    let server = DkServer::start(
+        g,
+        dk,
+        ServeConfig {
+            max_batch: 1,
+            threads: 1,
+        },
+    );
+    let q = parse("l1.l2").unwrap();
+
+    let e0 = server.handle().epoch();
+    let first = e0.evaluate(&q);
+    let memoized = e0.evaluate(&q);
+    assert_eq!(first, memoized, "same epoch must replay the memoized outcome");
+
+    // A structural update that changes the answer of `q` on the new epoch.
+    let l1 = evaluate_on_data(e0.data(), &parse("l1").unwrap()).0;
+    let l2 = evaluate_on_data(e0.data(), &parse("ROOT.l2").unwrap()).0;
+    let (from, to) = (l1[0], l2[0]);
+    server.submit(ServeOp::AddEdge { from, to });
+    server.flush();
+
+    let e1 = server.handle().epoch();
+    assert!(e1.id() > e0.id());
+    // The old epoch still answers from its own (consistent) world...
+    assert_eq!(e0.evaluate(&q), first);
+    // ...while the new epoch evaluates fresh against the updated graph.
+    assert_eq!(e1.evaluate(&q).matches, evaluate_on_data(e1.data(), &q).0);
+    let (final_dk, final_g) = server.shutdown();
+    final_dk.index().check_invariants(&final_g).unwrap();
+}

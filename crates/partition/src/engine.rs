@@ -19,8 +19,9 @@
 //!   table (hash buckets with slice-equality collision checks), so regrouping
 //!   keys are `(BlockId, u32)` pairs packed into a `u64` — no hashing of
 //!   variable-length vectors, no per-key allocation.
-//! * **Batch parallelism**: with `threads > 1`, signature computation is
-//!   fanned across contiguous node ranges with `std::thread::scope`.
+//! * **Batch parallelism**: with `threads > 1`, signature computation *and*
+//!   signature hashing are fanned across contiguous node ranges with
+//!   `std::thread::scope` and merged deterministically in node order.
 //!   Interning and regrouping stay sequential in node order, so the result is
 //!   bit-identical for every thread count.
 //!
@@ -55,6 +56,10 @@ pub struct RefineEngine {
     sig_data: Vec<BlockId>,
     /// `sig_bounds[i]..sig_bounds[i + 1]` delimits node i's slice.
     sig_bounds: Vec<u32>,
+    /// Per-node signature digest, computed by the (possibly parallel)
+    /// signature stage so the sequential interning stage never hashes.
+    /// Entries for skipped nodes are unused.
+    sig_hash: Vec<u64>,
     /// Sort/dedup scratch for the sequential signature path.
     scratch: Vec<BlockId>,
     /// Signature hash → candidate symbols (collisions resolved by comparing
@@ -122,6 +127,7 @@ impl RefineEngine {
             threads,
             sig_data: Vec::new(),
             sig_bounds: Vec::new(),
+            sig_hash: Vec::new(),
             scratch: Vec::new(),
             buckets: HashMap::default(),
             sym_slice: Vec::new(),
@@ -182,7 +188,12 @@ impl RefineEngine {
 
     /// Stage 1: fill `sig_data` / `sig_bounds` with every refined node's
     /// sorted, deduplicated parent-block slice (skipped nodes get an empty
-    /// slice). Parallel over contiguous node ranges when it pays off.
+    /// slice), and `sig_hash` with each refined slice's digest. Parallel
+    /// over contiguous node ranges when it pays off — this is the sharded
+    /// part of construction: the per-node sort/dedup *and* the signature
+    /// hashing both run on the workers, leaving the sequential interning
+    /// stage nothing but table lookups. The deterministic node-order merge
+    /// keeps the output byte-identical for every thread count.
     fn compute_signatures<G: LabeledGraph + Sync>(
         &mut self,
         g: &G,
@@ -193,11 +204,13 @@ impl RefineEngine {
         self.sig_data.clear();
         self.sig_bounds.clear();
         self.sig_bounds.push(0);
+        self.sig_hash.clear();
 
         let fill = |range: std::ops::Range<usize>,
                     scratch: &mut Vec<BlockId>,
                     data: &mut Vec<BlockId>,
-                    bounds: &mut Vec<u32>| {
+                    bounds: &mut Vec<u32>,
+                    hashes: &mut Vec<u64>| {
             for i in range {
                 let node = NodeId::from_index(i);
                 if refine_block(prev.block_of(node)) {
@@ -206,6 +219,9 @@ impl RefineEngine {
                     scratch.sort_unstable();
                     scratch.dedup();
                     data.extend_from_slice(scratch);
+                    hashes.push(hash_signature(scratch));
+                } else {
+                    hashes.push(0); // unused: interning checks refine_block first
                 }
                 bounds.push(data.len() as u32);
             }
@@ -217,15 +233,17 @@ impl RefineEngine {
             let mut scratch = std::mem::take(&mut self.scratch);
             let mut data = std::mem::take(&mut self.sig_data);
             let mut bounds = std::mem::take(&mut self.sig_bounds);
-            fill(0..n, &mut scratch, &mut data, &mut bounds);
+            let mut hashes = std::mem::take(&mut self.sig_hash);
+            fill(0..n, &mut scratch, &mut data, &mut bounds, &mut hashes);
             self.scratch = scratch;
             self.sig_data = data;
             self.sig_bounds = bounds;
+            self.sig_hash = hashes;
             return;
         }
 
         let chunk = n.div_ceil(self.threads);
-        let parts: Vec<(Vec<BlockId>, Vec<u32>)> = std::thread::scope(|s| {
+        let parts: Vec<(Vec<BlockId>, Vec<u32>, Vec<u64>)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|t| {
                     let lo = (t * chunk).min(n);
@@ -235,8 +253,9 @@ impl RefineEngine {
                         let mut scratch = Vec::new();
                         let mut data = Vec::new();
                         let mut bounds = Vec::new();
-                        fill(lo..hi, &mut scratch, &mut data, &mut bounds);
-                        (data, bounds)
+                        let mut hashes = Vec::new();
+                        fill(lo..hi, &mut scratch, &mut data, &mut bounds, &mut hashes);
+                        (data, bounds, hashes)
                     })
                 })
                 .collect();
@@ -246,18 +265,22 @@ impl RefineEngine {
                 .collect()
         });
         // Splice chunk results in node order; per-chunk bounds are relative
-        // to the chunk's own data buffer and must be rebased.
-        for (data, bounds) in parts {
+        // to the chunk's own data buffer and must be rebased. Hashes are
+        // per-node values and concatenate as-is.
+        for (data, bounds, hashes) in parts {
             let base = self.sig_data.len() as u32;
             self.sig_data.extend_from_slice(&data);
             self.sig_bounds.extend(bounds.iter().map(|&b| base + b));
+            self.sig_hash.extend_from_slice(&hashes);
         }
     }
 
     /// Stage 2: intern each refined node's slice into the round's symbol
     /// table, sequentially in node order (symbol numbering is part of no
     /// contract, but sequential interning keeps the stage simple and the
-    /// output independent of the thread count).
+    /// output independent of the thread count). The digests were already
+    /// computed by the sharded signature stage; this loop only does bucket
+    /// lookups and slice-equality collision checks.
     fn intern_symbols(
         &mut self,
         prev: &Partition,
@@ -277,7 +300,7 @@ impl RefineEngine {
             }
             let (s, e) = (sig_bounds[i] as usize, sig_bounds[i + 1] as usize);
             let slice = &sig_data[s..e];
-            let bucket = self.buckets.entry(hash_signature(slice)).or_default();
+            let bucket = self.buckets.entry(self.sig_hash[i]).or_default();
             let mut sym = SKIP_SYMBOL;
             for &cand in bucket.iter() {
                 let (cs, ce) = self.sym_slice[cand as usize];

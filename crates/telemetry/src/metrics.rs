@@ -140,6 +140,24 @@ pub static TUNER_DEMOTIONS: Counter = Counter::new("tuner.demotions");
 /// Wall-clock per executed tuning step (full windows only).
 pub static TUNER_TUNE_NS: Histogram = Histogram::new("tuner.tune_ns", Unit::Nanos);
 
+// ---- dkindex-core: concurrent serving (core::serve) ----------------------
+
+/// Epochs published by the maintenance thread (one per applied batch).
+pub static SERVE_EPOCH_PUBLISHES: Counter = Counter::new("serve.epoch_publishes");
+/// Queries answered through `ServeHandle::evaluate` / `Epoch::evaluate`.
+pub static SERVE_QUERIES: Counter = Counter::new("serve.queries");
+/// Reads whose grabbed epoch was superseded before the answer returned —
+/// still exact against that epoch, just no longer the newest.
+pub static SERVE_STALE_EPOCH_READS: Counter = Counter::new("serve.stale_epoch_reads");
+/// Per-epoch memo hits (query answered without touching the evaluator).
+pub static SERVE_CACHE_HITS: Counter = Counter::new("serve.cache_hits");
+/// Per-epoch memo misses (query evaluated and cached).
+pub static SERVE_CACHE_MISSES: Counter = Counter::new("serve.cache_misses");
+/// Distribution of operations per applied maintenance batch.
+pub static SERVE_BATCH_OPS: Histogram = Histogram::new("serve.batch_ops", Unit::Count);
+/// Wall-clock per batch apply + epoch publish.
+pub static SERVE_PUBLISH_NS: Histogram = Histogram::new("serve.publish_ns", Unit::Nanos);
+
 // ---- dkindex-workload: update-stream generation (§6.2) -------------------
 
 /// Update edges generated.
@@ -161,7 +179,7 @@ pub static PHASE_ADAPT_NS: Histogram = Histogram::new("phase.adapt_ns", Unit::Na
 
 /// Every registered counter, in reporting order.
 pub fn counters() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 40] = [
+    static ALL: [&Counter; 45] = [
         &PATHEXPR_EVALUATIONS,
         &PATHEXPR_ACTIVATIONS,
         &PATHEXPR_VALIDATION_WALKS,
@@ -200,6 +218,11 @@ pub fn counters() -> &'static [&'static Counter] {
         &TUNER_WINDOWS,
         &TUNER_PROMOTIONS,
         &TUNER_DEMOTIONS,
+        &SERVE_EPOCH_PUBLISHES,
+        &SERVE_QUERIES,
+        &SERVE_STALE_EPOCH_READS,
+        &SERVE_CACHE_HITS,
+        &SERVE_CACHE_MISSES,
         &UPDATES_EDGES_GENERATED,
         &UPDATES_REJECTED_DRAWS,
     ];
@@ -209,7 +232,7 @@ pub fn counters() -> &'static [&'static Counter] {
 /// Every registered histogram (value distributions and span timings), in
 /// reporting order.
 pub fn histograms() -> &'static [&'static Histogram] {
-    static ALL: [&Histogram; 17] = [
+    static ALL: [&Histogram; 19] = [
         &PATHEXPR_VISITS_PER_EVAL,
         &PARTITION_BLOCKS_PER_ROUND,
         &PARTITION_ROUND_NS,
@@ -223,6 +246,8 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &DK_DEMOTE_NS,
         &DK_EDGE_UPDATE_NS,
         &TUNER_TUNE_NS,
+        &SERVE_BATCH_OPS,
+        &SERVE_PUBLISH_NS,
         &UPDATES_GENERATE_NS,
         &PHASE_BUILD_NS,
         &PHASE_QUERY_NS,
