@@ -1,0 +1,19 @@
+//! Fixture: the same hash-order fold as the bad tree, suppressed by a
+//! justified allow comment directly above the flagged line.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Concatenates entries in hash order — justified here because the fixture
+/// only exercises the escape hatch, not because the fold is sound.
+pub fn fingerprint(counts: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    // analyze: allow(nondeterministic-iter) — fixture: exercises the justified-allow escape hatch
+    for (label, count) in counts {
+        out.push_str(label);
+        out.push(':');
+        out.push_str(&count.to_string());
+        out.push(';');
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! Fixture: a pure oracle — computes its answer from first principles and
+//! never touches the fast path. `oracle-purity` deliberately has no allow
+//! escape: the only fix is removing the dependency, as done here.
+#![forbid(unsafe_code)]
+
+/// Independent reference fold, free of the engine it certifies.
+pub fn reference_fold(values: &[u32]) -> u32 {
+    let mut total = 0u32;
+    for v in values {
+        total = total.wrapping_add(*v);
+    }
+    total
+}

@@ -1,0 +1,11 @@
+//! Fixture: the same unwrap as the bad tree, justified with the invariant
+//! that makes it infallible.
+#![forbid(unsafe_code)]
+
+/// Reads the length header of a frame the caller promises is non-empty.
+pub fn header_len(bytes: &[u8]) -> usize {
+    debug_assert!(!bytes.is_empty());
+    // analyze: allow(panic-path) — caller guarantees a non-empty frame, checked above in debug builds
+    let first = bytes.first().unwrap();
+    usize::from(*first)
+}

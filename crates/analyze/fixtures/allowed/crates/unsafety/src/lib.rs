@@ -1,0 +1,10 @@
+//! Fixture: the same unchecked read as the bad tree, carrying the SAFETY
+//! comment that states the invariant.
+
+/// Reads the first byte of a frame already validated as non-empty.
+pub fn first_unchecked(bytes: &[u8]) -> u8 {
+    debug_assert!(!bytes.is_empty());
+    // SAFETY: every caller validates the frame header first, so the slice
+    // is non-empty and index 0 is in bounds.
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a byte-identity-critical module that folds hash-map entries in
+//! bucket order. The `for` loop below must be flagged exactly once.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Concatenates entries in whatever order the hash map yields them, so two
+/// runs with different hash seeds produce different bytes.
+pub fn fingerprint(counts: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (label, count) in counts {
+        out.push_str(label);
+        out.push(':');
+        out.push_str(&count.to_string());
+        out.push(';');
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! Fixture: a reference oracle that imports the fast-path engine it is the
+//! trusted baseline for. The `use` below must be flagged exactly once.
+#![forbid(unsafe_code)]
+
+use fast_path::FastEngine;
+
+/// "Reference" fold that secretly defers to the engine under test — the
+/// exact dependency inversion `oracle-purity` exists to reject.
+pub fn reference_fold(values: &[u32]) -> u32 {
+    FastEngine::new().fold(values)
+}

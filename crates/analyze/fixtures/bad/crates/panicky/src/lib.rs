@@ -1,0 +1,9 @@
+//! Fixture: recovery-path code that panics on malformed input instead of
+//! returning a typed error. The `.unwrap()` must be flagged exactly once.
+#![forbid(unsafe_code)]
+
+/// Reads the length header of a frame; panics when the input is empty.
+pub fn header_len(bytes: &[u8]) -> usize {
+    let first = bytes.first().unwrap();
+    usize::from(*first)
+}

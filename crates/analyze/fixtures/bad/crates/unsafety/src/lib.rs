@@ -1,0 +1,9 @@
+//! Fixture: an unchecked read with no safety comment. Must be flagged
+//! exactly once; the crate is exempt from the forbid requirement because
+//! it genuinely uses unsafe code.
+
+/// Reads the first byte without bounds checks and without stating the
+/// invariant that makes the access sound.
+pub fn first_unchecked(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -1,0 +1,31 @@
+//! Fixture: a module placed inside every rule scope that satisfies every
+//! contract — ordered containers, typed errors, no unsafe, and the forbid
+//! attribute making that compiler-enforced.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Deterministic fingerprint: `BTreeMap` iterates in key order, so the
+/// bytes are identical across runs.
+pub fn fingerprint(counts: &BTreeMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (label, count) in counts {
+        out.push_str(label);
+        out.push(':');
+        out.push_str(&count.to_string());
+        out.push(';');
+    }
+    out
+}
+
+/// Reads the length header of a frame, degrading through a typed error.
+pub fn header_len(bytes: &[u8]) -> Result<usize, MissingHeader> {
+    match bytes.first() {
+        Some(first) => Ok(usize::from(*first)),
+        None => Err(MissingHeader),
+    }
+}
+
+/// The frame had no header byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingHeader;

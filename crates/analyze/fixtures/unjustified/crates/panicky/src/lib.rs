@@ -1,0 +1,10 @@
+//! Fixture: an allow comment with no justification — the escape hatch
+//! demands a reason, so this must still fail.
+#![forbid(unsafe_code)]
+
+/// Panics on empty input, with a bare allow that explains nothing.
+pub fn header_len(bytes: &[u8]) -> usize {
+    // analyze: allow(panic-path)
+    let first = bytes.first().unwrap();
+    usize::from(*first)
+}

@@ -1,0 +1,319 @@
+//! A small Rust lexer: just enough tokenization for the lint rules.
+//!
+//! The offline build environment has no `syn`, so the analyzer works on a
+//! hand-rolled token stream instead of a real AST. The lexer understands
+//! everything that would otherwise produce false token matches — line and
+//! (nested) block comments, string / raw-string / byte-string / char
+//! literals, lifetimes — and returns comments out-of-band so rules can
+//! look up `// analyze: allow(...)` and `// SAFETY:` annotations by line.
+
+/// What a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// String / char / numeric / lifetime literal (content irrelevant to
+    /// the rules; kept so token adjacency stays faithful).
+    Literal,
+    /// Punctuation. Multi-character operators that matter to the rules
+    /// (`::`) are fused into one token; everything else is one char.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim text (for [`TokKind::Literal`] a placeholder class tag).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment with its 1-based starting line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lex `src` into (tokens, comments). Never fails: unterminated constructs
+/// consume to end-of-input, which is good enough for linting (the real
+/// compiler rejects such files long before the analyzer matters).
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: src[start.min(i)..i].trim().to_string(),
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let text_start = i + 2;
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text_end = i.saturating_sub(2).max(text_start);
+                comments.push(Comment {
+                    text: src[text_start..text_end].trim().to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                toks.push(Tok { kind: TokKind::Literal, text: "\"str\"".into(), line });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let start_line = line;
+                i = skip_prefixed_literal(bytes, i, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"str\"".into(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                let (next, is_lifetime) = lex_quote(bytes, i);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: if is_lifetime { "'_".into() } else { "'c'".into() },
+                    line,
+                });
+                i = next;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                // A fraction only when `.` is followed by a digit, so `0..n`
+                // stays three tokens.
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Literal, text: "0".into(), line });
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                toks.push(Tok { kind: TokKind::Punct, text: "::".into(), line });
+                i += 2;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` starts here?
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) && raw_has_quote(bytes, i + 1),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => raw_has_quote(bytes, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// From a position at `#...` or `"`, is this a raw-string opener?
+fn raw_has_quote(bytes: &[u8], mut i: usize) -> bool {
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&b'"')
+}
+
+/// Skip a literal that begins with `r`/`b`/`br` at `i`; returns the index
+/// past its end.
+fn skip_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let raw = bytes[i] == b'r' || bytes.get(i + 1) == Some(&b'r');
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        i += 1;
+    }
+    if !raw {
+        return if bytes.get(i) == Some(&b'\'') {
+            lex_quote(bytes, i).0
+        } else {
+            skip_string(bytes, i, line)
+        };
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a normal `"..."` string starting at the quote; returns the index
+/// past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Lex from a `'`: returns (index past the token, is_lifetime).
+fn lex_quote(bytes: &[u8], i: usize) -> (usize, bool) {
+    // `'\x'`-style char literal.
+    if bytes.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 3;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1, false);
+    }
+    // `'x'` char literal (exactly one char then a quote).
+    if bytes.get(i + 2) == Some(&b'\'') {
+        return (i + 3, false);
+    }
+    // Otherwise a lifetime: `'ident`.
+    let mut j = i + 1;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    (j, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+            // unwrap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "unwrap() on a HashMap";
+            let r = r#"panic!("x")"#;
+            let c = 'x';
+            let lt: &'static str = s;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        // `'static` lexes as one lifetime Literal, not a `static` ident.
+        assert!(!ids.contains(&"static".to_string()));
+        let (toks, comments) = lex(src);
+        assert!(toks.iter().any(|t| t.text == "'_"));
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].text, "unwrap in a comment");
+    }
+
+    #[test]
+    fn lines_and_ranges_track() {
+        let (toks, comments) = lex("let a = 1;\nfor x in 0..n {}\n// tail\n");
+        let for_tok = toks.iter().find(|t| t.text == "for").unwrap();
+        assert_eq!(for_tok.line, 2);
+        assert_eq!(comments[0].line, 3);
+        // `0..n` is number, `..` (two dots), ident.
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.windows(4).any(|w| w == ["0", ".", ".", "n"]));
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let (toks, _) = lex("HashMap::new()");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["HashMap", "::", "new", "(", ")"]);
+    }
+}

@@ -1,0 +1,191 @@
+//! # dkindex-analyze
+//!
+//! The workspace static-analysis pass: proves the determinism,
+//! oracle-purity, panic-freedom, and unsafe-hygiene contracts at lint time
+//! instead of hoping a property test trips over a violation at run time.
+//!
+//! The D(k)-index's value proposition rests on reproducible refinement
+//! (paper §4–5): the fast paths added since PR 1 are all certified by
+//! *runtime* byte-identity oracles, which only catch an unordered
+//! `HashMap` walk or a sneaky `unwrap` when a test happens to hit it.
+//! This crate moves those contracts to `make verify-analysis`:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `nondeterministic-iter` | byte-identity-critical modules (`partition::engine`, `core::dk::*`, `core::serve*`, `core::snapshot`, `core::wal`) never iterate hash containers order-sensitively |
+//! | `oracle-purity` | reference oracles never import the fast paths / telemetry they are oracles for (module import graph) |
+//! | `panic-path` | serve, snapshot recovery and WAL replay return typed errors — no `unwrap`/`expect`/`panic!`/indexing |
+//! | `unsafe-hygiene` | every `unsafe` carries `// SAFETY:`; unsafe-free crates declare `#![forbid(unsafe_code)]` |
+//!
+//! Because the offline build environment has no `syn`, the pass runs on a
+//! hand-rolled token stream ([`lexer`]) — string/comment-aware, line
+//! tracking, `#[cfg(test)]` exclusion — which is exactly enough for these
+//! rules. Escape hatch: `// analyze: allow(<rule-id>) — <why>` on (or one
+//! line above) the flagged line; the justification text is mandatory.
+//!
+//! Findings print as `file:line: rule-id: message` and the
+//! `dkindex-analyze` binary exits nonzero on any unjustified violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use rules::{ForbiddenRef, OracleSpec, RuleConfig};
+use std::io;
+use std::path::Path;
+
+pub use rules::{Finding, RuleMeta, Severity, RULES};
+
+/// The rule tables for this repository: which modules are
+/// byte-identity-critical, which must be panic-free, and which oracles
+/// must stay independent of what.
+pub fn default_config() -> RuleConfig {
+    let scope = |names: &[&str]| names.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    RuleConfig {
+        determinism_scope: scope(&[
+            "dkindex_partition::engine",
+            "dkindex_core::dk::*",
+            "dkindex_core::serve",
+            "dkindex_core::serve_ops",
+            "dkindex_core::snapshot",
+            "dkindex_core::wal",
+        ]),
+        panic_scope: scope(&[
+            "dkindex_core::serve",
+            "dkindex_core::serve_ops",
+            "dkindex_core::snapshot",
+            "dkindex_core::wal",
+        ]),
+        oracles: vec![
+            OracleSpec {
+                module: "dkindex_core::dk::reference".into(),
+                oracle_for: "the engine-backed D(k) construction (`dk_partition_with_engine`, \
+                             sharded builds)"
+                    .into(),
+                forbidden: vec![
+                    ForbiddenRef::new(
+                        "RefineEngine",
+                        "the oracle would be checking the engine against itself",
+                    ),
+                    ForbiddenRef::new(
+                        "dkindex_telemetry",
+                        "telemetry must not be able to perturb the baseline",
+                    ),
+                ],
+            },
+            OracleSpec {
+                module: "dkindex_core::serve_ops".into(),
+                oracle_for: "the concurrent epoch-publication serve layer (`core::serve`)".into(),
+                forbidden: vec![
+                    ForbiddenRef::new(
+                        "dkindex_telemetry",
+                        "the serial oracle must not share telemetry hooks with the \
+                         concurrent path it checks",
+                    ),
+                    ForbiddenRef::new(
+                        "mpsc",
+                        "the serial oracle must not depend on the channel machinery",
+                    ),
+                    ForbiddenRef::new(
+                        "JoinHandle",
+                        "the serial oracle must stay single-threaded",
+                    ),
+                    ForbiddenRef::new(
+                        "RwLock",
+                        "the serial oracle must not touch the epoch lock",
+                    ),
+                ],
+            },
+            OracleSpec {
+                module: "dkindex_core::one_index".into(),
+                oracle_for: "index-size/soundness comparisons (1-index baseline)".into(),
+                forbidden: baseline_forbidden(),
+            },
+            OracleSpec {
+                module: "dkindex_core::dataguide".into(),
+                oracle_for: "index-size comparisons (strong DataGuide baseline)".into(),
+                forbidden: baseline_forbidden(),
+            },
+            OracleSpec {
+                module: "dkindex_core::fbindex".into(),
+                oracle_for: "index-size comparisons (F&B-index baseline)".into(),
+                forbidden: baseline_forbidden(),
+            },
+            OracleSpec {
+                module: "dkindex_core::label_split".into(),
+                oracle_for: "the A(0) label-split baseline".into(),
+                forbidden: baseline_forbidden(),
+            },
+            OracleSpec {
+                module: "dkindex_partition::refine".into(),
+                oracle_for: "the interned-signature RefineEngine".into(),
+                forbidden: partition_forbidden(),
+            },
+            OracleSpec {
+                module: "dkindex_partition::naive".into(),
+                oracle_for: "bisimulation partition fast paths".into(),
+                forbidden: partition_forbidden(),
+            },
+            OracleSpec {
+                module: "dkindex_partition::coarsest".into(),
+                oracle_for: "bisimulation partition fast paths".into(),
+                forbidden: partition_forbidden(),
+            },
+            OracleSpec {
+                module: "dkindex_partition::paige_tarjan".into(),
+                oracle_for: "bisimulation partition fast paths".into(),
+                forbidden: partition_forbidden(),
+            },
+        ],
+        unsafe_hygiene: true,
+    }
+}
+
+fn baseline_forbidden() -> Vec<ForbiddenRef> {
+    vec![
+        ForbiddenRef::new(
+            "dkindex_telemetry",
+            "baselines are compared against instrumented paths; instrumenting them too \
+             would hide observer effects",
+        ),
+        ForbiddenRef::new(
+            "RefineEngine",
+            "baselines must not be built on the engine they are compared against",
+        ),
+    ]
+}
+
+fn partition_forbidden() -> Vec<ForbiddenRef> {
+    vec![
+        ForbiddenRef::new(
+            "crate::engine",
+            "the reference refinement must not call into the engine it certifies",
+        ),
+        ForbiddenRef::new(
+            "RefineEngine",
+            "the reference refinement must not call into the engine it certifies",
+        ),
+        ForbiddenRef::new(
+            "dkindex_telemetry",
+            "reference paths stay un-instrumented so oracle comparisons include the \
+             recorder's effects",
+        ),
+    ]
+}
+
+/// Analyze the workspace at `root` with the repository rule tables.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    analyze_workspace_with(root, &default_config())
+}
+
+/// Analyze the workspace at `root` with a caller-provided config (fixture
+/// tests scope the rules onto synthetic module trees this way).
+pub fn analyze_workspace_with(root: &Path, config: &RuleConfig) -> io::Result<Vec<Finding>> {
+    let files = workspace::load_workspace(root)?;
+    Ok(rules::run_all(&files, config))
+}

@@ -1,0 +1,92 @@
+//! `dkindex-analyze` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! dkindex-analyze [--root DIR] [--json FILE] [--quiet]
+//! ```
+//!
+//! Prints findings as `file:line: rule-id: message`, then a per-rule
+//! summary. Exits 1 when any unjustified violation exists, 2 on usage or
+//! I/O errors. `--json` additionally writes an `ANALYZE.json` report
+//! (rule → finding count; all zeros on a clean tree).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: dkindex-analyze [--root DIR] [--json FILE] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.or_else(discover_root) {
+        Some(r) => r,
+        None => return usage("no workspace root found; pass --root"),
+    };
+
+    let findings = match dkindex_analyze::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dkindex-analyze: cannot read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if let Some(path) = json {
+        if let Err(e) = dkindex_analyze::report::write_json(&path, &findings) {
+            eprintln!("dkindex-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", dkindex_analyze::report::summary(&findings));
+    }
+    if findings.is_empty() {
+        if !quiet {
+            println!("analysis clean: all contracts hold");
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first dir that looks like the
+/// workspace root (has `Cargo.toml` and `crates/`).
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dkindex-analyze: {msg}");
+    eprintln!("usage: dkindex-analyze [--root DIR] [--json FILE] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,223 @@
+//! Source-file model shared by all rules: tokens + comments + module path,
+//! `#[cfg(test)]` region detection, and the allow-comment escape hatch.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// A lexed workspace source file with its logical module path.
+pub struct SourceFile {
+    /// Path as reported in findings (workspace-relative when possible).
+    pub path: PathBuf,
+    /// Logical module path, e.g. `dkindex_core::dk::construct`. Crate
+    /// names use underscores; `lib.rs`/`main.rs` map to the bare crate
+    /// name and `src/bin/x.rs` to `crate::bin::x`.
+    pub module: String,
+    /// Name of the owning crate (underscored).
+    pub crate_name: String,
+    /// Token stream (comments stripped, see `comments`).
+    pub toks: Vec<Tok>,
+    /// Comments by source order.
+    pub comments: Vec<Comment>,
+    /// Token-index ranges lying inside `#[cfg(test)] mod ... { }` blocks.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Is this a crate root (`lib.rs`, `main.rs`, `bin/*.rs`)? Crate roots
+    /// are where `#![forbid(unsafe_code)]` must live.
+    pub is_crate_root: bool,
+}
+
+impl SourceFile {
+    /// Lex `src` into a model.
+    pub fn parse(path: PathBuf, module: String, crate_name: String, src: &str) -> SourceFile {
+        let (toks, comments) = lex(src);
+        let test_ranges = find_test_ranges(&toks);
+        SourceFile {
+            path,
+            module,
+            crate_name,
+            toks,
+            comments,
+            test_ranges,
+            is_crate_root: false,
+        }
+    }
+
+    /// Read and lex the file at `path`.
+    pub fn load(path: &Path, module: String, crate_name: String) -> std::io::Result<SourceFile> {
+        let src = std::fs::read_to_string(path)?;
+        Ok(SourceFile::parse(path.to_path_buf(), module, crate_name, &src))
+    }
+
+    /// Is token `i` inside a `#[cfg(test)]` module body?
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| i >= lo && i < hi)
+    }
+
+    /// Does a `// analyze: allow(<rule>) — <justification>` comment cover
+    /// `line` (the comment sits on the line itself or the line above)?
+    /// Returns `Some(has_justification)` when an allow for the rule is
+    /// present; the justification is the non-empty text after the `)`.
+    pub fn allow_on(&self, rule: &str, line: u32) -> Option<bool> {
+        let needle = format!("analyze: allow({rule})");
+        for c in &self.comments {
+            if c.line + 1 < line || c.line > line {
+                continue;
+            }
+            if let Some(pos) = c.text.find(&needle) {
+                let rest = &c.text[pos + needle.len()..];
+                let justification = rest.trim_start_matches([' ', '-', '—', ':', '–']).trim();
+                return Some(!justification.is_empty());
+            }
+        }
+        None
+    }
+
+    /// Is there a `SAFETY:` comment on `line` or within the 3 lines above?
+    pub fn safety_comment_near(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line <= line && c.line + 3 >= line && c.text.contains("SAFETY:"))
+    }
+}
+
+/// Locate `#[cfg(test)] mod name { ... }` bodies as token-index ranges.
+fn find_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Skip this and any following attributes, then expect `mod X {`.
+            let mut j = skip_attr(toks, i);
+            while j < toks.len() && toks[j].text == "#" {
+                j = skip_attr(toks, j);
+            }
+            if toks.get(j).is_some_and(|t| t.text == "mod")
+                && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(j + 2).is_some_and(|t| t.text == "{")
+            {
+                let open = j + 2;
+                let close = matching_brace(toks, open);
+                ranges.push((open, close));
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Does `#[cfg(test)]` start at token `i`?
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
+    texts
+        .iter()
+        .enumerate()
+        .all(|(k, want)| toks.get(i + k).is_some_and(|t| t.text == *want))
+}
+
+/// Given `#` at token `i`, return the index past the attribute's `]`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if toks.get(j).map(|t| t.text.as_str()) != Some("[") {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index just past the brace matching the `{` at `open` (or `toks.len()`).
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Does `module` fall inside scope pattern `pat`? Patterns are exact module
+/// paths or a prefix followed by `::*` (any descendant, and the prefix
+/// module itself).
+pub fn in_scope(module: &str, pat: &str) -> bool {
+    if let Some(prefix) = pat.strip_suffix("::*") {
+        module == prefix || module.starts_with(&format!("{prefix}::"))
+    } else {
+        module == pat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), "m".into(), "c".into(), src)
+    }
+
+    #[test]
+    fn cfg_test_mod_bodies_are_excluded() {
+        let f = file(
+            "fn live() { a.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\n\
+             fn live2() {}\n",
+        );
+        let unwraps: Vec<usize> = f
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!f.in_test_code(unwraps[0]));
+        assert!(f.in_test_code(unwraps[1]));
+        // Code after the test mod is live again.
+        let live2 = f.toks.iter().position(|t| t.text == "live2").unwrap();
+        assert!(!f.in_test_code(live2));
+    }
+
+    #[test]
+    fn allow_comments_require_justification() {
+        let f = file(
+            "// analyze: allow(panic-path) — the Vec write is infallible\n\
+             let x = v.pop().unwrap();\n\
+             // analyze: allow(panic-path)\n\
+             let y = w.pop().unwrap();\n",
+        );
+        assert_eq!(f.allow_on("panic-path", 2), Some(true));
+        assert_eq!(f.allow_on("panic-path", 4), Some(false));
+        assert_eq!(f.allow_on("nondeterministic-iter", 2), None);
+    }
+
+    #[test]
+    fn scope_patterns() {
+        assert!(in_scope("dkindex_core::dk::promote", "dkindex_core::dk::*"));
+        assert!(in_scope("dkindex_core::dk", "dkindex_core::dk::*"));
+        assert!(in_scope("dkindex_core::serve", "dkindex_core::serve"));
+        assert!(!in_scope("dkindex_core::serve2", "dkindex_core::serve"));
+        assert!(!in_scope("dkindex_core::eval", "dkindex_core::dk::*"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Rendering: findings to stderr-style text and `ANALYZE.json`.
+
+use crate::rules::{count_by_rule, Finding, RULES};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Render the per-rule summary table shown after the findings.
+pub fn summary(findings: &[Finding]) -> String {
+    let counts = count_by_rule(findings);
+    let mut out = String::new();
+    for rule in RULES {
+        let n = counts.get(rule.id).copied().unwrap_or(0);
+        out.push_str(&format!("  {:<24} {}\n", rule.id, n));
+    }
+    out.push_str(&format!("  {:<24} {}\n", "total", findings.len()));
+    out
+}
+
+/// Write `ANALYZE.json`: rule → finding count (all zeros on a clean tree),
+/// total, and the findings themselves.
+pub fn write_json(path: &Path, findings: &[Finding]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    let counts = count_by_rule(findings);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"rules\": {{")?;
+    let mut first = true;
+    for rule in RULES {
+        let n = counts.get(rule.id).copied().unwrap_or(0);
+        if !first {
+            writeln!(f, ",")?;
+        }
+        write!(f, "    \"{}\": {}", rule.id, n)?;
+        first = false;
+    }
+    writeln!(f)?;
+    writeln!(f, "  }},")?;
+    writeln!(f, "  \"total\": {},", findings.len())?;
+    writeln!(f, "  \"findings\": [")?;
+    for (i, finding) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+            escape(&finding.path.display().to_string()),
+            finding.line,
+            finding.rule,
+            escape(&finding.message)
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}

@@ -1,0 +1,196 @@
+//! The table-driven rule set.
+//!
+//! Each rule has an id (used in findings and in
+//! `// analyze: allow(<id>) — <why>` escape hatches), the contract it
+//! proves, and a scope given as module patterns (`a::b` exact,
+//! `a::b::*` subtree). Adding a rule means adding a [`RuleMeta`] entry, a
+//! scope list in [`RuleConfig`], and a `check` function — the existing
+//! rules average well under a hundred lines each.
+
+pub mod determinism;
+pub mod panic_path;
+pub mod purity;
+pub mod unsafety;
+
+use crate::model::SourceFile;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// How bad an unjustified violation is. Both levels currently fail the
+/// build; the distinction is kept for reporting and future rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Violates a correctness contract (byte-identity, purity, recovery).
+    Error,
+    /// Violates a hygiene contract.
+    Warning,
+}
+
+/// Static description of one rule.
+pub struct RuleMeta {
+    /// Stable rule id, also the allow-comment key.
+    pub id: &'static str,
+    /// The contract the rule enforces, for reports and docs.
+    pub contract: &'static str,
+    /// Failure class.
+    pub severity: Severity,
+}
+
+/// All rules known to the analyzer, in reporting order.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        id: "nondeterministic-iter",
+        contract: "byte-identity-critical modules never iterate HashMap/HashSet in an \
+                   order-sensitive way",
+        severity: Severity::Error,
+    },
+    RuleMeta {
+        id: "oracle-purity",
+        contract: "reference oracles never import or call the fast paths they are oracles for, \
+                   nor telemetry",
+        severity: Severity::Error,
+    },
+    RuleMeta {
+        id: "panic-path",
+        contract: "serve / snapshot-recovery / WAL-replay code returns typed errors instead of \
+                   panicking (no unwrap/expect/panic!/indexing)",
+        severity: Severity::Error,
+    },
+    RuleMeta {
+        id: "unsafe-hygiene",
+        contract: "every unsafe block carries a SAFETY: comment; crates needing no unsafe \
+                   forbid it outright",
+        severity: Severity::Warning,
+    },
+];
+
+/// One reference an oracle module must not make.
+#[derive(Clone, Debug)]
+pub struct ForbiddenRef {
+    /// Path segments: `["dkindex_telemetry"]` or `["crate", "engine"]`.
+    /// Single lowercase segments match only in path position (`x::` / `::x`
+    /// / `use x`); single uppercase segments (type names) match anywhere.
+    pub segs: Vec<String>,
+    /// Why this reference breaks oracle purity, echoed in the finding.
+    pub why: String,
+}
+
+impl ForbiddenRef {
+    /// Build from `::`-separated segments.
+    pub fn new(path: &str, why: &str) -> ForbiddenRef {
+        ForbiddenRef {
+            segs: path.split("::").map(str::to_string).collect(),
+            why: why.to_string(),
+        }
+    }
+}
+
+/// One oracle module and what it must stay independent of.
+#[derive(Clone, Debug)]
+pub struct OracleSpec {
+    /// Module path of the oracle (exact).
+    pub module: String,
+    /// What the module is the trusted baseline for, echoed in findings.
+    pub oracle_for: String,
+    /// References the oracle must not make.
+    pub forbidden: Vec<ForbiddenRef>,
+}
+
+/// Scopes and tables the rules run against. [`crate::default_config`]
+/// describes the real workspace; tests build ad-hoc configs for fixtures.
+#[derive(Clone, Debug, Default)]
+pub struct RuleConfig {
+    /// Modules whose construction/serialization must be byte-deterministic.
+    pub determinism_scope: Vec<String>,
+    /// Modules that must be panic-free (typed errors only).
+    pub panic_scope: Vec<String>,
+    /// The oracle-purity table.
+    pub oracles: Vec<OracleSpec>,
+    /// Run the workspace-wide unsafe-hygiene rule.
+    pub unsafe_hygiene: bool,
+}
+
+/// One violation, printed as `file:line: rule-id: message`.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id from [`RULES`].
+    pub rule: &'static str,
+    /// Human explanation with the offending symbol.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Count findings per rule id (all rules present, zero-filled).
+pub fn count_by_rule(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = RULES.iter().map(|r| (r.id, 0)).collect();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Record a finding at `line` unless a justified allow-comment covers it.
+/// An allow-comment *without* a justification is itself a finding — the
+/// escape hatch requires a reason.
+pub(crate) fn push_unless_allowed(
+    file: &SourceFile,
+    line: u32,
+    rule: &'static str,
+    message: String,
+    findings: &mut Vec<Finding>,
+) {
+    match file.allow_on(rule, line) {
+        Some(true) => {}
+        Some(false) => findings.push(Finding {
+            path: file.path.clone(),
+            line,
+            rule,
+            message: format!(
+                "allow({rule}) requires a justification after the closing parenthesis \
+                 (suppressing: {message})"
+            ),
+        }),
+        None => findings.push(Finding { path: file.path.clone(), line, rule, message }),
+    }
+}
+
+/// Rust keywords, used to tell expression identifiers from syntax.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut",
+    "pub", "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Run every configured rule over `files` (one whole workspace or a
+/// fixture set). Findings come back sorted by path, then line.
+pub fn run_all(files: &[SourceFile], config: &RuleConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        determinism::check(file, config, &mut findings);
+        purity::check(file, config, &mut findings);
+        panic_path::check(file, config, &mut findings);
+    }
+    if config.unsafe_hygiene {
+        unsafety::check(files, &mut findings);
+    }
+    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    findings
+}

@@ -1,0 +1,94 @@
+//! Rule `panic-path`: the concurrent serve layer, snapshot recovery, and
+//! WAL replay promise to degrade through typed errors, never to take the
+//! process down. In their modules the rule flags `unwrap`/`expect` calls,
+//! panicking macros (`panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//! the `assert*!` family — `debug_assert*!` stays legal), and indexing
+//! expressions `x[...]`, which panic on out-of-bounds. `#[cfg(test)]`
+//! modules are exempt; a justified
+//! `// analyze: allow(panic-path) — <why>` comment is the escape hatch for
+//! the provably-infallible cases.
+
+use super::{push_unless_allowed, Finding, RuleConfig, KEYWORDS};
+use crate::lexer::TokKind;
+use crate::model::{in_scope, SourceFile};
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] = &[
+    "panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne",
+];
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, config: &RuleConfig, findings: &mut Vec<Finding>) {
+    if !config.panic_scope.iter().any(|p| in_scope(&file.module, p)) {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(` method calls.
+        if t.kind == TokKind::Ident
+            && PANIC_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            push_unless_allowed(
+                file,
+                t.line,
+                "panic-path",
+                format!(
+                    "`.{}()` in a panic-free module; propagate a typed error instead, or \
+                     justify with `// analyze: allow(panic-path) — <why>`",
+                    t.text
+                ),
+                findings,
+            );
+        }
+        // `panic!(` and friends.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            push_unless_allowed(
+                file,
+                t.line,
+                "panic-path",
+                format!(
+                    "`{}!` in a panic-free module; return a typed error (use `debug_assert!` \
+                     for debug-only checks), or justify with \
+                     `// analyze: allow(panic-path) — <why>`",
+                    t.text
+                ),
+                findings,
+            );
+        }
+        // Indexing: `[` in expression position — directly after an
+        // identifier, `)` or `]`. Array literals/types/patterns follow
+        // punctuation or keywords and are not flagged.
+        if t.text == "[" && i > 0 {
+            let prev = &toks[i - 1];
+            let expr_pos = match prev.kind {
+                TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.text == ")" || prev.text == "]",
+                TokKind::Literal => false,
+            };
+            if expr_pos {
+                push_unless_allowed(
+                    file,
+                    t.line,
+                    "panic-path",
+                    format!(
+                        "indexing `{}[...]` in a panic-free module can panic out-of-bounds; \
+                         use `.get(..)` and propagate a typed error, or justify with \
+                         `// analyze: allow(panic-path) — <why>`",
+                        prev.text
+                    ),
+                    findings,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Rule `unsafe-hygiene`, run workspace-wide: every `unsafe` keyword must
+//! sit under a `// SAFETY: ...` comment (same line or the three lines
+//! above), and every crate whose sources contain no `unsafe` at all must
+//! say so in its roots with `#![forbid(unsafe_code)]` — turning the
+//! observation into a compiler-enforced guarantee that survives future
+//! edits.
+
+use super::Finding;
+use crate::model::SourceFile;
+use std::collections::BTreeMap;
+
+/// Run the rule over the whole file set (grouping by crate).
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut by_crate: BTreeMap<&str, Vec<&SourceFile>> = BTreeMap::new();
+    for f in files {
+        by_crate.entry(f.crate_name.as_str()).or_default().push(f);
+    }
+    for crate_files in by_crate.values() {
+        let mut has_unsafe = false;
+        for f in crate_files {
+            for t in &f.toks {
+                if t.text == "unsafe" {
+                    has_unsafe = true;
+                    if !f.safety_comment_near(t.line) {
+                        findings.push(Finding {
+                            path: f.path.clone(),
+                            line: t.line,
+                            rule: "unsafe-hygiene",
+                            message: "`unsafe` without a `// SAFETY: ...` comment on the \
+                                      preceding lines; state the invariant that makes this \
+                                      sound"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        if has_unsafe {
+            continue;
+        }
+        for f in crate_files.iter().filter(|f| f.is_crate_root) {
+            if !has_forbid_unsafe(f) {
+                findings.push(Finding {
+                    path: f.path.clone(),
+                    line: 1,
+                    rule: "unsafe-hygiene",
+                    message: format!(
+                        "crate `{}` contains no unsafe code but its root does not declare \
+                         `#![forbid(unsafe_code)]`; add the attribute so the property is \
+                         compiler-enforced",
+                        f.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Does the file carry a `forbid(unsafe_code)` attribute?
+fn has_forbid_unsafe(f: &SourceFile) -> bool {
+    f.toks.windows(3).any(|w| {
+        w[0].text == "forbid" && w[1].text == "(" && w[2].text == "unsafe_code"
+    })
+}

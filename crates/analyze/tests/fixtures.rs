@@ -1,0 +1,132 @@
+//! Fixture tests for the analyzer: each rule fires exactly once on the
+//! `bad` tree, the justified `allowed` tree passes, a bare allow comment is
+//! itself a finding, the `clean` tree has zero findings under a config
+//! that scopes every rule onto it — and the real workspace is clean under
+//! the repository rule tables, which is the regression gate for every
+//! violation fixed in this PR.
+//!
+//! Fixture trees live in `crates/analyze/fixtures/<case>/crates/<crate>/`
+//! as manifest-less mini-workspaces: `workspace::load_workspace` falls
+//! back to directory names for crate names, so a bare `src/lib.rs` is a
+//! complete fixture crate.
+
+use dkindex_analyze::rules::{count_by_rule, ForbiddenRef, OracleSpec, RuleConfig};
+use dkindex_analyze::{analyze_workspace, analyze_workspace_with, Finding, RULES};
+use std::path::{Path, PathBuf};
+
+fn fixture_root(case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(case)
+}
+
+/// The config the `bad` and `allowed` trees are analyzed under: every rule
+/// scoped onto exactly one fixture crate.
+fn fixture_config() -> RuleConfig {
+    RuleConfig {
+        determinism_scope: vec!["detcrate".into()],
+        panic_scope: vec!["panicky".into()],
+        oracles: vec![OracleSpec {
+            module: "oracle".into(),
+            oracle_for: "the fixture fast path".into(),
+            forbidden: vec![
+                ForbiddenRef::new(
+                    "FastEngine",
+                    "the oracle would be checking the engine against itself",
+                ),
+                ForbiddenRef::new(
+                    "telemetry_stub",
+                    "telemetry must not be able to perturb the baseline",
+                ),
+            ],
+        }],
+        unsafe_hygiene: true,
+    }
+}
+
+fn finding_in<'a>(findings: &'a [Finding], rule: &str) -> &'a Finding {
+    findings
+        .iter()
+        .find(|f| f.rule == rule)
+        .unwrap_or_else(|| panic!("no {rule} finding in {findings:?}"))
+}
+
+#[test]
+fn each_rule_fires_exactly_once_on_the_bad_tree() {
+    let findings = analyze_workspace_with(&fixture_root("bad"), &fixture_config()).unwrap();
+    let counts = count_by_rule(&findings);
+    for rule in RULES {
+        assert_eq!(
+            counts[rule.id], 1,
+            "rule {} should fire exactly once on the bad tree: {findings:?}",
+            rule.id
+        );
+    }
+    assert_eq!(findings.len(), RULES.len(), "no extra findings: {findings:?}");
+
+    // Each finding lands in the fixture crate built to trigger it.
+    let lands_in = [
+        ("nondeterministic-iter", "detcrate"),
+        ("oracle-purity", "oracle"),
+        ("panic-path", "panicky"),
+        ("unsafe-hygiene", "unsafety"),
+    ];
+    for (rule, crate_dir) in lands_in {
+        let f = finding_in(&findings, rule);
+        let path = f.path.to_string_lossy();
+        assert!(path.contains(crate_dir), "{rule} fired in {path}, expected {crate_dir}");
+        // The printed form is the `file:line: rule-id: message` contract.
+        assert!(f.to_string().contains(&format!(":{}: {rule}: ", f.line)), "{f}");
+    }
+}
+
+#[test]
+fn justified_allows_and_safety_comments_pass() {
+    let findings = analyze_workspace_with(&fixture_root("allowed"), &fixture_config()).unwrap();
+    assert!(findings.is_empty(), "justified tree must be clean: {findings:?}");
+}
+
+#[test]
+fn a_bare_allow_comment_is_itself_a_finding() {
+    let config = RuleConfig {
+        panic_scope: vec!["panicky".into()],
+        ..RuleConfig::default()
+    };
+    let findings = analyze_workspace_with(&fixture_root("unjustified"), &config).unwrap();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "panic-path");
+    assert!(
+        findings[0].message.contains("requires a justification"),
+        "{}",
+        findings[0]
+    );
+}
+
+#[test]
+fn the_clean_tree_has_zero_findings_under_the_full_config() {
+    let config = RuleConfig {
+        determinism_scope: vec!["cleanc".into()],
+        panic_scope: vec!["cleanc".into()],
+        oracles: vec![OracleSpec {
+            module: "cleanc".into(),
+            oracle_for: "the fixture fast path".into(),
+            forbidden: vec![ForbiddenRef::new(
+                "FastEngine",
+                "the oracle would be checking the engine against itself",
+            )],
+        }],
+        unsafe_hygiene: true,
+    };
+    let findings = analyze_workspace_with(&fixture_root("clean"), &config).unwrap();
+    assert!(findings.is_empty(), "clean tree must have zero findings: {findings:?}");
+}
+
+/// The regression gate for the workspace-wide fix pass: the real tree
+/// lints clean under the repository rule tables, forever.
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels under the workspace root");
+    let findings = analyze_workspace(root).unwrap();
+    assert!(findings.is_empty(), "workspace contract violations: {findings:#?}");
+}

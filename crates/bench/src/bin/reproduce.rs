@@ -24,11 +24,18 @@
 //!
 //! `bench-smoke` extra flags: `--threads N` (0 = machine parallelism),
 //! `--repeats N`, `--out PATH` (default `BENCH_eval.json`), `--metrics PATH`
-//! (default `METRICS.json`). Besides the before/after timing comparison it
-//! runs one telemetry-instrumented build → query → adapt pass and writes the
+//! (default `METRICS.json`), `--analyze PATH` (default `ANALYZE.json`).
+//! Besides the before/after timing comparison it runs one
+//! telemetry-instrumented build → query → adapt pass and writes the
 //! recorder snapshot (per-phase span timings, refinement-round counts, query
 //! visit-count histograms) to the `--metrics` file, after verifying the
-//! recorder changes no observable result.
+//! recorder changes no observable result. It also runs the `dkindex-analyze`
+//! static pass over the workspace sources and writes the per-rule finding
+//! counts (all zeros on a clean tree) to the `--analyze` file; when the
+//! binary runs outside the source tree the analysis is skipped with a
+//! notice.
+
+#![forbid(unsafe_code)]
 
 use dkindex_bench::datasets::{self, DEFAULT_NASA_SCALE, DEFAULT_XMARK_SCALE};
 use dkindex_bench::experiments::*;
@@ -47,6 +54,7 @@ struct Options {
     repeats: usize,
     out: String,
     metrics: String,
+    analyze: String,
 }
 
 fn main() {
@@ -61,6 +69,7 @@ fn main() {
         repeats: 3,
         out: "BENCH_eval.json".to_string(),
         metrics: "METRICS.json".to_string(),
+        analyze: "ANALYZE.json".to_string(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -80,6 +89,12 @@ fn main() {
             "--metrics" => {
                 opts.metrics = it.next().cloned().unwrap_or_else(|| {
                     eprintln!("flag --metrics needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--analyze" => {
+                opts.analyze = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("flag --analyze needs a path");
                     std::process::exit(2);
                 });
             }
@@ -149,7 +164,8 @@ fn print_usage() {
         "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|\n\
          \x20                degradation|length-sweep|bench-smoke|verify-faults|all>\n\
          \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]\n\
-         \x20       [--threads N] [--repeats N] [--out PATH] [--metrics PATH]   (bench-smoke only)"
+         \x20       [--threads N] [--repeats N] [--out PATH] [--metrics PATH] [--analyze PATH]\n\
+         \x20       (the last five flags apply to bench-smoke only)"
     );
 }
 
@@ -441,6 +457,8 @@ fn run_bench_smoke(opts: &Options) {
     }
     println!("wrote {}", opts.metrics);
 
+    let analysis_violations = run_analyze_report(&opts.analyze);
+
     if !eval.identical || builds.iter().any(|b| !b.identical) {
         eprintln!("FAIL: before/after paths disagree");
         std::process::exit(1);
@@ -452,6 +470,52 @@ fn run_bench_smoke(opts: &Options) {
     if !tel.identical() {
         eprintln!("FAIL: telemetry recorder changed observable results");
         std::process::exit(1);
+    }
+    if analysis_violations > 0 {
+        eprintln!("FAIL: {analysis_violations} static-analysis contract violation(s)");
+        std::process::exit(1);
+    }
+}
+
+/// Run the `dkindex-analyze` static pass over the workspace sources and
+/// write the per-rule report to `path`. Returns the number of unjustified
+/// violations; when the binary runs outside the source tree (no workspace
+/// root above the current directory) the pass is skipped with a notice and
+/// reported as clean.
+fn run_analyze_report(path: &str) -> usize {
+    let Some(root) = workspace_root() else {
+        println!("static analysis skipped: no workspace sources above the current directory");
+        return 0;
+    };
+    let findings = match dkindex_analyze::analyze_workspace(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("error: analyzing workspace at {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    if let Err(e) = dkindex_analyze::report::write_json(std::path::Path::new(path), &findings) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path} ({} finding(s))", findings.len());
+    findings.len()
+}
+
+/// Walk up from the current directory to the first dir that looks like the
+/// workspace root (has `Cargo.toml` and `crates/`).
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
     }
 }
 

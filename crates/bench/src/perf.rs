@@ -291,15 +291,15 @@ pub fn bench_serve(
             }));
         }
         for op in &ops {
-            server.submit(op.clone());
+            server.submit(op.clone()).expect("maintenance thread alive during bench");
         }
         for w in workers {
             w.join().expect("reader thread panicked");
         }
     });
-    let epochs = server.flush();
+    let epochs = server.flush().expect("maintenance thread alive during bench");
     let serve_ms = start.elapsed().as_secs_f64() * 1e3;
-    let (final_dk, final_g) = server.shutdown();
+    let (final_dk, final_g) = server.shutdown().expect("maintenance thread alive during bench");
     let deterministic = snapshot_bytes(&final_dk, &final_g) == expected;
 
     let answered = (readers * rounds) as u64;

@@ -10,7 +10,7 @@ use dkindex_core::snapshot::{self, load_index_bytes, save_snapshot_file, snapsho
 use dkindex_core::wal::{self, WalRecord, WalTail, WalWriter};
 use dkindex_core::{
     apply_serial, mine_requirements, DkIndex, DkServer, FbIndex, IndexEvaluator, Requirements,
-    ServeConfig, ServeOp,
+    ServeConfig, ServeError, ServeOp,
 };
 use dkindex_graph::stats::{label_histogram, GraphStats};
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
@@ -46,7 +46,8 @@ global flags:
 
 exit codes:
   0 success   2 usage/query syntax   3 I/O   4 corrupt input
-  5 doctor found corruption          6 query aborted (budget)";
+  5 doctor found corruption          6 query aborted (budget)
+  7 serve maintenance thread died";
 
 /// Top-level error type: every failure class is distinguishable by the
 /// caller, and each maps to its own process exit code.
@@ -81,6 +82,8 @@ pub enum CliError {
     },
     /// A bounded query exhausted its visit budget.
     Aborted(String),
+    /// The serve maintenance thread died before the run completed.
+    Serve(ServeError),
 }
 
 impl CliError {
@@ -92,6 +95,7 @@ impl CliError {
             CliError::Invalid { .. } => 4,
             CliError::Unsound { .. } => 5,
             CliError::Aborted(_) => 6,
+            CliError::Serve(_) => 7,
         }
     }
 
@@ -120,6 +124,7 @@ impl std::fmt::Display for CliError {
             CliError::Unsound { corruptions, report } => {
                 write!(f, "index is unsound ({corruptions} corruption finding(s))\n{report}")
             }
+            CliError::Serve(e) => write!(f, "serve failed: {e}"),
         }
     }
 }
@@ -128,6 +133,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Io { source, .. } => Some(source),
+            CliError::Serve(source) => Some(source),
             _ => None,
         }
     }
@@ -810,6 +816,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let expected = snapshot_bytes(&serial_dk, &serial_g);
 
     let server = DkServer::start(g, dk, ServeConfig { max_batch: batch, threads });
+    let mut submit_failure: Option<ServeError> = None;
     let answered = std::thread::scope(|s| {
         let mut workers = Vec::new();
         for r in 0..threads {
@@ -825,15 +832,21 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             }));
         }
         for op in &ops {
-            server.submit(op.clone());
+            if let Err(e) = server.submit(op.clone()) {
+                submit_failure = Some(e);
+                break;
+            }
         }
         workers
             .into_iter()
             .map(|w| w.join().expect("reader thread panicked"))
             .sum::<usize>()
     });
-    let last_epoch = server.flush();
-    let (final_dk, final_g) = server.shutdown();
+    if let Some(e) = submit_failure {
+        return Err(CliError::Serve(e));
+    }
+    let last_epoch = server.flush().map_err(CliError::Serve)?;
+    let (final_dk, final_g) = server.shutdown().map_err(CliError::Serve)?;
 
     if snapshot_bytes(&final_dk, &final_g) != expected {
         return Err(CliError::Unsound {

@@ -38,6 +38,8 @@
 //! exit code (2 usage, 3 I/O, 4 corrupt input, 5 unsound index, 6 aborted
 //! query).
 
+#![forbid(unsafe_code)]
+
 mod commands;
 
 use std::process::ExitCode;

@@ -84,46 +84,6 @@ pub fn dk_partition_with_engine<G: LabeledGraph + Sync>(
     (p, block_req)
 }
 
-/// The pre-engine D(k) partition loop, kept verbatim as the oracle for
-/// equivalence tests and the before/after construction benchmark: one
-/// allocation per node per round ([`dkindex_partition::refine_round_selective`]
-/// hashes freshly-built signature vectors). Produces partitions identical to
-/// [`dk_partition_with_engine`].
-pub fn dk_partition_reference<G: LabeledGraph>(
-    g: &G,
-    reqs: &Requirements,
-    use_broadcast: bool,
-) -> (Partition, Vec<usize>) {
-    let p0 = Partition::by_label(g);
-    let table = reqs.resolve(g.labels());
-    let mut block_req: Vec<usize> = p0
-        .block_ids()
-        .map(|b| table[g.label_of(p0.members(b)[0]).index()])
-        .collect();
-    if use_broadcast {
-        broadcast_requirements(g, &p0, &mut block_req);
-    }
-    let k_max = block_req.iter().copied().max().unwrap_or(0);
-
-    let mut p = p0;
-    for k in 1..=k_max {
-        let req_snapshot = block_req.clone();
-        let (next, changed) = dkindex_partition::refine_round_selective(g, &p, |b| {
-            req_snapshot[b.index()] >= k
-        });
-        if changed {
-            let mut next_req = vec![0usize; next.block_count()];
-            for b in next.block_ids() {
-                let member = next.members(b)[0];
-                next_req[b.index()] = req_snapshot[p.block_of(member).index()];
-            }
-            block_req = next_req;
-        }
-        p = next;
-    }
-    (p, block_req)
-}
-
 /// Re-index `base` (an index graph treated as a data graph, per Theorem 2)
 /// for `reqs`, with two safety valves beyond the paper's sketch: each merged
 /// block's similarity is capped by the *recorded* similarity of its
@@ -183,7 +143,8 @@ impl DkIndex {
     /// work fanned across `threads` worker threads (`0` = machine
     /// parallelism). The engine's deterministic node-order merge makes the
     /// result byte-identical to the single-threaded build — and to the
-    /// retained [`dk_partition_reference`] oracle — for every thread count.
+    /// retained [`super::dk_partition_reference`] oracle — for every thread
+    /// count.
     pub fn build_sharded(data: &DataGraph, requirements: Requirements, threads: usize) -> Self {
         DkIndex::build_with_engine(data, requirements, &mut RefineEngine::with_threads(threads))
     }

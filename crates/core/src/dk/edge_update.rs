@@ -14,7 +14,7 @@ use crate::dk::construct::DkIndex;
 use crate::index_graph::IndexGraph;
 use dkindex_graph::{DataGraph, EdgeKind, LabelId, LabeledGraph, NodeId};
 use dkindex_telemetry as telemetry;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Outcome of a D(k) edge-addition update.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,11 +46,13 @@ pub fn update_local_similarity(
         .min(index.similarity(v_inode));
 
     // Path sets keyed by label path (outermost label first), valued by the
-    // index nodes at which matching node paths start.
-    type PathSet = HashMap<Vec<LabelId>, HashSet<NodeId>>;
-    let mut new_paths: PathSet = HashMap::new();
+    // index nodes at which matching node paths start. Ordered maps keep the
+    // growth loop's walk deterministic (the `nondeterministic-iter`
+    // contract for `core::dk::*`).
+    type PathSet = BTreeMap<Vec<LabelId>, BTreeSet<NodeId>>;
+    let mut new_paths: PathSet = BTreeMap::new();
     new_paths.insert(vec![index.label_of(u_inode)], [u_inode].into_iter().collect());
-    let mut old_paths: PathSet = HashMap::new();
+    let mut old_paths: PathSet = BTreeMap::new();
     for &p in index.parents_of(v_inode) {
         old_paths
             .entry(vec![index.label_of(p)])
@@ -60,7 +62,7 @@ pub fn update_local_similarity(
     *touched += 1 + index.parents_of(v_inode).len() as u64;
 
     let extend = |paths: &PathSet, touched: &mut u64| -> PathSet {
-        let mut out: PathSet = HashMap::new();
+        let mut out: PathSet = BTreeMap::new();
         for (path, starts) in paths {
             for &w in starts {
                 for &x in index.parents_of(w) {
@@ -194,6 +196,35 @@ mod tests {
 
     fn node(g: &DataGraph, label: &str, nth: usize) -> NodeId {
         g.nodes_with_label(g.labels().get(label).unwrap())[nth]
+    }
+
+    /// Regression for the ordered-PathSet rewrite (was `HashMap`/`HashSet`):
+    /// the growth loop must walk its path sets in a declared order, so
+    /// repeated runs of the same update sequence produce identical
+    /// similarities, touch counts, and serialized index bytes in-process —
+    /// the byte-identity contract the `nondeterministic-iter` rule guards.
+    #[test]
+    fn repeated_update_runs_are_byte_identical() {
+        let run = || {
+            let mut g = figure3_data();
+            let mut dk = DkIndex::build(&g, Requirements::uniform(4));
+            let mut outcomes = Vec::new();
+            for (from_label, from_n, to_label, to_n) in
+                [("c", 2, "d", 0), ("a", 0, "e", 1), ("x", 0, "b", 0)]
+            {
+                let from = node(&g, from_label, from_n);
+                let to = node(&g, to_label, to_n);
+                let o = dk.add_edge(&mut g, from, to);
+                outcomes.push((o.new_similarity, o.lowered, o.index_nodes_touched));
+            }
+            let mut bytes = Vec::new();
+            crate::store::save_dk(&dk, &g, &mut bytes).unwrap();
+            (outcomes, bytes)
+        };
+        let first = run();
+        for _ in 0..4 {
+            assert_eq!(run(), first, "edge update walk is schedule-dependent");
+        }
     }
 
     #[test]

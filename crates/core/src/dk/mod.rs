@@ -8,8 +8,9 @@
 //! * §4.2 Algorithm 1 (broadcast of local similarities along the
 //!   Definition 3 constraint) — [`broadcast`].
 //! * §4.2 Algorithm 2 (construction by selective refinement rounds) —
-//!   [`construct`], with [`dk_partition_reference`] retained as the
-//!   uninstrumented oracle for equivalence tests.
+//!   [`construct`], with [`dk_partition_reference`] retained in the
+//!   import-isolated [`mod@reference`] module as the uninstrumented oracle for
+//!   equivalence tests.
 //! * §5.1 Algorithm 3 (subgraph addition, Theorem 2) — [`subgraph`].
 //! * §5.2 Algorithms 4–5 (edge addition: `Update_Local_Similarity` plus the
 //!   BFS similarity lowering) — [`edge_update`].
@@ -26,12 +27,13 @@ pub mod construct;
 pub mod demote;
 pub mod edge_update;
 pub mod promote;
+pub mod reference;
 pub mod subgraph;
 
 pub use broadcast::{block_parent_sets, broadcast_requirements, requirements_consistent};
 pub use construct::{
-    dk_partition, dk_partition_reference, dk_partition_with_engine, dk_partition_with_options,
-    DkIndex,
+    dk_partition, dk_partition_with_engine, dk_partition_with_options, DkIndex,
 };
+pub use reference::dk_partition_reference;
 pub use demote::enforce_structural_constraint;
 pub use edge_update::{update_local_similarity, EdgeUpdateOutcome};

@@ -47,6 +47,7 @@
 
 pub mod akindex;
 pub mod audit;
+pub(crate) mod bytes;
 pub mod crc32;
 pub mod dataguide;
 pub mod dk;
@@ -60,6 +61,7 @@ pub mod one_index;
 pub mod prepared;
 pub mod requirements;
 pub mod serve;
+pub mod serve_ops;
 pub mod snapshot;
 pub mod store;
 pub mod tuner;
@@ -78,7 +80,8 @@ pub use mining::{mine_requirements, mine_requirements_weighted};
 pub use one_index::OneIndex;
 pub use prepared::{CachedEvaluator, PreparedQuery};
 pub use requirements::Requirements;
-pub use serve::{apply_serial, DkServer, Epoch, ServeConfig, ServeHandle, ServeOp};
+pub use serve::{DkServer, Epoch, ServeConfig, ServeError, ServeHandle};
+pub use serve_ops::{apply_serial, ServeOp};
 pub use snapshot::{load_with_recovery, read_snapshot, save_snapshot_file, snapshot_bytes, write_snapshot, Recovery, SnapshotError, SnapshotFormat};
 pub use tuner::{AdaptiveTuner, TunerConfig, TuningAction};
 pub use wal::{ReplayReport, WalError, WalRecord, WalTail, WalWriter};

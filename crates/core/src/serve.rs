@@ -28,12 +28,19 @@
 //!   demotions, tuning), then publishes a fresh epoch. Because application
 //!   order equals submission order, an N-thread serve run ends in exactly
 //!   the state of a serial run over the same op sequence — snapshot bytes
-//!   and all.
+//!   and all. The serial fold itself lives in [`crate::serve_ops`], kept
+//!   import-isolated from this module so it can act as its oracle.
 //! * **Cache invalidation contract**: each epoch carries its own query memo
 //!   keyed by the query alone — the epoch *is* the other half of the
 //!   `(epoch, query)` key. Publishing a new epoch drops the whole memo with
 //!   the superseded `Arc`, so a stale cached answer is impossible by
 //!   construction, not by bookkeeping.
+//! * **No panic paths**: this module is in the `dkindex-analyze`
+//!   `panic-path` scope. Lock poisoning is recovered
+//!   (`PoisonError::into_inner` — every critical section leaves the guarded
+//!   value consistent, so a panic elsewhere never invalidates it), and a
+//!   dead maintenance thread surfaces as [`ServeError::MaintenanceGone`]
+//!   instead of a panic in the caller's thread.
 //!
 //! Telemetry: `serve.epoch_publishes`, `serve.batch_ops`, `serve.queries`,
 //! `serve.stale_epoch_reads`, `serve.cache_hits`/`serve.cache_misses`, and
@@ -42,12 +49,13 @@
 use crate::dk::construct::DkIndex;
 use crate::eval::{IndexEvalOutcome, IndexEvaluator};
 use crate::requirements::Requirements;
-use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+pub use crate::serve_ops::{apply_serial, ServeOp};
+use dkindex_graph::DataGraph;
 use dkindex_pathexpr::PathExpr;
 use dkindex_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 
 /// Knobs for a [`DkServer`].
@@ -71,33 +79,27 @@ impl Default for ServeConfig {
     }
 }
 
-/// A maintenance operation, applied by the single maintenance thread in
-/// submission order.
-#[derive(Clone, Debug)]
-pub enum ServeOp {
-    /// The paper's edge-addition update (Algorithms 4–5).
-    AddEdge {
-        /// Source data node.
-        from: NodeId,
-        /// Target data node.
-        to: NodeId,
-    },
-    /// Promote the block containing `node` to local similarity `k`
-    /// (Algorithm 6).
-    Promote {
-        /// A data node identifying the target block.
-        node: NodeId,
-        /// Requested local similarity.
-        k: usize,
-    },
-    /// Run the full promoting pass against the stored requirements.
-    PromoteToRequirements,
-    /// Demote the index to the given requirements.
-    Demote(Requirements),
-    /// Replace the stored requirements and promote up to them (the tuner's
-    /// promotion action).
-    SetRequirements(Requirements),
+/// A serve-layer failure surfaced to callers as a typed error rather than a
+/// panic (the `panic-path` contract of this module).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The maintenance thread is gone — it panicked while applying an op or
+    /// was already asked to shut down — so the operation can never be
+    /// applied or acknowledged.
+    MaintenanceGone,
 }
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::MaintenanceGone => {
+                write!(f, "serve maintenance thread is gone; op cannot be applied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// An immutable published snapshot: index + data graph + per-epoch memo.
 ///
@@ -138,13 +140,15 @@ impl Epoch {
     }
 
     /// Evaluate `query` against this epoch, consulting the per-epoch memo
-    /// first. Exact with respect to this epoch's data graph.
+    /// first. Exact with respect to this epoch's data graph. A poisoned memo
+    /// lock is recovered: the memo only ever holds fully-inserted answers,
+    /// so the map stays valid even if another reader panicked mid-query.
     pub fn evaluate(&self, query: &PathExpr) -> IndexEvalOutcome {
         telemetry::metrics::SERVE_QUERIES.incr();
         if let Some(hit) = self
             .memo
             .lock()
-            .expect("epoch memo lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(query)
             .cloned()
         {
@@ -155,7 +159,7 @@ impl Epoch {
         let out = IndexEvaluator::new(self.dk.index(), &self.data).evaluate(query);
         self.memo
             .lock()
-            .expect("epoch memo lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(query.clone(), out.clone());
         out
     }
@@ -170,9 +174,11 @@ pub struct ServeHandle {
 
 impl ServeHandle {
     /// The currently published epoch. The returned `Arc` stays fully
-    /// consistent even if the maintenance thread publishes successors.
+    /// consistent even if the maintenance thread publishes successors. The
+    /// epoch lock is only ever held across a single `Arc` load or store, so
+    /// a poisoned lock still guards a valid pointer and is recovered.
     pub fn epoch(&self) -> Arc<Epoch> {
-        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Evaluate `query` against the current epoch. The answer is exact for
@@ -181,7 +187,12 @@ impl ServeHandle {
     pub fn evaluate(&self, query: &PathExpr) -> IndexEvalOutcome {
         let epoch = self.epoch();
         let out = epoch.evaluate(query);
-        if self.current.read().expect("epoch lock poisoned").id != epoch.id {
+        let current_id = self
+            .current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .id;
+        if current_id != epoch.id {
             telemetry::metrics::SERVE_STALE_EPOCH_READS.incr();
         }
         out
@@ -243,35 +254,43 @@ impl DkServer {
 
     /// Enqueue a maintenance operation. Ops are applied in submission order
     /// by the maintenance thread, batched, and become visible atomically at
-    /// the next epoch publish.
-    pub fn submit(&self, op: ServeOp) {
+    /// the next epoch publish. Fails with [`ServeError::MaintenanceGone`]
+    /// when the maintenance thread no longer exists to apply it.
+    pub fn submit(&self, op: ServeOp) -> Result<(), ServeError> {
         self.tx
             .send(Msg::Op(op))
-            .expect("maintenance thread is alive while the server exists");
+            .map_err(|_| ServeError::MaintenanceGone)
     }
 
     /// Block until every previously submitted op has been applied and
-    /// published; returns the epoch id current after the drain.
-    pub fn flush(&self) -> u64 {
+    /// published; returns the epoch id current after the drain, or
+    /// [`ServeError::MaintenanceGone`] when the maintenance thread died
+    /// before acknowledging.
+    pub fn flush(&self) -> Result<u64, ServeError> {
         let (ack_tx, ack_rx) = mpsc::channel();
         self.tx
             .send(Msg::Flush(ack_tx))
-            .expect("maintenance thread is alive while the server exists");
-        ack_rx
-            .recv()
-            .expect("maintenance thread acknowledges flushes")
+            .map_err(|_| ServeError::MaintenanceGone)?;
+        ack_rx.recv().map_err(|_| ServeError::MaintenanceGone)
     }
 
     /// Stop the maintenance thread after it drains all previously submitted
     /// ops, returning the final index and data graph (for snapshotting —
-    /// determinism tests compare these bytes against a serial run).
-    pub fn shutdown(mut self) -> (DkIndex, DataGraph) {
+    /// determinism tests compare these bytes against a serial run). Fails
+    /// with [`ServeError::MaintenanceGone`] when the maintenance thread
+    /// panicked and the final state is unrecoverable.
+    pub fn shutdown(mut self) -> Result<(DkIndex, DataGraph), ServeError> {
         let _ = self.tx.send(Msg::Shutdown);
-        self.join
-            .take()
-            .expect("shutdown is the only taker")
-            .join()
-            .expect("maintenance thread never panics")
+        let join = self.join.take().ok_or(ServeError::MaintenanceGone)?;
+        join.join().map_err(|_| ServeError::MaintenanceGone)
+    }
+
+    /// Test hook: ask the maintenance thread to exit while keeping the
+    /// server value alive, so tests can observe the typed
+    /// [`ServeError::MaintenanceGone`] surface on subsequent calls.
+    #[doc(hidden)]
+    pub fn stop_maintenance_for_tests(&self) {
+        let _ = self.tx.send(Msg::Shutdown);
     }
 }
 
@@ -282,6 +301,12 @@ impl Drop for DkServer {
             let _ = join.join();
         }
     }
+}
+
+/// What the maintenance loop should do after staging one message.
+enum Staged {
+    Continue,
+    Shutdown,
 }
 
 /// The single-writer loop: block for one message, drain the channel up to
@@ -305,22 +330,18 @@ fn maintenance_loop(
         let mut batch: Vec<ServeOp> = Vec::new();
         let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
         let mut shutdown = false;
-        let mut staged = Some(first);
+        let mut staged = first;
         loop {
-            match staged.take() {
-                Some(Msg::Op(op)) => batch.push(op),
-                Some(Msg::Flush(ack)) => flushes.push(ack),
-                Some(Msg::Shutdown) => {
-                    shutdown = true;
-                    break;
-                }
-                None => unreachable!("staged is always set when the inner loop runs"),
+            let stage = stage_message(staged, &mut batch, &mut flushes);
+            if matches!(stage, Staged::Shutdown) {
+                shutdown = true;
+                break;
             }
             if batch.len() >= max_batch {
                 break;
             }
             match rx.try_recv() {
-                Ok(m) => staged = Some(m),
+                Ok(m) => staged = m,
                 Err(_) => break,
             }
         }
@@ -328,11 +349,13 @@ fn maintenance_loop(
             let span = telemetry::Span::start(&telemetry::metrics::SERVE_PUBLISH_NS);
             telemetry::metrics::SERVE_BATCH_OPS.record(batch.len() as u64);
             for op in batch.drain(..) {
-                apply(&mut dk, &mut data, op);
+                crate::serve_ops::apply(&mut dk, &mut data, op);
             }
             epoch_id += 1;
             let fresh = Arc::new(Epoch::new(epoch_id, dk.clone(), data.clone()));
-            *current.write().expect("epoch lock poisoned") = fresh;
+            // The write lock is held for this one pointer store; recovery
+            // from poisoning is sound because the old Arc is still intact.
+            *current.write().unwrap_or_else(PoisonError::into_inner) = fresh;
             drop(span);
             telemetry::metrics::SERVE_EPOCH_PUBLISHES.incr();
         }
@@ -345,40 +368,16 @@ fn maintenance_loop(
     }
 }
 
-/// Apply one op on the owned mutable state. Edge updates naming a node that
-/// does not exist in the data graph are skipped (deterministically — the
-/// serial oracle sees the same sequence), so a bad op cannot take the
-/// maintenance thread down.
-fn apply(dk: &mut DkIndex, data: &mut DataGraph, op: ServeOp) {
-    match op {
-        ServeOp::AddEdge { from, to } => {
-            if from.index() < data.node_count() && to.index() < data.node_count() {
-                dk.add_edge(data, from, to);
-            }
-        }
-        ServeOp::Promote { node, k } => {
-            if node.index() < data.node_count() {
-                dk.promote(data, node, k);
-            }
-        }
-        ServeOp::PromoteToRequirements => {
-            dk.promote_to_requirements(data);
-        }
-        ServeOp::Demote(reqs) => {
-            dk.demote(reqs);
-        }
-        ServeOp::SetRequirements(reqs) => {
-            dk.set_requirements_public(reqs);
-            dk.promote_to_requirements(data);
-        }
+/// Sort one received message into the batch/flush accumulators.
+fn stage_message(
+    msg: Msg,
+    batch: &mut Vec<ServeOp>,
+    flushes: &mut Vec<mpsc::Sender<u64>>,
+) -> Staged {
+    match msg {
+        Msg::Op(op) => batch.push(op),
+        Msg::Flush(ack) => flushes.push(ack),
+        Msg::Shutdown => return Staged::Shutdown,
     }
-}
-
-/// Apply `ops` serially to `(dk, data)` — the single-threaded oracle used by
-/// the determinism tests: an N-thread serve run over the same submission
-/// order must end byte-identical to this.
-pub fn apply_serial(dk: &mut DkIndex, data: &mut DataGraph, ops: &[ServeOp]) {
-    for op in ops {
-        apply(dk, data, op.clone());
-    }
+    Staged::Continue
 }

@@ -30,6 +30,7 @@
 //! The legacy un-checksummed `.dki` format (a bare `DKG1` stream + index)
 //! remains readable through [`load_index_bytes`], which sniffs the magic.
 
+use crate::bytes::Cursor;
 use crate::crc32::crc32;
 use crate::dk::construct::DkIndex;
 use crate::requirements::Requirements;
@@ -169,6 +170,9 @@ pub fn write_snapshot<W: Write>(dk: &DkIndex, data: &DataGraph, w: &mut W) -> io
 /// Snapshot bytes for `dk` + `data` (convenience over [`write_snapshot`]).
 pub fn snapshot_bytes(dk: &DkIndex, data: &DataGraph) -> Vec<u8> {
     let mut bytes = Vec::new();
+    // Threading io::Result through every caller would only launder an error
+    // that cannot happen: Write for Vec<u8> has no I/O to fail.
+    // analyze: allow(panic-path) — Write for Vec<u8> is infallible
     write_snapshot(dk, data, &mut bytes).expect("Vec<u8> writes are infallible");
     bytes
 }
@@ -204,17 +208,22 @@ struct Frames {
 /// outright: framing breaks are recorded so recovery can still use the
 /// sections that parsed before the break.
 fn parse_frames(bytes: &[u8]) -> Result<Frames, SnapshotError> {
-    if bytes.len() < 12 {
-        return Err(SnapshotError::Truncated { what: "header".to_string() });
-    }
-    if &bytes[..4] != MAGIC {
+    let mut cur = Cursor::new(bytes);
+    let magic = cur.array4().ok_or_else(|| SnapshotError::Truncated {
+        what: "header".to_string(),
+    })?;
+    if magic != *MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    let version = cur.u32_le().ok_or_else(|| SnapshotError::Truncated {
+        what: "header".to_string(),
+    })?;
     if version != VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
-    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice")) as usize;
+    let count = cur.u32_le().ok_or_else(|| SnapshotError::Truncated {
+        what: "header".to_string(),
+    })? as usize;
 
     let mut frames = Frames {
         reqs: SectionState::Missing,
@@ -222,19 +231,17 @@ fn parse_frames(bytes: &[u8]) -> Result<Frames, SnapshotError> {
         indx: SectionState::Missing,
         framing_error: None,
     };
-    let mut offset = 12usize;
     for _ in 0..count {
-        let Some(head) = bytes.get(offset..offset + 12) else {
+        let (Some(tag), Some(len), Some(stored_crc)) =
+            (cur.array4(), cur.u32_le().map(|v| v as usize), cur.u32_le())
+        else {
             frames.framing_error = Some(SnapshotError::Truncated {
                 what: "section header".to_string(),
             });
             return Ok(frames);
         };
-        let tag: [u8; 4] = head[..4].try_into().expect("4-byte slice");
-        let len = u32::from_le_bytes(head[4..8].try_into().expect("4-byte slice")) as usize;
-        let stored_crc = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice"));
-        let start = offset + 12;
-        let Some(payload) = bytes.get(start..start + len) else {
+        let start = cur.offset();
+        let Some(payload) = cur.take(len) else {
             frames.framing_error = Some(SnapshotError::Truncated {
                 what: format!("section {} payload", tag_str(&tag)),
             });
@@ -252,12 +259,19 @@ fn parse_frames(bytes: &[u8]) -> Result<Frames, SnapshotError> {
             TAG_INDX => frames.indx = state,
             _ => {} // unknown section: skip (forward compatibility)
         }
-        offset = start + len;
     }
-    if offset != bytes.len() {
+    if cur.remaining() != 0 {
         frames.framing_error = Some(SnapshotError::TrailingBytes);
     }
     Ok(frames)
+}
+
+/// The payload of a validated section. The range came out of
+/// [`parse_frames`] over this same buffer, so the lookup cannot miss; on
+/// an (impossible) mismatch the empty slice makes the section parse fail
+/// with a typed error instead of panicking.
+fn section_bytes<'a>(bytes: &'a [u8], range: &std::ops::Range<usize>) -> &'a [u8] {
+    bytes.get(range.clone()).unwrap_or(&[])
 }
 
 /// Strict load: every section must be present, checksum-clean and parse,
@@ -270,7 +284,8 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<(DkIndex, DataGraph), SnapshotError
     let data = parse_graph(bytes, &frames.grph)?;
     let reqs = match &frames.reqs {
         SectionState::Ok(range) => {
-            store::read_requirements(&mut &bytes[range.clone()]).map_err(|e| {
+            let mut cursor = section_bytes(bytes, range);
+            store::read_requirements(&mut cursor).map_err(|e| {
                 SnapshotError::Section { tag: TAG_REQS, reason: e.to_string() }
             })?
         }
@@ -281,7 +296,7 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<(DkIndex, DataGraph), SnapshotError
     };
     let index = match &frames.indx {
         SectionState::Ok(range) => {
-            let mut cursor = &bytes[range.clone()];
+            let mut cursor = section_bytes(bytes, range);
             let index = store::read_index(&mut cursor, data.node_count()).map_err(|e| {
                 SnapshotError::Section { tag: TAG_INDX, reason: e.to_string() }
             })?;
@@ -315,7 +330,8 @@ fn section_error(tag: [u8; 4], reason: &str) -> SnapshotError {
 fn parse_graph(bytes: &[u8], state: &SectionState) -> Result<DataGraph, SnapshotError> {
     match state {
         SectionState::Ok(range) => {
-            dkindex_graph::io::read_graph(&mut &bytes[range.clone()]).map_err(|e| {
+            let mut cursor = section_bytes(bytes, range);
+            dkindex_graph::io::read_graph(&mut cursor).map_err(|e| {
                 SnapshotError::Section { tag: TAG_GRPH, reason: e.to_string() }
             })
         }
@@ -340,7 +356,7 @@ pub fn load_with_recovery(
     }
 
     let reqs = match &frames.reqs {
-        SectionState::Ok(range) => match store::read_requirements(&mut &bytes[range.clone()]) {
+        SectionState::Ok(range) => match store::read_requirements(&mut section_bytes(bytes, range)) {
             Ok(reqs) => reqs,
             Err(e) => {
                 recovery.lost_requirements = true;
@@ -362,7 +378,7 @@ pub fn load_with_recovery(
 
     let index = match &frames.indx {
         SectionState::Ok(range) => {
-            let mut cursor = &bytes[range.clone()];
+            let mut cursor = section_bytes(bytes, range);
             match store::read_index(&mut cursor, data.node_count()) {
                 Ok(index) if cursor.is_empty() => {
                     match index.check_invariants(&data) {
@@ -423,7 +439,8 @@ pub fn load_index_bytes(
         let (dk, data) = read_snapshot(bytes)?;
         Ok((dk, data, SnapshotFormat::Snapshot))
     } else {
-        let (dk, data) = store::load_dk(&mut &bytes[..]).map_err(SnapshotError::Legacy)?;
+        let mut cursor = bytes;
+        let (dk, data) = store::load_dk(&mut cursor).map_err(SnapshotError::Legacy)?;
         Ok((dk, data, SnapshotFormat::Legacy))
     }
 }
@@ -447,6 +464,19 @@ mod tests {
         g.add_edge(a, m, EdgeKind::Reference);
         let dk = DkIndex::build(&g, Requirements::from_pairs([("title", 2)]));
         (g, dk)
+    }
+
+    /// Regression for the cursor-based framing rewrite: the container
+    /// prefix is a durable format, so its exact bytes are pinned — magic,
+    /// LE version 1, LE section count 3, then the first section's tag.
+    #[test]
+    fn container_framing_bytes_are_pinned() {
+        let (g, dk) = sample();
+        let bytes = snapshot_bytes(&dk, &g);
+        assert_eq!(bytes[..4], *b"DKSN");
+        assert_eq!(bytes[4..8], 1u32.to_le_bytes());
+        assert_eq!(bytes[8..12], 3u32.to_le_bytes());
+        assert_eq!(bytes[12..16], *b"REQS");
     }
 
     #[test]

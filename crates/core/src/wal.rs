@@ -27,6 +27,7 @@
 //! `sync_data`ed before `append` returns, so a record acknowledged to the
 //! caller survives a crash.
 
+use crate::bytes::Cursor;
 use crate::crc32::crc32;
 use crate::dk::construct::DkIndex;
 use crate::dk::edge_update::EdgeUpdateOutcome;
@@ -123,47 +124,53 @@ impl From<io::Error> for WalError {
 /// Encode one record into its 13-byte wire form.
 pub fn encode_record(record: &WalRecord) -> [u8; RECORD_LEN] {
     let WalRecord::AddEdge { from, to } = record;
-    let mut buf = [0u8; RECORD_LEN];
-    buf[0] = TAG_ADD_EDGE;
-    buf[1..5].copy_from_slice(&(from.index() as u32).to_le_bytes());
-    buf[5..9].copy_from_slice(&(to.index() as u32).to_le_bytes());
-    let crc = crc32(&buf[..9]);
-    buf[9..13].copy_from_slice(&crc.to_le_bytes());
-    buf
+    let [f0, f1, f2, f3] = (from.index() as u32).to_le_bytes();
+    let [t0, t1, t2, t3] = (to.index() as u32).to_le_bytes();
+    let body = [TAG_ADD_EDGE, f0, f1, f2, f3, t0, t1, t2, t3];
+    let [c0, c1, c2, c3] = crc32(&body).to_le_bytes();
+    [TAG_ADD_EDGE, f0, f1, f2, f3, t0, t1, t2, t3, c0, c1, c2, c3]
 }
 
 /// The 8-byte WAL header.
 pub fn encode_header() -> [u8; HEADER_LEN] {
-    let mut buf = [0u8; HEADER_LEN];
-    buf[..4].copy_from_slice(MAGIC);
-    buf[4..].copy_from_slice(&VERSION.to_le_bytes());
-    buf
+    let [m0, m1, m2, m3] = *MAGIC;
+    let [v0, v1, v2, v3] = VERSION.to_le_bytes();
+    [m0, m1, m2, m3, v0, v1, v2, v3]
 }
 
 /// Decode a WAL byte stream into records. A file ending mid-record yields
 /// the complete prefix with [`WalTail::Torn`]; a complete record with a bad
 /// CRC is a typed error.
 pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(WalError::TruncatedHeader);
-    }
-    if &bytes[..4] != MAGIC {
+    let mut cur = Cursor::new(bytes);
+    let magic = cur.array4().ok_or(WalError::TruncatedHeader)?;
+    if magic != *MAGIC {
         return Err(WalError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    let version = cur.u32_le().ok_or(WalError::TruncatedHeader)?;
     if version != VERSION {
         return Err(WalError::UnsupportedVersion(version));
     }
     let mut records = Vec::new();
-    let mut offset = HEADER_LEN;
     let mut index = 0usize;
-    // A file ending exactly on a record boundary (offset == len) is a clean
-    // tail: every appended record survived. Only a strictly partial trailing
-    // record — fewer than RECORD_LEN bytes past the last boundary — is torn.
-    while bytes.len() - offset >= RECORD_LEN {
-        let rec = &bytes[offset..offset + RECORD_LEN];
-        let stored = u32::from_le_bytes(rec[9..13].try_into().expect("4-byte slice"));
-        if crc32(&rec[..9]) != stored {
+    // A file ending exactly on a record boundary is a clean tail: every
+    // appended record survived. Only a strictly partial trailing record —
+    // fewer than RECORD_LEN bytes past the last boundary — is torn.
+    while cur.remaining() >= RECORD_LEN {
+        let offset = cur.offset();
+        let Some(rec) = cur.take(RECORD_LEN) else {
+            // Unreachable given the remaining() guard, but a torn tail is
+            // the sound typed fallback either way.
+            break;
+        };
+        let mut fields = Cursor::new(rec);
+        let (Some(tag), Some(from), Some(to), Some(stored)) =
+            (fields.u8(), fields.u32_le(), fields.u32_le(), fields.u32_le())
+        else {
+            break;
+        };
+        let body = rec.get(..RECORD_LEN - 4).unwrap_or(rec);
+        if crc32(body) != stored {
             telemetry::metrics::STORE_CRC_FAILURES.incr();
             return Err(WalError::CorruptRecord {
                 index,
@@ -171,26 +178,23 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
                 reason: "CRC mismatch".to_string(),
             });
         }
-        if rec[0] != TAG_ADD_EDGE {
+        if tag != TAG_ADD_EDGE {
             return Err(WalError::CorruptRecord {
                 index,
                 offset,
-                reason: format!("unknown record tag {}", rec[0]),
+                reason: format!("unknown record tag {tag}"),
             });
         }
-        let from = u32::from_le_bytes(rec[1..5].try_into().expect("4-byte slice")) as usize;
-        let to = u32::from_le_bytes(rec[5..9].try_into().expect("4-byte slice")) as usize;
         records.push(WalRecord::AddEdge {
-            from: NodeId::from_index(from),
-            to: NodeId::from_index(to),
+            from: NodeId::from_index(from as usize),
+            to: NodeId::from_index(to as usize),
         });
-        offset += RECORD_LEN;
         index += 1;
     }
-    if offset != bytes.len() {
+    if cur.remaining() != 0 {
         // Incomplete trailing record: a crash mid-append, not corruption.
         telemetry::metrics::WAL_TORN_TAILS.incr();
-        return Ok((records, WalTail::Torn { valid_len: offset }));
+        return Ok((records, WalTail::Torn { valid_len: cur.offset() }));
     }
     Ok((records, WalTail::Clean))
 }
@@ -311,6 +315,20 @@ mod tests {
             bytes.extend_from_slice(&encode_record(r));
         }
         bytes
+    }
+
+    /// Regression for the panic-free encode rewrite: the wire layout is a
+    /// durable format, so the exact bytes are pinned — tag, LE from, LE to,
+    /// LE CRC of the first 9 bytes; header is magic + LE version.
+    #[test]
+    fn wire_format_bytes_are_pinned() {
+        assert_eq!(encode_header(), *b"DKWL\x01\x00\x00\x00");
+        let rec = encode_record(&WalRecord::AddEdge {
+            from: NodeId::from_index(0x0102),
+            to: NodeId::from_index(3),
+        });
+        assert_eq!(rec[..9], [1, 0x02, 0x01, 0, 0, 3, 0, 0, 0]);
+        assert_eq!(rec[9..], crc32(&rec[..9]).to_le_bytes());
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Model checking for the `core::serve` epoch publication protocol.
+//!
+//! The runtime serve tests race real threads, which samples schedules; this
+//! suite enumerates **every** interleaving of a paper-model of the protocol
+//! with the `dkindex-loom` explorer (the offline loom stand-in — see
+//! `crates/loom-shim` for why step-atomic exhaustive interleaving is sound
+//! for a fully lock-protected protocol like this one).
+//!
+//! Modeled protocol, mirroring `core::serve`:
+//!
+//! * submitters push ops into a FIFO queue (the mpsc channel);
+//! * one maintenance thread atomically drains the queue, applies the ops in
+//!   submission order to its owned state, and publishes a new epoch (the
+//!   `RwLock<Arc<Epoch>>` pointer swap) — apply+publish is one critical
+//!   section, matching the single-writer discipline;
+//! * readers atomically load the current epoch and evaluate against it,
+//!   with a memo keyed by the epoch (the per-epoch query cache).
+//!
+//! Checked properties: epoch snapshots are prefix-folds of submission
+//! order (determinism vs the serial oracle), published state never skips
+//! or reorders ops, reader observations are always consistent with some
+//! published epoch, and the per-epoch memo can never serve an answer from
+//! a different epoch. A deliberately broken variant (a global memo that
+//! survives publishes) must be *caught* — proving the checker has teeth.
+
+use loom::{explore, thread, Step};
+
+/// The submission order every model run uses. Epoch state is the applied
+/// prefix of this sequence.
+const OPS: [u32; 3] = [10, 20, 30];
+
+/// Shared state of the protocol model. Everything a real run keeps behind
+/// locks/channels is a plain field here; steps are the critical sections.
+#[derive(Clone, Default)]
+struct ServeModel {
+    /// The op channel: submitted but not yet drained.
+    queue: Vec<u32>,
+    /// Maintenance-owned state: ops applied, in order.
+    applied: Vec<u32>,
+    /// Epoch history; `published[i]` is the state snapshot of epoch `i`.
+    /// Index 0 is the initial (empty) epoch.
+    published: Vec<Vec<u32>>,
+    /// Reader observations: (epoch id, state seen).
+    observed: Vec<(usize, Vec<u32>)>,
+    /// Per-epoch memo: (epoch id it was computed on, cached answer).
+    memo: Option<(usize, u32)>,
+    /// Memoized answers readers actually returned: (epoch id, answer).
+    answers: Vec<(usize, u32)>,
+}
+
+impl ServeModel {
+    fn initial() -> ServeModel {
+        ServeModel {
+            published: vec![Vec::new()],
+            ..ServeModel::default()
+        }
+    }
+
+    /// The modeled query result on an epoch's state: something that changes
+    /// whenever an op is applied, so staleness is observable.
+    fn answer_on(state: &[u32]) -> u32 {
+        state.iter().sum::<u32>() + state.len() as u32
+    }
+}
+
+/// A submitter step: enqueue the next op (one mpsc send).
+fn submit(op: u32) -> Step<ServeModel> {
+    Box::new(move |s: &mut ServeModel| s.queue.push(op))
+}
+
+/// A maintenance step: drain the whole queue, apply in order, publish one
+/// new epoch if anything was applied. Atomic, like the real single-writer
+/// critical section.
+fn maintain() -> Step<ServeModel> {
+    Box::new(|s: &mut ServeModel| {
+        if s.queue.is_empty() {
+            return;
+        }
+        s.applied.append(&mut s.queue);
+        s.published.push(s.applied.clone());
+    })
+}
+
+/// A reader step: load the current epoch and record what it saw.
+fn read() -> Step<ServeModel> {
+    Box::new(|s: &mut ServeModel| {
+        let id = s.published.len() - 1;
+        let state = s.published[id].clone();
+        s.observed.push((id, state));
+    })
+}
+
+/// A reader step with the **correct** memo: keyed by epoch id, so a publish
+/// invalidates it by key mismatch (the real code drops the memo with the
+/// epoch `Arc` — same invariant).
+fn read_memoized() -> Step<ServeModel> {
+    Box::new(|s: &mut ServeModel| {
+        let id = s.published.len() - 1;
+        let answer = match s.memo {
+            Some((memo_id, cached)) if memo_id == id => cached,
+            _ => {
+                let fresh = ServeModel::answer_on(&s.published[id]);
+                s.memo = Some((id, fresh));
+                fresh
+            }
+        };
+        s.answers.push((id, answer));
+    })
+}
+
+/// A reader step with a **broken** global memo that survives publishes —
+/// the bug the per-epoch design exists to make impossible.
+fn read_global_memo() -> Step<ServeModel> {
+    Box::new(|s: &mut ServeModel| {
+        let id = s.published.len() - 1;
+        let answer = match s.memo {
+            Some((_, cached)) => cached,
+            None => {
+                let fresh = ServeModel::answer_on(&s.published[id]);
+                s.memo = Some((id, fresh));
+                fresh
+            }
+        };
+        s.answers.push((id, answer));
+    })
+}
+
+/// Epochs are prefix-folds of submission order, ids are dense and
+/// monotone, and the newest epoch always equals the applied state.
+fn epoch_invariant(s: &ServeModel) -> Result<(), String> {
+    for (id, state) in s.published.iter().enumerate() {
+        if state.as_slice() != &OPS[..state.len()] {
+            return Err(format!("epoch {id} is not a submission-order prefix: {state:?}"));
+        }
+        if id > 0 && state.len() <= s.published[id - 1].len() {
+            return Err(format!("epoch {id} did not grow over epoch {}", id - 1));
+        }
+    }
+    match s.published.last() {
+        Some(newest) if newest == &s.applied => Ok(()),
+        _ => Err("newest epoch diverged from the maintenance-owned state".to_string()),
+    }
+}
+
+/// Every reader observation matches the epoch it claims to have read.
+fn observation_invariant(s: &ServeModel) -> Result<(), String> {
+    for (id, state) in &s.observed {
+        match s.published.get(*id) {
+            Some(published) if published == state => {}
+            _ => return Err(format!("observation of epoch {id} saw {state:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Every answer a reader returned is exact for the epoch it was read on.
+fn memo_invariant(s: &ServeModel) -> Result<(), String> {
+    for (id, answer) in &s.answers {
+        let expected = ServeModel::answer_on(&s.published[*id]);
+        if *answer != expected {
+            return Err(format!(
+                "epoch {id} answered {answer}, expected {expected}: stale memo served"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Epoch publication: under every interleaving of 3 submits, 2 maintenance
+/// drains, and 2 reads, epochs are submission-order prefixes and readers
+/// only ever observe published, consistent snapshots.
+#[test]
+fn epoch_publication_is_consistent_under_all_interleavings() {
+    let explored = explore(
+        &ServeModel::initial(),
+        vec![
+            thread("submitter", OPS.iter().map(|&op| submit(op)).collect()),
+            thread("maintenance", vec![maintain(), maintain()]),
+            thread("reader", vec![read(), read()]),
+        ],
+        |s| {
+            epoch_invariant(s)?;
+            observation_invariant(s)
+        },
+        |_| Ok(()),
+    )
+    .unwrap_or_else(|v| panic!("{v}"));
+    assert!(explored.interleavings > 100, "model too small to mean anything");
+}
+
+/// Determinism vs the serial oracle: whatever the schedule, the applied
+/// prefix plus the still-queued suffix is exactly the submission order —
+/// draining the rest serially lands on the serial fold's result.
+#[test]
+fn any_schedule_converges_to_the_serial_fold() {
+    explore(
+        &ServeModel::initial(),
+        vec![
+            thread("submitter", OPS.iter().map(|&op| submit(op)).collect()),
+            thread("maintenance", vec![maintain(), maintain(), maintain()]),
+        ],
+        epoch_invariant,
+        |s| {
+            let mut serial = s.applied.clone();
+            serial.extend(&s.queue);
+            if serial == OPS {
+                Ok(())
+            } else {
+                Err(format!("applied {:?} + queued {:?} lost or reordered ops", s.applied, s.queue))
+            }
+        },
+    )
+    .unwrap_or_else(|v| panic!("{v}"));
+}
+
+/// The per-epoch memo never serves an answer computed on a different
+/// epoch, under every interleaving of updates and memoized reads.
+#[test]
+fn per_epoch_memo_never_serves_stale_answers() {
+    explore(
+        &ServeModel::initial(),
+        vec![
+            thread("submitter", OPS.iter().map(|&op| submit(op)).collect()),
+            thread("maintenance", vec![maintain(), maintain()]),
+            thread("reader", vec![read_memoized(), read_memoized(), read_memoized()]),
+        ],
+        |s| {
+            epoch_invariant(s)?;
+            memo_invariant(s)
+        },
+        |_| Ok(()),
+    )
+    .unwrap_or_else(|v| panic!("{v}"));
+}
+
+/// Teeth check: a global memo that survives publishes MUST be caught — the
+/// explorer has to find the schedule where a reader memoizes on the old
+/// epoch and replays it after an update published a new one.
+#[test]
+fn global_memo_bug_is_caught_by_the_explorer() {
+    let violation = explore(
+        &ServeModel::initial(),
+        vec![
+            thread("submitter", vec![submit(OPS[0])]),
+            thread("maintenance", vec![maintain()]),
+            thread("reader", vec![read_global_memo(), read_global_memo()]),
+        ],
+        |s| {
+            epoch_invariant(s)?;
+            memo_invariant(s)
+        },
+        |_| Ok(()),
+    )
+    .expect_err("the stale global memo must be detected");
+    assert!(
+        violation.message.contains("stale memo served"),
+        "wrong violation: {violation}"
+    );
+}

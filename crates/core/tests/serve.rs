@@ -126,12 +126,12 @@ fn threaded_serve_matches_serial_application() {
                 });
             }
             for op in &ops {
-                server.submit(op.clone());
+                server.submit(op.clone()).unwrap();
             }
-            let drained_epoch = server.flush();
+            let drained_epoch = server.flush().unwrap();
             assert!(drained_epoch >= 1, "ops must have published at least one epoch");
         });
-        let (final_dk, final_g) = server.shutdown();
+        let (final_dk, final_g) = server.shutdown().unwrap();
         assert_eq!(
             snapshot_bytes(&final_dk, &final_g),
             expected,
@@ -188,15 +188,15 @@ fn racing_readers_always_see_a_consistent_epoch() {
         }
         // Feed updates while the readers run, one publish per op.
         for op in &ops {
-            server.submit(op.clone());
+            server.submit(op.clone()).unwrap();
         }
         let checks: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
         assert_eq!(checks, 4 * 60);
     });
 
-    let final_epoch = server.flush();
+    let final_epoch = server.flush().unwrap();
     assert_eq!(final_epoch as usize, ops.len(), "batch size 1 publishes once per op");
-    let (final_dk, final_g) = server.shutdown();
+    let (final_dk, final_g) = server.shutdown().unwrap();
     final_dk.index().check_invariants(&final_g).unwrap();
 }
 
@@ -225,8 +225,8 @@ fn epoch_memo_is_dropped_on_publish() {
     let l1 = evaluate_on_data(e0.data(), &parse("l1").unwrap()).0;
     let l2 = evaluate_on_data(e0.data(), &parse("ROOT.l2").unwrap()).0;
     let (from, to) = (l1[0], l2[0]);
-    server.submit(ServeOp::AddEdge { from, to });
-    server.flush();
+    server.submit(ServeOp::AddEdge { from, to }).unwrap();
+    server.flush().unwrap();
 
     let e1 = server.handle().epoch();
     assert!(e1.id() > e0.id());
@@ -234,6 +234,46 @@ fn epoch_memo_is_dropped_on_publish() {
     assert_eq!(e0.evaluate(&q), first);
     // ...while the new epoch evaluates fresh against the updated graph.
     assert_eq!(e1.evaluate(&q).matches, evaluate_on_data(e1.data(), &q).0);
-    let (final_dk, final_g) = server.shutdown();
+    let (final_dk, final_g) = server.shutdown().unwrap();
+    final_dk.index().check_invariants(&final_g).unwrap();
+}
+
+/// Regression for the typed serve-error surface (was: panics): after the
+/// maintenance thread exits, `submit`/`flush` return
+/// `ServeError::MaintenanceGone` and `shutdown` still hands back the final
+/// state the thread produced before exiting — no unwraps anywhere.
+#[test]
+fn dead_maintenance_thread_surfaces_typed_errors() {
+    use dkindex_core::ServeError;
+
+    let mut g = DataGraph::new();
+    let a = g.add_labeled_node("a");
+    let r = g.root();
+    g.add_edge(r, a, dkindex_graph::EdgeKind::Tree);
+    let dk = DkIndex::build(&g, Requirements::uniform(1));
+    let server = DkServer::start(g, dk, ServeConfig::default());
+
+    server.stop_maintenance_for_tests();
+    // The maintenance thread drains the stop message asynchronously; the
+    // typed error must appear once it is gone, within a bounded wait.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match server.submit(ServeOp::PromoteToRequirements) {
+            Err(ServeError::MaintenanceGone) => break,
+            Ok(()) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "maintenance thread never exited"
+                );
+                std::thread::yield_now();
+            }
+        }
+    }
+    assert_eq!(server.flush(), Err(ServeError::MaintenanceGone));
+    // Readers keep answering from the last published epoch.
+    let epoch = server.handle().epoch();
+    assert_eq!(epoch.id(), 0);
+    // Shutdown still reclaims the state the thread returned on exit.
+    let (final_dk, final_g) = server.shutdown().expect("thread exited cleanly, not by panic");
     final_dk.index().check_invariants(&final_g).unwrap();
 }
