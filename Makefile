@@ -1,4 +1,4 @@
-.PHONY: verify test build bench-smoke verify-faults verify-serve verify-analysis doc clippy
+.PHONY: verify test build bench-smoke verify-faults verify-serve verify-churn verify-analysis doc clippy
 
 # Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
 # that the arena evaluator and the refinement engine produce byte-identical
@@ -8,11 +8,15 @@
 # panic or silently accepted damage. `verify-serve` re-runs the concurrent
 # serving suite (sharded-construction byte-identity, serve-vs-serial
 # determinism, racing-reader consistency) in release mode, where thread
-# interleavings differ from the debug test run. `doc` and `clippy` must both
+# interleavings differ from the debug test run. `verify-churn` runs a bounded
+# sustained-churn stream (large update batches under concurrent readers) and
+# fails on nondeterminism vs the serial replay or on a COW regression where
+# publishes copy more than 10% of the block store on average
+# (ARCHITECTURE.md §5). `doc` and `clippy` must both
 # come back warning-free, and `verify-analysis` proves the determinism /
 # oracle-purity / panic-freedom / unsafe-hygiene contracts at lint time and
 # model-checks the serve epoch protocol (ARCHITECTURE.md §6).
-verify: build test bench-smoke verify-faults verify-serve doc clippy verify-analysis
+verify: build test bench-smoke verify-faults verify-serve verify-churn doc clippy verify-analysis
 
 build:
 	cargo build --release
@@ -28,6 +32,9 @@ verify-faults:
 
 verify-serve:
 	cargo test --release -q -p dkindex-core --test serve
+
+verify-churn:
+	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-churn
 
 # Static analysis + model checking (ARCHITECTURE.md §6):
 #   1. the dkindex-analyze lint pass over the whole workspace — nonzero exit

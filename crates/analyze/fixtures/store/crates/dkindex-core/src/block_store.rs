@@ -1,0 +1,22 @@
+//! Fixture: a block store whose sharing census iterates a hash set of
+//! touched block ids in bucket order and indexes past the end on a bad id.
+//! Mirrors the real `dkindex_core::block_store` module path so the
+//! repository rule tables scope onto it: the `for` loop and the slice
+//! indexing must each be flagged.
+
+use std::collections::HashSet;
+
+/// Serializes touched block ids in hash-bucket order: two runs with
+/// different hash seeds produce different bytes.
+pub fn touched_bytes(touched: &HashSet<usize>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for id in touched {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+/// Looks up a block label; panics when `id` is out of range.
+pub fn label_of(labels: &[u32], id: usize) -> u32 {
+    labels[id]
+}

@@ -1,0 +1,22 @@
+//! Fixture: a COW segment column whose rewrite pass iterates a hash map in
+//! bucket order and panics on an empty segment. Mirrors the real
+//! `dkindex_graph::segvec` module path so the repository rule tables scope
+//! onto it: the `for` loop and the `.unwrap()` must each be flagged.
+
+use std::collections::HashMap;
+
+/// Rewrites dirty segments in whatever order the hash map yields them, so
+/// two publishes with different hash seeds copy segments in different
+/// orders.
+pub fn rewrite_dirty(dirty: &HashMap<usize, Vec<u32>>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_seg, values) in dirty {
+        out.extend_from_slice(values);
+    }
+    out
+}
+
+/// Reads the first element of a segment; panics when the segment is empty.
+pub fn first_of(segment: &[u32]) -> u32 {
+    *segment.first().unwrap()
+}

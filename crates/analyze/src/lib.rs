@@ -50,16 +50,20 @@ pub fn default_config() -> RuleConfig {
         determinism_scope: scope(&[
             "dkindex_partition::engine",
             "dkindex_core::dk::*",
+            "dkindex_core::block_store",
             "dkindex_core::serve",
             "dkindex_core::serve_ops",
             "dkindex_core::snapshot",
             "dkindex_core::wal",
+            "dkindex_graph::segvec",
         ]),
         panic_scope: scope(&[
+            "dkindex_core::block_store",
             "dkindex_core::serve",
             "dkindex_core::serve_ops",
             "dkindex_core::snapshot",
             "dkindex_core::wal",
+            "dkindex_graph::segvec",
         ]),
         oracles: vec![
             OracleSpec {

@@ -11,7 +11,7 @@
 //! complete fixture crate.
 
 use dkindex_analyze::rules::{count_by_rule, ForbiddenRef, OracleSpec, RuleConfig};
-use dkindex_analyze::{analyze_workspace, analyze_workspace_with, Finding, RULES};
+use dkindex_analyze::{analyze_workspace, analyze_workspace_with, default_config, Finding, RULES};
 use std::path::{Path, PathBuf};
 
 fn fixture_root(case: &str) -> PathBuf {
@@ -117,6 +117,32 @@ fn the_clean_tree_has_zero_findings_under_the_full_config() {
     };
     let findings = analyze_workspace_with(&fixture_root("clean"), &config).unwrap();
     assert!(findings.is_empty(), "clean tree must have zero findings: {findings:?}");
+}
+
+/// The delta-epoch store modules (`dkindex_graph::segvec`,
+/// `dkindex_core::block_store`) are inside the **repository** determinism
+/// and panic scopes: a fixture tree mirroring their exact module paths,
+/// seeded with one hash-order iteration and one panic path per module,
+/// fires both rules in both modules under `default_config`. If the scope
+/// tables lose those entries, this test fails before the real modules can
+/// regress unchecked.
+#[test]
+fn store_modules_are_inside_the_repository_scopes() {
+    let findings = analyze_workspace_with(&fixture_root("store"), &default_config()).unwrap();
+    let counts = count_by_rule(&findings);
+    assert_eq!(counts["nondeterministic-iter"], 2, "{findings:?}");
+    assert_eq!(counts["panic-path"], 2, "{findings:?}");
+    assert_eq!(findings.len(), 4, "no extra findings: {findings:?}");
+    for module in ["segvec", "block_store"] {
+        for rule in ["nondeterministic-iter", "panic-path"] {
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| f.rule == rule && f.path.to_string_lossy().contains(module)),
+                "{rule} did not fire in {module}: {findings:?}"
+            );
+        }
+    }
 }
 
 /// The regression gate for the workspace-wide fix pass: the real tree

@@ -19,6 +19,10 @@
 //!   verify-faults        fault-injection sweep: bit-flip every snapshot byte,
 //!                        truncate snapshot and WAL everywhere; exits nonzero
 //!                        on any panic or silently accepted corruption
+//!   verify-churn         bounded sustained-churn run: large update batches
+//!                        under concurrent readers; exits nonzero if the final
+//!                        state diverges from the serial replay or a publish
+//!                        copied more than 10% of the block store on average
 //!   all        everything above in order
 //! ```
 //!
@@ -130,6 +134,7 @@ fn main() {
         "length-sweep" => run_length_sweep(&opts),
         "bench-smoke" => run_bench_smoke(&opts),
         "verify-faults" => run_verify_faults(&opts),
+        "verify-churn" => run_verify_churn(&opts),
         "all" => {
             fig_before(&opts, Dataset::Xmark);
             fig_before(&opts, Dataset::Nasa);
@@ -162,7 +167,7 @@ fn parse_next<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag:
 fn print_usage() {
     println!(
         "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|\n\
-         \x20                degradation|length-sweep|bench-smoke|verify-faults|all>\n\
+         \x20                degradation|length-sweep|bench-smoke|verify-faults|verify-churn|all>\n\
          \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]\n\
          \x20       [--threads N] [--repeats N] [--out PATH] [--metrics PATH] [--analyze PATH]\n\
          \x20       (the last five flags apply to bench-smoke only)"
@@ -434,7 +439,10 @@ fn run_bench_smoke(opts: &Options) {
         serve.deterministic,
     );
 
-    let json = perf::to_json("xmark", &cfg, &eval, &builds, &serve);
+    let churn = perf::bench_churn(&data, workload.queries(), &reqs, &cfg, opts.seed);
+    print_churn(&churn);
+
+    let json = perf::to_json("xmark", &cfg, &eval, &builds, &serve, &churn);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("error: writing {}: {e}", opts.out);
         std::process::exit(2);
@@ -465,6 +473,10 @@ fn run_bench_smoke(opts: &Options) {
     }
     if !serve.deterministic {
         eprintln!("FAIL: concurrent serve diverged from serial replay");
+        std::process::exit(1);
+    }
+    if !churn.deterministic {
+        eprintln!("FAIL: sustained-churn run diverged from serial replay");
         std::process::exit(1);
     }
     if !tel.identical() {
@@ -517,6 +529,61 @@ fn workspace_root() -> Option<std::path::PathBuf> {
             return None;
         }
     }
+}
+
+fn print_churn(churn: &perf::ChurnBenchResult) {
+    println!(
+        "churn: {} updates in batches of {} over {} epoch(s), {} readers answering \
+         {} queries: {:.1} ms | {:.0} updates/s",
+        churn.updates,
+        churn.batch,
+        churn.epochs,
+        churn.readers,
+        churn.queries,
+        churn.churn_ms,
+        churn.updates_per_sec,
+    );
+    println!(
+        "churn sharing: {} blocks shared / {} rebuilt across publishes \
+         (rebuilt ratio {:.4}, store size {}) | publish p50 {:.3} ms, max {:.3} ms \
+         over {} publish(es) | deterministic vs serial replay: {}",
+        churn.blocks_shared,
+        churn.blocks_rebuilt,
+        churn.rebuilt_ratio,
+        churn.total_blocks,
+        churn.publish_p50_ns as f64 / 1e6,
+        churn.publish_max_ns as f64 / 1e6,
+        churn.publish_count,
+        churn.deterministic,
+    );
+}
+
+/// Bounded sustained-churn gate: the delta-epoch acceptance criteria as an
+/// exit code. Fails if the final state diverges from the serial replay
+/// (nondeterminism) or if publishes copied more than 10% of the block store
+/// on average at the 32-update batch size (COW regression).
+fn run_verify_churn(opts: &Options) {
+    let (data, workload) = load(opts, Dataset::Xmark);
+    let reqs = workload.mine_requirements();
+    let cfg = PerfConfig {
+        threads: opts.threads,
+        repeats: opts.repeats,
+    };
+    println!("\n=== Verify churn: delta-epoch publishes under sustained updates ===");
+    let churn = perf::bench_churn(&data, workload.queries(), &reqs, &cfg, opts.seed);
+    print_churn(&churn);
+    if !churn.deterministic {
+        eprintln!("FAIL: sustained-churn run diverged from serial replay");
+        std::process::exit(1);
+    }
+    if !churn.sharing_ok() {
+        eprintln!(
+            "FAIL: publishes copied {:.1}% of the block store on average (gate: <= 10%)",
+            churn.rebuilt_ratio * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("sustained churn deterministic; publishes copied only the touched delta");
 }
 
 fn run_verify_faults(opts: &Options) {

@@ -315,6 +315,176 @@ pub fn bench_serve(
     }
 }
 
+/// Sustained-churn measurements: a long update stream applied in large
+/// batches while reader threads query continuously, with the COW
+/// delta-epoch sharing counters and publish-latency histogram captured
+/// from the telemetry recorder.
+#[derive(Clone, Debug)]
+pub struct ChurnBenchResult {
+    /// Reader threads querying concurrently with the update stream.
+    pub readers: usize,
+    /// Edge updates applied inside the measured window (one unmeasured
+    /// warm-up batch precedes it; see [`bench_churn`]).
+    pub updates: usize,
+    /// [`ServeConfig::max_batch`]: updates coalesced per publish.
+    pub batch: usize,
+    /// Epochs published inside the measured window.
+    pub epochs: u64,
+    /// Queries answered by the readers while the stream was live.
+    pub queries: u64,
+    /// Wall-clock for the whole churn run.
+    pub churn_ms: f64,
+    /// Updates applied per second (the sustained-churn headline).
+    pub updates_per_sec: f64,
+    /// Blocks pointer-shared with the predecessor epoch, summed over
+    /// publishes (`serve.publish.blocks_shared`).
+    pub blocks_shared: u64,
+    /// Blocks copied-on-write or freshly built, summed over publishes
+    /// (`serve.publish.blocks_rebuilt`).
+    pub blocks_rebuilt: u64,
+    /// Blocks in the final published index.
+    pub total_blocks: usize,
+    /// `blocks_rebuilt / (blocks_shared + blocks_rebuilt)` — the average
+    /// fraction of the store a publish had to copy. The delta-epoch
+    /// acceptance gate is `<= 0.10` at the 32-update batch size.
+    pub rebuilt_ratio: f64,
+    /// Publishes recorded in the `serve.publish_ns` histogram.
+    pub publish_count: u64,
+    /// Median publish latency in nanoseconds (`serve.publish_ns` p50).
+    pub publish_p50_ns: u64,
+    /// Worst publish latency in nanoseconds (`serve.publish_ns` max).
+    pub publish_max_ns: u64,
+    /// Final published state is byte-identical to a serial replay of the
+    /// same op sequence.
+    pub deterministic: bool,
+}
+
+impl ChurnBenchResult {
+    /// The delta-epoch acceptance gate: publishes shared structurally and
+    /// copied at most 10% of the store on average.
+    pub fn sharing_ok(&self) -> bool {
+        self.blocks_shared > 0 && self.rebuilt_ratio <= 0.10
+    }
+}
+
+/// Sustained-churn benchmark: apply `batches * batch` generated edge updates
+/// through a [`DkServer`] configured with `max_batch = batch` while
+/// `cfg.threads` reader threads query continuously, then cross-check the
+/// final state byte-for-byte against [`apply_serial`].
+///
+/// One additional warm-up batch is applied before the measurement window
+/// opens: the very first update batch on a freshly tuned index triggers the
+/// one-time broadcast-lowering cascade (a large fraction of blocks get
+/// their similarity lowered), which is a property of cold start, not of
+/// sustained publishing. The serial-replay determinism oracle still covers
+/// the **full** stream, warm-up included.
+///
+/// The telemetry recorder is reset and enabled for the measured window
+/// so the COW sharing counters (`serve.publish.blocks_shared` /
+/// `serve.publish.blocks_rebuilt`) and the `serve.publish_ns` latency
+/// histogram cover exactly the steady-state stream. Callers that care about
+/// recorder state should snapshot before calling; the recorder is left
+/// disabled.
+pub fn bench_churn(
+    data: &DataGraph,
+    queries: &[PathExpr],
+    reqs: &Requirements,
+    cfg: &PerfConfig,
+    seed: u64,
+) -> ChurnBenchResult {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let readers = cfg.resolved_threads().max(1);
+    let batch = 32;
+    let batches = 8;
+    let dk = DkIndex::build(data, reqs.clone());
+    // One extra batch up front is warm-up (applied outside the window).
+    let ops: Vec<ServeOp> = generate_update_edges(data, batch * (batches + 1), seed)
+        .into_iter()
+        .map(|(from, to)| ServeOp::AddEdge { from, to })
+        .collect();
+    let (warmup, measured) = ops.split_at(batch);
+
+    // Serial oracle, recorder off: determinism must not depend on telemetry.
+    telemetry::disable();
+    let mut serial_dk = dk.clone();
+    let mut serial_g = data.clone();
+    apply_serial(&mut serial_dk, &mut serial_g, &ops);
+    let expected = snapshot_bytes(&serial_dk, &serial_g);
+
+    let server = DkServer::start(
+        data.clone(),
+        dk,
+        ServeConfig {
+            max_batch: batch,
+            threads: readers,
+        },
+    );
+    // Warm-up: absorb the cold-start broadcast-lowering cascade unrecorded.
+    for op in warmup {
+        server.submit(op.clone()).expect("maintenance thread alive during bench");
+    }
+    let warmup_epochs = server.flush().expect("maintenance thread alive during bench");
+
+    telemetry::reset();
+    telemetry::enable();
+    let start = Instant::now();
+    let stop = AtomicBool::new(false);
+    let answered = AtomicU64::new(0);
+    let mut epochs = warmup_epochs;
+    std::thread::scope(|s| {
+        for r in 0..readers {
+            let handle = server.handle();
+            let (stop, answered) = (&stop, &answered);
+            s.spawn(move || {
+                let mut round = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = &queries[(r + round) % queries.len()];
+                    let _ = handle.evaluate(q);
+                    round += 1;
+                }
+                answered.fetch_add(round as u64, Ordering::Relaxed);
+            });
+        }
+        // Submit one full batch, then flush to force a publish boundary, so
+        // the sharing counters measure genuine `batch`-sized deltas.
+        for chunk in measured.chunks(batch) {
+            for op in chunk {
+                server.submit(op.clone()).expect("maintenance thread alive during bench");
+            }
+            epochs = server.flush().expect("maintenance thread alive during bench");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let churn_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (final_dk, final_g) = server.shutdown().expect("maintenance thread alive during bench");
+    telemetry::disable();
+    let snapshot = telemetry::snapshot();
+    let deterministic = snapshot_bytes(&final_dk, &final_g) == expected;
+
+    let blocks_shared = snapshot.counter("serve.publish.blocks_shared").unwrap_or(0);
+    let blocks_rebuilt = snapshot.counter("serve.publish.blocks_rebuilt").unwrap_or(0);
+    let publish = snapshot.histogram("serve.publish_ns");
+    let considered = blocks_shared + blocks_rebuilt;
+    ChurnBenchResult {
+        readers,
+        updates: measured.len(),
+        batch,
+        epochs: epochs - warmup_epochs,
+        queries: answered.load(Ordering::Relaxed),
+        churn_ms,
+        updates_per_sec: measured.len() as f64 / (churn_ms / 1e3).max(f64::MIN_POSITIVE),
+        blocks_shared,
+        blocks_rebuilt,
+        total_blocks: final_dk.index().size(),
+        rebuilt_ratio: blocks_rebuilt as f64 / (considered as f64).max(1.0),
+        publish_count: publish.map_or(0, |h| h.count),
+        publish_p50_ns: publish.and_then(|h| h.p50).unwrap_or(0),
+        publish_max_ns: publish.and_then(|h| h.max).unwrap_or(0),
+        deterministic,
+    }
+}
+
 /// Full smoke benchmark on an XMark-like dataset: batch evaluation of the
 /// workload through the figure-4 index set (A(0)..A(max_k) plus the
 /// workload-tuned D(k)), plus A(k) and D(k) construction. Returns the eval
@@ -482,6 +652,7 @@ pub fn to_json(
     eval: &EvalBenchResult,
     builds: &[BuildBenchResult],
     serve: &ServeBenchResult,
+    churn: &ChurnBenchResult,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -536,6 +707,44 @@ pub fn to_json(
         "    \"deterministic\": {}\n",
         serve.deterministic
     ));
+    s.push_str("  },\n");
+    s.push_str("  \"churn\": {\n");
+    s.push_str(&format!("    \"readers\": {},\n", churn.readers));
+    s.push_str(&format!("    \"updates\": {},\n", churn.updates));
+    s.push_str(&format!("    \"batch\": {},\n", churn.batch));
+    s.push_str(&format!("    \"epochs\": {},\n", churn.epochs));
+    s.push_str(&format!("    \"queries\": {},\n", churn.queries));
+    s.push_str(&format!("    \"churn_ms\": {:.3},\n", churn.churn_ms));
+    s.push_str(&format!(
+        "    \"updates_per_sec\": {:.1},\n",
+        churn.updates_per_sec
+    ));
+    s.push_str(&format!("    \"blocks_shared\": {},\n", churn.blocks_shared));
+    s.push_str(&format!(
+        "    \"blocks_rebuilt\": {},\n",
+        churn.blocks_rebuilt
+    ));
+    s.push_str(&format!("    \"total_blocks\": {},\n", churn.total_blocks));
+    s.push_str(&format!(
+        "    \"rebuilt_ratio\": {:.4},\n",
+        churn.rebuilt_ratio
+    ));
+    s.push_str(&format!(
+        "    \"publish_count\": {},\n",
+        churn.publish_count
+    ));
+    s.push_str(&format!(
+        "    \"publish_p50_ns\": {},\n",
+        churn.publish_p50_ns
+    ));
+    s.push_str(&format!(
+        "    \"publish_max_ns\": {},\n",
+        churn.publish_max_ns
+    ));
+    s.push_str(&format!(
+        "    \"deterministic\": {}\n",
+        churn.deterministic
+    ));
     s.push_str("  }\n");
     s.push_str("}\n");
     s
@@ -546,6 +755,13 @@ mod tests {
     use super::*;
     use crate::datasets;
     use crate::experiments::standard_workload;
+    use std::sync::Mutex;
+
+    /// `bench_churn` and `bench_telemetry` both drive the process-global
+    /// telemetry recorder (reset/enable/disable); tests that call either
+    /// must serialize on this lock or the parallel test harness interleaves
+    /// their counter windows.
+    static RECORDER_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn smoke_results_are_identical_across_paths() {
@@ -565,15 +781,38 @@ mod tests {
         assert!(serve.deterministic, "serve diverged from serial replay");
         assert_eq!(serve.queries, (serve.readers * serve.rounds) as u64);
         assert!(serve.epochs >= 1 && serve.epochs <= serve.updates as u64);
-        let json = to_json("xmark-test", &cfg, &eval, &builds, &serve);
+        let churn = {
+            let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            bench_churn(&data, workload.queries(), &reqs, &cfg, 7)
+        };
+        assert!(churn.deterministic, "churn diverged from serial replay");
+        assert!(churn.epochs >= 1, "churn published no epochs");
+        assert!(
+            churn.blocks_shared > 0,
+            "no publish shared any blocks — COW regression to full clones"
+        );
+        assert!(
+            churn.sharing_ok(),
+            "publishes copied {:.1}% of the store on average (gate: <= 10%)",
+            churn.rebuilt_ratio * 100.0
+        );
+        assert!(
+            churn.publish_count >= churn.epochs,
+            "publish latency histogram missed publishes"
+        );
+        let json = to_json("xmark-test", &cfg, &eval, &builds, &serve, &churn);
         assert!(json.contains("\"identical_outcomes\": true"));
         assert!(json.contains("\"identical_partition\": true"));
         assert!(json.contains("\"serve\""), "{json}");
+        assert!(json.contains("\"churn\""), "{json}");
+        assert!(json.contains("\"rebuilt_ratio\""), "{json}");
+        assert!(json.contains("\"publish_p50_ns\""), "{json}");
         assert!(json.contains("\"deterministic\": true"), "{json}");
     }
 
     #[test]
     fn telemetry_is_observationally_transparent() {
+        let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let data = datasets::xmark(0.004);
         let workload = standard_workload(&data, 7);
         let reqs = workload.mine_requirements();

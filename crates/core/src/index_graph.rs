@@ -13,27 +13,32 @@
 //! data graph ([`IndexGraph::reindex`]), the operation behind the paper's
 //! Theorem 2, the subgraph-addition update and the demoting process.
 
-use dkindex_graph::{DataGraph, LabelId, LabelInterner, LabeledGraph, NodeId};
+use crate::block_store::{Block, BlockStore};
+use dkindex_graph::{DataGraph, LabelId, LabelInterner, LabeledGraph, NodeId, SegVec};
 use dkindex_partition::Partition;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Local similarity value representing "exactly bisimilar" (the 1-index):
 /// sound for a path expression of any length. Large but safe under `+ 1`.
 pub const SIM_EXACT: usize = usize::MAX / 4;
 
 /// A structural summary of a data graph.
+///
+/// All per-index-node state (label, similarity, extent, adjacency) lives in
+/// one [`Block`] per node inside an `Arc`-shared [`BlockStore`], and the
+/// node→block map is a segment-shared [`SegVec`]. Cloning an `IndexGraph`
+/// is therefore a copy-on-write snapshot: the clone shares every block with
+/// the original until one of them mutates it, which is what lets the serve
+/// layer publish a maintenance batch by rebuilding only the blocks the
+/// batch touched ([`IndexGraph::shared_blocks_with`] measures this).
 #[derive(Clone, Debug)]
 pub struct IndexGraph {
-    labels_of_nodes: Vec<LabelId>,
-    children: Vec<Vec<NodeId>>,
-    parents: Vec<Vec<NodeId>>,
-    /// Data nodes summarized by each index node (sorted).
-    extents: Vec<Vec<NodeId>>,
-    /// Local similarity of each index node.
-    similarity: Vec<usize>,
+    /// One block per index node: label, similarity, extent, adjacency.
+    blocks: BlockStore,
     /// data node -> index node containing it.
-    node_to_index: Vec<NodeId>,
-    interner: LabelInterner,
+    node_to_index: SegVec<NodeId>,
+    interner: Arc<LabelInterner>,
     root: NodeId,
     edge_count: usize,
     /// Bumped on every mutation; lets caches detect staleness.
@@ -49,27 +54,21 @@ impl IndexGraph {
         assert_eq!(similarity.len(), partition.block_count());
         let nblocks = partition.block_count();
 
-        let mut labels_of_nodes = Vec::with_capacity(nblocks);
-        let mut extents = Vec::with_capacity(nblocks);
-        for b in partition.block_ids() {
+        let mut blocks = BlockStore::with_capacity(nblocks);
+        for (b, k) in partition.block_ids().zip(similarity) {
             let members = partition.members(b);
-            labels_of_nodes.push(g.label_of(members[0]));
-            extents.push(members.to_vec());
+            blocks.push(Block::new(g.label_of(members[0]), members.to_vec(), k));
         }
 
-        let node_to_index: Vec<NodeId> = (0..g.node_count())
+        let node_to_index: SegVec<NodeId> = (0..g.node_count())
             .map(|i| NodeId::from_index(partition.block_of(NodeId::from_index(i)).index()))
             .collect();
 
         let mut index = IndexGraph {
-            labels_of_nodes,
-            children: vec![Vec::new(); nblocks],
-            parents: vec![Vec::new(); nblocks],
-            extents,
-            similarity,
-            node_to_index: node_to_index.clone(),
-            interner: g.labels().clone(),
-            root: node_to_index[g.root().index()],
+            blocks,
+            root: NodeId::from_index(partition.block_of(g.root()).index()),
+            node_to_index,
+            interner: g.labels_shared(),
             edge_count: 0,
             version: 0,
         };
@@ -89,38 +88,35 @@ impl IndexGraph {
         assert_eq!(similarity.len(), partition.block_count());
         let nblocks = partition.block_count();
 
-        let mut labels_of_nodes = Vec::with_capacity(nblocks);
-        let mut extents: Vec<Vec<NodeId>> = Vec::with_capacity(nblocks);
-        for b in partition.block_ids() {
+        let mut blocks = BlockStore::with_capacity(nblocks);
+        // The node map starts as a shallow snapshot of base's; only segments
+        // whose nodes move between blocks are copied below.
+        let mut node_to_index = base.node_to_index.clone();
+        for (b, k) in partition.block_ids().zip(similarity) {
             let members = partition.members(b);
-            labels_of_nodes.push(base.label_of(members[0]));
+            let label = base.label_of(members[0]);
             let mut extent = Vec::new();
             for &inode in members {
                 extent.extend_from_slice(base.extent(inode));
             }
             extent.sort_unstable();
             extent.dedup();
-            extents.push(extent);
-        }
-
-        let mut node_to_index = base.node_to_index.clone();
-        for (bi, extent) in extents.iter().enumerate() {
-            for &d in extent {
-                node_to_index[d.index()] = NodeId::from_index(bi);
+            let bi = blocks.len();
+            for &d in &extent {
+                if let Some(slot) = node_to_index.get_mut(d.index()) {
+                    *slot = NodeId::from_index(bi);
+                }
             }
+            blocks.push(Block::new(label, extent, k));
         }
 
         let mut index = IndexGraph {
-            labels_of_nodes,
-            children: vec![Vec::new(); nblocks],
-            parents: vec![Vec::new(); nblocks],
-            extents,
-            similarity,
+            blocks,
             root: NodeId::from_index(
                 partition.block_of(base.root()).index(),
             ),
             node_to_index,
-            interner: base.interner.clone(),
+            interner: Arc::clone(&base.interner),
             edge_count: 0,
             version: 0,
         };
@@ -143,27 +139,28 @@ impl IndexGraph {
         interner: LabelInterner,
         labels: Vec<LabelId>,
         similarity: Vec<usize>,
-        mut extents: Vec<Vec<NodeId>>,
+        extents: Vec<Vec<NodeId>>,
         data_nodes: usize,
     ) -> IndexGraph {
         assert_eq!(labels.len(), similarity.len());
         assert_eq!(labels.len(), extents.len());
-        let mut node_to_index = vec![NodeId::from_index(0); data_nodes];
-        for (i, extent) in extents.iter_mut().enumerate() {
+        let mut node_to_index: SegVec<NodeId> = std::iter::repeat_n(NodeId::from_index(0), data_nodes)
+            .collect();
+        let mut blocks = BlockStore::with_capacity(labels.len());
+        for ((label, k), mut extent) in labels.into_iter().zip(similarity).zip(extents) {
             extent.sort_unstable();
-            for &d in extent.iter() {
-                node_to_index[d.index()] = NodeId::from_index(i);
+            let i = blocks.len();
+            for &d in &extent {
+                if let Some(slot) = node_to_index.get_mut(d.index()) {
+                    *slot = NodeId::from_index(i);
+                }
             }
+            blocks.push(Block::new(label, extent, k));
         }
-        let n = labels.len();
         IndexGraph {
-            labels_of_nodes: labels,
-            children: vec![Vec::new(); n],
-            parents: vec![Vec::new(); n],
-            extents,
-            similarity,
+            blocks,
             node_to_index,
-            interner,
+            interner: Arc::new(interner),
             root: NodeId::from_index(0),
             edge_count: 0,
             version: 0,
@@ -176,22 +173,42 @@ impl IndexGraph {
         self.root = root;
     }
 
+    /// Shared view of `inode`'s block.
+    #[inline]
+    fn block(&self, inode: NodeId) -> &Block {
+        self.blocks
+            .get(inode.index())
+            .expect("index node out of range")
+    }
+
+    /// Copy-on-write view of `inode`'s block: deep-copies the one block iff
+    /// it is still shared with an older snapshot.
+    #[inline]
+    fn block_mut(&mut self, inode: NodeId) -> &mut Block {
+        self.blocks
+            .make_mut(inode.index())
+            .expect("index node out of range")
+    }
+
     /// Number of index nodes — the paper's "index size" (X axis of figs 4–7).
     #[inline]
     pub fn size(&self) -> usize {
-        self.labels_of_nodes.len()
+        self.blocks.len()
     }
 
     /// The extent of index node `inode` (sorted data node ids).
     #[inline]
     pub fn extent(&self, inode: NodeId) -> &[NodeId] {
-        &self.extents[inode.index()]
+        &self.block(inode).extent
     }
 
     /// The index node containing data node `data_node`.
     #[inline]
     pub fn index_of(&self, data_node: NodeId) -> NodeId {
-        self.node_to_index[data_node.index()]
+        *self
+            .node_to_index
+            .get(data_node.index())
+            .expect("data node out of range")
     }
 
     /// Length of the node→extent map (equals the data graph's node count on
@@ -205,16 +222,34 @@ impl IndexGraph {
     /// Local similarity of `inode`.
     #[inline]
     pub fn similarity(&self, inode: NodeId) -> usize {
-        self.similarity[inode.index()]
+        self.block(inode).similarity
     }
 
-    /// Set the local similarity of `inode`.
+    /// Set the local similarity of `inode`. Writing the value already stored
+    /// is a true no-op, so it neither bumps the version nor unshares the
+    /// block from older epochs.
     #[inline]
     pub fn set_similarity(&mut self, inode: NodeId, k: usize) {
-        if self.similarity[inode.index()] != k {
+        if self.block(inode).similarity != k {
+            self.block_mut(inode).similarity = k;
             self.version += 1;
         }
-        self.similarity[inode.index()] = k;
+    }
+
+    /// Structural-sharing census against an older snapshot of this index:
+    /// `(shared, rebuilt)` where `shared` counts blocks still
+    /// pointer-identical to `prev`'s and `rebuilt` is the remainder of this
+    /// index's blocks (copied-on-write or freshly pushed). Feeds the
+    /// `serve.publish.blocks_shared` / `blocks_rebuilt` counters.
+    pub fn shared_blocks_with(&self, prev: &IndexGraph) -> (usize, usize) {
+        let shared = self.blocks.shared_with(&prev.blocks);
+        (shared, self.size() - shared)
+    }
+
+    /// True when `inode`'s block is the same allocation in both snapshots —
+    /// the per-block probe behind the sharing regression tests.
+    pub fn block_ptr_eq(&self, prev: &IndexGraph, inode: NodeId) -> bool {
+        self.blocks.ptr_eq_at(&prev.blocks, inode.index())
     }
 
     /// Monotone mutation counter: two equal versions of the same index
@@ -230,31 +265,30 @@ impl IndexGraph {
     pub fn approx_bytes(&self) -> usize {
         let per_node = std::mem::size_of::<LabelId>() + std::mem::size_of::<usize>();
         let adj: usize = self
-            .children
+            .blocks
             .iter()
-            .chain(self.parents.iter())
-            .map(|v| v.len() * std::mem::size_of::<NodeId>())
+            .map(|b| (b.children.len() + b.parents.len()) * std::mem::size_of::<NodeId>())
             .sum();
         let extents: usize = self
-            .extents
+            .blocks
             .iter()
-            .map(|e| e.len() * std::mem::size_of::<NodeId>())
+            .map(|b| b.extent.len() * std::mem::size_of::<NodeId>())
             .sum();
         self.size() * per_node + adj + extents + self.node_to_index.len() * 4
     }
 
     /// Sum of extent sizes (must equal the data graph's node count).
     pub fn total_extent_size(&self) -> usize {
-        self.extents.iter().map(Vec::len).sum()
+        self.blocks.iter().map(|b| b.extent.len()).sum()
     }
 
     /// Add an index edge, deduplicating. Returns true if newly added.
     pub fn add_index_edge(&mut self, from: NodeId, to: NodeId) -> bool {
-        if self.children[from.index()].contains(&to) {
+        if self.block(from).children.contains(&to) {
             return false;
         }
-        self.children[from.index()].push(to);
-        self.parents[to.index()].push(from);
+        self.block_mut(from).children.push(to);
+        self.block_mut(to).parents.push(from);
         self.edge_count += 1;
         self.version += 1;
         true
@@ -273,10 +307,13 @@ impl IndexGraph {
     /// extent (used when stitching a sub-index under this index).
     pub fn assign_data_node(&mut self, data_node: NodeId, inode: NodeId) {
         self.grow_node_map(data_node.index() + 1);
-        self.node_to_index[data_node.index()] = inode;
-        let extent = &mut self.extents[inode.index()];
-        if let Err(pos) = extent.binary_search(&data_node) {
-            extent.insert(pos, data_node);
+        if let Some(slot) = self.node_to_index.get_mut(data_node.index()) {
+            *slot = inode;
+        }
+        // Probe on the shared view first so a node already present does not
+        // copy the block.
+        if let Err(pos) = self.block(inode).extent.binary_search(&data_node) {
+            self.block_mut(inode).extent.insert(pos, data_node);
             self.version += 1;
         }
     }
@@ -285,24 +322,26 @@ impl IndexGraph {
     /// (edges must be added separately). Returns its id.
     pub fn push_node(&mut self, label: LabelId, mut extent: Vec<NodeId>, similarity: usize) -> NodeId {
         extent.sort_unstable();
-        let id = NodeId::from_index(self.labels_of_nodes.len());
+        let id = NodeId::from_index(self.blocks.len());
         for &d in &extent {
             self.grow_node_map(d.index() + 1);
-            self.node_to_index[d.index()] = id;
+            if let Some(slot) = self.node_to_index.get_mut(d.index()) {
+                *slot = id;
+            }
         }
-        self.labels_of_nodes.push(label);
-        self.extents.push(extent);
-        self.similarity.push(similarity);
-        self.children.push(Vec::new());
-        self.parents.push(Vec::new());
+        self.blocks.push(Block::new(label, extent, similarity));
         self.version += 1;
         id
     }
 
     /// Intern a label in this index's interner (kept in sync with the data
-    /// graph when new labels appear through updates).
+    /// graph when new labels appear through updates). Copies the interner on
+    /// write only when it is shared and the label is genuinely new.
     pub fn intern(&mut self, name: &str) -> LabelId {
-        self.interner.intern(name)
+        if let Some(id) = self.interner.get(name) {
+            return id;
+        }
+        Arc::make_mut(&mut self.interner).intern(name)
     }
 
     /// Split `target`'s extent: members in `moved` go to a fresh index node
@@ -319,7 +358,7 @@ impl IndexGraph {
         new_similarity: usize,
         data: &DataGraph,
     ) -> NodeId {
-        let old_extent = std::mem::take(&mut self.extents[target.index()]);
+        let old_extent = std::mem::take(&mut self.block_mut(target).extent);
         assert!(!moved.is_empty(), "split with empty moved set");
         assert!(
             moved.len() < old_extent.len(),
@@ -328,11 +367,14 @@ impl IndexGraph {
         let (moved_members, kept): (Vec<NodeId>, Vec<NodeId>) =
             old_extent.into_iter().partition(|m| moved.contains(m));
         assert_eq!(moved_members.len(), moved.len(), "moved ⊄ extent");
-        self.extents[target.index()] = kept;
-        self.similarity[target.index()] = new_similarity;
+        {
+            let target_block = self.block_mut(target);
+            target_block.extent = kept;
+            target_block.similarity = new_similarity;
+        }
         self.version += 1;
 
-        let label = self.labels_of_nodes[target.index()];
+        let label = self.block(target).label;
         let new_node = self.push_node(label, moved_members, new_similarity);
 
         // Drop every edge incident to `target`; recompute for both fragments.
@@ -344,20 +386,22 @@ impl IndexGraph {
 
     /// Remove all edges incident to `inode` from the adjacency lists.
     fn drop_edges_of(&mut self, inode: NodeId) {
-        let children = std::mem::take(&mut self.children[inode.index()]);
+        let children = std::mem::take(&mut self.block_mut(inode).children);
         for c in children {
-            let parents = &mut self.parents[c.index()];
-            if let Some(pos) = parents.iter().position(|&p| p == inode) {
-                parents.swap_remove(pos);
-                self.edge_count -= 1;
+            if let Some(neighbor) = self.blocks.make_mut(c.index()) {
+                if let Some(pos) = neighbor.parents.iter().position(|&p| p == inode) {
+                    neighbor.parents.swap_remove(pos);
+                    self.edge_count -= 1;
+                }
             }
         }
-        let parents = std::mem::take(&mut self.parents[inode.index()]);
+        let parents = std::mem::take(&mut self.block_mut(inode).parents);
         for p in parents {
-            let children = &mut self.children[p.index()];
-            if let Some(pos) = children.iter().position(|&c| c == inode) {
-                children.swap_remove(pos);
-                self.edge_count -= 1;
+            if let Some(neighbor) = self.blocks.make_mut(p.index()) {
+                if let Some(pos) = neighbor.children.iter().position(|&c| c == inode) {
+                    neighbor.children.swap_remove(pos);
+                    self.edge_count -= 1;
+                }
             }
         }
     }
@@ -366,7 +410,7 @@ impl IndexGraph {
     /// adjacency. Cost is proportional to the extent size and degree — the
     /// locality that makes splits cheap.
     fn recompute_edges_from_data(&mut self, inode: NodeId, data: &DataGraph) {
-        let extent = std::mem::take(&mut self.extents[inode.index()]);
+        let extent = std::mem::take(&mut self.block_mut(inode).extent);
         for &m in &extent {
             for &p in data.parents_of(m) {
                 let pi = self.index_of(p);
@@ -377,7 +421,7 @@ impl IndexGraph {
                 self.add_index_edge(inode, ci);
             }
         }
-        self.extents[inode.index()] = extent;
+        self.block_mut(inode).extent = extent;
     }
 
     /// Reconstruct the partition of data nodes induced by the extents
@@ -524,7 +568,7 @@ impl IndexGraph {
 impl LabeledGraph for IndexGraph {
     #[inline]
     fn node_count(&self) -> usize {
-        self.labels_of_nodes.len()
+        self.blocks.len()
     }
 
     #[inline]
@@ -534,17 +578,17 @@ impl LabeledGraph for IndexGraph {
 
     #[inline]
     fn label_of(&self, node: NodeId) -> LabelId {
-        self.labels_of_nodes[node.index()]
+        self.block(node).label
     }
 
     #[inline]
     fn children_of(&self, node: NodeId) -> &[NodeId] {
-        &self.children[node.index()]
+        &self.block(node).children
     }
 
     #[inline]
     fn parents_of(&self, node: NodeId) -> &[NodeId] {
-        &self.parents[node.index()]
+        &self.block(node).parents
     }
 
     #[inline]

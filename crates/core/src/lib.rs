@@ -47,6 +47,7 @@
 
 pub mod akindex;
 pub mod audit;
+pub mod block_store;
 pub(crate) mod bytes;
 pub mod crc32;
 pub mod dataguide;
@@ -69,6 +70,7 @@ pub mod wal;
 
 pub use akindex::{AkIndex, UpdateWork};
 pub use audit::{audit, audit_dk, recover_or_rebuild, AuditConfig, AuditReport, Finding, Invariant, RecoveryAction, Severity};
+pub use block_store::{Block, BlockStore};
 pub use dataguide::{DataGuide, DataGuideError};
 pub use dk::{DkIndex, EdgeUpdateOutcome};
 pub use eval::{evaluate_on_data, evaluate_workload_parallel, IndexEvalOutcome, IndexEvaluator, QueryAborted, QueryCost};

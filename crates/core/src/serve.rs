@@ -42,9 +42,19 @@
 //!   dead maintenance thread surfaces as [`ServeError::MaintenanceGone`]
 //!   instead of a panic in the caller's thread.
 //!
+//! * **Delta publish**: `DkIndex` and `DataGraph` are copy-on-write
+//!   snapshots (`Arc`-per-block index storage, segment-shared adjacency), so
+//!   the `dk.clone()`/`data.clone()` at publish time copies only the blocks
+//!   and segments the batch actually touched; everything else is shared
+//!   pointer-identically with the previous epoch. The
+//!   `serve.publish.blocks_shared` / `serve.publish.blocks_rebuilt` counters
+//!   record the split on every publish. See ARCHITECTURE.md §5 for the
+//!   delta-epoch diagram and the COW invariants.
+//!
 //! Telemetry: `serve.epoch_publishes`, `serve.batch_ops`, `serve.queries`,
-//! `serve.stale_epoch_reads`, `serve.cache_hits`/`serve.cache_misses`, and
-//! the `serve.publish_ns` span.
+//! `serve.stale_epoch_reads`, `serve.cache_hits`/`serve.cache_misses`,
+//! `serve.publish.blocks_shared`/`serve.publish.blocks_rebuilt`, and the
+//! `serve.publish_ns` span.
 
 use crate::dk::construct::DkIndex;
 use crate::eval::{IndexEvalOutcome, IndexEvaluator};
@@ -111,7 +121,7 @@ pub struct Epoch {
     id: u64,
     dk: DkIndex,
     data: DataGraph,
-    memo: Mutex<HashMap<PathExpr, IndexEvalOutcome>>,
+    memo: Mutex<HashMap<PathExpr, Arc<IndexEvalOutcome>>>,
 }
 
 impl Epoch {
@@ -143,24 +153,28 @@ impl Epoch {
     /// first. Exact with respect to this epoch's data graph. A poisoned memo
     /// lock is recovered: the memo only ever holds fully-inserted answers,
     /// so the map stays valid even if another reader panicked mid-query.
-    pub fn evaluate(&self, query: &PathExpr) -> IndexEvalOutcome {
+    ///
+    /// The memo stores `Arc<IndexEvalOutcome>`, so a hit is one refcount
+    /// bump and the miss path pays exactly one clone (the query key for the
+    /// memo entry) — the outcome itself is never deep-copied.
+    pub fn evaluate(&self, query: &PathExpr) -> Arc<IndexEvalOutcome> {
         telemetry::metrics::SERVE_QUERIES.incr();
         if let Some(hit) = self
             .memo
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get(query)
-            .cloned()
+            .map(Arc::clone)
         {
             telemetry::metrics::SERVE_CACHE_HITS.incr();
             return hit;
         }
         telemetry::metrics::SERVE_CACHE_MISSES.incr();
-        let out = IndexEvaluator::new(self.dk.index(), &self.data).evaluate(query);
+        let out = Arc::new(IndexEvaluator::new(self.dk.index(), &self.data).evaluate(query));
         self.memo
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(query.clone(), out.clone());
+            .insert(query.clone(), Arc::clone(&out));
         out
     }
 }
@@ -184,7 +198,7 @@ impl ServeHandle {
     /// Evaluate `query` against the current epoch. The answer is exact for
     /// the epoch it was computed on; if a publish raced the evaluation the
     /// read is counted as stale (`serve.stale_epoch_reads`) but never wrong.
-    pub fn evaluate(&self, query: &PathExpr) -> IndexEvalOutcome {
+    pub fn evaluate(&self, query: &PathExpr) -> Arc<IndexEvalOutcome> {
         let epoch = self.epoch();
         let out = epoch.evaluate(query);
         let current_id = self
@@ -352,7 +366,18 @@ fn maintenance_loop(
                 crate::serve_ops::apply(&mut dk, &mut data, op);
             }
             epoch_id += 1;
+            // `dk`/`data` are COW snapshots (Arc-shared blocks and
+            // segments), so these clones copy only what the batch above
+            // touched — the delta-epoch publish is O(touched), not O(index).
             let fresh = Arc::new(Epoch::new(epoch_id, dk.clone(), data.clone()));
+            {
+                // This thread is the only writer, so the epoch read here is
+                // exactly the predecessor being superseded.
+                let prev = Arc::clone(&current.read().unwrap_or_else(PoisonError::into_inner));
+                let (shared, rebuilt) = fresh.dk.index().shared_blocks_with(prev.dk.index());
+                telemetry::metrics::SERVE_PUBLISH_BLOCKS_SHARED.add(shared as u64);
+                telemetry::metrics::SERVE_PUBLISH_BLOCKS_REBUILT.add(rebuilt as u64);
+            }
             // The write lock is held for this one pointer store; recovery
             // from poisoning is sound because the old Arc is still intact.
             *current.write().unwrap_or_else(PoisonError::into_inner) = fresh;

@@ -1,0 +1,216 @@
+//! Structural-sharing (copy-on-write) properties of the delta-epoch
+//! storage:
+//!
+//! * **Byte identity**: every epoch in a COW chain — each state cloned from
+//!   its predecessor and batch-mutated — serializes byte-identically to a
+//!   from-scratch serial replay of the same op prefix. Sharing is a
+//!   representation change, never an answer change.
+//! * **Sharing actually happens**: after a batch, every block whose
+//!   contents the batch did not change is still the *same allocation*
+//!   (`Arc::ptr_eq`) as in the predecessor epoch. A regression back to
+//!   full deep clones fails these tests.
+//! * Both properties hold through the real `DkServer` publish path, not
+//!   just hand-rolled clones.
+
+use dkindex_core::serve::{apply_serial, DkServer, ServeConfig, ServeOp};
+use dkindex_core::{snapshot_bytes, DkIndex, IndexGraph, Requirements};
+use dkindex_datagen::{random_graph, RandomGraphConfig};
+use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
+use dkindex_workload::generate_update_edges;
+
+fn fixture() -> (DataGraph, DkIndex, Vec<ServeOp>) {
+    let g = random_graph(&RandomGraphConfig {
+        nodes: 300,
+        labels: 6,
+        reference_edges: 30,
+        max_fanout: 6,
+        seed: 0xC0117,
+    });
+    let dk = DkIndex::build(&g, Requirements::uniform(2));
+    let ops = generate_update_edges(&g, 24, 11)
+        .into_iter()
+        .map(|(from, to)| ServeOp::AddEdge { from, to })
+        .collect();
+    (g, dk, ops)
+}
+
+/// Same summary state for one index node in two snapshots, judged purely by
+/// contents (never by pointers).
+fn block_content_eq(a: &IndexGraph, b: &IndexGraph, i: NodeId) -> bool {
+    a.label_of(i) == b.label_of(i)
+        && a.similarity(i) == b.similarity(i)
+        && a.extent(i) == b.extent(i)
+        && a.children_of(i) == b.children_of(i)
+        && a.parents_of(i) == b.parents_of(i)
+}
+
+/// The sharing contract between a predecessor snapshot and its successor:
+/// content-unchanged blocks are pointer-identical (a full-clone regression
+/// breaks this), and pointer-identical blocks are content-unchanged (COW
+/// soundness).
+fn assert_sharing_contract(prev: &IndexGraph, next: &IndexGraph, what: &str) {
+    let common = prev.size().min(next.size());
+    for i in 0..common {
+        let inode = NodeId::from_index(i);
+        let same_content = block_content_eq(prev, next, inode);
+        let same_ptr = next.block_ptr_eq(prev, inode);
+        assert!(
+            !same_content || same_ptr,
+            "{what}: block {i} is content-identical but was deep-copied \
+             (COW regression to full clones)"
+        );
+        assert!(
+            !same_ptr || same_content,
+            "{what}: block {i} is pointer-shared but its contents diverged \
+             (COW unsoundness)"
+        );
+    }
+}
+
+/// A fresh clone shares every block and every adjacency segment; mutating
+/// the clone never disturbs the original.
+#[test]
+fn clone_shares_everything_until_mutated() {
+    let (g, dk, _) = fixture();
+    let dk2 = dk.clone();
+    let g2 = g.clone();
+
+    let (shared, rebuilt) = dk2.index().shared_blocks_with(dk.index());
+    assert_eq!(shared, dk.index().size());
+    assert_eq!(rebuilt, 0);
+    let (seg_shared, seg_total) = g2.shared_segments_with(&g);
+    assert_eq!(seg_shared, seg_total);
+
+    assert_eq!(
+        snapshot_bytes(&dk2, &g2),
+        snapshot_bytes(&dk, &g),
+        "shallow clones must serialize identically"
+    );
+}
+
+/// One edge update touches O(1 + lowered) blocks: everything whose contents
+/// the update left alone stays pointer-shared with the pre-update snapshot,
+/// and the mutated clone serializes exactly like a serial application of
+/// the same op.
+#[test]
+fn single_edge_update_shares_untouched_blocks() {
+    let (g, dk, ops) = fixture();
+    let op = &ops[..1];
+
+    let mut next_dk = dk.clone();
+    let mut next_g = g.clone();
+    apply_serial(&mut next_dk, &mut next_g, op);
+
+    let (shared, rebuilt) = next_dk.index().shared_blocks_with(dk.index());
+    assert!(shared > 0, "a single edge must not rebuild the whole store");
+    assert!(
+        rebuilt < dk.index().size(),
+        "a single edge must leave some blocks untouched"
+    );
+    assert_sharing_contract(dk.index(), next_dk.index(), "single edge");
+
+    // Byte identity against an independent replay from the same base.
+    let mut replay_dk = dk.clone();
+    let mut replay_g = g.clone();
+    apply_serial(&mut replay_dk, &mut replay_g, op);
+    assert_eq!(snapshot_bytes(&next_dk, &next_g), snapshot_bytes(&replay_dk, &replay_g));
+
+    // The pre-update snapshot is untouched by the clone's mutation.
+    dk.index().check_invariants(&g).unwrap();
+}
+
+/// A chain of COW epochs — each built by cloning its predecessor and
+/// applying one batch — is byte-identical at every link to a from-scratch
+/// serial replay of the corresponding op prefix, and every link honors the
+/// sharing contract with its predecessor.
+#[test]
+fn cow_chain_is_byte_identical_to_serial_replay() {
+    let (g, dk, ops) = fixture();
+    const BATCH: usize = 4;
+
+    let mut chain_dk = dk.clone();
+    let mut chain_g = g.clone();
+    let mut applied = 0usize;
+    for batch in ops.chunks(BATCH) {
+        let prev_dk = chain_dk.clone();
+        apply_serial(&mut chain_dk, &mut chain_g, batch);
+        applied += batch.len();
+
+        // (a) Byte identity: replay the prefix from scratch.
+        let mut replay_dk = dk.clone();
+        let mut replay_g = g.clone();
+        apply_serial(&mut replay_dk, &mut replay_g, &ops[..applied]);
+        assert_eq!(
+            snapshot_bytes(&chain_dk, &chain_g),
+            snapshot_bytes(&replay_dk, &replay_g),
+            "chain diverged from serial replay after {applied} ops"
+        );
+
+        // (b) Sharing: the new link shares with its predecessor.
+        let (shared, _) = chain_dk.index().shared_blocks_with(prev_dk.index());
+        assert!(shared > 0, "batch ending at {applied} rebuilt every block");
+        assert_sharing_contract(
+            prev_dk.index(),
+            chain_dk.index(),
+            &format!("chain batch ending at {applied}"),
+        );
+    }
+    chain_dk.index().check_invariants(&chain_g).unwrap();
+}
+
+/// The same two properties through the real publish path: epochs published
+/// by `DkServer` share untouched blocks with their predecessors (readers
+/// holding the old `Arc<Epoch>` keep their snapshot), and the final state
+/// is byte-identical to the serial oracle.
+#[test]
+fn server_publishes_delta_epochs() {
+    let (g, dk, ops) = fixture();
+
+    let mut serial_dk = dk.clone();
+    let mut serial_g = g.clone();
+    apply_serial(&mut serial_dk, &mut serial_g, &ops);
+    let expected = snapshot_bytes(&serial_dk, &serial_g);
+
+    let server = DkServer::start(
+        g,
+        dk,
+        ServeConfig {
+            max_batch: 8,
+            threads: 1,
+        },
+    );
+    let handle = server.handle();
+
+    let mut prev = handle.epoch();
+    for batch in ops.chunks(8) {
+        for op in batch {
+            server.submit(op.clone()).unwrap();
+        }
+        server.flush().unwrap();
+        let next = handle.epoch();
+        assert!(next.id() > prev.id(), "flush must have published");
+
+        let (shared, rebuilt) = next.index().index().shared_blocks_with(prev.index().index());
+        assert!(
+            shared > 0,
+            "publish {} rebuilt all {} blocks — not a delta epoch",
+            next.id(),
+            shared + rebuilt
+        );
+        assert_sharing_contract(
+            prev.index().index(),
+            next.index().index(),
+            &format!("publish {}", next.id()),
+        );
+        // The superseded epoch still answers from an intact snapshot.
+        prev.index().index().check_invariants(prev.data()).unwrap();
+        prev = next;
+    }
+
+    let (final_dk, final_g) = server.shutdown().unwrap();
+    assert_eq!(
+        snapshot_bytes(&final_dk, &final_g),
+        expected,
+        "delta-epoch serve run diverged from the serial oracle"
+    );
+}

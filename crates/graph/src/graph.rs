@@ -8,7 +8,9 @@
 //! export can render references dashed, as in the paper's Figure 1.
 
 use crate::label::{LabelId, LabelInterner};
+use crate::segvec::SegVec;
 use std::fmt;
+use std::sync::Arc;
 
 /// Dense identifier of a node in a [`DataGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -122,34 +124,55 @@ impl ExactSizeIterator for NodeIds {}
 /// cheap. Nodes are created once and never removed; edges can be appended
 /// (the paper's two update primitives are subgraph addition and edge
 /// addition — deletions are out of scope for the paper and for this crate).
+///
+/// All per-node and per-edge state lives in [`SegVec`] columns and the label
+/// interner behind an [`Arc`], so `clone()` is a shallow copy-on-write
+/// snapshot: two clones share every adjacency segment until one of them
+/// mutates a node in it. This is what lets the serve layer publish a fresh
+/// epoch after a maintenance batch by copying only the segments the batch
+/// touched (see `core::serve`).
 #[derive(Clone)]
 pub struct DataGraph {
-    labels_of_nodes: Vec<LabelId>,
-    children: Vec<Vec<NodeId>>,
-    parents: Vec<Vec<NodeId>>,
+    labels_of_nodes: SegVec<LabelId>,
+    children: SegVec<Vec<NodeId>>,
+    parents: SegVec<Vec<NodeId>>,
     /// Edge list in insertion order, `(from, to, kind)`.
-    edges: Vec<(NodeId, NodeId, EdgeKind)>,
+    edges: SegVec<(NodeId, NodeId, EdgeKind)>,
     root: NodeId,
-    interner: LabelInterner,
+    interner: Arc<LabelInterner>,
 }
 
 impl DataGraph {
     /// Create a graph containing only the distinguished `ROOT` node.
     pub fn new() -> Self {
-        let interner = LabelInterner::new();
-        DataGraph {
-            labels_of_nodes: vec![LabelInterner::ROOT],
-            children: vec![Vec::new()],
-            parents: vec![Vec::new()],
-            edges: Vec::new(),
+        let mut g = DataGraph {
+            labels_of_nodes: SegVec::new(),
+            children: SegVec::new(),
+            parents: SegVec::new(),
+            edges: SegVec::new(),
             root: NodeId(0),
-            interner,
-        }
+            interner: Arc::new(LabelInterner::new()),
+        };
+        g.labels_of_nodes.push(LabelInterner::ROOT);
+        g.children.push(Vec::new());
+        g.parents.push(Vec::new());
+        g
     }
 
-    /// Intern a label string in this graph's interner.
+    /// Intern a label string in this graph's interner. When the interner is
+    /// shared with another graph or an index snapshot, it is copied on
+    /// write first.
     pub fn intern(&mut self, name: &str) -> LabelId {
-        self.interner.intern(name)
+        if let Some(id) = self.interner.get(name) {
+            return id;
+        }
+        Arc::make_mut(&mut self.interner).intern(name)
+    }
+
+    /// A shared handle to this graph's label interner, so index snapshots
+    /// can name the same labels without copying the table.
+    pub fn labels_shared(&self) -> Arc<LabelInterner> {
+        Arc::clone(&self.interner)
     }
 
     /// Add a node with the given (already interned) label. The node starts
@@ -177,35 +200,58 @@ impl DataGraph {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
         assert!(from.index() < self.node_count(), "edge source out of range");
         assert!(to.index() < self.node_count(), "edge target out of range");
-        if self.children[from.index()].contains(&to) {
+        if self.has_edge(from, to) {
             return false;
         }
-        self.children[from.index()].push(to);
-        self.parents[to.index()].push(from);
+        if let Some(c) = self.children.get_mut(from.index()) {
+            c.push(to);
+        }
+        if let Some(p) = self.parents.get_mut(to.index()) {
+            p.push(from);
+        }
         self.edges.push((from, to, kind));
         true
     }
 
     /// True if the edge `from → to` exists.
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.children[from.index()].contains(&to)
+        self.children
+            .get(from.index())
+            .is_some_and(|c| c.contains(&to))
     }
 
-    /// The edge list in insertion order.
-    pub fn edges(&self) -> &[(NodeId, NodeId, EdgeKind)] {
-        &self.edges
+    /// The edges in insertion order, as `(from, to, kind)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = &(NodeId, NodeId, EdgeKind)> {
+        self.edges.iter()
     }
 
     /// All nodes carrying `label`.
     pub fn nodes_with_label(&self, label: LabelId) -> Vec<NodeId> {
         self.node_ids()
-            .filter(|&n| self.labels_of_nodes[n.index()] == label)
+            .filter(|&n| self.label_of(n) == label)
             .collect()
     }
 
     /// Label name of a node (convenience over `labels().name(label_of(n))`).
     pub fn label_name(&self, node: NodeId) -> &str {
-        self.interner.name(self.labels_of_nodes[node.index()])
+        self.interner.name(self.label_of(node))
+    }
+
+    /// Structural-sharing census against another snapshot of this graph:
+    /// `(shared, total)` backing segments across the label, adjacency and
+    /// edge columns, where a segment counts as shared when both snapshots
+    /// still reference the same allocation. Diagnostics only — contents are
+    /// never affected by sharing.
+    pub fn shared_segments_with(&self, other: &DataGraph) -> (usize, usize) {
+        let shared = self.labels_of_nodes.shared_segments_with(&other.labels_of_nodes)
+            + self.children.shared_segments_with(&other.children)
+            + self.parents.shared_segments_with(&other.parents)
+            + self.edges.shared_segments_with(&other.edges);
+        let total = self.labels_of_nodes.segment_count()
+            + self.children.segment_count()
+            + self.parents.segment_count()
+            + self.edges.segment_count();
+        (shared, total)
     }
 
     /// Graft a copy of `sub` into this graph **under this graph's root**
@@ -247,6 +293,13 @@ impl DataGraph {
             .sum();
         node_bytes + adj
     }
+
+    fn node_slot(column: &SegVec<Vec<NodeId>>, node: NodeId) -> &[NodeId] {
+        column
+            .get(node.index())
+            .map(Vec::as_slice)
+            .expect("node id out of range")
+    }
 }
 
 impl Default for DataGraph {
@@ -268,17 +321,20 @@ impl LabeledGraph for DataGraph {
 
     #[inline]
     fn label_of(&self, node: NodeId) -> LabelId {
-        self.labels_of_nodes[node.index()]
+        *self
+            .labels_of_nodes
+            .get(node.index())
+            .expect("node id out of range")
     }
 
     #[inline]
     fn children_of(&self, node: NodeId) -> &[NodeId] {
-        &self.children[node.index()]
+        Self::node_slot(&self.children, node)
     }
 
     #[inline]
     fn parents_of(&self, node: NodeId) -> &[NodeId] {
-        &self.parents[node.index()]
+        Self::node_slot(&self.parents, node)
     }
 
     #[inline]
@@ -409,6 +465,25 @@ mod tests {
         assert_eq!(ids.len(), g.node_count());
         assert_eq!(ids[0], g.root());
         assert_eq!(g.node_ids().len(), g.node_count());
+    }
+
+    #[test]
+    fn clones_share_segments_until_mutated() {
+        let g = tiny();
+        let mut h = g.clone();
+        let (shared, total) = h.shared_segments_with(&g);
+        assert_eq!(shared, total, "a fresh clone shares every segment");
+
+        let x = h.add_labeled_node("x");
+        let hroot = h.root();
+        h.add_edge(hroot, x, EdgeKind::Tree);
+
+        let (shared_after, _) = h.shared_segments_with(&g);
+        assert!(shared_after < total, "mutation must unshare touched segments");
+        // The original snapshot is untouched by the clone's mutation.
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.labels().get("x").is_none());
     }
 
     #[test]

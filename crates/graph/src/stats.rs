@@ -31,7 +31,6 @@ impl GraphStats {
         let unreachable = depth.iter().filter(|d| d.is_none()).count();
         let reference_edges = g
             .edges()
-            .iter()
             .filter(|&&(_, _, k)| k == EdgeKind::Reference)
             .count();
         GraphStats {

@@ -153,6 +153,12 @@ pub static SERVE_STALE_EPOCH_READS: Counter = Counter::new("serve.stale_epoch_re
 pub static SERVE_CACHE_HITS: Counter = Counter::new("serve.cache_hits");
 /// Per-epoch memo misses (query evaluated and cached).
 pub static SERVE_CACHE_MISSES: Counter = Counter::new("serve.cache_misses");
+/// Index blocks the published epoch still shares pointer-identically with
+/// its predecessor (summed over publishes; the COW delta-epoch win).
+pub static SERVE_PUBLISH_BLOCKS_SHARED: Counter = Counter::new("serve.publish.blocks_shared");
+/// Index blocks copied-on-write or freshly built for the published epoch
+/// (summed over publishes; the O(touched) publish cost).
+pub static SERVE_PUBLISH_BLOCKS_REBUILT: Counter = Counter::new("serve.publish.blocks_rebuilt");
 /// Distribution of operations per applied maintenance batch.
 pub static SERVE_BATCH_OPS: Histogram = Histogram::new("serve.batch_ops", Unit::Count);
 /// Wall-clock per batch apply + epoch publish.
@@ -179,7 +185,7 @@ pub static PHASE_ADAPT_NS: Histogram = Histogram::new("phase.adapt_ns", Unit::Na
 
 /// Every registered counter, in reporting order.
 pub fn counters() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 45] = [
+    static ALL: [&Counter; 47] = [
         &PATHEXPR_EVALUATIONS,
         &PATHEXPR_ACTIVATIONS,
         &PATHEXPR_VALIDATION_WALKS,
@@ -223,6 +229,8 @@ pub fn counters() -> &'static [&'static Counter] {
         &SERVE_STALE_EPOCH_READS,
         &SERVE_CACHE_HITS,
         &SERVE_CACHE_MISSES,
+        &SERVE_PUBLISH_BLOCKS_SHARED,
+        &SERVE_PUBLISH_BLOCKS_REBUILT,
         &UPDATES_EDGES_GENERATED,
         &UPDATES_REJECTED_DRAWS,
     ];

@@ -20,7 +20,6 @@ use rand::{Rng, SeedableRng};
 pub fn reference_label_pairs(data: &DataGraph) -> Vec<(LabelId, LabelId)> {
     let mut pairs: Vec<(LabelId, LabelId)> = data
         .edges()
-        .iter()
         .filter(|&&(_, _, k)| k == EdgeKind::Reference)
         .map(|&(u, v, _)| (data.label_of(u), data.label_of(v)))
         .collect();

@@ -190,7 +190,7 @@ mod tests {
 
     fn same_graph(a: &DataGraph, b: &DataGraph) -> bool {
         a.node_count() == b.node_count()
-            && a.edges() == b.edges()
+            && a.edges().eq(b.edges())
             && a.node_ids().all(|n| a.label_name(n) == b.label_name(n))
     }
 
