@@ -1,4 +1,4 @@
-.PHONY: verify test build bench-smoke verify-faults verify-serve verify-churn verify-analysis doc clippy
+.PHONY: verify test build bench-smoke verify-faults verify-serve verify-churn verify-net verify-analysis doc clippy
 
 # Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
 # that the arena evaluator and the refinement engine produce byte-identical
@@ -12,11 +12,16 @@
 # sustained-churn stream (large update batches under concurrent readers) and
 # fails on nondeterminism vs the serial replay or on a COW regression where
 # publishes copy more than 10% of the block store on average
-# (ARCHITECTURE.md §5). `doc` and `clippy` must both
+# (ARCHITECTURE.md §5). `verify-net` drives the DKNP network front-end over
+# loopback TCP — mixed query/update workload plus an induced-overload window —
+# and fails if the drained state diverges from the serial replay of the
+# admitted updates, if any refusal was not a typed SHED frame, or if
+# admission overshot the staleness threshold (docs/PROTOCOL.md,
+# ARCHITECTURE.md §7). `doc` and `clippy` must both
 # come back warning-free, and `verify-analysis` proves the determinism /
 # oracle-purity / panic-freedom / unsafe-hygiene contracts at lint time and
 # model-checks the serve epoch protocol (ARCHITECTURE.md §6).
-verify: build test bench-smoke verify-faults verify-serve verify-churn doc clippy verify-analysis
+verify: build test bench-smoke verify-faults verify-serve verify-churn verify-net doc clippy verify-analysis
 
 build:
 	cargo build --release
@@ -35,6 +40,9 @@ verify-serve:
 
 verify-churn:
 	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-churn
+
+verify-net:
+	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-net
 
 # Static analysis + model checking (ARCHITECTURE.md §6):
 #   1. the dkindex-analyze lint pass over the whole workspace — nonzero exit

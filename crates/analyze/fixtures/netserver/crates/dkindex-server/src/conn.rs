@@ -1,0 +1,22 @@
+//! Fixture: a connection handler that drains per-connection reply queues
+//! in hash-bucket order and unwraps a missing queue. Mirrors the real
+//! `dkindex_server::conn` module path so the repository rule tables scope
+//! onto it: the `for` loop and the `.unwrap()` must each be flagged.
+
+use std::collections::HashMap;
+
+/// Flushes queued reply frames in whatever order the hash map yields the
+/// connections, so two servers with different hash seeds write replies in
+/// different orders.
+pub fn flush_replies(queues: &HashMap<u64, Vec<Vec<u8>>>) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for (_conn, frames) in queues {
+        out.extend_from_slice(frames);
+    }
+    out
+}
+
+/// Fetches a connection's reply queue; panics when the id is unknown.
+pub fn queue_of(queues: &HashMap<u64, Vec<Vec<u8>>>, id: u64) -> &Vec<Vec<u8>> {
+    queues.get(&id).unwrap()
+}

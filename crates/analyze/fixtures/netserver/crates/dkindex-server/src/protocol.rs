@@ -1,0 +1,23 @@
+//! Fixture: a frame encoder that serializes per-opcode payload sizes in
+//! hash-bucket order and indexes past the end of a short body. Mirrors the
+//! real `dkindex_server::protocol` module path so the repository rule
+//! tables scope onto it: the `for` loop and the slice indexing must each
+//! be flagged.
+
+use std::collections::HashMap;
+
+/// Serializes the opcode size table in whatever order the hash map yields
+/// it, so two encoders with different hash seeds write different bytes.
+pub fn size_table_bytes(sizes: &HashMap<u8, u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (opcode, size) in sizes {
+        out.push(*opcode);
+        out.extend_from_slice(&size.to_le_bytes());
+    }
+    out
+}
+
+/// Reads the opcode byte of a frame body; panics when the body is empty.
+pub fn opcode_of(body: &[u8]) -> u8 {
+    body[0]
+}

@@ -12,9 +12,9 @@
 //!
 //! | rule | contract |
 //! |------|----------|
-//! | `nondeterministic-iter` | byte-identity-critical modules (`partition::engine`, `core::dk::*`, `core::serve*`, `core::snapshot`, `core::wal`) never iterate hash containers order-sensitively |
+//! | `nondeterministic-iter` | byte-identity-critical modules (`partition::engine`, `core::dk::*`, `core::serve*`, `core::snapshot`, `core::wal`, `server::{protocol,conn}`) never iterate hash containers order-sensitively |
 //! | `oracle-purity` | reference oracles never import the fast paths / telemetry they are oracles for (module import graph) |
-//! | `panic-path` | serve, snapshot recovery and WAL replay return typed errors — no `unwrap`/`expect`/`panic!`/indexing |
+//! | `panic-path` | serve, snapshot recovery, WAL replay, wire-frame encode/decode and network connection handling return typed errors — no `unwrap`/`expect`/`panic!`/indexing |
 //! | `unsafe-hygiene` | every `unsafe` carries `// SAFETY:`; unsafe-free crates declare `#![forbid(unsafe_code)]` |
 //!
 //! Because the offline build environment has no `syn`, the pass runs on a
@@ -56,6 +56,8 @@ pub fn default_config() -> RuleConfig {
             "dkindex_core::snapshot",
             "dkindex_core::wal",
             "dkindex_graph::segvec",
+            "dkindex_server::protocol",
+            "dkindex_server::conn",
         ]),
         panic_scope: scope(&[
             "dkindex_core::block_store",
@@ -64,6 +66,8 @@ pub fn default_config() -> RuleConfig {
             "dkindex_core::snapshot",
             "dkindex_core::wal",
             "dkindex_graph::segvec",
+            "dkindex_server::protocol",
+            "dkindex_server::conn",
         ]),
         oracles: vec![
             OracleSpec {

@@ -145,6 +145,33 @@ fn store_modules_are_inside_the_repository_scopes() {
     }
 }
 
+/// The network wire modules (`dkindex_server::protocol`,
+/// `dkindex_server::conn`) are inside the **repository** determinism and
+/// panic scopes: a fixture tree mirroring their exact module paths, seeded
+/// with one hash-order iteration and one panic path per module, fires both
+/// rules in both modules under `default_config`. A frame codec that panics
+/// on a malformed body or encodes in hash order would break the
+/// wire-determinism contract (docs/PROTOCOL.md) silently; this test fails
+/// first if the scope tables lose those entries.
+#[test]
+fn net_server_modules_are_inside_the_repository_scopes() {
+    let findings = analyze_workspace_with(&fixture_root("netserver"), &default_config()).unwrap();
+    let counts = count_by_rule(&findings);
+    assert_eq!(counts["nondeterministic-iter"], 2, "{findings:?}");
+    assert_eq!(counts["panic-path"], 2, "{findings:?}");
+    assert_eq!(findings.len(), 4, "no extra findings: {findings:?}");
+    for module in ["protocol", "conn"] {
+        for rule in ["nondeterministic-iter", "panic-path"] {
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| f.rule == rule && f.path.to_string_lossy().contains(module)),
+                "{rule} did not fire in {module}: {findings:?}"
+            );
+        }
+    }
+}
+
 /// The regression gate for the workspace-wide fix pass: the real tree
 /// lints clean under the repository rule tables, forever.
 #[test]

@@ -23,6 +23,12 @@
 //!                        under concurrent readers; exits nonzero if the final
 //!                        state diverges from the serial replay or a publish
 //!                        copied more than 10% of the block store on average
+//!   verify-net           loopback network serve gate: mixed query/update
+//!                        workload over real TCP plus an induced-overload
+//!                        window; exits nonzero if the drained state diverges
+//!                        from the serial replay of the admitted updates, if
+//!                        any refusal was not a typed SHED frame, or if
+//!                        admission overshot the staleness threshold
 //!   all        everything above in order
 //! ```
 //!
@@ -43,6 +49,7 @@
 
 use dkindex_bench::datasets::{self, DEFAULT_NASA_SCALE, DEFAULT_XMARK_SCALE};
 use dkindex_bench::experiments::*;
+use dkindex_bench::net;
 use dkindex_bench::perf::{self, PerfConfig};
 use dkindex_bench::report::{fmt_f64, render_table};
 use dkindex_graph::stats::GraphStats;
@@ -135,6 +142,7 @@ fn main() {
         "bench-smoke" => run_bench_smoke(&opts),
         "verify-faults" => run_verify_faults(&opts),
         "verify-churn" => run_verify_churn(&opts),
+        "verify-net" => run_verify_net(&opts),
         "all" => {
             fig_before(&opts, Dataset::Xmark);
             fig_before(&opts, Dataset::Nasa);
@@ -167,7 +175,8 @@ fn parse_next<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag:
 fn print_usage() {
     println!(
         "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|\n\
-         \x20                degradation|length-sweep|bench-smoke|verify-faults|verify-churn|all>\n\
+         \x20                degradation|length-sweep|bench-smoke|verify-faults|verify-churn|\n\
+         \x20                verify-net|all>\n\
          \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]\n\
          \x20       [--threads N] [--repeats N] [--out PATH] [--metrics PATH] [--analyze PATH]\n\
          \x20       (the last five flags apply to bench-smoke only)"
@@ -442,7 +451,11 @@ fn run_bench_smoke(opts: &Options) {
     let churn = perf::bench_churn(&data, workload.queries(), &reqs, &cfg, opts.seed);
     print_churn(&churn);
 
-    let json = perf::to_json("xmark", &cfg, &eval, &builds, &serve, &churn);
+    let net_cfg = net::NetBenchConfig::default();
+    let net_res = net::bench_net(&data, workload.queries(), &reqs, &cfg, &net_cfg, opts.seed);
+    print_net(&net_res);
+
+    let json = perf::to_json("xmark", &cfg, &eval, &builds, &serve, &churn, &net_res);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("error: writing {}: {e}", opts.out);
         std::process::exit(2);
@@ -477,6 +490,10 @@ fn run_bench_smoke(opts: &Options) {
     }
     if !churn.deterministic {
         eprintln!("FAIL: sustained-churn run diverged from serial replay");
+        std::process::exit(1);
+    }
+    if !net_res.gate_ok(&net_cfg) {
+        eprintln!("FAIL: network serve gate (determinism / typed shedding) failed");
         std::process::exit(1);
     }
     if !tel.identical() {
@@ -584,6 +601,73 @@ fn run_verify_churn(opts: &Options) {
         std::process::exit(1);
     }
     println!("sustained churn deterministic; publishes copied only the touched delta");
+}
+
+fn print_net(net: &net::NetBenchResult) {
+    println!(
+        "net: {} readers x {} rounds over loopback TCP: {} queries at {:.0}/s | \
+         p50 {:.1} us, p99 {:.1} us, p999 {:.1} us | {} update(s) admitted",
+        net.readers,
+        net.rounds,
+        net.queries,
+        net.queries_per_sec,
+        net.p50_us,
+        net.p99_us,
+        net.p999_us,
+        net.updates_admitted,
+    );
+    println!(
+        "net overload: {} admitted / {} shed (rate {:.2}) with maintenance paused | \
+         typed sheds only: {} | drain {:.1} ms | deterministic vs serial replay: {}",
+        net.overload_admitted,
+        net.overload_shed,
+        net.shed_rate,
+        net.typed_sheds_only,
+        net.drain_ms,
+        net.deterministic,
+    );
+}
+
+/// Network serve gate: the loopback bench's acceptance criteria as an exit
+/// code. Fails if the drained state diverges from the serial replay of the
+/// admitted update sequence, if any refusal was not a typed SHED frame
+/// (PROTOCOL.md §5), or if admission under induced overload did not stop
+/// exactly at the staleness threshold.
+fn run_verify_net(opts: &Options) {
+    let (data, workload) = load(opts, Dataset::Xmark);
+    let reqs = workload.mine_requirements();
+    let cfg = PerfConfig {
+        threads: opts.threads,
+        repeats: opts.repeats,
+    };
+    println!("\n=== Verify net: DKNP serve over loopback TCP ===");
+    let net_cfg = net::NetBenchConfig::default();
+    let net_res = net::bench_net(&data, workload.queries(), &reqs, &cfg, &net_cfg, opts.seed);
+    print_net(&net_res);
+    if !net_res.deterministic {
+        eprintln!("FAIL: drained state diverged from serial replay of the admitted updates");
+        std::process::exit(1);
+    }
+    if !net_res.typed_sheds_only {
+        eprintln!("FAIL: a refusal was not a typed SHED frame (or a request got no reply)");
+        std::process::exit(1);
+    }
+    if net_res.overload_admitted != net_cfg.staleness_threshold
+        || net_res.overload_shed != net_cfg.overload_extra
+    {
+        eprintln!(
+            "FAIL: overload admitted {} (want {}) and shed {} (want {}) — \
+             admission did not stop at the staleness threshold",
+            net_res.overload_admitted,
+            net_cfg.staleness_threshold,
+            net_res.overload_shed,
+            net_cfg.overload_extra,
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "network serve deterministic; overload shed typed frames only, zero unbounded queueing"
+    );
 }
 
 fn run_verify_faults(opts: &Options) {

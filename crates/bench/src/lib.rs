@@ -12,5 +12,6 @@
 pub mod datasets;
 pub mod experiments;
 pub mod faults;
+pub mod net;
 pub mod perf;
 pub mod report;

@@ -43,7 +43,8 @@ impl Default for PerfConfig {
 }
 
 impl PerfConfig {
-    fn resolved_threads(&self) -> usize {
+    /// `threads`, with `0` resolved to the machine's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
         if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         } else {
@@ -653,6 +654,7 @@ pub fn to_json(
     builds: &[BuildBenchResult],
     serve: &ServeBenchResult,
     churn: &ChurnBenchResult,
+    net: &crate::net::NetBenchResult,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -745,7 +747,9 @@ pub fn to_json(
         "    \"deterministic\": {}\n",
         churn.deterministic
     ));
-    s.push_str("  }\n");
+    s.push_str("  },\n");
+    s.push_str(&crate::net::net_to_json(net));
+    s.push('\n');
     s.push_str("}\n");
     s
 }
@@ -800,13 +804,23 @@ mod tests {
             churn.publish_count >= churn.epochs,
             "publish latency histogram missed publishes"
         );
-        let json = to_json("xmark-test", &cfg, &eval, &builds, &serve, &churn);
+        let net_cfg = crate::net::NetBenchConfig {
+            rounds: 10,
+            updates: 6,
+            staleness_threshold: 3,
+            overload_extra: 2,
+        };
+        let net = crate::net::bench_net(&data, workload.queries(), &reqs, &cfg, &net_cfg, 7);
+        assert!(net.gate_ok(&net_cfg), "net gate failed: {net:?}");
+        let json = to_json("xmark-test", &cfg, &eval, &builds, &serve, &churn, &net);
         assert!(json.contains("\"identical_outcomes\": true"));
         assert!(json.contains("\"identical_partition\": true"));
         assert!(json.contains("\"serve\""), "{json}");
         assert!(json.contains("\"churn\""), "{json}");
+        assert!(json.contains("\"net\""), "{json}");
         assert!(json.contains("\"rebuilt_ratio\""), "{json}");
         assert!(json.contains("\"publish_p50_ns\""), "{json}");
+        assert!(json.contains("\"p999_us\""), "{json}");
         assert!(json.contains("\"deterministic\": true"), "{json}");
     }
 

@@ -15,6 +15,7 @@ use dkindex_core::{
 use dkindex_graph::stats::{label_histogram, GraphStats};
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
 use dkindex_pathexpr::{parse, parse_twig, PathExpr};
+use dkindex_server::{ConnectError, ErrorCode, Frame, NetClient, NetConfig, NetServer};
 use dkindex_telemetry as telemetry;
 use dkindex_xml::{stream_to_graph, GraphOptions};
 use std::fmt::Write as _;
@@ -39,6 +40,10 @@ usage:
   dkindex doctor   <index.dki>
   dkindex serve <index.dki> --queries <file> [--threads N] [--updates N]
                 [--batch N] [--rounds N]
+  dkindex serve <index.dki> --listen <addr> [--workers N] [--accept-queue N]
+                [--staleness N] [--budget N] [--batch N] [--duration-ms N]
+  dkindex client <addr> [--ping] [--query <expr> [--budget N] [--rounds N]]
+                [--update FROM:TO] [--stats]
 
 global flags:
   --metrics <path>   record hot-path telemetry across the command and write
@@ -47,7 +52,7 @@ global flags:
 exit codes:
   0 success   2 usage/query syntax   3 I/O   4 corrupt input
   5 doctor found corruption          6 query aborted (budget)
-  7 serve maintenance thread died";
+  7 serve maintenance thread died    8 request shed (retry later)";
 
 /// Top-level error type: every failure class is distinguishable by the
 /// caller, and each maps to its own process exit code.
@@ -84,6 +89,9 @@ pub enum CliError {
     Aborted(String),
     /// The serve maintenance thread died before the run completed.
     Serve(ServeError),
+    /// The server shed the request under overload or drain
+    /// (docs/PROTOCOL.md §5.2): nothing was executed, retry after backoff.
+    Shed(String),
 }
 
 impl CliError {
@@ -96,6 +104,7 @@ impl CliError {
             CliError::Unsound { .. } => 5,
             CliError::Aborted(_) => 6,
             CliError::Serve(_) => 7,
+            CliError::Shed(_) => 8,
         }
     }
 
@@ -125,6 +134,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "index is unsound ({corruptions} corruption finding(s))\n{report}")
             }
             CliError::Serve(e) => write!(f, "serve failed: {e}"),
+            CliError::Shed(m) => write!(f, "request shed: {m}"),
         }
     }
 }
@@ -194,6 +204,7 @@ fn dispatch_command(args: &[String]) -> Result<String, CliError> {
         Some("recover") => cmd_recover(&args[1..]),
         Some("doctor") => cmd_doctor(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("--help") | Some("-h") => Ok(format!("{USAGE}\n")),
         Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
         None => Err(CliError::usage("missing command")),
@@ -214,6 +225,15 @@ struct Parsed<'a> {
     updates: Option<usize>,
     batch: Option<usize>,
     rounds: Option<usize>,
+    listen: Option<&'a str>,
+    workers: Option<usize>,
+    accept_queue: Option<usize>,
+    staleness: Option<u64>,
+    duration_ms: Option<u64>,
+    query: Option<&'a str>,
+    update: Option<&'a str>,
+    ping: bool,
+    stats: bool,
 }
 
 fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
@@ -230,6 +250,15 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
         updates: None,
         batch: None,
         rounds: None,
+        listen: None,
+        workers: None,
+        accept_queue: None,
+        staleness: None,
+        duration_ms: None,
+        query: None,
+        update: None,
+        ping: false,
+        stats: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -289,9 +318,42 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
                         .map_err(|_| CliError::usage("--rounds expects a number"))?,
                 )
             }
+            "--workers" => {
+                parsed.workers = Some(
+                    next_value(&mut it, "--workers")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--workers expects a number"))?,
+                )
+            }
+            "--accept-queue" => {
+                parsed.accept_queue = Some(
+                    next_value(&mut it, "--accept-queue")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--accept-queue expects a number"))?,
+                )
+            }
+            "--staleness" => {
+                parsed.staleness = Some(
+                    next_value(&mut it, "--staleness")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--staleness expects a number"))?,
+                )
+            }
+            "--duration-ms" => {
+                parsed.duration_ms = Some(
+                    next_value(&mut it, "--duration-ms")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--duration-ms expects a number"))?,
+                )
+            }
             "--out" => parsed.out = Some(next_value(&mut it, "--out")?),
             "--queries" => parsed.queries = Some(next_value(&mut it, "--queries")?),
             "--wal" => parsed.wal = Some(next_value(&mut it, "--wal")?),
+            "--listen" => parsed.listen = Some(next_value(&mut it, "--listen")?),
+            "--query" => parsed.query = Some(next_value(&mut it, "--query")?),
+            "--update" => parsed.update = Some(next_value(&mut it, "--update")?),
+            "--ping" => parsed.ping = true,
+            "--stats" => parsed.stats = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::usage(format!("unknown flag {flag:?}")))
             }
@@ -781,6 +843,9 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let [index_path] = parsed.positional[..] else {
         return Err(CliError::usage("serve expects exactly one index file"));
     };
+    if let Some(addr) = parsed.listen {
+        return cmd_serve_net(index_path, addr, &parsed);
+    }
     let qfile = parsed
         .queries
         .ok_or_else(|| CliError::usage("serve needs --queries <file>"))?;
@@ -876,6 +941,195 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         final_dk.size()
     );
     Ok(out)
+}
+
+/// `serve --listen`: expose the index over the DKNP wire protocol
+/// (docs/PROTOCOL.md) on a TCP listener. Runs until `--duration-ms`
+/// elapses (or stdin reaches EOF when the flag is absent), then drains
+/// gracefully: new connects are refused, established connections get the
+/// grace window, every admitted update is applied before exit
+/// (PROTOCOL.md §7, docs/OPERATIONS.md).
+fn cmd_serve_net(index_path: &str, addr: &str, parsed: &Parsed<'_>) -> Result<String, CliError> {
+    let batch = parsed.batch.unwrap_or(8).max(1);
+    let (dk, g) = load_index_graceful(index_path)?;
+    let server = DkServer::start(g, dk, ServeConfig { max_batch: batch, threads: 1 });
+
+    let mut cfg = NetConfig::default();
+    if let Some(workers) = parsed.workers {
+        cfg.workers = workers;
+    }
+    if let Some(queue) = parsed.accept_queue {
+        cfg.accept_queue = queue;
+    }
+    if let Some(staleness) = parsed.staleness {
+        cfg.staleness_threshold = staleness;
+    }
+    if let Some(budget) = parsed.budget {
+        cfg.default_budget = budget;
+    }
+
+    let net = NetServer::start(server, addr, cfg).map_err(|e| CliError::io(addr, e))?;
+    // Announced on stderr immediately so scripts binding port 0 can read
+    // the real address before the run ends.
+    eprintln!("dkindex serve: listening on {} (DKNP v1)", net.local_addr());
+    let bound = net.local_addr();
+
+    if let Some(ms) = parsed.duration_ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    } else {
+        // Foreground mode: serve until the operator closes stdin (^D) or
+        // the pipe feeding us ends.
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut sink);
+    }
+
+    let shutdown = net.shutdown().map_err(CliError::Serve)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "served on {bound}");
+    let _ = writeln!(
+        out,
+        "drained in {} ms; every admitted update applied",
+        shutdown.drain.as_millis()
+    );
+    let _ = writeln!(
+        out,
+        "final index has {} nodes over {} data nodes",
+        shutdown.index.size(),
+        shutdown.data.node_count()
+    );
+    Ok(out)
+}
+
+/// `client`: a DKNP client for smoke tests and operations. Actions run in
+/// a fixed order on one connection: `--ping`, then `--query` (repeated
+/// `--rounds` times), then `--update FROM:TO`, then `--stats`; with no
+/// action flags it just performs the handshake and one ping. Server-side
+/// refusals map onto the documented exit codes: a typed SHED is exit 8
+/// (retry later, PROTOCOL.md §5.2), bad query text is 2, an exhausted
+/// budget is 6, protocol-level rejections are 4.
+fn cmd_client(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [addr] = parsed.positional[..] else {
+        return Err(CliError::usage("client expects exactly one server address"));
+    };
+    let update = parsed
+        .update
+        .map(|spec| -> Result<(u64, u64), CliError> {
+            let (from, to) = spec
+                .split_once(':')
+                .ok_or_else(|| CliError::usage(format!("--update expects FROM:TO, got {spec:?}")))?;
+            let from = from
+                .parse()
+                .map_err(|_| CliError::usage("--update FROM must be a number"))?;
+            let to = to
+                .parse()
+                .map_err(|_| CliError::usage("--update TO must be a number"))?;
+            Ok((from, to))
+        })
+        .transpose()?;
+
+    let mut client = NetClient::connect(addr).map_err(|e| match e {
+        ConnectError::Io(err) => CliError::io(addr, err),
+        ConnectError::Shed { retry_after_ms } => CliError::Shed(format!(
+            "server shed the connection (queue full); retry after {retry_after_ms} ms"
+        )),
+        ConnectError::Refused { code, message } => {
+            CliError::invalid(addr, format!("handshake refused ({code:?}): {message}"))
+        }
+        ConnectError::Protocol(message) => CliError::invalid(addr, message),
+    })?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "connected to {addr}: DKNP v1, epoch {}",
+        client.epoch_at_welcome()
+    );
+
+    let no_actions = !parsed.ping && parsed.query.is_none() && update.is_none() && !parsed.stats;
+    if parsed.ping || no_actions {
+        match reply(client.ping().map_err(|e| CliError::io(addr, e))?)? {
+            Frame::Pong { epoch } => {
+                let _ = writeln!(out, "pong: epoch {epoch}");
+            }
+            other => return Err(unexpected(addr, &other)),
+        }
+    }
+    if let Some(text) = parsed.query {
+        let budget = parsed.budget.unwrap_or(0).min(u64::from(u32::MAX)) as u32;
+        for round in 0..parsed.rounds.unwrap_or(1).max(1) {
+            match reply(client.query(text, budget).map_err(|e| CliError::io(addr, e))?)? {
+                Frame::Answer {
+                    epoch,
+                    index_visits,
+                    data_visits,
+                    validated,
+                    match_count,
+                    ids,
+                } => {
+                    if round == 0 {
+                        let _ = writeln!(
+                            out,
+                            "{match_count} match(es) at epoch {epoch} \
+                             ({index_visits} index + {data_visits} data visits, validated: {validated})",
+                        );
+                        for id in ids {
+                            let _ = writeln!(out, "  node {id}");
+                        }
+                        if u64::from(match_count) > 32 {
+                            let _ = writeln!(out, "  ... ({match_count} total, first 32 shown)");
+                        }
+                    }
+                }
+                other => return Err(unexpected(addr, &other)),
+            }
+        }
+    }
+    if let Some((from, to)) = update {
+        match reply(client.update(from, to).map_err(|e| CliError::io(addr, e))?)? {
+            Frame::UpdateOk { pending } => {
+                let _ = writeln!(out, "update {from}->{to} admitted; backlog {pending}");
+            }
+            other => return Err(unexpected(addr, &other)),
+        }
+    }
+    if parsed.stats {
+        match reply(client.stats().map_err(|e| CliError::io(addr, e))?)? {
+            Frame::StatsOk { text } => out.push_str(&text),
+            other => return Err(unexpected(addr, &other)),
+        }
+    }
+    Ok(out)
+}
+
+/// Map server-side refusal frames onto the CLI error matrix
+/// (PROTOCOL.md §5–§6): SHED → exit 8 (safe to retry), ERROR by code —
+/// bad-query 2, budget-exhausted 6, unavailable 7, the connection-fatal
+/// codes 4. Any other frame passes through for the caller to match.
+fn reply(frame: Frame) -> Result<Frame, CliError> {
+    match frame {
+        Frame::Shed {
+            reason,
+            pending,
+            retry_after_ms,
+        } => Err(CliError::Shed(format!(
+            "server shed the request ({reason:?}, backlog {pending}); retry after {retry_after_ms} ms"
+        ))),
+        Frame::Error { code, message } => Err(match code {
+            ErrorCode::BadQuery => CliError::Query(message),
+            ErrorCode::BudgetExhausted => CliError::Aborted(message),
+            ErrorCode::Unavailable => CliError::Serve(ServeError::MaintenanceGone),
+            ErrorCode::Malformed | ErrorCode::UnsupportedVersion => CliError::Invalid {
+                path: "connection".to_string(),
+                message,
+            },
+        }),
+        other => Ok(other),
+    }
+}
+
+fn unexpected(addr: &str, frame: &Frame) -> CliError {
+    CliError::invalid(addr, format!("unexpected reply frame {frame:?}"))
 }
 
 #[cfg(test)]
@@ -1480,5 +1734,104 @@ mod tests {
         let json = fs::read_to_string(&metrics).unwrap();
         assert!(json.contains("\"serve.epoch_publishes\""), "{json}");
         assert!(json.contains("\"serve.queries\""), "{json}");
+    }
+
+    /// Start a [`NetServer`] over the test document's index so the
+    /// `client` verb can be driven end-to-end in-process.
+    fn start_test_net(dir: &TempDir, cfg: NetConfig) -> NetServer {
+        let doc = write_doc(dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "2",
+              "--idref", "idref"])
+            .unwrap();
+        let (dk, g) = load_index_graceful(idx.to_str().unwrap()).unwrap();
+        let server = DkServer::start(g, dk, ServeConfig { max_batch: 4, threads: 1 });
+        NetServer::start(server, "127.0.0.1:0", cfg).unwrap()
+    }
+
+    #[test]
+    fn client_round_trips_against_a_net_server() {
+        let dir = TempDir::new("client");
+        let net = start_test_net(&dir, NetConfig::default());
+        let addr = net.local_addr().to_string();
+
+        // No action flags: handshake + one ping.
+        let out = run(&["client", &addr]).unwrap();
+        assert!(out.contains("DKNP v1, epoch 0"), "{out}");
+        assert!(out.contains("pong: epoch 0"), "{out}");
+
+        // Query, update, stats on one connection, in the documented order.
+        let out = run(&[
+            "client", &addr,
+            "--query", "movieDB.actor.name",
+            "--update", "1:5",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(out.contains("1 match(es) at epoch 0"), "{out}");
+        assert!(out.contains("update 1->5 admitted; backlog 1"), "{out}");
+        assert!(out.contains("admitted=1"), "{out}");
+
+        // Server-reported errors map onto the documented exit codes:
+        // unparseable query text is 2, an exhausted budget is 6.
+        assert_eq!(
+            run(&["client", &addr, "--query", "movieDB.."]).unwrap_err().exit_code(),
+            2
+        );
+        assert_eq!(
+            run(&["client", &addr, "--query", "movieDB.actor.name", "--budget", "1"])
+                .unwrap_err()
+                .exit_code(),
+            6
+        );
+
+        // Local usage errors stay usage errors.
+        assert_eq!(run(&["client"]).unwrap_err().exit_code(), 2);
+        assert_eq!(
+            run(&["client", &addr, "--update", "nonsense"]).unwrap_err().exit_code(),
+            2
+        );
+
+        net.shutdown().unwrap();
+        // With the server gone, the transport failure is an I/O error.
+        assert_eq!(run(&["client", &addr, "--ping"]).unwrap_err().exit_code(), 3);
+    }
+
+    #[test]
+    fn client_update_shed_is_exit_code_8() {
+        let dir = TempDir::new("client-shed");
+        // Threshold 0: the first reserved update already exceeds the
+        // allowed backlog, so every UPDATE gets the typed maintenance-lag
+        // shed (PROTOCOL.md §5.1) — surfaced by the CLI as exit 8.
+        let net = start_test_net(&dir, NetConfig {
+            staleness_threshold: 0,
+            ..NetConfig::default()
+        });
+        let addr = net.local_addr().to_string();
+        let err = run(&["client", &addr, "--update", "1:5"]).unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+        assert!(err.to_string().contains("retry"), "{err}");
+        // Queries still succeed while updates shed.
+        run(&["client", &addr, "--query", "movieDB.actor.name"]).unwrap();
+        net.shutdown().unwrap();
+    }
+
+    #[test]
+    fn serve_listen_runs_and_drains() {
+        let dir = TempDir::new("serve-net");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "2"])
+            .unwrap();
+        let out = run(&[
+            "serve", idx.to_str().unwrap(),
+            "--listen", "127.0.0.1:0",
+            "--workers", "2",
+            "--duration-ms", "100",
+        ])
+        .unwrap();
+        assert!(out.contains("served on 127.0.0.1:"), "{out}");
+        assert!(out.contains("drained in"), "{out}");
+        assert!(out.contains("every admitted update applied"), "{out}");
     }
 }

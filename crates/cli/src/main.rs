@@ -14,6 +14,10 @@
 //! dkindex doctor   <index.dki>
 //! dkindex serve    <index.dki> --queries <file> [--threads N] [--updates N]
 //!                  [--batch N] [--rounds N]
+//! dkindex serve    <index.dki> --listen <addr> [--workers N] [--accept-queue N]
+//!                  [--staleness N] [--budget N] [--batch N] [--duration-ms N]
+//! dkindex client   <addr> [--ping] [--query <expr> [--budget N] [--rounds N]]
+//!                  [--update FROM:TO] [--stats]
 //! ```
 //!
 //! `build` mines requirements from `--queries` (one path expression per
@@ -26,7 +30,10 @@
 //! checksummed snapshot, gracefully rebuild a damaged one, audit the stored
 //! invariants); `serve` drives a concurrent mixed query/update workload
 //! through the epoch-published serving layer and cross-checks the final
-//! state against a serial replay.
+//! state against a serial replay; `serve --listen` exposes the same layer
+//! over the DKNP wire protocol (docs/PROTOCOL.md) with bounded queues and
+//! typed load-shedding (docs/OPERATIONS.md), and `client` is the matching
+//! reference client.
 //!
 //! Every command accepts the global `--metrics <path>` flag: the hot-path
 //! telemetry recorder (`dkindex-telemetry`) is enabled for the duration of
@@ -36,7 +43,7 @@
 //!
 //! Failures never panic: each [`commands::CliError`] class maps to its own
 //! exit code (2 usage, 3 I/O, 4 corrupt input, 5 unsound index, 6 aborted
-//! query).
+//! query, 7 serve maintenance thread died, 8 request shed — retry later).
 
 #![forbid(unsafe_code)]
 

@@ -82,7 +82,9 @@ pub use mining::{mine_requirements, mine_requirements_weighted};
 pub use one_index::OneIndex;
 pub use prepared::{CachedEvaluator, PreparedQuery};
 pub use requirements::Requirements;
-pub use serve::{DkServer, Epoch, ServeConfig, ServeError, ServeHandle};
+pub use serve::{
+    DkServer, Epoch, MaintenanceGate, ServeConfig, ServeError, ServeHandle, Submitter,
+};
 pub use serve_ops::{apply_serial, ServeOp};
 pub use snapshot::{load_with_recovery, read_snapshot, save_snapshot_file, snapshot_bytes, write_snapshot, Recovery, SnapshotError, SnapshotFormat};
 pub use tuner::{AdaptiveTuner, TunerConfig, TuningAction};

@@ -119,15 +119,17 @@ impl std::error::Error for ServeError {}
 #[derive(Debug)]
 pub struct Epoch {
     id: u64,
+    ops_applied: u64,
     dk: DkIndex,
     data: DataGraph,
     memo: Mutex<HashMap<PathExpr, Arc<IndexEvalOutcome>>>,
 }
 
 impl Epoch {
-    fn new(id: u64, dk: DkIndex, data: DataGraph) -> Self {
+    fn new(id: u64, ops_applied: u64, dk: DkIndex, data: DataGraph) -> Self {
         Epoch {
             id,
+            ops_applied,
             dk,
             data,
             memo: Mutex::new(HashMap::new()),
@@ -137,6 +139,15 @@ impl Epoch {
     /// This epoch's publication number (0 for the initial build).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Cumulative [`ServeOp`]s applied up to and including this epoch's
+    /// publish (0 for the initial build). A front-end that counts its own
+    /// submissions can subtract this to get the maintenance backlog — the
+    /// epoch-staleness measure the network layer's load-shedding is keyed
+    /// on (`dkindex-server`, ARCHITECTURE.md §7).
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
     }
 
     /// The index as of this epoch.
@@ -177,6 +188,40 @@ impl Epoch {
             .insert(query.clone(), Arc::clone(&out));
         out
     }
+
+    /// Budget-bounded variant of [`Epoch::evaluate`] for per-request
+    /// admission control: a memo hit is served for free (the work was
+    /// already paid for under an earlier request's budget — replaying the
+    /// stored answer costs no graph visits), a miss runs
+    /// [`IndexEvaluator::evaluate_bounded`] under `budget` and only a
+    /// *successful* outcome is memoized, so an aborted probe can never
+    /// poison the cache with a partial answer.
+    pub fn evaluate_bounded(
+        &self,
+        query: &PathExpr,
+        budget: u64,
+    ) -> Result<Arc<IndexEvalOutcome>, crate::eval::QueryAborted> {
+        telemetry::metrics::SERVE_QUERIES.incr();
+        if let Some(hit) = self
+            .memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(query)
+            .map(Arc::clone)
+        {
+            telemetry::metrics::SERVE_CACHE_HITS.incr();
+            return Ok(hit);
+        }
+        telemetry::metrics::SERVE_CACHE_MISSES.incr();
+        let out = Arc::new(
+            IndexEvaluator::new(self.dk.index(), &self.data).evaluate_bounded(query, budget)?,
+        );
+        self.memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(query.clone(), Arc::clone(&out));
+        Ok(out)
+    }
 }
 
 /// A cloneable reader handle: grabs the current epoch lock-free (one
@@ -216,7 +261,26 @@ impl ServeHandle {
 enum Msg {
     Op(ServeOp),
     Flush(mpsc::Sender<u64>),
+    Pause(PauseGate),
     Shutdown,
+}
+
+/// The maintenance-side half of a pause: acknowledge parking, then block
+/// until the holder drops its resume sender.
+struct PauseGate {
+    parked: mpsc::Sender<()>,
+    resume: mpsc::Receiver<()>,
+}
+
+/// Held gate returned by [`DkServer::pause_maintenance`]: while it exists the
+/// maintenance thread is parked between batches (ops queue but are not
+/// applied, so the backlog grows); dropping it resumes maintenance.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct MaintenanceGate {
+    // Dropping the sender disconnects the receiver the maintenance thread is
+    // blocked on, waking it.
+    _resume: mpsc::Sender<()>,
 }
 
 /// The concurrent serving layer: spawn with [`DkServer::start`] (or
@@ -233,7 +297,7 @@ pub struct DkServer {
 impl DkServer {
     /// Publish `(dk, data)` as epoch 0 and spawn the maintenance thread.
     pub fn start(data: DataGraph, dk: DkIndex, config: ServeConfig) -> DkServer {
-        let epoch0 = Arc::new(Epoch::new(0, dk.clone(), data.clone()));
+        let epoch0 = Arc::new(Epoch::new(0, 0, dk.clone(), data.clone()));
         let current = Arc::new(RwLock::new(epoch0));
         let handle = ServeHandle {
             current: Arc::clone(&current),
@@ -264,6 +328,17 @@ impl DkServer {
     /// A cloneable reader handle.
     pub fn handle(&self) -> ServeHandle {
         self.handle.clone()
+    }
+
+    /// A cloneable op submitter, decoupled from the owning `DkServer` so
+    /// worker threads (e.g. the network front-end's pool) can each hold
+    /// their own. Submitting through it is identical to
+    /// [`DkServer::submit`]; after [`DkServer::shutdown`] every outstanding
+    /// submitter gets [`ServeError::MaintenanceGone`].
+    pub fn submitter(&self) -> Submitter {
+        Submitter {
+            tx: self.tx.clone(),
+        }
     }
 
     /// Enqueue a maintenance operation. Ops are applied in submission order
@@ -306,6 +381,44 @@ impl DkServer {
     pub fn stop_maintenance_for_tests(&self) {
         let _ = self.tx.send(Msg::Shutdown);
     }
+
+    /// Test hook: park the maintenance thread between batches until the
+    /// returned [`MaintenanceGate`] is dropped. Blocks until the thread has
+    /// actually parked — once this returns, every subsequently submitted op
+    /// queues without being applied, which is how overload tests induce a
+    /// deterministic maintenance backlog for the network layer's
+    /// epoch-staleness shedding. Dropping the gate resumes maintenance.
+    #[doc(hidden)]
+    pub fn pause_maintenance(&self) -> Result<MaintenanceGate, ServeError> {
+        let (parked_tx, parked_rx) = mpsc::channel();
+        let (resume_tx, resume_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Pause(PauseGate {
+                parked: parked_tx,
+                resume: resume_rx,
+            }))
+            .map_err(|_| ServeError::MaintenanceGone)?;
+        parked_rx.recv().map_err(|_| ServeError::MaintenanceGone)?;
+        Ok(MaintenanceGate { _resume: resume_tx })
+    }
+}
+
+/// A cloneable handle for enqueueing maintenance ops, obtained from
+/// [`DkServer::submitter`]. Each clone owns its own channel sender, so
+/// submitters are freely `Send` across threads.
+#[derive(Clone)]
+pub struct Submitter {
+    tx: mpsc::Sender<Msg>,
+}
+
+impl Submitter {
+    /// Enqueue a maintenance operation; same contract as
+    /// [`DkServer::submit`].
+    pub fn submit(&self, op: ServeOp) -> Result<(), ServeError> {
+        self.tx
+            .send(Msg::Op(op))
+            .map_err(|_| ServeError::MaintenanceGone)
+    }
 }
 
 impl Drop for DkServer {
@@ -335,6 +448,7 @@ fn maintenance_loop(
     max_batch: usize,
 ) -> (DkIndex, DataGraph) {
     let mut epoch_id = 0u64;
+    let mut ops_total = 0u64;
     loop {
         let Ok(first) = rx.recv() else {
             // Every sender dropped without a Shutdown: nothing more can
@@ -343,10 +457,11 @@ fn maintenance_loop(
         };
         let mut batch: Vec<ServeOp> = Vec::new();
         let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
+        let mut pauses: Vec<PauseGate> = Vec::new();
         let mut shutdown = false;
         let mut staged = first;
         loop {
-            let stage = stage_message(staged, &mut batch, &mut flushes);
+            let stage = stage_message(staged, &mut batch, &mut flushes, &mut pauses);
             if matches!(stage, Staged::Shutdown) {
                 shutdown = true;
                 break;
@@ -362,6 +477,7 @@ fn maintenance_loop(
         if !batch.is_empty() {
             let span = telemetry::Span::start(&telemetry::metrics::SERVE_PUBLISH_NS);
             telemetry::metrics::SERVE_BATCH_OPS.record(batch.len() as u64);
+            ops_total += batch.len() as u64;
             for op in batch.drain(..) {
                 crate::serve_ops::apply(&mut dk, &mut data, op);
             }
@@ -369,7 +485,7 @@ fn maintenance_loop(
             // `dk`/`data` are COW snapshots (Arc-shared blocks and
             // segments), so these clones copy only what the batch above
             // touched — the delta-epoch publish is O(touched), not O(index).
-            let fresh = Arc::new(Epoch::new(epoch_id, dk.clone(), data.clone()));
+            let fresh = Arc::new(Epoch::new(epoch_id, ops_total, dk.clone(), data.clone()));
             {
                 // This thread is the only writer, so the epoch read here is
                 // exactly the predecessor being superseded.
@@ -387,21 +503,31 @@ fn maintenance_loop(
         for ack in flushes.drain(..) {
             let _ = ack.send(epoch_id);
         }
+        // Park between batches while a pause gate is held: acknowledge so
+        // the holder knows nothing further will be applied, then block
+        // until the holder drops its resume sender; maintenance resumes
+        // with whatever queued meanwhile.
+        for gate in pauses.drain(..) {
+            let _ = gate.parked.send(());
+            let _ = gate.resume.recv();
+        }
         if shutdown {
             return (dk, data);
         }
     }
 }
 
-/// Sort one received message into the batch/flush accumulators.
+/// Sort one received message into the batch/flush/pause accumulators.
 fn stage_message(
     msg: Msg,
     batch: &mut Vec<ServeOp>,
     flushes: &mut Vec<mpsc::Sender<u64>>,
+    pauses: &mut Vec<PauseGate>,
 ) -> Staged {
     match msg {
         Msg::Op(op) => batch.push(op),
         Msg::Flush(ack) => flushes.push(ack),
+        Msg::Pause(gate) => pauses.push(gate),
         Msg::Shutdown => return Staged::Shutdown,
     }
     Staged::Continue

@@ -164,6 +164,39 @@ pub static SERVE_BATCH_OPS: Histogram = Histogram::new("serve.batch_ops", Unit::
 /// Wall-clock per batch apply + epoch publish.
 pub static SERVE_PUBLISH_NS: Histogram = Histogram::new("serve.publish_ns", Unit::Nanos);
 
+// ---- dkindex-server: network serving (serve.net.*) -----------------------
+
+/// TCP connections accepted and handed to a worker.
+pub static SERVE_NET_CONNECTIONS: Counter = Counter::new("serve.net.connections");
+/// Connections shed at the door: the bounded accept queue was full, so the
+/// connection got a best-effort SHED(queue-full) frame and was closed
+/// without ever reaching a worker.
+pub static SERVE_NET_CONNECTIONS_SHED: Counter = Counter::new("serve.net.connections_shed");
+/// Request frames decoded across all connections (any opcode).
+pub static SERVE_NET_REQUESTS: Counter = Counter::new("serve.net.requests");
+/// QUERY requests answered with an ANSWER frame.
+pub static SERVE_NET_QUERIES: Counter = Counter::new("serve.net.queries");
+/// UPDATE requests admitted past the staleness gate into the maintenance
+/// queue (each got an UPDATE_OK frame).
+pub static SERVE_NET_UPDATES_ADMITTED: Counter = Counter::new("serve.net.updates_admitted");
+/// Requests refused with a typed SHED frame (maintenance-lag or draining;
+/// queue-full sheds are counted per-connection above).
+pub static SERVE_NET_RESPONSES_SHED: Counter = Counter::new("serve.net.responses_shed");
+/// Requests refused with an ERROR frame (malformed, bad query, budget
+/// exhausted, unsupported version, unavailable).
+pub static SERVE_NET_RESPONSES_ERROR: Counter = Counter::new("serve.net.responses_error");
+/// QUERY requests aborted by the per-request visit-budget admission bound
+/// (a subset of `serve.net.responses_error`).
+pub static SERVE_NET_BUDGET_ABORTS: Counter = Counter::new("serve.net.budget_aborts");
+/// Payload bytes read off client sockets (frame headers included).
+pub static SERVE_NET_BYTES_READ: Counter = Counter::new("serve.net.bytes_read");
+/// Payload bytes written to client sockets (frame headers included).
+pub static SERVE_NET_BYTES_WRITTEN: Counter = Counter::new("serve.net.bytes_written");
+/// Wall-clock per request, decode through response write.
+pub static SERVE_NET_REQUEST_NS: Histogram = Histogram::new("serve.net.request_ns", Unit::Nanos);
+/// Wall-clock of each graceful drain (stop accepting → workers joined).
+pub static SERVE_NET_DRAIN_NS: Histogram = Histogram::new("serve.net.drain_ns", Unit::Nanos);
+
 // ---- dkindex-workload: update-stream generation (§6.2) -------------------
 
 /// Update edges generated.
@@ -185,7 +218,7 @@ pub static PHASE_ADAPT_NS: Histogram = Histogram::new("phase.adapt_ns", Unit::Na
 
 /// Every registered counter, in reporting order.
 pub fn counters() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 47] = [
+    static ALL: [&Counter; 57] = [
         &PATHEXPR_EVALUATIONS,
         &PATHEXPR_ACTIVATIONS,
         &PATHEXPR_VALIDATION_WALKS,
@@ -231,6 +264,16 @@ pub fn counters() -> &'static [&'static Counter] {
         &SERVE_CACHE_MISSES,
         &SERVE_PUBLISH_BLOCKS_SHARED,
         &SERVE_PUBLISH_BLOCKS_REBUILT,
+        &SERVE_NET_CONNECTIONS,
+        &SERVE_NET_CONNECTIONS_SHED,
+        &SERVE_NET_REQUESTS,
+        &SERVE_NET_QUERIES,
+        &SERVE_NET_UPDATES_ADMITTED,
+        &SERVE_NET_RESPONSES_SHED,
+        &SERVE_NET_RESPONSES_ERROR,
+        &SERVE_NET_BUDGET_ABORTS,
+        &SERVE_NET_BYTES_READ,
+        &SERVE_NET_BYTES_WRITTEN,
         &UPDATES_EDGES_GENERATED,
         &UPDATES_REJECTED_DRAWS,
     ];
@@ -240,7 +283,7 @@ pub fn counters() -> &'static [&'static Counter] {
 /// Every registered histogram (value distributions and span timings), in
 /// reporting order.
 pub fn histograms() -> &'static [&'static Histogram] {
-    static ALL: [&Histogram; 19] = [
+    static ALL: [&Histogram; 21] = [
         &PATHEXPR_VISITS_PER_EVAL,
         &PARTITION_BLOCKS_PER_ROUND,
         &PARTITION_ROUND_NS,
@@ -256,6 +299,8 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &TUNER_TUNE_NS,
         &SERVE_BATCH_OPS,
         &SERVE_PUBLISH_NS,
+        &SERVE_NET_REQUEST_NS,
+        &SERVE_NET_DRAIN_NS,
         &UPDATES_GENERATE_NS,
         &PHASE_BUILD_NS,
         &PHASE_QUERY_NS,
