@@ -1,4 +1,4 @@
-.PHONY: verify test build bench-smoke verify-faults verify-serve verify-churn verify-net verify-analysis doc clippy
+.PHONY: verify test build bench-smoke verify-faults verify-serve verify-churn verify-net verify-crash verify-analysis doc clippy
 
 # Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
 # that the arena evaluator and the refinement engine produce byte-identical
@@ -17,11 +17,17 @@
 # and fails if the drained state diverges from the serial replay of the
 # admitted updates, if any refusal was not a typed SHED frame, or if
 # admission overshot the staleness threshold (docs/PROTOCOL.md,
-# ARCHITECTURE.md §7). `doc` and `clippy` must both
+# ARCHITECTURE.md §7). `verify-crash` is the crash-recovery torture gate for
+# the v2 write-ahead log (docs/PROTOCOL.md §8): it cuts the log at every
+# byte, fails every group commit's fsync, tears every batch write at every
+# offset, and kills a live logged server at seeded random commits — failing
+# if any acknowledged update does not replay byte-identically after
+# snapshot + WAL recovery, if any crash view surfaces a partial batch, or
+# if anything panics. `doc` and `clippy` must both
 # come back warning-free, and `verify-analysis` proves the determinism /
 # oracle-purity / panic-freedom / unsafe-hygiene contracts at lint time and
 # model-checks the serve epoch protocol (ARCHITECTURE.md §6).
-verify: build test bench-smoke verify-faults verify-serve verify-churn verify-net doc clippy verify-analysis
+verify: build test bench-smoke verify-faults verify-serve verify-churn verify-net verify-crash doc clippy verify-analysis
 
 build:
 	cargo build --release
@@ -43,6 +49,9 @@ verify-churn:
 
 verify-net:
 	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-net
+
+verify-crash:
+	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-crash
 
 # Static analysis + model checking (ARCHITECTURE.md §6):
 #   1. the dkindex-analyze lint pass over the whole workspace — nonzero exit

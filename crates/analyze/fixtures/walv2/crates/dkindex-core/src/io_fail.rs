@@ -1,0 +1,26 @@
+//! Fixture: a fail-point disk that replays its planned failures in
+//! hash-bucket order and unwraps a missing plan entry. Mirrors the real
+//! `dkindex_core::io_fail` module path so the repository rule tables
+//! scope onto it: the `for` loop and the `.unwrap()` must each be
+//! flagged — a nondeterministic or panicking fail-point layer would make
+//! the crash torture harness unreproducible.
+
+use std::collections::HashMap;
+
+/// Applies planned sync failures in whatever order the hash map yields
+/// them, so two runs with different hash seeds fail different syncs.
+pub fn apply_plans(plans: &HashMap<u64, bool>) -> Vec<u64> {
+    let mut failed = Vec::new();
+    for (sync, fail) in plans {
+        if *fail {
+            failed.push(*sync);
+        }
+    }
+    failed
+}
+
+/// Fetches the plan for one sync index; panics when the index is
+/// unplanned.
+pub fn plan_of(plans: &HashMap<u64, bool>, sync: u64) -> bool {
+    *plans.get(&sync).unwrap()
+}

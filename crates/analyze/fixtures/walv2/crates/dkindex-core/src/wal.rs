@@ -1,0 +1,26 @@
+//! Fixture: a v2 WAL encoder that writes its record-tag size table in
+//! hash-bucket order and indexes past the end of a short record. Mirrors
+//! the real `dkindex_core::wal` module path so the repository rule tables
+//! scope onto it: the `for` loop and the slice indexing must each be
+//! flagged — a WAL that encodes in hash order or panics on a torn record
+//! would break the crash-recovery contract silently.
+
+use std::collections::HashMap;
+
+/// Serializes the per-tag body-length table in whatever order the hash
+/// map yields it, so two writers with different hash seeds produce
+/// different log bytes.
+pub fn tag_table_bytes(lens: &HashMap<u8, u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (tag, len) in lens {
+        out.push(*tag);
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out
+}
+
+/// Reads the tag byte of a record body; panics when the body is empty
+/// (a torn tail must be a typed error, never a panic).
+pub fn tag_of(body: &[u8]) -> u8 {
+    body[0]
+}

@@ -55,6 +55,7 @@ pub fn default_config() -> RuleConfig {
             "dkindex_core::serve_ops",
             "dkindex_core::snapshot",
             "dkindex_core::wal",
+            "dkindex_core::io_fail",
             "dkindex_graph::segvec",
             "dkindex_server::protocol",
             "dkindex_server::conn",
@@ -65,6 +66,7 @@ pub fn default_config() -> RuleConfig {
             "dkindex_core::serve_ops",
             "dkindex_core::snapshot",
             "dkindex_core::wal",
+            "dkindex_core::io_fail",
             "dkindex_graph::segvec",
             "dkindex_server::protocol",
             "dkindex_server::conn",

@@ -172,6 +172,36 @@ fn net_server_modules_are_inside_the_repository_scopes() {
     }
 }
 
+/// The durability-layer modules (`dkindex_core::wal`,
+/// `dkindex_core::io_fail`) are inside the **repository** determinism and
+/// panic scopes: a fixture tree mirroring their exact module paths, seeded
+/// with one hash-order iteration and one panic path per module, fires both
+/// rules in both modules under `default_config`. A WAL that encodes in
+/// hash order would make recovery replay a different op sequence than the
+/// one acknowledged, and a panicking fail-point layer would crash the
+/// torture harness instead of reporting a typed violation; this test
+/// fails first if the scope tables lose those entries.
+#[test]
+fn wal_v2_and_io_fail_are_inside_the_repository_scopes() {
+    let findings = analyze_workspace_with(&fixture_root("walv2"), &default_config()).unwrap();
+    let counts = count_by_rule(&findings);
+    assert_eq!(counts["nondeterministic-iter"], 2, "{findings:?}");
+    assert_eq!(counts["panic-path"], 2, "{findings:?}");
+    assert_eq!(findings.len(), 4, "no extra findings: {findings:?}");
+    // Match on file names ("wal.rs", not "wal") — the fixture root itself
+    // contains "wal", so a bare substring would match every path.
+    for module in ["wal.rs", "io_fail.rs"] {
+        for rule in ["nondeterministic-iter", "panic-path"] {
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| f.rule == rule && f.path.to_string_lossy().ends_with(module)),
+                "{rule} did not fire in {module}: {findings:?}"
+            );
+        }
+    }
+}
+
 /// The regression gate for the workspace-wide fix pass: the real tree
 /// lints clean under the repository rule tables, forever.
 #[test]

@@ -43,7 +43,7 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
-    fn new(name: &str) -> Self {
+    pub(crate) fn new(name: &str) -> Self {
         FaultReport {
             name: name.to_string(),
             ..FaultReport::default()
@@ -69,14 +69,14 @@ impl FaultReport {
 }
 
 /// What a single probe observed, before contract checking.
-enum Probe {
+pub(crate) enum Probe {
     Recovered,
     TypedError,
     Violation(String),
 }
 
 /// Run `f` under `catch_unwind`, mapping a panic to a violation.
-fn probe(context: &str, f: impl FnOnce() -> Probe) -> Probe {
+pub(crate) fn probe(context: &str, f: impl FnOnce() -> Probe) -> Probe {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(p) => p,
         Err(payload) => {
@@ -90,7 +90,7 @@ fn probe(context: &str, f: impl FnOnce() -> Probe) -> Probe {
     }
 }
 
-fn record(report: &mut FaultReport, outcome: Probe) {
+pub(crate) fn record(report: &mut FaultReport, outcome: Probe) {
     report.cases += 1;
     match outcome {
         Probe::Recovered => report.recovered += 1,
@@ -152,16 +152,23 @@ pub fn snapshot_truncation_sweep(dk: &DkIndex, data: &DataGraph) -> FaultReport 
     report
 }
 
-/// Cut a WAL at every byte boundary and flip one bit in every byte.
+/// Cut a legacy v1 WAL at every byte boundary and flip one bit in every byte.
 ///
-/// Truncations additionally assert the §5 replay contract: a torn tail must
-/// replay exactly the complete-record prefix, reaching the same state (same
-/// snapshot bytes) as applying that prefix directly.
+/// This sweep deliberately exercises the *v1* wire format (fixed 13-byte
+/// records, no commit fences) so pre-upgrade logs keep their torn-tail
+/// guarantees; the v2 group-commit format gets the same treatment — plus
+/// fsync fail-points — in `crate::crash`. Truncations additionally assert
+/// the §5 replay contract: a torn tail must replay exactly the
+/// complete-record prefix, reaching the same state (same snapshot bytes) as
+/// applying that prefix directly.
 pub fn wal_fault_sweep(dk: &DkIndex, data: &DataGraph, updates: &[(NodeId, NodeId)]) -> FaultReport {
     let mut report = FaultReport::new("WAL truncations + bit-flips");
-    let mut log = wal::encode_header().to_vec();
+    let mut log = wal::encode_header_v1().to_vec();
     for &(from, to) in updates {
-        log.extend_from_slice(&wal::encode_record(&WalRecord::AddEdge { from, to }));
+        let Some(rec) = wal::encode_record_v1(&WalRecord::AddEdge { from, to }) else {
+            continue;
+        };
+        log.extend_from_slice(&rec);
     }
 
     // Expected state after each prefix length, as snapshot bytes.

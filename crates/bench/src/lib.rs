@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod datasets;
 pub mod experiments;
 pub mod faults;

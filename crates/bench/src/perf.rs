@@ -645,6 +645,19 @@ pub fn metrics_to_json(
     )
 }
 
+/// The serving-layer result sections [`to_json`] renders after the
+/// eval/construction sections.
+pub struct ServingSections<'a> {
+    /// Concurrent serve bench (`bench_serve`).
+    pub serve: &'a ServeBenchResult,
+    /// Sustained-churn bench (`bench_churn`).
+    pub churn: &'a ChurnBenchResult,
+    /// Loopback network bench ([`crate::net::bench_net`]).
+    pub net: &'a crate::net::NetBenchResult,
+    /// Durable-ack cost bench ([`crate::crash::bench_durability`]).
+    pub durability: &'a crate::crash::DurabilityBenchResult,
+}
+
 /// Render the results as a JSON document (hand-rolled: the workspace has no
 /// serialization dependency).
 pub fn to_json(
@@ -652,10 +665,14 @@ pub fn to_json(
     cfg: &PerfConfig,
     eval: &EvalBenchResult,
     builds: &[BuildBenchResult],
-    serve: &ServeBenchResult,
-    churn: &ChurnBenchResult,
-    net: &crate::net::NetBenchResult,
+    sections: &ServingSections<'_>,
 ) -> String {
+    let ServingSections {
+        serve,
+        churn,
+        net,
+        durability,
+    } = *sections;
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
@@ -748,6 +765,8 @@ pub fn to_json(
         churn.deterministic
     ));
     s.push_str("  },\n");
+    s.push_str(&crate::crash::durability_to_json(durability));
+    s.push_str(",\n");
     s.push_str(&crate::net::net_to_json(net));
     s.push('\n');
     s.push_str("}\n");
@@ -812,12 +831,29 @@ mod tests {
         };
         let net = crate::net::bench_net(&data, workload.queries(), &reqs, &cfg, &net_cfg, 7);
         assert!(net.gate_ok(&net_cfg), "net gate failed: {net:?}");
-        let json = to_json("xmark-test", &cfg, &eval, &builds, &serve, &churn, &net);
+        let durability = {
+            let dk = DkIndex::build(&data, reqs.clone());
+            let updates = dkindex_workload::generate_update_edges(&data, 4, 7);
+            let wal_path = std::env::temp_dir()
+                .join(format!("dkindex-perf-test-{}.wal", std::process::id()));
+            crate::crash::bench_durability(&data, &dk, &updates, &wal_path)
+                .expect("durability bench must ack every update")
+        };
+        assert_eq!(durability.updates, 4);
+        let sections = ServingSections {
+            serve: &serve,
+            churn: &churn,
+            net: &net,
+            durability: &durability,
+        };
+        let json = to_json("xmark-test", &cfg, &eval, &builds, &sections);
         assert!(json.contains("\"identical_outcomes\": true"));
         assert!(json.contains("\"identical_partition\": true"));
         assert!(json.contains("\"serve\""), "{json}");
         assert!(json.contains("\"churn\""), "{json}");
         assert!(json.contains("\"net\""), "{json}");
+        assert!(json.contains("\"durability\""), "{json}");
+        assert!(json.contains("\"acked_per_sec_wal_on\""), "{json}");
         assert!(json.contains("\"rebuilt_ratio\""), "{json}");
         assert!(json.contains("\"publish_p50_ns\""), "{json}");
         assert!(json.contains("\"p999_us\""), "{json}");

@@ -37,11 +37,12 @@ usage:
   dkindex tune  <index.dki> --queries <file> --out <index2.dki>
   dkindex snapshot <index.dki> --out <snap.dki> [--wal <file.wal>]
   dkindex recover  <snap.dki> --out <fixed.dki> [--wal <file.wal>]
-  dkindex doctor   <index.dki>
+  dkindex doctor   <index.dki> [--wal <file.wal>]
   dkindex serve <index.dki> --queries <file> [--threads N] [--updates N]
                 [--batch N] [--rounds N]
   dkindex serve <index.dki> --listen <addr> [--workers N] [--accept-queue N]
                 [--staleness N] [--budget N] [--batch N] [--duration-ms N]
+                [--wal <file.wal>]
   dkindex client <addr> [--ping] [--query <expr> [--budget N] [--rounds N]]
                 [--update FROM:TO] [--stats]
 
@@ -790,7 +791,11 @@ fn cmd_recover(args: &[String]) -> Result<String, CliError> {
 /// `doctor`: diagnose without repairing. Loads the file (gracefully for
 /// snapshots, so section-level damage is reported rather than fatal), runs
 /// the invariant auditor, and exits non-zero exactly when the stored index
-/// could return wrong answers.
+/// could return wrong answers. With `--wal` the write-ahead log is
+/// inspected too: a torn tail is the normal crash signature (recovery
+/// truncates it — exit 0), a damaged *committed* record is corruption
+/// (exit 5), and a file that is not a WAL at all is corrupt input
+/// (exit 4).
 fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [path] = parsed.positional[..] else {
@@ -810,16 +815,50 @@ fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
     for note in &recovery.notes {
         let _ = writeln!(out, "  container: {note}");
     }
+
+    let mut wal_corruptions = 0usize;
+    if let Some(wal_path) = parsed.wal {
+        let wal_bytes = fs::read(wal_path).map_err(|e| CliError::io(wal_path, e))?;
+        let inspection =
+            wal::inspect_wal(&wal_bytes).map_err(|e| CliError::invalid(wal_path, e))?;
+        let _ = writeln!(
+            out,
+            "{wal_path}: WAL v{}, {} committed record(s), {} uncommitted",
+            inspection.version, inspection.committed, inspection.uncommitted
+        );
+        match inspection.verdict {
+            wal::WalVerdict::Clean => {
+                let _ = writeln!(out, "  tail: clean (file ends on the committed prefix)");
+            }
+            wal::WalVerdict::TornTail { valid_len } => {
+                let _ = writeln!(
+                    out,
+                    "  tail: torn after byte {valid_len} (crash signature; recovery \
+                     truncates the unacknowledged tail)"
+                );
+            }
+            wal::WalVerdict::Corrupt { index, offset, reason } => {
+                let _ = writeln!(
+                    out,
+                    "  record {index} at byte {offset} is damaged: {reason} \
+                     (bit rot or tampering, not a crash)"
+                );
+                wal_corruptions = 1;
+            }
+        }
+    }
     out.push_str(&report.render_text());
 
     // A rebuilt/degraded section is storage corruption even though the
-    // in-memory index (post-recovery) audits clean.
+    // in-memory index (post-recovery) audits clean; so is a damaged
+    // committed WAL record.
     let corruptions = report
         .findings
         .iter()
         .filter(|f| f.severity == Severity::Corruption)
         .count()
-        + recovery.notes.len();
+        + recovery.notes.len()
+        + wal_corruptions;
     if corruptions > 0 {
         return Err(CliError::Unsound { corruptions, report: out });
     }
@@ -949,10 +988,51 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 /// gracefully: new connects are refused, established connections get the
 /// grace window, every admitted update is applied before exit
 /// (PROTOCOL.md §7, docs/OPERATIONS.md).
+///
+/// With `--wal` the server recovers from the log on start (replaying the
+/// committed prefix over the loaded index) and runs with durable
+/// acknowledgments: every UPDATE_OK means the op's group commit has been
+/// fsynced to the log (PROTOCOL.md §8, OPERATIONS.md recovery runbook).
 fn cmd_serve_net(index_path: &str, addr: &str, parsed: &Parsed<'_>) -> Result<String, CliError> {
     let batch = parsed.batch.unwrap_or(8).max(1);
-    let (dk, g) = load_index_graceful(index_path)?;
-    let server = DkServer::start(g, dk, ServeConfig { max_batch: batch, threads: 1 });
+    let (mut dk, mut g) = load_index_graceful(index_path)?;
+    let mut wal_notes = Vec::new();
+    let writer = match parsed.wal {
+        Some(wal_path) => {
+            let wal_file = std::path::Path::new(wal_path);
+            if fs::metadata(wal_file).is_ok() {
+                // Recover first (replays the committed prefix, ignores the
+                // unacknowledged tail), then reopen for appending — the
+                // writer truncates the torn tail so new commits extend the
+                // acknowledged prefix.
+                let note = replay_wal_file(&mut dk, &mut g, wal_path)?;
+                wal_notes.push(note);
+                WalWriter::open(wal_file).map_err(|e| CliError::invalid(wal_path, e))?
+            } else {
+                wal_notes.push(format!("created WAL at {wal_path}"));
+                WalWriter::create(wal_file).map_err(|e| CliError::io(wal_path, e))?
+            }
+        }
+        None => {
+            let cfg = ServeConfig { max_batch: batch, threads: 1 };
+            let server = DkServer::start(g, dk, cfg);
+            return serve_net_run(server, addr, parsed, Vec::new());
+        }
+    };
+    let cfg = ServeConfig { max_batch: batch, threads: 1 };
+    let server = DkServer::start_logged(g, dk, cfg, Box::new(writer));
+    serve_net_run(server, addr, parsed, wal_notes)
+}
+
+/// Shared tail of `serve --listen`: bind, run until the stop condition,
+/// drain, and render the run summary.
+fn serve_net_run(
+    server: DkServer,
+    addr: &str,
+    parsed: &Parsed<'_>,
+    wal_notes: Vec<String>,
+) -> Result<String, CliError> {
+    let durable = server.is_logged();
 
     let mut cfg = NetConfig::default();
     if let Some(workers) = parsed.workers {
@@ -985,7 +1065,13 @@ fn cmd_serve_net(index_path: &str, addr: &str, parsed: &Parsed<'_>) -> Result<St
 
     let shutdown = net.shutdown().map_err(CliError::Serve)?;
     let mut out = String::new();
+    for note in wal_notes {
+        let _ = writeln!(out, "{note}");
+    }
     let _ = writeln!(out, "served on {bound}");
+    if durable {
+        let _ = writeln!(out, "durable acks: every UPDATE_OK was fsynced to the WAL");
+    }
     let _ = writeln!(
         out,
         "drained in {} ms; every admitted update applied",
@@ -1030,6 +1116,10 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
 
     let mut client = NetClient::connect(addr).map_err(|e| match e {
         ConnectError::Io(err) => CliError::io(addr, err),
+        ConnectError::TimedOut => CliError::io(
+            addr,
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "connect or handshake timed out"),
+        ),
         ConnectError::Shed { retry_after_ms } => CliError::Shed(format!(
             "server shed the connection (queue full); retry after {retry_after_ms} ms"
         )),
@@ -1833,5 +1923,113 @@ mod tests {
         assert!(out.contains("served on 127.0.0.1:"), "{out}");
         assert!(out.contains("drained in"), "{out}");
         assert!(out.contains("every admitted update applied"), "{out}");
+    }
+
+    /// The `doctor --wal` exit-code matrix: 0 for a clean log *and* for the
+    /// torn-tail crash signature (recovery handles it), 3 for a missing
+    /// file, 4 for a file that is not a WAL, 5 when a *committed* record is
+    /// damaged (bit rot — replay would lose an acknowledged update).
+    #[test]
+    fn doctor_wal_report_covers_the_exit_code_matrix() {
+        let dir = TempDir::new("doctor-wal");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "1"])
+            .unwrap();
+        let idx = idx.to_str().unwrap();
+
+        // 3: the WAL path does not exist.
+        let missing = dir.file("missing.wal");
+        let err = run(&["doctor", idx, "--wal", missing.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+
+        // 0 + clean: one committed record, file ends on its fence.
+        let wal_path = dir.file("log.wal");
+        let mut writer = WalWriter::create(&wal_path).unwrap();
+        writer
+            .append(&WalRecord::AddEdge {
+                from: NodeId::from_index(1),
+                to: NodeId::from_index(5),
+            })
+            .unwrap();
+        drop(writer);
+        let out = run(&["doctor", idx, "--wal", wal_path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("WAL v2, 1 committed record(s), 0 uncommitted"), "{out}");
+        assert!(out.contains("tail: clean"), "{out}");
+
+        // 0 + torn: a partial record after the last fence is the crash
+        // signature, not corruption.
+        let healthy = fs::read(&wal_path).unwrap();
+        let mut torn = healthy.clone();
+        torn.extend_from_slice(&[9, 0, 0, 0, 1]); // length prefix + 1 of 13 framed bytes
+        let torn_path = dir.file("torn.wal");
+        fs::write(&torn_path, &torn).unwrap();
+        let out = run(&["doctor", idx, "--wal", torn_path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("tail: torn"), "{out}");
+
+        // 5: a bit flip inside a committed record body fails its CRC.
+        let mut rotted = healthy.clone();
+        rotted[12] ^= 0x01; // first body byte of the committed record
+        let rotted_path = dir.file("rotted.wal");
+        fs::write(&rotted_path, &rotted).unwrap();
+        let err =
+            run(&["doctor", idx, "--wal", rotted_path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+
+        // 4: not a WAL at all.
+        let junk_path = dir.file("junk.wal");
+        fs::write(&junk_path, b"definitely not a WAL").unwrap();
+        let err = run(&["doctor", idx, "--wal", junk_path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+    }
+
+    /// `serve --listen --wal` end to end: an UPDATE_OK from a durable
+    /// server means the op is on disk — doctor sees it committed with a
+    /// clean tail, and a restart with the same `--wal` replays it.
+    #[test]
+    fn durable_serve_logs_acked_updates_and_recovers_on_restart() {
+        let dir = TempDir::new("serve-wal");
+        let doc = write_doc(&dir);
+        let idx = dir.file("index.dki");
+        run(&["build", doc.to_str().unwrap(), "--out", idx.to_str().unwrap(), "--uniform", "2",
+              "--idref", "idref"])
+            .unwrap();
+        let idx = idx.to_str().unwrap();
+        let wal_path = dir.file("serve.wal");
+
+        // In-process durable server — the same wiring `serve --listen
+        // --wal` uses, but with an inspectable bound address.
+        let (dk, g) = load_index_graceful(idx).unwrap();
+        let writer = WalWriter::create(&wal_path).unwrap();
+        let server = DkServer::start_logged(
+            g,
+            dk,
+            ServeConfig { max_batch: 4, threads: 1 },
+            Box::new(writer),
+        );
+        assert!(server.is_logged());
+        let net = NetServer::start(server, "127.0.0.1:0", NetConfig::default()).unwrap();
+        let addr = net.local_addr().to_string();
+
+        let out = run(&["client", &addr, "--update", "1:5"]).unwrap();
+        assert!(out.contains("admitted"), "{out}");
+        net.shutdown().unwrap();
+
+        // The acknowledged update is on disk, fenced.
+        let out = run(&["doctor", idx, "--wal", wal_path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("WAL v2, 1 committed record(s), 0 uncommitted"), "{out}");
+        assert!(out.contains("tail: clean"), "{out}");
+
+        // A restart with the same --wal recovers the committed prefix and
+        // serves durably again.
+        let out = run(&[
+            "serve", idx,
+            "--listen", "127.0.0.1:0",
+            "--wal", wal_path.to_str().unwrap(),
+            "--duration-ms", "50",
+        ])
+        .unwrap();
+        assert!(out.contains("replayed 1 WAL record(s)"), "{out}");
+        assert!(out.contains("durable acks"), "{out}");
     }
 }

@@ -56,6 +56,7 @@ pub mod eval;
 pub mod fbindex;
 pub mod index_graph;
 pub mod index_stats;
+pub mod io_fail;
 pub mod label_split;
 pub mod mining;
 pub mod one_index;
@@ -77,15 +78,19 @@ pub use eval::{evaluate_on_data, evaluate_workload_parallel, IndexEvalOutcome, I
 pub use fbindex::FbIndex;
 pub use index_graph::{IndexGraph, SIM_EXACT};
 pub use index_stats::IndexStats;
+pub use io_fail::{FailPlan, SharedDisk, SimDisk};
 pub use label_split::label_split_index;
 pub use mining::{mine_requirements, mine_requirements_weighted};
 pub use one_index::OneIndex;
 pub use prepared::{CachedEvaluator, PreparedQuery};
 pub use requirements::Requirements;
 pub use serve::{
-    DkServer, Epoch, MaintenanceGate, ServeConfig, ServeError, ServeHandle, Submitter,
+    DkServer, DurableAck, Epoch, MaintenanceGate, ServeConfig, ServeError, ServeHandle, Submitter,
 };
 pub use serve_ops::{apply_serial, ServeOp};
 pub use snapshot::{load_with_recovery, read_snapshot, save_snapshot_file, snapshot_bytes, write_snapshot, Recovery, SnapshotError, SnapshotFormat};
 pub use tuner::{AdaptiveTuner, TunerConfig, TuningAction};
-pub use wal::{ReplayReport, WalError, WalRecord, WalTail, WalWriter};
+pub use wal::{
+    inspect_wal, BatchLog, ReplayReport, WalError, WalInspection, WalRecord, WalStore, WalTail,
+    WalVerdict, WalWriter,
+};

@@ -60,6 +60,7 @@ use crate::dk::construct::DkIndex;
 use crate::eval::{IndexEvalOutcome, IndexEvaluator};
 use crate::requirements::Requirements;
 pub use crate::serve_ops::{apply_serial, ServeOp};
+pub use crate::wal::BatchLog;
 use dkindex_graph::DataGraph;
 use dkindex_pathexpr::PathExpr;
 use dkindex_telemetry as telemetry;
@@ -97,6 +98,13 @@ pub enum ServeError {
     /// was already asked to shut down — so the operation can never be
     /// applied or acknowledged.
     MaintenanceGone,
+    /// The write-ahead log could not durably commit the batch containing
+    /// this operation. The batch was **not** applied (the in-memory state
+    /// stays equal to the replay of the committed WAL prefix) and the WAL
+    /// is abandoned — a failed fsync is never retried — so every later
+    /// update on this server fails the same way until it is restarted and
+    /// recovered.
+    WalFailed,
 }
 
 impl std::fmt::Display for ServeError {
@@ -104,6 +112,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::MaintenanceGone => {
                 write!(f, "serve maintenance thread is gone; op cannot be applied")
+            }
+            ServeError::WalFailed => {
+                write!(f, "write-ahead log failed; update not applied (not durable)")
             }
         }
     }
@@ -258,11 +269,38 @@ impl ServeHandle {
     }
 }
 
+/// Acknowledgment channel for one submitted op: the epoch id its batch
+/// published under, or the typed reason it will never apply.
+type AckSender = mpsc::Sender<Result<u64, ServeError>>;
+
 enum Msg {
-    Op(ServeOp),
+    /// An op, optionally carrying an acknowledgment sender the maintenance
+    /// thread releases only after the op's batch is durable (WAL-backed
+    /// servers) and published.
+    Op(ServeOp, Option<AckSender>),
     Flush(mpsc::Sender<u64>),
     Pause(PauseGate),
     Shutdown,
+}
+
+/// Pending acknowledgment for one op submitted with
+/// [`DkServer::submit_logged`] / [`Submitter::submit_logged`]. Waiting
+/// blocks until the op's batch has been applied and published — and, on a
+/// WAL-backed server, group-committed to stable storage first — so an `Ok`
+/// is a durable-ack: the update survives a crash (docs/PROTOCOL.md §8).
+#[derive(Debug)]
+pub struct DurableAck {
+    rx: mpsc::Receiver<Result<u64, ServeError>>,
+}
+
+impl DurableAck {
+    /// Block until the op's batch is acknowledged. `Ok(epoch_id)` is the
+    /// epoch that made the op visible; a dead maintenance thread surfaces
+    /// as [`ServeError::MaintenanceGone`], a failed group commit as
+    /// [`ServeError::WalFailed`].
+    pub fn wait(self) -> Result<u64, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::MaintenanceGone))
+    }
 }
 
 /// The maintenance-side half of a pause: acknowledge parking, then block
@@ -292,11 +330,35 @@ pub struct DkServer {
     handle: ServeHandle,
     tx: mpsc::Sender<Msg>,
     join: Option<JoinHandle<(DkIndex, DataGraph)>>,
+    logged: bool,
 }
 
 impl DkServer {
     /// Publish `(dk, data)` as epoch 0 and spawn the maintenance thread.
     pub fn start(data: DataGraph, dk: DkIndex, config: ServeConfig) -> DkServer {
+        DkServer::start_inner(data, dk, config, None)
+    }
+
+    /// Like [`DkServer::start`], but every maintenance batch is
+    /// group-committed to `log` — one write, one fsync — *before* it is
+    /// applied, published, or acknowledged. With this constructor an
+    /// acknowledgment from [`DkServer::submit_logged`] (and the network
+    /// layer's `UPDATE_OK`) means the update is on stable storage.
+    pub fn start_logged(
+        data: DataGraph,
+        dk: DkIndex,
+        config: ServeConfig,
+        log: Box<dyn BatchLog>,
+    ) -> DkServer {
+        DkServer::start_inner(data, dk, config, Some(log))
+    }
+
+    fn start_inner(
+        data: DataGraph,
+        dk: DkIndex,
+        config: ServeConfig,
+        log: Option<Box<dyn BatchLog>>,
+    ) -> DkServer {
         let epoch0 = Arc::new(Epoch::new(0, 0, dk.clone(), data.clone()));
         let current = Arc::new(RwLock::new(epoch0));
         let handle = ServeHandle {
@@ -305,12 +367,23 @@ impl DkServer {
         telemetry::metrics::SERVE_EPOCH_PUBLISHES.incr();
         let (tx, rx) = mpsc::channel();
         let max_batch = config.max_batch.max(1);
-        let join = std::thread::spawn(move || maintenance_loop(dk, data, rx, current, max_batch));
+        let logged = log.is_some();
+        let join =
+            std::thread::spawn(move || maintenance_loop(dk, data, rx, current, max_batch, log));
         DkServer {
             handle,
             tx,
             join: Some(join),
+            logged,
         }
+    }
+
+    /// Was this server started with a write-ahead log
+    /// ([`DkServer::start_logged`])? When `true`, acknowledgments imply
+    /// durability; front-ends use this to decide whether `UPDATE_OK` must
+    /// wait for the group commit.
+    pub fn is_logged(&self) -> bool {
+        self.logged
     }
 
     /// Build the index with sharded construction
@@ -347,8 +420,19 @@ impl DkServer {
     /// when the maintenance thread no longer exists to apply it.
     pub fn submit(&self, op: ServeOp) -> Result<(), ServeError> {
         self.tx
-            .send(Msg::Op(op))
+            .send(Msg::Op(op, None))
             .map_err(|_| ServeError::MaintenanceGone)
+    }
+
+    /// Enqueue a maintenance operation and return a [`DurableAck`] that
+    /// resolves once the op's batch is applied and published — after its
+    /// WAL group commit, when this server [`DkServer::is_logged`].
+    pub fn submit_logged(&self, op: ServeOp) -> Result<DurableAck, ServeError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Op(op, Some(ack_tx)))
+            .map_err(|_| ServeError::MaintenanceGone)?;
+        Ok(DurableAck { rx: ack_rx })
     }
 
     /// Block until every previously submitted op has been applied and
@@ -416,8 +500,18 @@ impl Submitter {
     /// [`DkServer::submit`].
     pub fn submit(&self, op: ServeOp) -> Result<(), ServeError> {
         self.tx
-            .send(Msg::Op(op))
+            .send(Msg::Op(op, None))
             .map_err(|_| ServeError::MaintenanceGone)
+    }
+
+    /// Enqueue a maintenance operation with a durable acknowledgment; same
+    /// contract as [`DkServer::submit_logged`].
+    pub fn submit_logged(&self, op: ServeOp) -> Result<DurableAck, ServeError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Op(op, Some(ack_tx)))
+            .map_err(|_| ServeError::MaintenanceGone)?;
+        Ok(DurableAck { rx: ack_rx })
     }
 }
 
@@ -437,25 +531,33 @@ enum Staged {
 }
 
 /// The single-writer loop: block for one message, drain the channel up to
-/// `max_batch` ops, apply them in submission order, publish one new epoch
-/// per non-empty batch, acknowledge flushes, and hand the owned state back
-/// on shutdown.
+/// `max_batch` ops, group-commit the batch to the WAL when one is attached
+/// (write + fence + one fsync — *before* anything is applied or
+/// acknowledged), apply the ops in submission order, publish one new epoch
+/// per non-empty batch, release the batch's durable acks, acknowledge
+/// flushes, and hand the owned state back on shutdown.
 fn maintenance_loop(
     mut dk: DkIndex,
     mut data: DataGraph,
     rx: mpsc::Receiver<Msg>,
     current: Arc<RwLock<Arc<Epoch>>>,
     max_batch: usize,
+    mut wal: Option<Box<dyn BatchLog>>,
 ) -> (DkIndex, DataGraph) {
     let mut epoch_id = 0u64;
     let mut ops_total = 0u64;
+    // Set after a group commit fails. A failed fsync leaves the log in an
+    // unknowable state, so it is never retried (the fsyncgate rule): every
+    // later batch is dropped with the same typed error until the operator
+    // restarts and recovers the server.
+    let mut wal_broken = false;
     loop {
         let Ok(first) = rx.recv() else {
             // Every sender dropped without a Shutdown: nothing more can
             // arrive, the final state is whatever was last published.
             return (dk, data);
         };
-        let mut batch: Vec<ServeOp> = Vec::new();
+        let mut batch: Vec<(ServeOp, Option<AckSender>)> = Vec::new();
         let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
         let mut pauses: Vec<PauseGate> = Vec::new();
         let mut shutdown = false;
@@ -475,11 +577,43 @@ fn maintenance_loop(
             }
         }
         if !batch.is_empty() {
+            if let Some(log) = wal.as_mut() {
+                // Log only ops `apply` would actually execute (node counts
+                // never change while serving, so applicability is decidable
+                // up front): the logged stream then replays byte-identically
+                // under the *strict* replay, with no skip semantics needed.
+                let to_log: Vec<ServeOp> = batch
+                    .iter()
+                    .filter(|(op, _)| crate::serve_ops::is_applicable(op, &data))
+                    .map(|(op, _)| op.clone())
+                    .collect();
+                let committed = !wal_broken && log.log_batch(&to_log).is_ok();
+                if !committed {
+                    // Nothing in this batch reached stable storage as a
+                    // fenced commit: drop it *unapplied* — the in-memory
+                    // state must stay replayable from the committed WAL
+                    // prefix — and fail every waiting ack with the typed
+                    // error.
+                    wal_broken = true;
+                    telemetry::metrics::SERVE_WAL_DROPPED_BATCHES.incr();
+                    for (_, ack) in batch.drain(..) {
+                        if let Some(ack) = ack {
+                            let _ = ack.send(Err(ServeError::WalFailed));
+                        }
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
             let span = telemetry::Span::start(&telemetry::metrics::SERVE_PUBLISH_NS);
             telemetry::metrics::SERVE_BATCH_OPS.record(batch.len() as u64);
             ops_total += batch.len() as u64;
-            for op in batch.drain(..) {
+            let mut acks: Vec<AckSender> = Vec::new();
+            for (op, ack) in batch.drain(..) {
                 crate::serve_ops::apply(&mut dk, &mut data, op);
+                if let Some(ack) = ack {
+                    acks.push(ack);
+                }
             }
             epoch_id += 1;
             // `dk`/`data` are COW snapshots (Arc-shared blocks and
@@ -499,6 +633,14 @@ fn maintenance_loop(
             *current.write().unwrap_or_else(PoisonError::into_inner) = fresh;
             drop(span);
             telemetry::metrics::SERVE_EPOCH_PUBLISHES.incr();
+            // Acks release only here — after the WAL group commit *and* the
+            // publish — so a released ack means both durable and visible.
+            for ack in acks.drain(..) {
+                if wal.is_some() {
+                    telemetry::metrics::SERVE_DURABLE_ACKS.incr();
+                }
+                let _ = ack.send(Ok(epoch_id));
+            }
         }
         for ack in flushes.drain(..) {
             let _ = ack.send(epoch_id);
@@ -520,12 +662,12 @@ fn maintenance_loop(
 /// Sort one received message into the batch/flush/pause accumulators.
 fn stage_message(
     msg: Msg,
-    batch: &mut Vec<ServeOp>,
+    batch: &mut Vec<(ServeOp, Option<AckSender>)>,
     flushes: &mut Vec<mpsc::Sender<u64>>,
     pauses: &mut Vec<PauseGate>,
 ) -> Staged {
     match msg {
-        Msg::Op(op) => batch.push(op),
+        Msg::Op(op, ack) => batch.push((op, ack)),
         Msg::Flush(ack) => flushes.push(ack),
         Msg::Pause(gate) => pauses.push(gate),
         Msg::Shutdown => return Staged::Shutdown,

@@ -70,6 +70,20 @@ pub(crate) fn apply(dk: &mut DkIndex, data: &mut DataGraph, op: ServeOp) {
     }
 }
 
+/// Would `apply` actually execute this op, or skip it? Edge and promote
+/// ops naming a node outside the data graph are deterministic no-ops; the
+/// WAL group-commit path uses this to keep no-ops out of the log, so strict
+/// replay of the logged prefix reproduces the serve run exactly.
+pub fn is_applicable(op: &ServeOp, data: &DataGraph) -> bool {
+    match op {
+        ServeOp::AddEdge { from, to } => {
+            from.index() < data.node_count() && to.index() < data.node_count()
+        }
+        ServeOp::Promote { node, .. } => node.index() < data.node_count(),
+        ServeOp::PromoteToRequirements | ServeOp::Demote(_) | ServeOp::SetRequirements(_) => true,
+    }
+}
+
 /// Apply `ops` serially to `(dk, data)` — the single-threaded oracle used by
 /// the determinism tests: an N-thread serve run over the same submission
 /// order must end byte-identical to this.

@@ -1,36 +1,69 @@
-//! Write-ahead log of edge updates (§5's update stream, made crash-safe).
+//! Write-ahead log of maintenance operations (§5's update stream, made
+//! crash-safe and, since v2, covering the full [`ServeOp`] vocabulary).
 //!
 //! A snapshot captures the index at one point in time; the WAL captures the
-//! edge updates applied since. `snapshot + replay(WAL)` therefore
+//! maintenance operations applied since. `snapshot + replay(WAL)` therefore
 //! reconstructs exactly the state reached by applying the same stream
 //! directly — byte-identical serialization, asserted by the fault-injection
-//! suite and the robustness property tests.
+//! suite, the crash-recovery torture harness and the robustness property
+//! tests.
 //!
-//! On-disk layout (all integers little-endian):
+//! Two on-disk versions share the `b"DKWL"` magic (all integers
+//! little-endian):
 //!
 //! ```text
-//! header   b"DKWL", u32 version (= 1)
-//! record   u8 tag (1 = add-edge), u32 from, u32 to,
-//!          u32 CRC-32 of the preceding 9 bytes
+//! v1 header   b"DKWL", u32 version (= 1)
+//! v1 record   u8 tag (1 = add-edge), u32 from, u32 to,
+//!             u32 CRC-32 of the preceding 9 bytes
+//!
+//! v2 header   b"DKWL", u32 version (= 2)
+//! v2 record   u32 body_len, body, u32 CRC-32 of body
+//!             body = u8 tag, payload
+//!               tag 1  add-edge                u32 from, u32 to
+//!               tag 2  promote                 u32 node, u32 k
+//!               tag 3  promote-to-requirements (empty)
+//!               tag 4  demote                  requirements
+//!               tag 5  set-requirements        requirements
+//!               tag 6  commit fence            u32 ops since previous fence
+//!             requirements = u32 floor, u32 count,
+//!                            count × (u32 name_len, name bytes, u32 k)
+//!             (pairs sorted by label name — the in-memory table is a
+//!             `HashMap`, so the wire order is declared here)
 //! ```
+//!
+//! v2 adds the **commit fence** (tag 6): the group-commit writer stages a
+//! batch of op records plus one fence in a single write and `fsync`s once.
+//! Decoding returns only records *covered by a fence* — the committed
+//! prefix. Everything after the last fence, whether a partial record or
+//! complete-but-unfenced records, is the unacknowledged tail: recovery and
+//! [`WalWriter::open`] drop it atomically, which is what lets a DKNP
+//! `UPDATE_OK` promise durability (docs/PROTOCOL.md §8). v1 files have no
+//! fences; every complete record counts as committed (each v1 append
+//! synced individually).
 //!
 //! Decoding distinguishes two failure shapes with different semantics:
 //!
-//! * **Torn tail** — the file ends mid-record. This is the expected crash
-//!   signature (the process died while appending); decoding *succeeds* with
-//!   the complete prefix and reports [`WalTail::Torn`].
-//! * **Corrupt record** — a complete record whose CRC does not match. This
-//!   is bit rot or tampering, never a clean crash; decoding fails with a
-//!   typed [`WalError::CorruptRecord`].
+//! * **Torn tail** — the file ends mid-record, or (v2) past the last commit
+//!   fence. This is the expected crash signature (the process died while
+//!   appending, or before the batch's fsync); decoding *succeeds* with the
+//!   committed prefix and reports [`WalTail::Torn`].
+//! * **Corrupt record** — a complete record whose CRC does not match, an
+//!   unknown tag, a malformed payload, or a fence whose op count disagrees
+//!   with the records actually present. This is bit rot or tampering, never
+//!   a clean crash (a torn write leaves a *prefix* of what was written);
+//!   decoding fails with a typed [`WalError::CorruptRecord`].
 //!
-//! [`WalWriter`] orders appends for durability: each record is written and
-//! `sync_data`ed before `append` returns, so a record acknowledged to the
-//! caller survives a crash.
+//! [`WalWriter`] orders writes for durability: a record (or batch) is
+//! written and synced before the append returns, so an operation
+//! acknowledged to the caller survives a crash. The writer is generic over
+//! [`WalStore`] so the crash torture harness can substitute the
+//! fail-injecting [`crate::io_fail::SimDisk`] for a real file.
 
 use crate::bytes::Cursor;
 use crate::crc32::crc32;
 use crate::dk::construct::DkIndex;
-use crate::dk::edge_update::EdgeUpdateOutcome;
+use crate::requirements::Requirements;
+use crate::serve_ops::ServeOp;
 use dkindex_graph::{DataGraph, LabeledGraph, NodeId};
 use dkindex_telemetry as telemetry;
 use std::fmt;
@@ -39,13 +72,25 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"DKWL";
-const VERSION: u32 = 1;
+/// Current on-disk version written by [`WalWriter::create`].
+pub const VERSION: u32 = 2;
+const VERSION_V1: u32 = 1;
 const HEADER_LEN: usize = 8;
-const RECORD_LEN: usize = 13;
+const V1_RECORD_LEN: usize = 13;
 const TAG_ADD_EDGE: u8 = 1;
+const TAG_PROMOTE: u8 = 2;
+const TAG_PROMOTE_TO_REQUIREMENTS: u8 = 3;
+const TAG_DEMOTE: u8 = 4;
+const TAG_SET_REQUIREMENTS: u8 = 5;
+const TAG_COMMIT: u8 = 6;
+/// Upper bound on one v2 record body. A length prefix beyond this is
+/// corruption, not a huge record: the largest legitimate body is a
+/// requirements table, and even a pathological label set stays far below
+/// a mebibyte.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
 
-/// One logged update.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One logged maintenance operation (the WAL mirror of [`ServeOp`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WalRecord {
     /// The paper's edge-addition update (Algorithms 4–5).
     AddEdge {
@@ -54,17 +99,58 @@ pub enum WalRecord {
         /// Target data node.
         to: NodeId,
     },
+    /// Promote the block containing `node` to local similarity `k`
+    /// (Algorithm 6).
+    Promote {
+        /// A data node identifying the target block.
+        node: NodeId,
+        /// Requested local similarity.
+        k: usize,
+    },
+    /// Run the full promoting pass against the stored requirements.
+    PromoteToRequirements,
+    /// Demote the index to the given requirements (§5.4).
+    Demote(Requirements),
+    /// Replace the stored requirements and promote up to them.
+    SetRequirements(Requirements),
+}
+
+impl WalRecord {
+    /// The WAL record logging `op`.
+    pub fn from_op(op: &ServeOp) -> WalRecord {
+        match op {
+            ServeOp::AddEdge { from, to } => WalRecord::AddEdge { from: *from, to: *to },
+            ServeOp::Promote { node, k } => WalRecord::Promote { node: *node, k: *k },
+            ServeOp::PromoteToRequirements => WalRecord::PromoteToRequirements,
+            ServeOp::Demote(reqs) => WalRecord::Demote(reqs.clone()),
+            ServeOp::SetRequirements(reqs) => WalRecord::SetRequirements(reqs.clone()),
+        }
+    }
+
+    /// The serve operation this record replays as.
+    pub fn to_op(&self) -> ServeOp {
+        match self {
+            WalRecord::AddEdge { from, to } => ServeOp::AddEdge { from: *from, to: *to },
+            WalRecord::Promote { node, k } => ServeOp::Promote { node: *node, k: *k },
+            WalRecord::PromoteToRequirements => ServeOp::PromoteToRequirements,
+            WalRecord::Demote(reqs) => ServeOp::Demote(reqs.clone()),
+            WalRecord::SetRequirements(reqs) => ServeOp::SetRequirements(reqs.clone()),
+        }
+    }
 }
 
 /// How the log ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WalTail {
-    /// The file ends exactly on a record boundary.
+    /// v1: the file ends exactly on a record boundary. v2: the file ends
+    /// exactly on a commit fence (or is a bare header).
     Clean,
-    /// The file ends mid-record (crash during append); `valid_len` is the
-    /// byte length of the complete prefix.
+    /// The committed prefix ends at `valid_len`: the file continues with a
+    /// partial record (crash during a write) or, in v2, with records no
+    /// commit fence covers (crash before the batch's fsync). Recovery
+    /// truncates here.
     Torn {
-        /// Length of the valid prefix in bytes.
+        /// Length of the committed prefix in bytes.
         valid_len: usize,
     },
 }
@@ -80,9 +166,10 @@ pub enum WalError {
     TruncatedHeader,
     /// The header declares a version this build cannot read.
     UnsupportedVersion(u32),
-    /// A complete record failed its CRC or carries an unknown tag.
+    /// A complete record failed its CRC, carries an unknown tag, has a
+    /// malformed payload, or is a fence whose count disagrees with the log.
     CorruptRecord {
-        /// Zero-based record index.
+        /// Zero-based record index (fences included, v2).
         index: usize,
         /// Byte offset of the record start.
         offset: usize,
@@ -121,46 +208,178 @@ impl From<io::Error> for WalError {
     }
 }
 
-/// Encode one record into its 13-byte wire form.
-pub fn encode_record(record: &WalRecord) -> [u8; RECORD_LEN] {
-    let WalRecord::AddEdge { from, to } = record;
+// ---- encoding ------------------------------------------------------------
+
+/// The 8-byte header of the current (v2) format.
+pub fn encode_header() -> [u8; HEADER_LEN] {
+    encode_header_version(VERSION)
+}
+
+/// The 8-byte header of the legacy v1 format (compatibility tests and the
+/// fault sweeps still write v1 streams).
+pub fn encode_header_v1() -> [u8; HEADER_LEN] {
+    encode_header_version(VERSION_V1)
+}
+
+fn encode_header_version(version: u32) -> [u8; HEADER_LEN] {
+    let [m0, m1, m2, m3] = *MAGIC;
+    let [v0, v1, v2, v3] = version.to_le_bytes();
+    [m0, m1, m2, m3, v0, v1, v2, v3]
+}
+
+/// Encode one op record into its v2 wire form (length prefix + body + CRC).
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16);
+    match record {
+        WalRecord::AddEdge { from, to } => {
+            body.push(TAG_ADD_EDGE);
+            body.extend_from_slice(&(from.index() as u32).to_le_bytes());
+            body.extend_from_slice(&(to.index() as u32).to_le_bytes());
+        }
+        WalRecord::Promote { node, k } => {
+            body.push(TAG_PROMOTE);
+            body.extend_from_slice(&(node.index() as u32).to_le_bytes());
+            body.extend_from_slice(&(*k as u32).to_le_bytes());
+        }
+        WalRecord::PromoteToRequirements => body.push(TAG_PROMOTE_TO_REQUIREMENTS),
+        WalRecord::Demote(reqs) => {
+            body.push(TAG_DEMOTE);
+            encode_requirements(reqs, &mut body);
+        }
+        WalRecord::SetRequirements(reqs) => {
+            body.push(TAG_SET_REQUIREMENTS);
+            encode_requirements(reqs, &mut body);
+        }
+    }
+    frame_body(&body)
+}
+
+/// Encode a v2 commit fence covering `count` op records.
+pub fn encode_commit(count: u32) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5);
+    body.push(TAG_COMMIT);
+    body.extend_from_slice(&count.to_le_bytes());
+    frame_body(&body)
+}
+
+fn frame_body(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
+}
+
+/// Requirements wire form: floor, pair count, then `(name_len, name, k)`
+/// pairs sorted by label name. The in-memory table is hash-keyed, so the
+/// sort *declares* the byte order — the WAL is a durable format and must
+/// encode identically across runs.
+fn encode_requirements(reqs: &Requirements, out: &mut Vec<u8>) {
+    let mut pairs: Vec<(&str, usize)> = reqs.iter().collect();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    out.extend_from_slice(&(reqs.floor() as u32).to_le_bytes());
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (name, k) in pairs {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(k as u32).to_le_bytes());
+    }
+}
+
+/// Encode one record into the legacy 13-byte v1 wire form. Only
+/// [`WalRecord::AddEdge`] exists in v1; other ops return `None`.
+pub fn encode_record_v1(record: &WalRecord) -> Option<[u8; V1_RECORD_LEN]> {
+    let WalRecord::AddEdge { from, to } = record else {
+        return None;
+    };
     let [f0, f1, f2, f3] = (from.index() as u32).to_le_bytes();
     let [t0, t1, t2, t3] = (to.index() as u32).to_le_bytes();
     let body = [TAG_ADD_EDGE, f0, f1, f2, f3, t0, t1, t2, t3];
     let [c0, c1, c2, c3] = crc32(&body).to_le_bytes();
-    [TAG_ADD_EDGE, f0, f1, f2, f3, t0, t1, t2, t3, c0, c1, c2, c3]
+    Some([TAG_ADD_EDGE, f0, f1, f2, f3, t0, t1, t2, t3, c0, c1, c2, c3])
 }
 
-/// The 8-byte WAL header.
-pub fn encode_header() -> [u8; HEADER_LEN] {
-    let [m0, m1, m2, m3] = *MAGIC;
-    let [v0, v1, v2, v3] = VERSION.to_le_bytes();
-    [m0, m1, m2, m3, v0, v1, v2, v3]
+// ---- decoding ------------------------------------------------------------
+
+/// Per-file WAL report for `dkindex doctor`: version, committed record
+/// count, dropped-tail size and the tail verdict, without replaying.
+#[derive(Debug)]
+pub struct WalInspection {
+    /// On-disk format version (1 or 2).
+    pub version: u32,
+    /// Records covered by the acknowledged prefix (replay applies these).
+    pub committed: usize,
+    /// Complete records past the last commit fence — written but never
+    /// fsync-fenced, so recovery drops them (always 0 for v1).
+    pub uncommitted: usize,
+    /// How the file ends.
+    pub verdict: WalVerdict,
 }
 
-/// Decode a WAL byte stream into records. A file ending mid-record yields
-/// the complete prefix with [`WalTail::Torn`]; a complete record with a bad
-/// CRC is a typed error.
-pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
+/// Doctor's three-way tail verdict.
+#[derive(Debug)]
+pub enum WalVerdict {
+    /// The file ends exactly on the committed prefix.
+    Clean,
+    /// The committed prefix ends at `valid_len`; the rest is an
+    /// unacknowledged tail that recovery truncates (the crash signature).
+    TornTail {
+        /// Byte length of the committed prefix.
+        valid_len: usize,
+    },
+    /// A complete record is damaged — bit rot or tampering, not a crash.
+    Corrupt {
+        /// Zero-based record index.
+        index: usize,
+        /// Byte offset of the record start.
+        offset: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+/// How the low-level scan ended.
+enum DecodeEnd {
+    Clean,
+    Torn,
+    Corrupt { index: usize, offset: usize, reason: String },
+}
+
+/// Low-level scan result shared by [`decode_wal`] and [`inspect_wal`].
+struct Decoded {
+    version: u32,
+    /// Every complete, CRC-valid op record in file order (fences excluded).
+    records: Vec<WalRecord>,
+    /// How many of `records` a commit fence covers (v1: all of them).
+    committed: usize,
+    /// Byte offset where the committed prefix ends.
+    committed_end: usize,
+    end: DecodeEnd,
+}
+
+fn decode_engine(bytes: &[u8]) -> Result<Decoded, WalError> {
     let mut cur = Cursor::new(bytes);
     let magic = cur.array4().ok_or(WalError::TruncatedHeader)?;
     if magic != *MAGIC {
         return Err(WalError::BadMagic);
     }
     let version = cur.u32_le().ok_or(WalError::TruncatedHeader)?;
-    if version != VERSION {
-        return Err(WalError::UnsupportedVersion(version));
+    match version {
+        VERSION_V1 => Ok(decode_engine_v1(cur)),
+        VERSION => Ok(decode_engine_v2(cur)),
+        other => Err(WalError::UnsupportedVersion(other)),
     }
+}
+
+fn decode_engine_v1(mut cur: Cursor<'_>) -> Decoded {
     let mut records = Vec::new();
     let mut index = 0usize;
-    // A file ending exactly on a record boundary is a clean tail: every
-    // appended record survived. Only a strictly partial trailing record —
-    // fewer than RECORD_LEN bytes past the last boundary — is torn.
-    while cur.remaining() >= RECORD_LEN {
+    // A v1 file ending exactly on a record boundary is a clean tail: every
+    // appended record survived (v1 synced per append). Only a strictly
+    // partial trailing record is torn.
+    while cur.remaining() >= V1_RECORD_LEN {
         let offset = cur.offset();
-        let Some(rec) = cur.take(RECORD_LEN) else {
-            // Unreachable given the remaining() guard, but a torn tail is
-            // the sound typed fallback either way.
+        let Some(rec) = cur.take(V1_RECORD_LEN) else {
             break;
         };
         let mut fields = Cursor::new(rec);
@@ -169,21 +388,33 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
         else {
             break;
         };
-        let body = rec.get(..RECORD_LEN - 4).unwrap_or(rec);
+        let body = rec.get(..V1_RECORD_LEN - 4).unwrap_or(rec);
         if crc32(body) != stored {
             telemetry::metrics::STORE_CRC_FAILURES.incr();
-            return Err(WalError::CorruptRecord {
-                index,
-                offset,
-                reason: "CRC mismatch".to_string(),
-            });
+            return Decoded {
+                version: VERSION_V1,
+                committed: records.len(),
+                committed_end: offset,
+                records,
+                end: DecodeEnd::Corrupt {
+                    index,
+                    offset,
+                    reason: "CRC mismatch".to_string(),
+                },
+            };
         }
         if tag != TAG_ADD_EDGE {
-            return Err(WalError::CorruptRecord {
-                index,
-                offset,
-                reason: format!("unknown record tag {tag}"),
-            });
+            return Decoded {
+                version: VERSION_V1,
+                committed: records.len(),
+                committed_end: offset,
+                records,
+                end: DecodeEnd::Corrupt {
+                    index,
+                    offset,
+                    reason: format!("unknown record tag {tag}"),
+                },
+            };
         }
         records.push(WalRecord::AddEdge {
             from: NodeId::from_index(from as usize),
@@ -191,29 +422,261 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
         });
         index += 1;
     }
-    if cur.remaining() != 0 {
-        // Incomplete trailing record: a crash mid-append, not corruption.
-        telemetry::metrics::WAL_TORN_TAILS.incr();
-        return Ok((records, WalTail::Torn { valid_len: cur.offset() }));
+    let committed_end = cur.offset();
+    let end = if cur.remaining() == 0 { DecodeEnd::Clean } else { DecodeEnd::Torn };
+    Decoded {
+        version: VERSION_V1,
+        committed: records.len(),
+        committed_end,
+        records,
+        end,
     }
-    Ok((records, WalTail::Clean))
 }
+
+fn decode_engine_v2(mut cur: Cursor<'_>) -> Decoded {
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut committed = 0usize;
+    let mut committed_end = cur.offset();
+    let mut index = 0usize;
+    let corrupt = |records: Vec<WalRecord>,
+                   committed: usize,
+                   committed_end: usize,
+                   index: usize,
+                   offset: usize,
+                   reason: String| Decoded {
+        version: VERSION,
+        records,
+        committed,
+        committed_end,
+        end: DecodeEnd::Corrupt { index, offset, reason },
+    };
+    loop {
+        if cur.remaining() == 0 {
+            break;
+        }
+        let offset = cur.offset();
+        // A tear inside the 4 length bytes, or a body/CRC shorter than the
+        // declared length, is the crash signature: the write stopped partway.
+        let Some(len) = cur.u32_le() else {
+            return Decoded {
+                version: VERSION,
+                records,
+                committed,
+                committed_end,
+                end: DecodeEnd::Torn,
+            };
+        };
+        let len = len as usize;
+        if len == 0 || len > MAX_RECORD_LEN {
+            // The 4 length bytes are complete, so they are the bytes that
+            // were written — an out-of-bounds value is damage, not a tear.
+            return corrupt(
+                records,
+                committed,
+                committed_end,
+                index,
+                offset,
+                format!("record length {len} out of bounds"),
+            );
+        }
+        if cur.remaining() < len + 4 {
+            return Decoded {
+                version: VERSION,
+                records,
+                committed,
+                committed_end,
+                end: DecodeEnd::Torn,
+            };
+        }
+        let (Some(body), Some(stored)) = (cur.take(len), cur.u32_le()) else {
+            return Decoded {
+                version: VERSION,
+                records,
+                committed,
+                committed_end,
+                end: DecodeEnd::Torn,
+            };
+        };
+        if crc32(body) != stored {
+            telemetry::metrics::STORE_CRC_FAILURES.incr();
+            return corrupt(
+                records,
+                committed,
+                committed_end,
+                index,
+                offset,
+                "CRC mismatch".to_string(),
+            );
+        }
+        match decode_body(body) {
+            Ok(DecodedBody::Op(record)) => records.push(record),
+            Ok(DecodedBody::Commit(count)) => {
+                let run = records.len() - committed;
+                if count as usize != run {
+                    return corrupt(
+                        records,
+                        committed,
+                        committed_end,
+                        index,
+                        offset,
+                        format!("commit fence covers {count} records but {run} follow the previous fence"),
+                    );
+                }
+                committed = records.len();
+                committed_end = cur.offset();
+            }
+            Err(reason) => {
+                return corrupt(records, committed, committed_end, index, offset, reason)
+            }
+        }
+        index += 1;
+    }
+    let end = if committed == records.len() && committed_end == cur.offset() {
+        DecodeEnd::Clean
+    } else {
+        // Complete records past the last fence: written but never fenced by
+        // an fsync, i.e. never acknowledged — the tail recovery drops.
+        DecodeEnd::Torn
+    };
+    Decoded {
+        version: VERSION,
+        records,
+        committed,
+        committed_end,
+        end,
+    }
+}
+
+enum DecodedBody {
+    Op(WalRecord),
+    Commit(u32),
+}
+
+fn decode_body(body: &[u8]) -> Result<DecodedBody, String> {
+    let mut cur = Cursor::new(body);
+    let Some(tag) = cur.u8() else {
+        return Err("empty record body".to_string());
+    };
+    let record = match tag {
+        TAG_ADD_EDGE => {
+            let (Some(from), Some(to)) = (cur.u32_le(), cur.u32_le()) else {
+                return Err("add-edge payload truncated".to_string());
+            };
+            DecodedBody::Op(WalRecord::AddEdge {
+                from: NodeId::from_index(from as usize),
+                to: NodeId::from_index(to as usize),
+            })
+        }
+        TAG_PROMOTE => {
+            let (Some(node), Some(k)) = (cur.u32_le(), cur.u32_le()) else {
+                return Err("promote payload truncated".to_string());
+            };
+            DecodedBody::Op(WalRecord::Promote {
+                node: NodeId::from_index(node as usize),
+                k: k as usize,
+            })
+        }
+        TAG_PROMOTE_TO_REQUIREMENTS => DecodedBody::Op(WalRecord::PromoteToRequirements),
+        TAG_DEMOTE => DecodedBody::Op(WalRecord::Demote(decode_requirements(&mut cur)?)),
+        TAG_SET_REQUIREMENTS => {
+            DecodedBody::Op(WalRecord::SetRequirements(decode_requirements(&mut cur)?))
+        }
+        TAG_COMMIT => {
+            let Some(count) = cur.u32_le() else {
+                return Err("commit fence payload truncated".to_string());
+            };
+            DecodedBody::Commit(count)
+        }
+        other => return Err(format!("unknown record tag {other}")),
+    };
+    if cur.remaining() != 0 {
+        return Err(format!("{} trailing payload bytes", cur.remaining()));
+    }
+    Ok(record)
+}
+
+fn decode_requirements(cur: &mut Cursor<'_>) -> Result<Requirements, String> {
+    let (Some(floor), Some(count)) = (cur.u32_le(), cur.u32_le()) else {
+        return Err("requirements payload truncated".to_string());
+    };
+    let mut reqs = Requirements::new();
+    for _ in 0..count {
+        let Some(name_len) = cur.u32_le() else {
+            return Err("requirements pair truncated".to_string());
+        };
+        let Some(name_bytes) = cur.take(name_len as usize) else {
+            return Err("requirements label truncated".to_string());
+        };
+        let Ok(name) = std::str::from_utf8(name_bytes) else {
+            return Err("requirements label is not UTF-8".to_string());
+        };
+        let Some(k) = cur.u32_le() else {
+            return Err("requirements pair truncated".to_string());
+        };
+        reqs.raise(name, k as usize);
+    }
+    reqs.raise_floor(floor as usize);
+    Ok(reqs)
+}
+
+/// Decode a WAL byte stream into its committed records. A file ending
+/// mid-record — or, in v2, past the last commit fence — yields the committed
+/// prefix with [`WalTail::Torn`]; a complete record with a bad CRC (or any
+/// other structural damage) is a typed error.
+pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), WalError> {
+    let mut decoded = decode_engine(bytes)?;
+    match decoded.end {
+        DecodeEnd::Corrupt { index, offset, reason } => {
+            Err(WalError::CorruptRecord { index, offset, reason })
+        }
+        DecodeEnd::Clean => Ok((decoded.records, WalTail::Clean)),
+        DecodeEnd::Torn => {
+            telemetry::metrics::WAL_TORN_TAILS.incr();
+            decoded.records.truncate(decoded.committed);
+            Ok((decoded.records, WalTail::Torn { valid_len: decoded.committed_end }))
+        }
+    }
+}
+
+/// Scan a WAL byte stream for `dkindex doctor`: version, committed and
+/// dropped record counts, and the three-way tail verdict. Unlike
+/// [`decode_wal`], a corrupt record is reported in the verdict rather than
+/// failing the scan; only header-level damage is an error.
+pub fn inspect_wal(bytes: &[u8]) -> Result<WalInspection, WalError> {
+    let decoded = decode_engine(bytes)?;
+    let uncommitted = decoded.records.len() - decoded.committed;
+    let verdict = match decoded.end {
+        DecodeEnd::Clean => WalVerdict::Clean,
+        DecodeEnd::Torn => WalVerdict::TornTail { valid_len: decoded.committed_end },
+        DecodeEnd::Corrupt { index, offset, reason } => {
+            WalVerdict::Corrupt { index, offset, reason }
+        }
+    };
+    Ok(WalInspection {
+        version: decoded.version,
+        committed: decoded.committed,
+        uncommitted,
+        verdict,
+    })
+}
+
+// ---- replay --------------------------------------------------------------
 
 /// Outcome of replaying a WAL against a snapshot.
 #[derive(Debug)]
 pub struct ReplayReport {
     /// Records applied.
     pub applied: usize,
-    /// Per-record update outcomes (same order as the log).
-    pub outcomes: Vec<EdgeUpdateOutcome>,
     /// How the log ended.
     pub tail: WalTail,
 }
 
-/// Replay decoded `records` into `dk`/`data` via the paper's edge-addition
-/// update. Records referencing nodes outside the graph are a typed error
-/// (the WAL belongs to a different snapshot), applied *before* any mutation
-/// of that record.
+/// Replay decoded `records` into `dk`/`data`. Each record applies exactly as
+/// [`crate::serve_ops`] would have applied the operation it logs — replay of
+/// the committed prefix is byte-identical to the serve run that wrote it.
+/// Records referencing nodes outside the graph are a typed error (the WAL
+/// belongs to a different snapshot), raised *before* any mutation of that
+/// record; the serve writer never logs such an op.
 pub fn replay_records(
     dk: &mut DkIndex,
     data: &mut DataGraph,
@@ -221,21 +684,23 @@ pub fn replay_records(
     tail: WalTail,
 ) -> Result<ReplayReport, WalError> {
     let span = telemetry::Span::start(&telemetry::metrics::WAL_REPLAY_NS);
-    let mut outcomes = Vec::with_capacity(records.len());
     for (index, record) in records.iter().enumerate() {
-        let WalRecord::AddEdge { from, to } = *record;
-        if from.index() >= data.node_count() || to.index() >= data.node_count() {
-            return Err(WalError::RecordOutOfRange { index });
+        match record {
+            WalRecord::AddEdge { from, to }
+                if from.index() >= data.node_count() || to.index() >= data.node_count() =>
+            {
+                return Err(WalError::RecordOutOfRange { index });
+            }
+            WalRecord::Promote { node, .. } if node.index() >= data.node_count() => {
+                return Err(WalError::RecordOutOfRange { index });
+            }
+            _ => {}
         }
-        outcomes.push(dk.add_edge(data, from, to));
+        crate::serve_ops::apply(dk, data, record.to_op());
         telemetry::metrics::WAL_RECORDS_REPLAYED.incr();
     }
     drop(span);
-    Ok(ReplayReport {
-        applied: outcomes.len(),
-        outcomes,
-        tail,
-    })
+    Ok(ReplayReport { applied: records.len(), tail })
 }
 
 /// Decode `bytes` and replay into `dk`/`data` in one step.
@@ -248,52 +713,201 @@ pub fn replay(
     replay_records(dk, data, records.as_slice(), tail)
 }
 
-/// Append-only WAL file handle with fsync-ordered writes: every record is
-/// flushed to stable storage before `append` returns.
-pub struct WalWriter {
+// ---- writing -------------------------------------------------------------
+
+/// The byte sink a [`WalWriter`] appends to. The production store is a real
+/// file ([`FileStore`]); the crash torture harness substitutes
+/// [`crate::io_fail::SimDisk`] to inject fsync failures and torn writes.
+pub trait WalStore {
+    /// Append `buf` at the end of the store.
+    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush everything written so far to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// [`WalStore`] over a real file, syncing with `sync_data`.
+pub struct FileStore {
     file: File,
 }
 
-impl WalWriter {
-    /// Create (or truncate) a WAL at `path`, writing and syncing the header.
-    pub fn create(path: &Path) -> io::Result<Self> {
-        let mut file = File::create(path)?;
-        file.write_all(&encode_header())?;
-        file.sync_data()?;
-        Ok(WalWriter { file })
+impl WalStore for FileStore {
+    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)
     }
 
-    /// Open an existing WAL for appending. The whole file is validated
-    /// first; a torn tail (crash during a previous append) is truncated away
-    /// so new records extend the valid prefix.
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Durable batch sink for the serve maintenance thread: one group commit
+/// (single write + single fsync) per batch, all-or-nothing before any
+/// acknowledgment is released.
+pub trait BatchLog: Send {
+    /// Durably log one batch of operations.
+    fn log_batch(&mut self, ops: &[ServeOp]) -> io::Result<()>;
+}
+
+impl<S: WalStore + Send> BatchLog for WalWriter<S> {
+    fn log_batch(&mut self, ops: &[ServeOp]) -> io::Result<()> {
+        self.append_batch(ops)
+    }
+}
+
+/// Append-only WAL handle with fsync-ordered writes: every record — or, for
+/// a batch, the batch plus its commit fence — is flushed to stable storage
+/// before the append returns.
+pub struct WalWriter<S: WalStore = FileStore> {
+    store: S,
+    version: u32,
+    /// v2 op records written since the last commit fence.
+    staged: u32,
+}
+
+impl WalWriter<FileStore> {
+    /// Create (or truncate) a WAL at `path`, writing and syncing the
+    /// current-version header.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut store = FileStore { file: File::create(path)? };
+        store.write_all_bytes(&encode_header())?;
+        store.sync()?;
+        Ok(WalWriter { store, version: VERSION, staged: 0 })
+    }
+
+    /// Open an existing WAL (either version) for appending. The whole file
+    /// is validated first; the unacknowledged tail — a torn record or, in
+    /// v2, anything past the last commit fence — is truncated away so new
+    /// records extend the committed prefix. Appends continue in the file's
+    /// own version.
     pub fn open(path: &Path) -> Result<Self, WalError> {
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
-        let (_, tail) = decode_wal(&bytes)?;
+        let decoded = decode_engine(&bytes)?;
+        if let DecodeEnd::Corrupt { index, offset, reason } = decoded.end {
+            return Err(WalError::CorruptRecord { index, offset, reason });
+        }
         let file = OpenOptions::new().write(true).open(path)?;
-        if let WalTail::Torn { valid_len } = tail {
-            file.set_len(valid_len as u64)?;
+        if decoded.committed_end != bytes.len() {
+            telemetry::metrics::WAL_TORN_TAILS.incr();
+            file.set_len(decoded.committed_end as u64)?;
             file.sync_data()?;
         }
-        let mut writer = WalWriter { file };
+        let mut store = FileStore { file };
         use std::io::Seek;
-        writer.file.seek(io::SeekFrom::End(0))?;
-        Ok(writer)
+        store.file.seek(io::SeekFrom::End(0))?;
+        Ok(WalWriter { store, version: decoded.version, staged: 0 })
+    }
+}
+
+impl<S: WalStore> WalWriter<S> {
+    /// Wrap a fresh store, writing and syncing a current-version header.
+    /// The torture harness builds its writers through here over a
+    /// [`crate::io_fail::SimDisk`].
+    pub fn with_store(mut store: S) -> io::Result<Self> {
+        store.write_all_bytes(&encode_header())?;
+        store.sync()?;
+        Ok(WalWriter { store, version: VERSION, staged: 0 })
     }
 
-    /// Append one record durably: write, then `sync_data`, then return.
+    /// The on-disk version this writer appends in.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Borrow the underlying store (the torture harness reads crash views
+    /// through this).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Append one record durably: write, fence (v2), sync, then return.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
-        self.file.write_all(&encode_record(record))?;
-        self.file.sync_data()?;
+        self.stage(record)?;
+        self.commit()
+    }
+
+    /// Write one record without syncing. The record is not durable — and in
+    /// v2 not even replayable — until [`WalWriter::commit`] fences it.
+    pub fn stage(&mut self, record: &WalRecord) -> io::Result<()> {
+        let bytes = self.encode_for_version(record)?;
+        self.store.write_all_bytes(&bytes)?;
+        self.staged = self.staged.saturating_add(1);
         telemetry::metrics::WAL_RECORDS_APPENDED.incr();
         Ok(())
+    }
+
+    /// Fence and fsync everything staged since the previous commit. A v2
+    /// fence covers exactly the staged run; v1 has no fences, so this is a
+    /// bare sync. A no-op when nothing is staged.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if self.staged == 0 {
+            return Ok(());
+        }
+        if self.version == VERSION {
+            self.store.write_all_bytes(&encode_commit(self.staged))?;
+        }
+        self.sync_counted()?;
+        self.staged = 0;
+        telemetry::metrics::WAL_GROUP_COMMITS.incr();
+        Ok(())
+    }
+
+    /// Group-commit one batch: every op record plus the commit fence in a
+    /// single write, then a single fsync. This is the serve maintenance
+    /// thread's durability step — nothing in the batch is acknowledged
+    /// until this returns `Ok`.
+    pub fn append_batch(&mut self, ops: &[ServeOp]) -> io::Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let span = telemetry::Span::start(&telemetry::metrics::WAL_GROUP_COMMIT_NS);
+        let mut buf = Vec::new();
+        for op in ops {
+            let record = WalRecord::from_op(op);
+            buf.extend_from_slice(&self.encode_for_version(&record)?);
+        }
+        if self.version == VERSION {
+            buf.extend_from_slice(&encode_commit(ops.len() as u32));
+        }
+        self.store.write_all_bytes(&buf)?;
+        self.sync_counted()?;
+        for _ in ops {
+            telemetry::metrics::WAL_RECORDS_APPENDED.incr();
+        }
+        telemetry::metrics::WAL_GROUP_COMMITS.incr();
+        drop(span);
+        Ok(())
+    }
+
+    fn encode_for_version(&self, record: &WalRecord) -> io::Result<Vec<u8>> {
+        if self.version == VERSION_V1 {
+            match encode_record_v1(record) {
+                Some(bytes) => Ok(bytes.to_vec()),
+                None => Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "v1 WAL files can only log add-edge records; \
+                     recreate the WAL to log maintenance ops",
+                )),
+            }
+        } else {
+            Ok(encode_record(record))
+        }
+    }
+
+    fn sync_counted(&mut self) -> io::Result<()> {
+        match self.store.sync() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                telemetry::metrics::WAL_SYNC_FAILURES.incr();
+                Err(e)
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::requirements::Requirements;
     use dkindex_graph::EdgeKind;
 
     fn sample() -> (DataGraph, DkIndex) {
@@ -309,99 +923,187 @@ mod tests {
         (g, dk)
     }
 
+    fn add(from: usize, to: usize) -> WalRecord {
+        WalRecord::AddEdge { from: NodeId::from_index(from), to: NodeId::from_index(to) }
+    }
+
+    /// v2 log bytes: each record individually fenced (append-per-record).
     fn log_bytes(records: &[WalRecord]) -> Vec<u8> {
         let mut bytes = encode_header().to_vec();
         for r in records {
             bytes.extend_from_slice(&encode_record(r));
+            bytes.extend_from_slice(&encode_commit(1));
         }
         bytes
     }
 
-    /// Regression for the panic-free encode rewrite: the wire layout is a
-    /// durable format, so the exact bytes are pinned — tag, LE from, LE to,
-    /// LE CRC of the first 9 bytes; header is magic + LE version.
+    /// v1 log bytes (legacy format).
+    fn log_bytes_v1(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = encode_header_v1().to_vec();
+        for r in records {
+            bytes.extend_from_slice(&encode_record_v1(r).unwrap());
+        }
+        bytes
+    }
+
+    fn mixed_records() -> Vec<WalRecord> {
+        vec![
+            add(3, 1),
+            WalRecord::Promote { node: NodeId::from_index(1), k: 2 },
+            WalRecord::PromoteToRequirements,
+            WalRecord::Demote(Requirements::from_pairs([("a", 1), ("b", 2)])),
+            WalRecord::SetRequirements({
+                let mut r = Requirements::from_pairs([("c", 3)]);
+                r.raise_floor(1);
+                r
+            }),
+        ]
+    }
+
+    /// The v1 wire layout is a durable format and stays pinned: tag, LE
+    /// from, LE to, LE CRC of the first 9 bytes; header is magic + LE 1.
     #[test]
-    fn wire_format_bytes_are_pinned() {
-        assert_eq!(encode_header(), *b"DKWL\x01\x00\x00\x00");
-        let rec = encode_record(&WalRecord::AddEdge {
-            from: NodeId::from_index(0x0102),
-            to: NodeId::from_index(3),
-        });
+    fn v1_wire_format_bytes_are_pinned() {
+        assert_eq!(encode_header_v1(), *b"DKWL\x01\x00\x00\x00");
+        let rec = encode_record_v1(&add(0x0102, 3)).unwrap();
         assert_eq!(rec[..9], [1, 0x02, 0x01, 0, 0, 3, 0, 0, 0]);
         assert_eq!(rec[9..], crc32(&rec[..9]).to_le_bytes());
     }
 
+    /// The v2 wire layout is likewise pinned: LE body length, body = tag +
+    /// payload, LE CRC of the body; header is magic + LE 2; the commit
+    /// fence is tag 6 with an LE op count.
     #[test]
-    fn encode_decode_round_trips() {
-        let records = vec![
-            WalRecord::AddEdge { from: NodeId::from_index(3), to: NodeId::from_index(1) },
-            WalRecord::AddEdge { from: NodeId::from_index(0), to: NodeId::from_index(2) },
-        ];
+    fn v2_wire_format_bytes_are_pinned() {
+        assert_eq!(encode_header(), *b"DKWL\x02\x00\x00\x00");
+        let rec = encode_record(&add(0x0102, 3));
+        assert_eq!(rec[..4], 9u32.to_le_bytes());
+        assert_eq!(rec[4..13], [1, 0x02, 0x01, 0, 0, 3, 0, 0, 0]);
+        assert_eq!(rec[13..], crc32(&rec[4..13]).to_le_bytes());
+        let fence = encode_commit(7);
+        assert_eq!(fence[..4], 5u32.to_le_bytes());
+        assert_eq!(fence[4..9], [6, 7, 0, 0, 0]);
+        assert_eq!(fence[9..], crc32(&fence[4..9]).to_le_bytes());
+        // Requirements pairs are sorted by label name on the wire.
+        let reqs = WalRecord::Demote(Requirements::from_pairs([("zz", 1), ("aa", 2)]));
+        let body = &encode_record(&reqs)[4..];
+        let aa = body.windows(2).position(|w| w == b"aa");
+        let zz = body.windows(2).position(|w| w == b"zz");
+        assert!(aa.unwrap() < zz.unwrap(), "pairs must be name-sorted");
+    }
+
+    #[test]
+    fn v2_round_trips_every_op_kind() {
+        let records = mixed_records();
         let (back, tail) = decode_wal(&log_bytes(&records)).unwrap();
         assert_eq!(back, records);
         assert_eq!(tail, WalTail::Clean);
     }
 
     #[test]
-    fn torn_tail_yields_prefix() {
-        let records = vec![
-            WalRecord::AddEdge { from: NodeId::from_index(3), to: NodeId::from_index(1) },
-            WalRecord::AddEdge { from: NodeId::from_index(0), to: NodeId::from_index(2) },
-        ];
+    fn v1_streams_still_decode() {
+        let records = vec![add(3, 1), add(0, 2)];
+        let (back, tail) = decode_wal(&log_bytes_v1(&records)).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn v2_torn_record_yields_committed_prefix() {
+        let records = vec![add(3, 1), add(0, 2)];
         let full = log_bytes(&records);
-        // Every truncation point inside the second record keeps record one.
-        for cut in (HEADER_LEN + RECORD_LEN + 1)..full.len() {
+        let first_end = HEADER_LEN + encode_record(&records[0]).len() + encode_commit(1).len();
+        // Every truncation point inside the second record (or its fence)
+        // keeps exactly the first committed record.
+        for cut in (first_end + 1)..full.len() {
             let (back, tail) = decode_wal(&full[..cut]).unwrap();
             assert_eq!(back, records[..1], "cut at {cut}");
-            assert_eq!(tail, WalTail::Torn { valid_len: HEADER_LEN + RECORD_LEN });
+            assert_eq!(tail, WalTail::Torn { valid_len: first_end }, "cut at {cut}");
         }
     }
 
     #[test]
-    fn record_boundary_cuts_are_clean_tails() {
-        let records = vec![
-            WalRecord::AddEdge { from: NodeId::from_index(3), to: NodeId::from_index(1) },
-            WalRecord::AddEdge { from: NodeId::from_index(0), to: NodeId::from_index(2) },
-            WalRecord::AddEdge { from: NodeId::from_index(2), to: NodeId::from_index(4) },
-        ];
-        let full = log_bytes(&records);
-        // A cut landing exactly on a record boundary — including the bare
-        // header and the full file — is a clean tail with that many records.
+    fn v2_unfenced_records_are_dropped_as_torn_tail() {
+        // A batch of two records whose fence never made it to disk: both
+        // are complete, neither is committed.
+        let mut bytes = encode_header().to_vec();
+        bytes.extend_from_slice(&encode_record(&add(3, 1)));
+        bytes.extend_from_slice(&encode_record(&add(0, 2)));
+        let (back, tail) = decode_wal(&bytes).unwrap();
+        assert!(back.is_empty(), "unfenced records must not replay");
+        assert_eq!(tail, WalTail::Torn { valid_len: HEADER_LEN });
+        // With the fence appended, both commit.
+        bytes.extend_from_slice(&encode_commit(2));
+        let (back, tail) = decode_wal(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn v2_fence_count_mismatch_is_corrupt() {
+        let mut bytes = encode_header().to_vec();
+        bytes.extend_from_slice(&encode_record(&add(3, 1)));
+        bytes.extend_from_slice(&encode_commit(2));
+        let err = decode_wal(&bytes).unwrap_err();
+        assert!(matches!(err, WalError::CorruptRecord { .. }), "{err}");
+    }
+
+    #[test]
+    fn v1_torn_tail_yields_prefix() {
+        let records = vec![add(3, 1), add(0, 2)];
+        let full = log_bytes_v1(&records);
+        for cut in (HEADER_LEN + V1_RECORD_LEN + 1)..full.len() {
+            let (back, tail) = decode_wal(&full[..cut]).unwrap();
+            assert_eq!(back, records[..1], "cut at {cut}");
+            assert_eq!(tail, WalTail::Torn { valid_len: HEADER_LEN + V1_RECORD_LEN });
+        }
+    }
+
+    #[test]
+    fn v1_record_boundary_cuts_are_clean_tails() {
+        let records = vec![add(3, 1), add(0, 2), add(2, 4)];
+        let full = log_bytes_v1(&records);
         for n in 0..=records.len() {
-            let cut = HEADER_LEN + n * RECORD_LEN;
+            let cut = HEADER_LEN + n * V1_RECORD_LEN;
             let (back, tail) = decode_wal(&full[..cut]).unwrap();
             assert_eq!(back, records[..n], "boundary cut after {n} records");
             assert_eq!(tail, WalTail::Clean, "boundary cut after {n} records");
         }
-        // One byte either side of each interior boundary is torn back to it.
-        for n in 1..=records.len() {
-            let boundary = HEADER_LEN + n * RECORD_LEN;
-            if boundary < full.len() {
-                let (back, tail) = decode_wal(&full[..boundary + 1]).unwrap();
-                assert_eq!(back, records[..n]);
-                assert_eq!(tail, WalTail::Torn { valid_len: boundary });
+    }
+
+    #[test]
+    fn complete_record_with_bad_crc_is_a_typed_error_in_both_versions() {
+        let records = vec![add(3, 1)];
+        let v1 = log_bytes_v1(&records);
+        for byte in HEADER_LEN..v1.len() {
+            let mut bytes = v1.clone();
+            bytes[byte] ^= 0x40;
+            let err = decode_wal(&bytes).unwrap_err();
+            assert!(matches!(err, WalError::CorruptRecord { .. }), "v1 flip at {byte}: {err}");
+        }
+        // v2: flip every body/CRC byte (flips inside a length prefix can
+        // legitimately read as torn tails — the length governs framing).
+        let v2 = log_bytes(&records);
+        let rec_len = encode_record(&records[0]).len();
+        let record_len_prefix = HEADER_LEN..HEADER_LEN + 4;
+        let fence_len_prefix = HEADER_LEN + rec_len..HEADER_LEN + rec_len + 4;
+        for byte in HEADER_LEN..v2.len() {
+            if record_len_prefix.contains(&byte) || fence_len_prefix.contains(&byte) {
+                continue;
             }
-            let (back, tail) = decode_wal(&full[..boundary - 1]).unwrap();
-            assert_eq!(back, records[..n - 1]);
-            assert_eq!(tail, WalTail::Torn { valid_len: boundary - RECORD_LEN });
+            let mut bytes = v2.clone();
+            bytes[byte] ^= 0x40;
+            let err = decode_wal(&bytes).unwrap_err();
+            assert!(matches!(err, WalError::CorruptRecord { .. }), "v2 flip at {byte}: {err}");
         }
     }
 
     #[test]
-    fn complete_record_with_bad_crc_is_a_typed_error() {
-        let records = vec![WalRecord::AddEdge {
-            from: NodeId::from_index(3),
-            to: NodeId::from_index(1),
-        }];
-        for byte in HEADER_LEN..HEADER_LEN + RECORD_LEN {
-            let mut bytes = log_bytes(&records);
-            bytes[byte] ^= 0x40;
-            let err = decode_wal(&bytes).unwrap_err();
-            assert!(
-                matches!(err, WalError::CorruptRecord { .. }),
-                "flip at {byte}: {err}"
-            );
-        }
+    fn v2_oversized_length_is_corrupt_not_torn() {
+        let mut bytes = encode_header().to_vec();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = decode_wal(&bytes).unwrap_err();
+        assert!(matches!(err, WalError::CorruptRecord { .. }), "{err}");
     }
 
     #[test]
@@ -416,24 +1118,52 @@ mod tests {
     }
 
     #[test]
-    fn replay_matches_direct_application() {
+    fn inspect_reports_version_counts_and_verdict() {
+        let records = mixed_records();
+        let clean = inspect_wal(&log_bytes(&records)).unwrap();
+        assert_eq!(clean.version, 2);
+        assert_eq!(clean.committed, records.len());
+        assert_eq!(clean.uncommitted, 0);
+        assert!(matches!(clean.verdict, WalVerdict::Clean));
+
+        let mut unfenced = log_bytes(&records[..2]);
+        unfenced.extend_from_slice(&encode_record(&records[2]));
+        let torn = inspect_wal(&unfenced).unwrap();
+        assert_eq!(torn.committed, 2);
+        assert_eq!(torn.uncommitted, 1);
+        assert!(matches!(torn.verdict, WalVerdict::TornTail { .. }));
+
+        let mut corrupt = log_bytes(&records[..1]);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        let bad = inspect_wal(&corrupt).unwrap();
+        assert!(matches!(bad.verdict, WalVerdict::Corrupt { .. }));
+
+        let v1 = inspect_wal(&log_bytes_v1(&[add(1, 2)])).unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(v1.committed, 1);
+        assert!(matches!(v1.verdict, WalVerdict::Clean));
+
+        assert!(inspect_wal(b"XXXXzzzz").is_err());
+    }
+
+    #[test]
+    fn replay_matches_direct_application_for_mixed_ops() {
         let (mut g_direct, mut dk_direct) = sample();
         let (mut g_replayed, mut dk_replayed) = sample();
-        let updates = [(3usize, 1usize), (0, 2), (2, 3)];
-
-        let records: Vec<WalRecord> = updates
-            .iter()
-            .map(|&(f, t)| WalRecord::AddEdge {
-                from: NodeId::from_index(f),
-                to: NodeId::from_index(t),
-            })
-            .collect();
-        for &(f, t) in &updates {
-            dk_direct.add_edge(&mut g_direct, NodeId::from_index(f), NodeId::from_index(t));
+        let records = vec![
+            add(3, 1),
+            WalRecord::Promote { node: NodeId::from_index(1), k: 3 },
+            add(0, 2),
+            WalRecord::Demote(Requirements::uniform(1)),
+            WalRecord::SetRequirements(Requirements::uniform(2)),
+            add(2, 3),
+        ];
+        for r in &records {
+            crate::serve_ops::apply(&mut dk_direct, &mut g_direct, r.to_op());
         }
-        let report =
-            replay(&mut dk_replayed, &mut g_replayed, &log_bytes(&records)).unwrap();
-        assert_eq!(report.applied, updates.len());
+        let report = replay(&mut dk_replayed, &mut g_replayed, &log_bytes(&records)).unwrap();
+        assert_eq!(report.applied, records.len());
 
         let mut direct_bytes = Vec::new();
         let mut replayed_bytes = Vec::new();
@@ -445,14 +1175,24 @@ mod tests {
     #[test]
     fn replay_rejects_out_of_range_records() {
         let (mut g, mut dk) = sample();
-        let bytes = log_bytes(&[WalRecord::AddEdge {
-            from: NodeId::from_index(99),
-            to: NodeId::from_index(0),
-        }]);
+        let bytes = log_bytes(&[add(99, 0)]);
         assert!(matches!(
             replay(&mut dk, &mut g, &bytes),
             Err(WalError::RecordOutOfRange { index: 0 })
         ));
+        let (mut g, mut dk) = sample();
+        let bytes = log_bytes(&[WalRecord::Promote { node: NodeId::from_index(77), k: 1 }]);
+        assert!(matches!(
+            replay(&mut dk, &mut g, &bytes),
+            Err(WalError::RecordOutOfRange { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn op_record_conversion_round_trips() {
+        for record in mixed_records() {
+            assert_eq!(WalRecord::from_op(&record.to_op()), record);
+        }
     }
 
     #[test]
@@ -462,33 +1202,80 @@ mod tests {
         let path = dir.join("updates.wal");
 
         let mut w = WalWriter::create(&path).unwrap();
-        w.append(&WalRecord::AddEdge {
-            from: NodeId::from_index(3),
-            to: NodeId::from_index(1),
-        })
-        .unwrap();
+        assert_eq!(w.version(), VERSION);
+        w.append(&add(3, 1)).unwrap();
         drop(w);
 
-        // Simulate a crash mid-append: chop half a record off the end.
+        // Simulate a crash mid-append: a complete record with no fence plus
+        // half of another record.
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes.extend_from_slice(&encode_record(&WalRecord::AddEdge {
-            from: NodeId::from_index(0),
-            to: NodeId::from_index(2),
-        })[..5]);
+        bytes.extend_from_slice(&encode_record(&add(0, 2)));
+        bytes.extend_from_slice(&encode_record(&add(1, 1))[..5]);
         std::fs::write(&path, &bytes).unwrap();
 
         let mut w = WalWriter::open(&path).unwrap();
-        w.append(&WalRecord::AddEdge {
-            from: NodeId::from_index(2),
-            to: NodeId::from_index(3),
-        })
-        .unwrap();
+        w.append(&WalRecord::Promote { node: NodeId::from_index(2), k: 1 }).unwrap();
         drop(w);
 
         let bytes = std::fs::read(&path).unwrap();
         let (records, tail) = decode_wal(&bytes).unwrap();
         assert_eq!(tail, WalTail::Clean);
-        assert_eq!(records.len(), 2, "torn tail truncated, then one append");
+        assert_eq!(
+            records,
+            vec![add(3, 1), WalRecord::Promote { node: NodeId::from_index(2), k: 1 }],
+            "unfenced tail truncated, then one append"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_keeps_appending_v1_files_in_v1() {
+        let dir =
+            std::env::temp_dir().join(format!("dkindex-wal-v1-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.wal");
+        std::fs::write(&path, log_bytes_v1(&[add(3, 1)])).unwrap();
+
+        let mut w = WalWriter::open(&path).unwrap();
+        assert_eq!(w.version(), 1);
+        w.append(&add(0, 2)).unwrap();
+        // v1 cannot express maintenance ops — typed error, not a panic.
+        let err = w.append(&WalRecord::PromoteToRequirements).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        drop(w);
+
+        let (records, tail) = decode_wal(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(records, vec![add(3, 1), add(0, 2)]);
+        assert_eq!(tail, WalTail::Clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_commits_atomically() {
+        let dir =
+            std::env::temp_dir().join(format!("dkindex-wal-batch-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch.wal");
+        let ops = vec![
+            ServeOp::AddEdge { from: NodeId::from_index(3), to: NodeId::from_index(1) },
+            ServeOp::Promote { node: NodeId::from_index(1), k: 2 },
+            ServeOp::SetRequirements(Requirements::uniform(1)),
+        ];
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append_batch(&ops).unwrap();
+        w.append_batch(&[]).unwrap();
+        drop(w);
+
+        let bytes = std::fs::read(&path).unwrap();
+        let (records, tail) = decode_wal(&bytes).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        let expected: Vec<WalRecord> = ops.iter().map(WalRecord::from_op).collect();
+        assert_eq!(records, expected);
+        // Chopping the fence off drops the whole batch.
+        let fence_len = encode_commit(ops.len() as u32).len();
+        let (records, tail) = decode_wal(&bytes[..bytes.len() - fence_len]).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(tail, WalTail::Torn { valid_len: HEADER_LEN });
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

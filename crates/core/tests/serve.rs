@@ -260,6 +260,7 @@ fn dead_maintenance_thread_surfaces_typed_errors() {
     loop {
         match server.submit(ServeOp::PromoteToRequirements) {
             Err(ServeError::MaintenanceGone) => break,
+            Err(other) => panic!("unexpected serve error: {other:?}"),
             Ok(()) => {
                 assert!(
                     std::time::Instant::now() < deadline,

@@ -8,12 +8,23 @@
 use crate::protocol::{self, DecodeError, ErrorCode, Frame};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Per-operation I/O deadline applied by [`NetClient::connect`]: the TCP
+/// connect, every read and every write must individually complete within
+/// this window or the call fails typed ([`ConnectError::TimedOut`] during
+/// connect/handshake, `io::ErrorKind::TimedOut`/`WouldBlock` afterwards).
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Why a connection attempt failed to produce a usable client.
 #[derive(Debug)]
 pub enum ConnectError {
-    /// Transport-level failure (refused, reset, timeout).
+    /// Transport-level failure (refused, reset).
     Io(io::Error),
+    /// The TCP connect or the HELLO/WELCOME handshake did not complete
+    /// within the I/O deadline. Safe to retry with backoff — no request
+    /// was admitted.
+    TimedOut,
     /// The server shed the connection at the door (accept queue full,
     /// PROTOCOL.md §5.1 reason 1). Retry after the hinted backoff.
     Shed {
@@ -37,6 +48,7 @@ impl std::fmt::Display for ConnectError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConnectError::Io(err) => write!(f, "connect failed: {err}"),
+            ConnectError::TimedOut => write!(f, "connect or handshake timed out"),
             ConnectError::Shed { retry_after_ms } => {
                 write!(f, "connection shed (accept queue full); retry after {retry_after_ms} ms")
             }
@@ -64,17 +76,33 @@ pub struct NetClient {
 
 impl NetClient {
     /// Connect to `addr` and perform the HELLO/WELCOME handshake
-    /// (PROTOCOL.md §2).
+    /// (PROTOCOL.md §2) under [`DEFAULT_IO_TIMEOUT`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<NetClient, ConnectError> {
-        let mut stream = TcpStream::connect(addr)?;
+        Self::connect_timeout(addr, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// Connect with an explicit per-operation deadline: the TCP connect to
+    /// each resolved address, and every subsequent read and write, must
+    /// individually finish within `io_timeout`. A zero deadline disables
+    /// the timeouts entirely (fully blocking I/O).
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        io_timeout: Duration,
+    ) -> Result<NetClient, ConnectError> {
+        let mut stream = connect_stream(addr, io_timeout)?;
+        if !io_timeout.is_zero() {
+            stream.set_read_timeout(Some(io_timeout)).map_err(classify_io)?;
+            stream.set_write_timeout(Some(io_timeout)).map_err(classify_io)?;
+        }
         let _ = stream.set_nodelay(true);
         write_frame(
             &mut stream,
             &Frame::Hello {
                 version: protocol::VERSION,
             },
-        )?;
-        match read_frame(&mut stream)? {
+        )
+        .map_err(classify_io)?;
+        match read_frame(&mut stream).map_err(classify_io)? {
             Frame::Welcome { version, epoch } if version == protocol::VERSION => Ok(NetClient {
                 stream,
                 epoch_at_welcome: epoch,
@@ -94,6 +122,13 @@ impl NetClient {
     /// The epoch id the server reported at WELCOME time.
     pub fn epoch_at_welcome(&self) -> u64 {
         self.epoch_at_welcome
+    }
+
+    /// Replace the per-operation read/write deadline on the live
+    /// connection. `None` makes I/O fully blocking.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 
     /// One QUERY round (PROTOCOL.md §3.1). `budget` 0 requests the server
@@ -123,6 +158,41 @@ impl NetClient {
     fn round(&mut self, request: &Frame) -> io::Result<Frame> {
         write_frame(&mut self.stream, request)?;
         read_frame(&mut self.stream)
+    }
+}
+
+/// Resolve `addr` and try each address under the connect deadline; a zero
+/// deadline falls back to the OS default blocking connect.
+fn connect_stream<A: ToSocketAddrs>(
+    addr: A,
+    io_timeout: Duration,
+) -> Result<TcpStream, ConnectError> {
+    if io_timeout.is_zero() {
+        return Ok(TcpStream::connect(addr)?);
+    }
+    let mut last: Option<io::Error> = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, io_timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(err) => last = Some(err),
+        }
+    }
+    Err(match last {
+        Some(err) => classify_io(err),
+        None => ConnectError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "address resolved to no socket addresses",
+        )),
+    })
+}
+
+/// Map deadline expiry (reported as `TimedOut` or, on some platforms,
+/// `WouldBlock`) to the typed variant; everything else stays transport.
+fn classify_io(err: io::Error) -> ConnectError {
+    if matches!(err.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
+        ConnectError::TimedOut
+    } else {
+        ConnectError::Io(err)
     }
 }
 

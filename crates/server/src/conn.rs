@@ -12,7 +12,7 @@
 
 use crate::protocol::{self, DecodeError, ErrorCode, Frame, ShedReason};
 use crate::server::NetConfig;
-use dkindex_core::{ServeHandle, ServeOp, Submitter};
+use dkindex_core::{ServeError, ServeHandle, ServeOp, Submitter};
 use dkindex_graph::NodeId;
 use dkindex_pathexpr::parse;
 use dkindex_telemetry as telemetry;
@@ -38,6 +38,11 @@ pub(crate) struct Shared {
     /// Wall-clock moment the drain grace window ends; set together with
     /// `draining`.
     pub(crate) drain_deadline: Mutex<Option<Instant>>,
+    /// True when the underlying [`dkindex_core::DkServer`] runs with a
+    /// write-ahead log: UPDATE_OK is then a *durable* acknowledgment and is
+    /// only sent after the op's group commit is fsynced and the epoch
+    /// carrying it is published (PROTOCOL.md §8).
+    pub(crate) durable: bool,
     /// Immutable serving knobs.
     pub(crate) cfg: NetConfig,
 }
@@ -291,6 +296,22 @@ fn respond_update(from: u64, to: u64, shared: &Shared, submitter: &Submitter) ->
         from: NodeId::from_index(from.min(u32::MAX as u64) as usize),
         to: NodeId::from_index(to.min(u32::MAX as u64) as usize),
     };
+    if shared.durable {
+        // Durable-ack path (PROTOCOL.md §8): block this worker until the
+        // group commit carrying the op is fsynced and its epoch published.
+        // A WAL failure surfaces as a typed refusal — the op was *not*
+        // applied, so the admission reservation is released.
+        let waited = submitter.submit_logged(op).and_then(|ack| ack.wait());
+        return match waited {
+            Ok(_epoch) => {
+                telemetry::metrics::SERVE_NET_UPDATES_ADMITTED.incr();
+                Frame::UpdateOk {
+                    pending: clamp_u32(pending),
+                }
+            }
+            Err(err) => refuse_update(err, shared),
+        };
+    }
     match submitter.submit(op) {
         Ok(()) => {
             telemetry::metrics::SERVE_NET_UPDATES_ADMITTED.incr();
@@ -298,14 +319,21 @@ fn respond_update(from: u64, to: u64, shared: &Shared, submitter: &Submitter) ->
                 pending: clamp_u32(pending),
             }
         }
-        Err(_) => {
-            shared.admitted.fetch_sub(1, Ordering::SeqCst);
-            telemetry::metrics::SERVE_NET_RESPONSES_ERROR.incr();
-            Frame::Error {
-                code: ErrorCode::Unavailable,
-                message: "maintenance thread is gone".to_string(),
-            }
-        }
+        Err(err) => refuse_update(err, shared),
+    }
+}
+
+/// Release an admission reservation for an update that will never be
+/// applied and turn the serve-layer failure into the typed wire refusal
+/// (PROTOCOL.md §6 code 5): both "maintenance thread is gone" and
+/// "write-ahead log failed" mean the server cannot currently apply
+/// updates.
+fn refuse_update(err: ServeError, shared: &Shared) -> Frame {
+    shared.admitted.fetch_sub(1, Ordering::SeqCst);
+    telemetry::metrics::SERVE_NET_RESPONSES_ERROR.incr();
+    Frame::Error {
+        code: ErrorCode::Unavailable,
+        message: err.to_string(),
     }
 }
 

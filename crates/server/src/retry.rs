@@ -1,0 +1,370 @@
+//! `RetryClient`: the reference retry loop around [`NetClient`],
+//! implementing the client obligations of PROTOCOL.md §5.2 and the
+//! durable-ack contract of §8.
+//!
+//! The rules it encodes:
+//!
+//! * **SHED is a promise that nothing was admitted**, so *any* request —
+//!   updates included — may be retried after a SHED, and the retry sleep
+//!   honors the server's `retry_after_ms` hint (never sleeps less).
+//! * **A transport failure mid-update is ambiguous**: the op may or may
+//!   not have been admitted (and, under `--wal`, made durable) before the
+//!   connection broke. Updates are therefore *never* retried across a
+//!   transport error — the caller gets a typed [`RetryError::Transport`]
+//!   and must reconcile (e.g. re-read via a query) before resending.
+//! * **Queries, pings and stats are read-only**, so transport failures
+//!   there are retried with a fresh connection.
+//! * **Backoff is exponential with seeded jitter** and doubly bounded: by
+//!   attempt count ([`RetryPolicy::max_attempts`]) and by total sleep
+//!   ([`RetryPolicy::backoff_budget_ms`]). The jitter stream is a
+//!   splitmix64 sequence from [`RetryPolicy::seed`], so a bench or test
+//!   run retries on a reproducible schedule.
+
+use crate::client::{ConnectError, NetClient};
+use crate::protocol::{ErrorCode, Frame};
+use std::io;
+use std::time::Duration;
+
+/// Knobs for a [`RetryClient`]. The defaults suit a loopback bench:
+/// ~10 ms first backoff, ~1 s cap, at most 8 attempts and 10 s of total
+/// sleeping per logical operation.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts per logical operation (first try included). `0` is
+    /// treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Ceiling on a single backoff sleep (before the SHED hint, which may
+    /// exceed it — the hint always wins).
+    pub max_backoff_ms: u64,
+    /// Ceiling on *cumulative* backoff sleep across one logical
+    /// operation; exceeding it fails typed instead of sleeping.
+    pub backoff_budget_ms: u64,
+    /// Per-operation I/O deadline for connect, reads and writes; `0`
+    /// disables the deadlines (fully blocking I/O).
+    pub io_timeout_ms: u64,
+    /// Seed for the jitter stream; equal seeds retry on equal schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            backoff_budget_ms: 10_000,
+            io_timeout_ms: 5_000,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Why a [`RetryClient`] operation gave up.
+#[derive(Debug)]
+pub enum RetryError {
+    /// Attempt count or backoff budget exhausted; `last` describes the
+    /// final refusal (typically a SHED or a connect timeout).
+    BudgetExhausted {
+        /// Attempts actually made.
+        attempts: u32,
+        /// Human-readable description of the last outcome.
+        last: String,
+    },
+    /// The server refused the handshake in a way retrying cannot fix
+    /// (PROTOCOL.md §6 — e.g. unsupported version).
+    Refused {
+        /// Failure class.
+        code: ErrorCode,
+        /// Server diagnostic.
+        message: String,
+    },
+    /// A transport failure on a non-retryable operation (an update whose
+    /// admission state is unknown). The connection has been dropped; the
+    /// caller must reconcile before resending.
+    Transport(io::Error),
+    /// The peer violated DKNP framing.
+    Protocol(String),
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::BudgetExhausted { attempts, last } => {
+                write!(f, "retry budget exhausted after {attempts} attempts; last: {last}")
+            }
+            RetryError::Refused { code, message } => {
+                write!(f, "server refused ({code:?}): {message}")
+            }
+            RetryError::Transport(err) => {
+                write!(f, "transport failure (op state unknown, not retried): {err}")
+            }
+            RetryError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// Counters a [`RetryClient`] keeps about its own behavior, for benches
+/// and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetryStats {
+    /// Individual request attempts made (retries included).
+    pub attempts: u64,
+    /// Attempts beyond the first, per logical operation.
+    pub retries: u64,
+    /// Total milliseconds slept in backoff.
+    pub backoff_ms_total: u64,
+    /// Fresh connections established (the initial one included).
+    pub reconnects: u64,
+}
+
+/// A self-healing DKNP client: wraps [`NetClient`] with deadlines,
+/// SHED-aware retry and reconnection. See the module docs for the exact
+/// retry rules.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: u64,
+    client: Option<NetClient>,
+    stats: RetryStats,
+}
+
+impl RetryClient {
+    /// Connect to `addr` under `policy`, retrying door-shed and timed-out
+    /// connects with backoff.
+    pub fn connect(addr: &str, policy: RetryPolicy) -> Result<RetryClient, RetryError> {
+        let mut client = RetryClient {
+            addr: addr.to_string(),
+            policy,
+            rng: policy.seed,
+            client: None,
+            stats: RetryStats::default(),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// What this client has done so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// One QUERY, retried across SHED frames *and* transport failures
+    /// (queries are read-only, so a retry is always safe).
+    pub fn query(&mut self, text: &str, budget: u32) -> Result<Frame, RetryError> {
+        self.retryable(|client| client.query(text, budget))
+    }
+
+    /// One PING, retried like a query.
+    pub fn ping(&mut self) -> Result<Frame, RetryError> {
+        self.retryable(NetClient::ping)
+    }
+
+    /// One STATS round, retried like a query.
+    pub fn stats_frame(&mut self) -> Result<Frame, RetryError> {
+        self.retryable(NetClient::stats)
+    }
+
+    /// One UPDATE. Retried **only** after a SHED frame (the server
+    /// promises a shed op was not admitted — PROTOCOL.md §5.2); a
+    /// transport failure mid-round is returned typed because the op may
+    /// already be admitted and durable (§8).
+    pub fn update(&mut self, from: u64, to: u64) -> Result<Frame, RetryError> {
+        let mut attempt = 0u32;
+        loop {
+            self.ensure_connected()?;
+            self.stats.attempts += 1;
+            let Some(client) = self.client.as_mut() else {
+                return Err(RetryError::Protocol("connection lost".to_string()));
+            };
+            match client.update(from, to) {
+                Ok(Frame::Shed { retry_after_ms, .. }) => {
+                    self.backoff(&mut attempt, Some(retry_after_ms), "update shed")?;
+                }
+                Ok(frame) => return Ok(frame),
+                Err(err) => {
+                    self.client = None;
+                    return Err(RetryError::Transport(err));
+                }
+            }
+        }
+    }
+
+    /// Run one read-only round with full retry: SHED honors the hint,
+    /// transport failures reconnect.
+    fn retryable(
+        &mut self,
+        mut round: impl FnMut(&mut NetClient) -> io::Result<Frame>,
+    ) -> Result<Frame, RetryError> {
+        let mut attempt = 0u32;
+        loop {
+            self.ensure_connected()?;
+            self.stats.attempts += 1;
+            let Some(client) = self.client.as_mut() else {
+                return Err(RetryError::Protocol("connection lost".to_string()));
+            };
+            match round(client) {
+                Ok(Frame::Shed { retry_after_ms, .. }) => {
+                    self.backoff(&mut attempt, Some(retry_after_ms), "request shed")?;
+                }
+                Ok(frame) => return Ok(frame),
+                Err(err) => {
+                    self.client = None;
+                    self.backoff(&mut attempt, None, &format!("transport: {err}"))?;
+                }
+            }
+        }
+    }
+
+    /// Dial (with retry) if there is no live connection.
+    fn ensure_connected(&mut self) -> Result<(), RetryError> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            let timeout = Duration::from_millis(self.policy.io_timeout_ms);
+            match NetClient::connect_timeout(&self.addr, timeout) {
+                Ok(client) => {
+                    self.stats.reconnects += 1;
+                    self.client = Some(client);
+                    return Ok(());
+                }
+                Err(ConnectError::Shed { retry_after_ms }) => {
+                    self.backoff(&mut attempt, Some(retry_after_ms), "connect shed")?;
+                }
+                Err(ConnectError::TimedOut) => {
+                    self.backoff(&mut attempt, None, "connect timed out")?;
+                }
+                Err(ConnectError::Io(err)) => {
+                    self.backoff(&mut attempt, None, &format!("connect failed: {err}"))?;
+                }
+                Err(ConnectError::Refused { code, message }) => {
+                    return Err(RetryError::Refused { code, message });
+                }
+                Err(ConnectError::Protocol(msg)) => {
+                    return Err(RetryError::Protocol(msg));
+                }
+            }
+        }
+    }
+
+    /// Account one failed attempt and sleep the backoff for it, or fail
+    /// typed once either budget is exhausted. The sleep is
+    /// `min(base · 2^attempt, max) + jitter`, raised to the SHED hint when
+    /// one was given.
+    fn backoff(
+        &mut self,
+        attempt: &mut u32,
+        hint_ms: Option<u32>,
+        last: &str,
+    ) -> Result<(), RetryError> {
+        *attempt += 1;
+        if *attempt >= self.policy.max_attempts.max(1) {
+            return Err(RetryError::BudgetExhausted {
+                attempts: *attempt,
+                last: last.to_string(),
+            });
+        }
+        let exp = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << (*attempt - 1).min(32))
+            .min(self.policy.max_backoff_ms);
+        let jitter = if exp == 0 { 0 } else { splitmix64(&mut self.rng) % (exp / 2 + 1) };
+        let mut sleep_ms = exp.saturating_add(jitter);
+        if let Some(hint) = hint_ms {
+            sleep_ms = sleep_ms.max(u64::from(hint));
+        }
+        if self.stats.backoff_ms_total.saturating_add(sleep_ms) > self.policy.backoff_budget_ms {
+            return Err(RetryError::BudgetExhausted {
+                attempts: *attempt,
+                last: format!("{last} (backoff budget exceeded)"),
+            });
+        }
+        self.stats.retries += 1;
+        self.stats.backoff_ms_total += sleep_ms;
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+        Ok(())
+    }
+}
+
+/// One step of the splitmix64 sequence — the standard seeded generator
+/// used for jitter so retry schedules reproduce across runs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stream_is_deterministic_per_seed() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..8 {
+            assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        }
+        let mut c = 43u64;
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut c));
+    }
+
+    #[test]
+    fn backoff_honors_the_shed_hint_and_budgets() {
+        let mut client = RetryClient {
+            addr: String::new(),
+            policy: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                backoff_budget_ms: 500,
+                io_timeout_ms: 0,
+                seed: 7,
+            },
+            rng: 7,
+            client: None,
+            stats: RetryStats::default(),
+        };
+        let mut attempt = 0;
+        // A 20 ms hint must floor the sleep even though exp backoff is ≤ 3.
+        client.backoff(&mut attempt, Some(20), "shed").expect("within budget");
+        assert!(client.stats.backoff_ms_total >= 20);
+        client.backoff(&mut attempt, None, "shed").expect("within budget");
+        client.backoff(&mut attempt, None, "shed").expect_err("attempt cap");
+    }
+
+    #[test]
+    fn backoff_budget_exhaustion_is_typed() {
+        let mut client = RetryClient {
+            addr: String::new(),
+            policy: RetryPolicy {
+                max_attempts: 100,
+                base_backoff_ms: 1,
+                max_backoff_ms: 1,
+                backoff_budget_ms: 30,
+                io_timeout_ms: 0,
+                seed: 1,
+            },
+            rng: 1,
+            client: None,
+            stats: RetryStats::default(),
+        };
+        let mut attempt = 0;
+        let err = loop {
+            // Hints larger than the remaining budget trip the typed error.
+            if let Err(err) = client.backoff(&mut attempt, Some(25), "shed") {
+                break err;
+            }
+        };
+        assert!(matches!(err, RetryError::BudgetExhausted { .. }));
+        assert!(client.stats.backoff_ms_total <= 30);
+    }
+}

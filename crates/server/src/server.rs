@@ -53,6 +53,10 @@ pub struct NetConfig {
     pub drain_grace_ms: u64,
     /// Backoff hint written into SHED frames.
     pub retry_after_ms: u32,
+    /// Write deadline for the best-effort SHED frame sent to a connection
+    /// refused at the door (a stalled peer must not wedge the accept
+    /// thread). `0` disables the deadline (blocking write).
+    pub shed_write_timeout_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -65,6 +69,7 @@ impl Default for NetConfig {
             staleness_threshold: 256,
             drain_grace_ms: 1_000,
             retry_after_ms: 50,
+            shed_write_timeout_ms: 50,
         }
     }
 }
@@ -111,6 +116,7 @@ impl NetServer {
             admitted: AtomicU64::new(base),
             draining: AtomicBool::new(false),
             drain_deadline: Mutex::new(None),
+            durable: server.is_logged(),
             cfg,
         });
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(shared.cfg.accept_queue.max(1));
@@ -222,7 +228,10 @@ fn accept_loop(listener: &TcpListener, tx: &mpsc::SyncSender<TcpStream>, shared:
 /// close.
 fn shed_at_door(mut stream: TcpStream, shared: &Shared) {
     telemetry::metrics::SERVE_NET_CONNECTIONS_SHED.incr();
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    if shared.cfg.shed_write_timeout_ms > 0 {
+        let timeout = Duration::from_millis(shared.cfg.shed_write_timeout_ms);
+        let _ = stream.set_write_timeout(Some(timeout));
+    }
     let frame = Frame::Shed {
         reason: ShedReason::QueueFull,
         pending: 0,

@@ -82,6 +82,12 @@ pub static WAL_RECORDS_REPLAYED: Counter = Counter::new("wal.records_replayed");
 /// WAL streams that ended in a torn (incomplete) trailing record — the
 /// expected signature of a crash mid-append, recovered by dropping the tail.
 pub static WAL_TORN_TAILS: Counter = Counter::new("wal.torn_tails");
+/// Group commits: batches of WAL records fenced and fsynced as one unit
+/// (one per maintenance batch when serving with `--wal`).
+pub static WAL_GROUP_COMMITS: Counter = Counter::new("wal.group_commits");
+/// WAL syncs that failed. After one, the writer is abandoned: a failed
+/// fsync is never retried (the fsyncgate rule), updates get typed errors.
+pub static WAL_SYNC_FAILURES: Counter = Counter::new("wal.sync_failures");
 /// Invariant audit passes executed (`core::audit`).
 pub static AUDIT_RUNS: Counter = Counter::new("audit.runs");
 /// Individual invariant violations found across all audits.
@@ -92,6 +98,9 @@ pub static AUDIT_REBUILDS: Counter = Counter::new("audit.rebuilds");
 pub static AUDIT_NS: Histogram = Histogram::new("audit.audit_ns", Unit::Nanos);
 /// Wall-clock per WAL replay.
 pub static WAL_REPLAY_NS: Histogram = Histogram::new("wal.replay_ns", Unit::Nanos);
+/// Wall-clock per WAL group commit (encode + write + fence + fsync).
+pub static WAL_GROUP_COMMIT_NS: Histogram =
+    Histogram::new("wal.group_commit_ns", Unit::Nanos);
 
 // ---- dkindex-core: D(k) construction and maintenance (§4–§5) -------------
 
@@ -159,6 +168,12 @@ pub static SERVE_PUBLISH_BLOCKS_SHARED: Counter = Counter::new("serve.publish.bl
 /// Index blocks copied-on-write or freshly built for the published epoch
 /// (summed over publishes; the O(touched) publish cost).
 pub static SERVE_PUBLISH_BLOCKS_REBUILT: Counter = Counter::new("serve.publish.blocks_rebuilt");
+/// Update acknowledgments released only after their batch's WAL group
+/// commit returned (the durable-ack path).
+pub static SERVE_DURABLE_ACKS: Counter = Counter::new("serve.durable_acks");
+/// Maintenance batches dropped unapplied because their WAL group commit
+/// failed (every submitter in the batch got a typed error).
+pub static SERVE_WAL_DROPPED_BATCHES: Counter = Counter::new("serve.wal_dropped_batches");
 /// Distribution of operations per applied maintenance batch.
 pub static SERVE_BATCH_OPS: Histogram = Histogram::new("serve.batch_ops", Unit::Count);
 /// Wall-clock per batch apply + epoch publish.
@@ -218,7 +233,7 @@ pub static PHASE_ADAPT_NS: Histogram = Histogram::new("phase.adapt_ns", Unit::Na
 
 /// Every registered counter, in reporting order.
 pub fn counters() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 57] = [
+    static ALL: [&Counter; 61] = [
         &PATHEXPR_EVALUATIONS,
         &PATHEXPR_ACTIVATIONS,
         &PATHEXPR_VALIDATION_WALKS,
@@ -240,6 +255,8 @@ pub fn counters() -> &'static [&'static Counter] {
         &WAL_RECORDS_APPENDED,
         &WAL_RECORDS_REPLAYED,
         &WAL_TORN_TAILS,
+        &WAL_GROUP_COMMITS,
+        &WAL_SYNC_FAILURES,
         &AUDIT_RUNS,
         &AUDIT_VIOLATIONS,
         &AUDIT_REBUILDS,
@@ -264,6 +281,8 @@ pub fn counters() -> &'static [&'static Counter] {
         &SERVE_CACHE_MISSES,
         &SERVE_PUBLISH_BLOCKS_SHARED,
         &SERVE_PUBLISH_BLOCKS_REBUILT,
+        &SERVE_DURABLE_ACKS,
+        &SERVE_WAL_DROPPED_BATCHES,
         &SERVE_NET_CONNECTIONS,
         &SERVE_NET_CONNECTIONS_SHED,
         &SERVE_NET_REQUESTS,
@@ -283,7 +302,7 @@ pub fn counters() -> &'static [&'static Counter] {
 /// Every registered histogram (value distributions and span timings), in
 /// reporting order.
 pub fn histograms() -> &'static [&'static Histogram] {
-    static ALL: [&Histogram; 21] = [
+    static ALL: [&Histogram; 22] = [
         &PATHEXPR_VISITS_PER_EVAL,
         &PARTITION_BLOCKS_PER_ROUND,
         &PARTITION_ROUND_NS,
@@ -291,6 +310,7 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &EVAL_QUERY_NS,
         &AUDIT_NS,
         &WAL_REPLAY_NS,
+        &WAL_GROUP_COMMIT_NS,
         &DK_BLOCKS_PER_CONSTRUCTION,
         &DK_CONSTRUCT_NS,
         &DK_PROMOTE_NS,
