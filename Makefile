@@ -1,4 +1,4 @@
-.PHONY: verify test build bench-smoke verify-faults verify-serve verify-churn verify-net verify-crash verify-analysis doc clippy
+.PHONY: verify test build bench-smoke verify-faults verify-serve verify-churn verify-net verify-crash verify-tune verify-analysis doc clippy
 
 # Tier-1 verification (ROADMAP.md) plus the perf smoke: the bench asserts
 # that the arena evaluator and the refinement engine produce byte-identical
@@ -23,11 +23,16 @@
 # offset, and kills a live logged server at seeded random commits — failing
 # if any acknowledged update does not replay byte-identically after
 # snapshot + WAL recovery, if any crash view surfaces a partial batch, or
-# if anything panics. `doc` and `clippy` must both
+# if anything panics. `verify-tune` serves a Zipf-skewed query mix that
+# flips to a different pool halfway through a WAL-logged run with the
+# in-loop adaptive tuner on (ARCHITECTURE.md §8) — failing if the p99 query
+# cost does not re-converge within the bounded round count, if the tuned
+# state diverges from the serial replay of the recorded ops (tuner ops
+# included), or if the WAL replay diverges. `doc` and `clippy` must both
 # come back warning-free, and `verify-analysis` proves the determinism /
 # oracle-purity / panic-freedom / unsafe-hygiene contracts at lint time and
 # model-checks the serve epoch protocol (ARCHITECTURE.md §6).
-verify: build test bench-smoke verify-faults verify-serve verify-churn verify-net verify-crash doc clippy verify-analysis
+verify: build test bench-smoke verify-faults verify-serve verify-churn verify-net verify-crash verify-tune doc clippy verify-analysis
 
 build:
 	cargo build --release
@@ -52,6 +57,9 @@ verify-net:
 
 verify-crash:
 	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-crash
+
+verify-tune:
+	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-tune
 
 # Static analysis + model checking (ARCHITECTURE.md §6):
 #   1. the dkindex-analyze lint pass over the whole workspace — nonzero exit

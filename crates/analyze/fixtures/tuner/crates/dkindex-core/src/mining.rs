@@ -1,0 +1,25 @@
+//! Fixture: a load miner that folds query weights in hash-bucket order
+//! and indexes the first query of an empty window. Mirrors the real
+//! `dkindex_core::mining` module path so the repository rule tables scope
+//! onto it: the `for` loop and the slice indexing must each be flagged —
+//! mining in hash order would derive different requirements from the same
+//! window on different runs, and a panic on an empty window would crash
+//! the live tuner instead of holding.
+
+use std::collections::HashMap;
+
+/// Sums per-label support in whatever order the hash map yields entries,
+/// so ties between labels resolve differently across runs.
+pub fn fold_support(weights: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut folded = Vec::new();
+    for (label, w) in weights {
+        folded.push((label.clone(), *w));
+    }
+    folded
+}
+
+/// Reads the dominant query of a harvested window; panics when the
+/// window is empty (an empty window must be a hold, never a panic).
+pub fn dominant(window: &[(String, u64)]) -> &(String, u64) {
+    &window[0]
+}

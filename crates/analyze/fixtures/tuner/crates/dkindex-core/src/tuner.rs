@@ -1,0 +1,26 @@
+//! Fixture: a tuning planner that walks its per-label requirement map in
+//! hash-bucket order and unwraps a label lookup. Mirrors the real
+//! `dkindex_core::tuner` module path so the repository rule tables scope
+//! onto it: the `for` loop and the `.unwrap()` must each be flagged — a
+//! tuner that plans in hash order would enqueue different
+//! `SetRequirements` ops on different runs, breaking the recorded-op
+//! replay oracle, and a panicking plan would take the maintenance thread
+//! down with it.
+
+use std::collections::HashMap;
+
+/// Plans promotions in whatever order the hash map yields labels, so two
+/// runs over the same window enqueue differently-ordered requirement sets.
+pub fn plan_promotions(mined: &HashMap<String, usize>) -> Vec<(String, usize)> {
+    let mut plan = Vec::new();
+    for (label, k) in mined {
+        plan.push((label.clone(), *k));
+    }
+    plan
+}
+
+/// Looks up one label's mined requirement; panics when the label was
+/// never observed in the window.
+pub fn mined_of(mined: &HashMap<String, usize>, label: &str) -> usize {
+    *mined.get(label).unwrap()
+}

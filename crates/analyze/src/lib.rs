@@ -56,6 +56,8 @@ pub fn default_config() -> RuleConfig {
             "dkindex_core::snapshot",
             "dkindex_core::wal",
             "dkindex_core::io_fail",
+            "dkindex_core::tuner",
+            "dkindex_core::mining",
             "dkindex_graph::segvec",
             "dkindex_server::protocol",
             "dkindex_server::conn",
@@ -67,6 +69,8 @@ pub fn default_config() -> RuleConfig {
             "dkindex_core::snapshot",
             "dkindex_core::wal",
             "dkindex_core::io_fail",
+            "dkindex_core::tuner",
+            "dkindex_core::mining",
             "dkindex_graph::segvec",
             "dkindex_server::protocol",
             "dkindex_server::conn",

@@ -202,6 +202,37 @@ fn wal_v2_and_io_fail_are_inside_the_repository_scopes() {
     }
 }
 
+/// The adaptive-tuning modules (`dkindex_core::tuner`,
+/// `dkindex_core::mining`) are inside the **repository** determinism and
+/// panic scopes: a fixture tree mirroring their exact module paths, seeded
+/// with one hash-order iteration and one panic path per module, fires both
+/// rules in both modules under `default_config`. A tuner that plans in
+/// hash order would enqueue different `SetRequirements` ops on different
+/// runs — breaking the recorded-op replay oracle the live-tuning gate
+/// depends on — and a panicking plan or miner would take the maintenance
+/// thread down; this test fails first if the scope tables lose those
+/// entries.
+#[test]
+fn tuner_and_mining_are_inside_the_repository_scopes() {
+    let findings = analyze_workspace_with(&fixture_root("tuner"), &default_config()).unwrap();
+    let counts = count_by_rule(&findings);
+    assert_eq!(counts["nondeterministic-iter"], 2, "{findings:?}");
+    assert_eq!(counts["panic-path"], 2, "{findings:?}");
+    assert_eq!(findings.len(), 4, "no extra findings: {findings:?}");
+    // Match on file names — the fixture root itself is named "tuner", so a
+    // bare substring would match every path.
+    for module in ["tuner.rs", "mining.rs"] {
+        for rule in ["nondeterministic-iter", "panic-path"] {
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| f.rule == rule && f.path.to_string_lossy().ends_with(module)),
+                "{rule} did not fire in {module}: {findings:?}"
+            );
+        }
+    }
+}
+
 /// The regression gate for the workspace-wide fix pass: the real tree
 /// lints clean under the repository rule tables, forever.
 #[test]

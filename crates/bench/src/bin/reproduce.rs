@@ -36,6 +36,14 @@
 //!                        nonzero if any acknowledged update fails to replay
 //!                        byte-identically after recovery, any crash view
 //!                        recovers a partial batch, or anything panics
+//!   verify-tune          live-tuning convergence gate: a Zipf-skewed query
+//!                        mix that flips to a different pool halfway through
+//!                        a WAL-logged serve run with in-loop tuning on;
+//!                        exits nonzero if the p99 query cost fails to
+//!                        re-converge within the bounded round count, if the
+//!                        tuned state diverges from the serial replay of the
+//!                        recorded ops (tuner ops included), or if the WAL
+//!                        replay diverges from the live state
 //!   all        everything above in order
 //! ```
 //!
@@ -59,6 +67,7 @@ use dkindex_bench::datasets::{self, DEFAULT_NASA_SCALE, DEFAULT_XMARK_SCALE};
 use dkindex_bench::experiments::*;
 use dkindex_bench::net;
 use dkindex_bench::perf::{self, PerfConfig};
+use dkindex_bench::tuning;
 use dkindex_bench::report::{fmt_f64, render_table};
 use dkindex_graph::stats::GraphStats;
 use dkindex_graph::DataGraph;
@@ -152,6 +161,7 @@ fn main() {
         "verify-churn" => run_verify_churn(&opts),
         "verify-net" => run_verify_net(&opts),
         "verify-crash" => run_verify_crash(&opts),
+        "verify-tune" => run_verify_tune(&opts),
         "all" => {
             fig_before(&opts, Dataset::Xmark);
             fig_before(&opts, Dataset::Nasa);
@@ -185,7 +195,7 @@ fn print_usage() {
     println!(
         "usage: reproduce <fig4|fig5|fig6|fig7|table1|sizes|ablation-broadcast|ablation-promote|\n\
          \x20                degradation|length-sweep|bench-smoke|verify-faults|verify-churn|\n\
-         \x20                verify-net|verify-crash|all>\n\
+         \x20                verify-net|verify-crash|verify-tune|all>\n\
          \x20       [--xmark-scale F] [--nasa-scale F] [--max-k K] [--seed S]\n\
          \x20       [--threads N] [--repeats N] [--out PATH] [--metrics PATH] [--analyze PATH]\n\
          \x20       (the last five flags apply to bench-smoke only)"
@@ -464,6 +474,10 @@ fn run_bench_smoke(opts: &Options) {
     let net_res = net::bench_net(&data, workload.queries(), &reqs, &cfg, &net_cfg, opts.seed);
     print_net(&net_res);
 
+    let tune_cfg = tuning::TuningBenchConfig::default();
+    let tune_res = tuning::bench_tuning(&data, &cfg, &tune_cfg, opts.seed);
+    print_tuning(&tune_res);
+
     let durability = {
         let dk = dkindex_core::DkIndex::build(&data, reqs.clone());
         let updates = dkindex_workload::generate_update_edges(&data, 64, opts.seed);
@@ -498,6 +512,7 @@ fn run_bench_smoke(opts: &Options) {
             churn: &churn,
             net: &net_res,
             durability: &durability,
+            tuning: &tune_res,
         },
     );
     if let Err(e) = std::fs::write(&opts.out, &json) {
@@ -538,6 +553,10 @@ fn run_bench_smoke(opts: &Options) {
     }
     if !net_res.gate_ok(&net_cfg) {
         eprintln!("FAIL: network serve gate (determinism / typed shedding) failed");
+        std::process::exit(1);
+    }
+    if !tune_res.gate_ok() {
+        eprintln!("FAIL: live-tuning gate (re-convergence / determinism / WAL replay) failed");
         std::process::exit(1);
     }
     if !tel.identical() {
@@ -731,6 +750,90 @@ fn run_verify_faults(opts: &Options) {
         std::process::exit(1);
     }
     println!("all fault probes recovered or failed with typed errors; zero panics");
+}
+
+fn print_tuning(t: &tuning::TuningBenchResult) {
+    println!(
+        "tuning: {} readers x {} rounds, workload flips at round {}: \
+         p99 cost {} -> {} at the shift -> {} converged | \
+         re-converged in {} round(s) (bound {})",
+        t.readers,
+        t.rounds,
+        t.shift_round,
+        t.baseline_p99,
+        t.shift_p99,
+        t.converged_p99,
+        t.converge_rounds
+            .map_or_else(|| "-".to_string(), |r| r.to_string()),
+        t.converge_bound,
+    );
+    println!(
+        "tuning activity: {} window(s) mined, {} promotion(s), {} demotion(s), \
+         {} tuning op(s) recorded | deterministic vs serial replay: {} | \
+         WAL replay identical: {}",
+        t.windows,
+        t.promotions,
+        t.demotions,
+        t.tuning_ops,
+        t.deterministic,
+        t.wal_recovered,
+    );
+}
+
+/// Live-tuning gate: the shifting-workload bench's acceptance criteria as
+/// an exit code. Fails if the p99 query cost does not re-converge within
+/// the bounded number of rounds after the workload flips, if the live-tuned
+/// state diverges from [`dkindex_core::apply_serial`] over the recorded op
+/// sequence
+/// (tuner ops at their actual interleaved positions), or if replaying the
+/// WAL does not reproduce the live state byte-identically.
+fn run_verify_tune(opts: &Options) {
+    let data = datasets::xmark(opts.xmark_scale);
+    let cfg = PerfConfig {
+        threads: opts.threads,
+        repeats: opts.repeats,
+    };
+    println!("\n=== Verify tune: live adaptation under a shifting Zipf workload ===");
+    let tune_cfg = tuning::TuningBenchConfig::default();
+    let t = tuning::bench_tuning(&data, &cfg, &tune_cfg, opts.seed);
+    print_tuning(&t);
+    if !t.deterministic {
+        eprintln!("FAIL: live-tuned state diverged from serial replay of the recorded ops");
+        std::process::exit(1);
+    }
+    if !t.wal_recovered {
+        eprintln!("FAIL: WAL replay diverged from the live-tuned state");
+        std::process::exit(1);
+    }
+    if t.windows == 0 || t.promotions == 0 {
+        eprintln!(
+            "FAIL: tuner never acted ({} window(s), {} promotion(s))",
+            t.windows, t.promotions
+        );
+        std::process::exit(1);
+    }
+    if t.converged_p99 > t.shift_p99 {
+        eprintln!(
+            "FAIL: converged p99 {} is worse than the shift-round p99 {}",
+            t.converged_p99, t.shift_p99
+        );
+        std::process::exit(1);
+    }
+    match t.converge_rounds {
+        Some(r) if r <= t.converge_bound => {}
+        _ => {
+            eprintln!(
+                "FAIL: p99 did not re-converge within {} round(s) after the shift \
+                 (curve: {:?})",
+                t.converge_bound, t.p99_curve
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "live tuner re-converged the p99 after the workload shift; \
+         tuned run replays serially and from the WAL byte-identically"
+    );
 }
 
 fn run_verify_crash(opts: &Options) {

@@ -414,6 +414,7 @@ pub fn kill_loop(
             ServeConfig {
                 max_batch: 4,
                 threads: 1,
+                ..ServeConfig::default()
             },
             Box::new(writer),
         );

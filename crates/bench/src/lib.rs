@@ -16,3 +16,4 @@ pub mod faults;
 pub mod net;
 pub mod perf;
 pub mod report;
+pub mod tuning;

@@ -143,6 +143,7 @@ pub fn bench_net(
         ServeConfig {
             max_batch: 8,
             threads: readers,
+            ..ServeConfig::default()
         },
     );
     let net = NetServer::start(

@@ -278,6 +278,7 @@ pub fn bench_serve(
         ServeConfig {
             max_batch: 8,
             threads: readers,
+            ..ServeConfig::default()
         },
     );
     std::thread::scope(|s| {
@@ -419,6 +420,7 @@ pub fn bench_churn(
         ServeConfig {
             max_batch: batch,
             threads: readers,
+            ..ServeConfig::default()
         },
     );
     // Warm-up: absorb the cold-start broadcast-lowering cascade unrecorded.
@@ -656,6 +658,8 @@ pub struct ServingSections<'a> {
     pub net: &'a crate::net::NetBenchResult,
     /// Durable-ack cost bench ([`crate::crash::bench_durability`]).
     pub durability: &'a crate::crash::DurabilityBenchResult,
+    /// Shifting-workload live-tuning bench ([`crate::tuning::bench_tuning`]).
+    pub tuning: &'a crate::tuning::TuningBenchResult,
 }
 
 /// Render the results as a JSON document (hand-rolled: the workspace has no
@@ -672,6 +676,7 @@ pub fn to_json(
         churn,
         net,
         durability,
+        tuning,
     } = *sections;
     let mut s = String::new();
     s.push_str("{\n");
@@ -768,6 +773,8 @@ pub fn to_json(
     s.push_str(&crate::crash::durability_to_json(durability));
     s.push_str(",\n");
     s.push_str(&crate::net::net_to_json(net));
+    s.push_str(",\n");
+    s.push_str(&crate::tuning::tuning_to_json(tuning));
     s.push('\n');
     s.push_str("}\n");
     s
@@ -840,11 +847,20 @@ mod tests {
                 .expect("durability bench must ack every update")
         };
         assert_eq!(durability.updates, 4);
+        let tune_cfg = crate::tuning::TuningBenchConfig {
+            rounds: 6,
+            queries_per_round: 96,
+            tune_window: 32,
+            ..crate::tuning::TuningBenchConfig::default()
+        };
+        let tuning = crate::tuning::bench_tuning(&data, &cfg, &tune_cfg, 7);
+        assert!(tuning.gate_ok(), "tuning gate failed: {tuning:?}");
         let sections = ServingSections {
             serve: &serve,
             churn: &churn,
             net: &net,
             durability: &durability,
+            tuning: &tuning,
         };
         let json = to_json("xmark-test", &cfg, &eval, &builds, &sections);
         assert!(json.contains("\"identical_outcomes\": true"));
@@ -857,6 +873,9 @@ mod tests {
         assert!(json.contains("\"rebuilt_ratio\""), "{json}");
         assert!(json.contains("\"publish_p50_ns\""), "{json}");
         assert!(json.contains("\"p999_us\""), "{json}");
+        assert!(json.contains("\"tuning\""), "{json}");
+        assert!(json.contains("\"p99_curve\""), "{json}");
+        assert!(json.contains("\"wal_recovered\": true"), "{json}");
         assert!(json.contains("\"deterministic\": true"), "{json}");
     }
 

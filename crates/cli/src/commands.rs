@@ -39,10 +39,10 @@ usage:
   dkindex recover  <snap.dki> --out <fixed.dki> [--wal <file.wal>]
   dkindex doctor   <index.dki> [--wal <file.wal>]
   dkindex serve <index.dki> --queries <file> [--threads N] [--updates N]
-                [--batch N] [--rounds N]
+                [--batch N] [--rounds N] [--tune-interval N] [--tune-window N]
   dkindex serve <index.dki> --listen <addr> [--workers N] [--accept-queue N]
                 [--staleness N] [--budget N] [--batch N] [--duration-ms N]
-                [--wal <file.wal>]
+                [--wal <file.wal>] [--tune-interval N] [--tune-window N]
   dkindex client <addr> [--ping] [--query <expr> [--budget N] [--rounds N]]
                 [--update FROM:TO] [--stats]
 
@@ -231,6 +231,8 @@ struct Parsed<'a> {
     accept_queue: Option<usize>,
     staleness: Option<u64>,
     duration_ms: Option<u64>,
+    tune_interval: Option<usize>,
+    tune_window: Option<usize>,
     query: Option<&'a str>,
     update: Option<&'a str>,
     ping: bool,
@@ -256,6 +258,8 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
         accept_queue: None,
         staleness: None,
         duration_ms: None,
+        tune_interval: None,
+        tune_window: None,
         query: None,
         update: None,
         ping: false,
@@ -345,6 +349,20 @@ fn parse_args<'a>(args: &'a [String]) -> Result<Parsed<'a>, CliError> {
                     next_value(&mut it, "--duration-ms")?
                         .parse()
                         .map_err(|_| CliError::usage("--duration-ms expects a number"))?,
+                )
+            }
+            "--tune-interval" => {
+                parsed.tune_interval = Some(
+                    next_value(&mut it, "--tune-interval")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--tune-interval expects a number"))?,
+                )
+            }
+            "--tune-window" => {
+                parsed.tune_window = Some(
+                    next_value(&mut it, "--tune-window")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--tune-window expects a number"))?,
                 )
             }
             "--out" => parsed.out = Some(next_value(&mut it, "--out")?),
@@ -913,13 +931,35 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         Vec::new()
     };
 
-    // Serial oracle first: the concurrent run must land on these bytes.
-    let mut serial_dk = dk.clone();
-    let mut serial_g = g.clone();
-    apply_serial(&mut serial_dk, &mut serial_g, &ops);
-    let expected = snapshot_bytes(&serial_dk, &serial_g);
+    let tune_interval = parsed.tune_interval.unwrap_or(0);
+    let tune_window = parsed.tune_window.unwrap_or(64);
 
-    let server = DkServer::start(g, dk, ServeConfig { max_batch: batch, threads });
+    // With live tuning off the op sequence is known up front, so the serial
+    // oracle can run first; with tuning on the maintenance thread interleaves
+    // its own SetRequirements/Demote ops, so the oracle replays the
+    // *recorded* actual sequence after the run instead.
+    let (initial_dk, initial_g) = (dk.clone(), g.clone());
+    let expected = if tune_interval == 0 {
+        let mut serial_dk = dk.clone();
+        let mut serial_g = g.clone();
+        apply_serial(&mut serial_dk, &mut serial_g, &ops);
+        Some(snapshot_bytes(&serial_dk, &serial_g))
+    } else {
+        None
+    };
+
+    let server = DkServer::start(
+        g,
+        dk,
+        ServeConfig {
+            max_batch: batch,
+            threads,
+            tune_interval,
+            tune_window,
+            record_ops: tune_interval > 0,
+            ..ServeConfig::default()
+        },
+    );
     let mut submit_failure: Option<ServeError> = None;
     let answered = std::thread::scope(|s| {
         let mut workers = Vec::new();
@@ -950,8 +990,22 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::Serve(e));
     }
     let last_epoch = server.flush().map_err(CliError::Serve)?;
+    let recorded = server.recorded_ops();
+    let tuning = server.handle().tuning_stats();
     let (final_dk, final_g) = server.shutdown().map_err(CliError::Serve)?;
 
+    let expected = match expected {
+        Some(bytes) => bytes,
+        None => {
+            // Tuning runs always record; an absent recording replays to the
+            // initial state, which the comparison below then reports.
+            let recorded = recorded.unwrap_or_default();
+            let mut serial_dk = initial_dk;
+            let mut serial_g = initial_g;
+            apply_serial(&mut serial_dk, &mut serial_g, &recorded);
+            snapshot_bytes(&serial_dk, &serial_g)
+        }
+    };
     if snapshot_bytes(&final_dk, &final_g) != expected {
         return Err(CliError::Unsound {
             corruptions: 1,
@@ -962,6 +1016,13 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     for note in notes {
         let _ = writeln!(out, "{note}");
+    }
+    if let Some(stats) = tuning {
+        let _ = writeln!(
+            out,
+            "live tuning: {} window(s) mined, {} promotion(s), {} demotion(s)",
+            stats.windows, stats.promotions, stats.demotions,
+        );
     }
     let _ = writeln!(
         out,
@@ -995,6 +1056,13 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 /// fsynced to the log (PROTOCOL.md §8, OPERATIONS.md recovery runbook).
 fn cmd_serve_net(index_path: &str, addr: &str, parsed: &Parsed<'_>) -> Result<String, CliError> {
     let batch = parsed.batch.unwrap_or(8).max(1);
+    let cfg = ServeConfig {
+        max_batch: batch,
+        threads: 1,
+        tune_interval: parsed.tune_interval.unwrap_or(0),
+        tune_window: parsed.tune_window.unwrap_or(64),
+        ..ServeConfig::default()
+    };
     let (mut dk, mut g) = load_index_graceful(index_path)?;
     let mut wal_notes = Vec::new();
     let writer = match parsed.wal {
@@ -1014,12 +1082,10 @@ fn cmd_serve_net(index_path: &str, addr: &str, parsed: &Parsed<'_>) -> Result<St
             }
         }
         None => {
-            let cfg = ServeConfig { max_batch: batch, threads: 1 };
             let server = DkServer::start(g, dk, cfg);
             return serve_net_run(server, addr, parsed, Vec::new());
         }
     };
-    let cfg = ServeConfig { max_batch: batch, threads: 1 };
     let server = DkServer::start_logged(g, dk, cfg, Box::new(writer));
     serve_net_run(server, addr, parsed, wal_notes)
 }
@@ -1835,7 +1901,7 @@ mod tests {
               "--idref", "idref"])
             .unwrap();
         let (dk, g) = load_index_graceful(idx.to_str().unwrap()).unwrap();
-        let server = DkServer::start(g, dk, ServeConfig { max_batch: 4, threads: 1 });
+        let server = DkServer::start(g, dk, ServeConfig { max_batch: 4, threads: 1, ..ServeConfig::default() });
         NetServer::start(server, "127.0.0.1:0", cfg).unwrap()
     }
 
@@ -2004,7 +2070,7 @@ mod tests {
         let server = DkServer::start_logged(
             g,
             dk,
-            ServeConfig { max_batch: 4, threads: 1 },
+            ServeConfig { max_batch: 4, threads: 1, ..ServeConfig::default() },
             Box::new(writer),
         );
         assert!(server.is_logged());

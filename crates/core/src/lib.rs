@@ -58,6 +58,7 @@ pub mod index_graph;
 pub mod index_stats;
 pub mod io_fail;
 pub mod label_split;
+pub mod load_monitor;
 pub mod mining;
 pub mod one_index;
 pub mod prepared;
@@ -80,16 +81,18 @@ pub use index_graph::{IndexGraph, SIM_EXACT};
 pub use index_stats::IndexStats;
 pub use io_fail::{FailPlan, SharedDisk, SimDisk};
 pub use label_split::label_split_index;
+pub use load_monitor::{LoadMonitor, LoadWindow};
 pub use mining::{mine_requirements, mine_requirements_weighted};
 pub use one_index::OneIndex;
 pub use prepared::{CachedEvaluator, PreparedQuery};
 pub use requirements::Requirements;
 pub use serve::{
     DkServer, DurableAck, Epoch, MaintenanceGate, ServeConfig, ServeError, ServeHandle, Submitter,
+    TuneStats,
 };
 pub use serve_ops::{apply_serial, ServeOp};
 pub use snapshot::{load_with_recovery, read_snapshot, save_snapshot_file, snapshot_bytes, write_snapshot, Recovery, SnapshotError, SnapshotFormat};
-pub use tuner::{AdaptiveTuner, TunerConfig, TuningAction};
+pub use tuner::{plan_tuning, AdaptiveTuner, ObservedLoad, TunerConfig, TuningAction, TuningPlan};
 pub use wal::{
     inspect_wal, BatchLog, ReplayReport, WalError, WalInspection, WalRecord, WalStore, WalTail,
     WalVerdict, WalWriter,

@@ -45,9 +45,12 @@ pub fn mine_requirements_weighted(
     queries: &[(PathExpr, u64)],
     min_support: u64,
 ) -> Requirements {
+    // A weight of zero means the query was never observed, so it carries no
+    // support regardless of the threshold: mining over the weighted load is
+    // exactly mining over its multiset expansion.
     let supported: Vec<PathExpr> = queries
         .iter()
-        .filter(|&&(_, w)| w >= min_support)
+        .filter(|&&(_, w)| w > 0 && w >= min_support)
         .map(|(q, _)| q.clone())
         .collect();
     mine_requirements(&supported)
@@ -107,6 +110,54 @@ mod tests {
     fn single_label_queries_need_nothing() {
         let qs = vec![parse("title").unwrap()];
         assert_eq!(mine_requirements(&qs).max_requirement(), 0);
+    }
+
+    /// Property: with `min_support` 0 the weighted miner is exactly the
+    /// unweighted miner over the multiset expansion (each query repeated
+    /// `weight` times) — weights select, they never scale requirements.
+    /// Seeded pseudo-random workloads over a mixed query pool, many draws.
+    #[test]
+    fn zero_support_weighted_mining_equals_multiset_expansion() {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let pool: Vec<PathExpr> = [
+            "title",
+            "movie.title",
+            "director.movie.title",
+            "movieDB.(_)?.movie.actor.name",
+            "movie.(title|year)",
+            "movie._",
+            "a.b.c.d.e",
+            "movie.title*",
+            "_._.year",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let mut rng = 0xD11E_5EEDu64;
+        for _ in 0..200 {
+            let n = 1 + (splitmix64(&mut rng) as usize % pool.len());
+            let weighted: Vec<(PathExpr, u64)> = (0..n)
+                .map(|_| {
+                    let q = pool[splitmix64(&mut rng) as usize % pool.len()].clone();
+                    (q, splitmix64(&mut rng) % 5) // weight 0..=4, zeros allowed
+                })
+                .collect();
+            let expanded: Vec<PathExpr> = weighted
+                .iter()
+                .flat_map(|(q, w)| std::iter::repeat_n(q.clone(), *w as usize))
+                .collect();
+            assert_eq!(
+                mine_requirements_weighted(&weighted, 0),
+                mine_requirements(&expanded),
+                "diverged on workload {weighted:?}"
+            );
+        }
     }
 
     #[test]

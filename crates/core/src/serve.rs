@@ -58,13 +58,17 @@
 
 use crate::dk::construct::DkIndex;
 use crate::eval::{IndexEvalOutcome, IndexEvaluator};
+use crate::load_monitor::{LoadMonitor, LoadWindow};
+use crate::mining::mine_requirements_weighted;
 use crate::requirements::Requirements;
+use crate::tuner::{plan_tuning, TuningPlan};
 pub use crate::serve_ops::{apply_serial, ServeOp};
 pub use crate::wal::BatchLog;
 use dkindex_graph::DataGraph;
 use dkindex_pathexpr::PathExpr;
 use dkindex_telemetry as telemetry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
@@ -79,6 +83,25 @@ pub struct ServeConfig {
     /// Worker threads for the sharded initial construction
     /// ([`DkIndex::build_sharded`]); `0` means machine parallelism.
     pub threads: usize,
+    /// Live tuning cadence: harvest the [`LoadMonitor`] every this many
+    /// published batches and enqueue the mined promote/demote work as
+    /// ordinary serve ops. `0` (the default) disables live tuning — the
+    /// serve loop then has no monitor and readers record nothing.
+    pub tune_interval: usize,
+    /// Minimum recorded queries a harvest must have accumulated before the
+    /// tuner acts on it; smaller harvests merge into the next one, so a
+    /// slow trickle of queries still tunes eventually.
+    pub tune_window: usize,
+    /// Minimum occurrences within a window for a query shape to influence
+    /// the mined requirements (the §4.1 "majority" filter; see
+    /// [`crate::tuner::TunerConfig::min_support`]).
+    pub tune_min_support: u64,
+    /// Demotion hysteresis (see [`crate::tuner::TunerConfig::demote_slack`]).
+    pub tune_demote_slack: usize,
+    /// Record every applied op in submission order for the serial-replay
+    /// determinism oracle ([`DkServer::recorded_ops`]). Off by default:
+    /// the recording grows with the run.
+    pub record_ops: bool,
 }
 
 impl Default for ServeConfig {
@@ -86,8 +109,48 @@ impl Default for ServeConfig {
         ServeConfig {
             max_batch: 64,
             threads: 1,
+            tune_interval: 0,
+            tune_window: 64,
+            tune_min_support: 2,
+            tune_demote_slack: 1,
+            record_ops: false,
         }
     }
+}
+
+/// Shared live-tuning state: the lock-free [`LoadMonitor`] epoch readers
+/// feed, plus the counters the STATS surface reports. Present only when
+/// [`ServeConfig::tune_interval`] is non-zero.
+#[derive(Debug)]
+pub struct TuneState {
+    monitor: LoadMonitor,
+    windows: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+}
+
+impl TuneState {
+    fn new(monitor: LoadMonitor) -> TuneState {
+        TuneState {
+            monitor,
+            windows: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time view of the live tuner's activity, readable from any
+/// thread via [`ServeHandle::tuning_stats`] (the network front-end's STATS
+/// frame renders these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TuneStats {
+    /// Harvested windows that were large enough to mine.
+    pub windows: u64,
+    /// Tuning passes that enqueued a promotion (`SetRequirements`).
+    pub promotions: u64,
+    /// Tuning passes that enqueued a demotion (`Demote`).
+    pub demotions: u64,
 }
 
 /// A serve-layer failure surfaced to callers as a typed error rather than a
@@ -134,16 +197,38 @@ pub struct Epoch {
     dk: DkIndex,
     data: DataGraph,
     memo: Mutex<HashMap<PathExpr, Arc<IndexEvalOutcome>>>,
+    /// Live-tuning state shared across every epoch of one server; readers
+    /// record each evaluated query into its monitor, lock-free.
+    tune: Option<Arc<TuneState>>,
 }
 
 impl Epoch {
-    fn new(id: u64, ops_applied: u64, dk: DkIndex, data: DataGraph) -> Self {
+    fn new(
+        id: u64,
+        ops_applied: u64,
+        dk: DkIndex,
+        data: DataGraph,
+        tune: Option<Arc<TuneState>>,
+    ) -> Self {
         Epoch {
             id,
             ops_applied,
             dk,
             data,
             memo: Mutex::new(HashMap::new()),
+            tune,
+        }
+    }
+
+    /// Feed the load monitor (when live tuning is on) with one evaluated
+    /// query and bump the observation telemetry. Lock-free.
+    fn observe(&self, query: &PathExpr, validated: bool, memo_hit: bool) {
+        if let Some(tune) = &self.tune {
+            tune.monitor.record(query, validated, memo_hit);
+            telemetry::metrics::TUNER_LIVE_QUERIES.incr();
+            if validated {
+                telemetry::metrics::TUNER_LIVE_VALIDATIONS.incr();
+            }
         }
     }
 
@@ -189,10 +274,12 @@ impl Epoch {
             .map(Arc::clone)
         {
             telemetry::metrics::SERVE_CACHE_HITS.incr();
+            self.observe(query, hit.validated, true);
             return hit;
         }
         telemetry::metrics::SERVE_CACHE_MISSES.incr();
         let out = Arc::new(IndexEvaluator::new(self.dk.index(), &self.data).evaluate(query));
+        self.observe(query, out.validated, false);
         self.memo
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -221,12 +308,16 @@ impl Epoch {
             .map(Arc::clone)
         {
             telemetry::metrics::SERVE_CACHE_HITS.incr();
+            self.observe(query, hit.validated, true);
             return Ok(hit);
         }
         telemetry::metrics::SERVE_CACHE_MISSES.incr();
+        // An aborted probe is not recorded either: it answered nothing, so
+        // it is no evidence of served load (and its outcome is unknown).
         let out = Arc::new(
             IndexEvaluator::new(self.dk.index(), &self.data).evaluate_bounded(query, budget)?,
         );
+        self.observe(query, out.validated, false);
         self.memo
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -240,9 +331,20 @@ impl Epoch {
 #[derive(Clone)]
 pub struct ServeHandle {
     current: Arc<RwLock<Arc<Epoch>>>,
+    tune: Option<Arc<TuneState>>,
 }
 
 impl ServeHandle {
+    /// The live tuner's activity counters, or `None` when the server runs
+    /// without live tuning ([`ServeConfig::tune_interval`] of zero).
+    pub fn tuning_stats(&self) -> Option<TuneStats> {
+        self.tune.as_ref().map(|t| TuneStats {
+            windows: t.windows.load(Ordering::Relaxed),
+            promotions: t.promotions.load(Ordering::Relaxed),
+            demotions: t.demotions.load(Ordering::Relaxed),
+        })
+    }
+
     /// The currently published epoch. The returned `Arc` stays fully
     /// consistent even if the maintenance thread publishes successors. The
     /// epoch lock is only ever held across a single `Arc` load or store, so
@@ -278,7 +380,12 @@ enum Msg {
     /// thread releases only after the op's batch is durable (WAL-backed
     /// servers) and published.
     Op(ServeOp, Option<AckSender>),
-    Flush(mpsc::Sender<u64>),
+    /// A drain barrier. Resolves `Ok(epoch_id)` only while every
+    /// previously submitted op has actually been applied — once a failed
+    /// group commit has poisoned the server and batches are being dropped,
+    /// flushes resolve `Err(WalFailed)` instead (the flush contract is
+    /// "applied", not "attempted").
+    Flush(mpsc::Sender<Result<u64, ServeError>>),
     Pause(PauseGate),
     Shutdown,
 }
@@ -331,6 +438,12 @@ pub struct DkServer {
     tx: mpsc::Sender<Msg>,
     join: Option<JoinHandle<(DkIndex, DataGraph)>>,
     logged: bool,
+    /// Set by the maintenance thread when a group commit fails: the server
+    /// drops every later batch, so accepting new ops would lose them
+    /// silently. `submit`/`submit_logged` fast-fail on it.
+    poisoned: Arc<AtomicBool>,
+    /// Applied ops in application order, when [`ServeConfig::record_ops`].
+    recorded: Option<Arc<Mutex<Vec<ServeOp>>>>,
 }
 
 impl DkServer {
@@ -359,23 +472,64 @@ impl DkServer {
         config: ServeConfig,
         log: Option<Box<dyn BatchLog>>,
     ) -> DkServer {
-        let epoch0 = Arc::new(Epoch::new(0, 0, dk.clone(), data.clone()));
+        // The label universe is fixed while serving, so the monitor's dense
+        // per-label table can be sized once, here.
+        let tune = (config.tune_interval > 0)
+            .then(|| Arc::new(TuneState::new(LoadMonitor::new(data.labels_shared()))));
+        let recorded = config
+            .record_ops
+            .then(|| Arc::new(Mutex::new(Vec::new())));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let epoch0 = Arc::new(Epoch::new(0, 0, dk.clone(), data.clone(), tune.clone()));
         let current = Arc::new(RwLock::new(epoch0));
         let handle = ServeHandle {
             current: Arc::clone(&current),
+            tune: tune.clone(),
         };
         telemetry::metrics::SERVE_EPOCH_PUBLISHES.incr();
         let (tx, rx) = mpsc::channel();
-        let max_batch = config.max_batch.max(1);
-        let logged = log.is_some();
-        let join =
-            std::thread::spawn(move || maintenance_loop(dk, data, rx, current, max_batch, log));
+        let ctx = MaintenanceCtx {
+            current,
+            max_batch: config.max_batch.max(1),
+            wal: log,
+            poisoned: Arc::clone(&poisoned),
+            recorded: recorded.clone(),
+            // The maintenance thread enqueues tuning ops through its own
+            // sender so they interleave with client ops at channel order
+            // and flow through the WAL/batch/publish path like any op.
+            tune: tune.map(|state| LiveTuner {
+                state,
+                tx: tx.clone(),
+                interval: config.tune_interval,
+                window: config.tune_window,
+                min_support: config.tune_min_support,
+                demote_slack: config.tune_demote_slack,
+                batches: 0,
+                pending: None,
+            }),
+        };
+        let logged = ctx.wal.is_some();
+        let join = std::thread::spawn(move || maintenance_loop(dk, data, rx, ctx));
         DkServer {
             handle,
             tx,
             join: Some(join),
             logged,
+            poisoned,
+            recorded,
         }
+    }
+
+    /// The ops applied so far in application order, when the server was
+    /// started with [`ServeConfig::record_ops`] — the exact input for the
+    /// [`apply_serial`] determinism oracle. With live tuning on, the
+    /// recording includes the tuner's `SetRequirements`/`Demote` ops at
+    /// their actual interleaved positions. Call after [`DkServer::flush`]
+    /// for a recording that covers every acknowledged submission.
+    pub fn recorded_ops(&self) -> Option<Vec<ServeOp>> {
+        self.recorded
+            .as_ref()
+            .map(|rec| rec.lock().unwrap_or_else(PoisonError::into_inner).clone())
     }
 
     /// Was this server started with a write-ahead log
@@ -411,14 +565,21 @@ impl DkServer {
     pub fn submitter(&self) -> Submitter {
         Submitter {
             tx: self.tx.clone(),
+            poisoned: Arc::clone(&self.poisoned),
         }
     }
 
     /// Enqueue a maintenance operation. Ops are applied in submission order
     /// by the maintenance thread, batched, and become visible atomically at
     /// the next epoch publish. Fails with [`ServeError::MaintenanceGone`]
-    /// when the maintenance thread no longer exists to apply it.
+    /// when the maintenance thread no longer exists to apply it, and with
+    /// [`ServeError::WalFailed`] once a failed group commit has poisoned
+    /// the server — a poisoned server drops every batch, so enqueueing
+    /// would lose the op silently.
     pub fn submit(&self, op: ServeOp) -> Result<(), ServeError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(ServeError::WalFailed);
+        }
         self.tx
             .send(Msg::Op(op, None))
             .map_err(|_| ServeError::MaintenanceGone)
@@ -426,8 +587,12 @@ impl DkServer {
 
     /// Enqueue a maintenance operation and return a [`DurableAck`] that
     /// resolves once the op's batch is applied and published — after its
-    /// WAL group commit, when this server [`DkServer::is_logged`].
+    /// WAL group commit, when this server [`DkServer::is_logged`]. Fails
+    /// fast with [`ServeError::WalFailed`] on a poisoned server.
     pub fn submit_logged(&self, op: ServeOp) -> Result<DurableAck, ServeError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(ServeError::WalFailed);
+        }
         let (ack_tx, ack_rx) = mpsc::channel();
         self.tx
             .send(Msg::Op(op, Some(ack_tx)))
@@ -436,15 +601,17 @@ impl DkServer {
     }
 
     /// Block until every previously submitted op has been applied and
-    /// published; returns the epoch id current after the drain, or
+    /// published; returns the epoch id current after the drain.
     /// [`ServeError::MaintenanceGone`] when the maintenance thread died
-    /// before acknowledging.
+    /// before acknowledging, [`ServeError::WalFailed`] when a failed group
+    /// commit poisoned the server — then some previously submitted ops
+    /// were dropped, so the flush contract cannot be honored.
     pub fn flush(&self) -> Result<u64, ServeError> {
         let (ack_tx, ack_rx) = mpsc::channel();
         self.tx
             .send(Msg::Flush(ack_tx))
             .map_err(|_| ServeError::MaintenanceGone)?;
-        ack_rx.recv().map_err(|_| ServeError::MaintenanceGone)
+        ack_rx.recv().map_err(|_| ServeError::MaintenanceGone)?
     }
 
     /// Stop the maintenance thread after it drains all previously submitted
@@ -493,12 +660,16 @@ impl DkServer {
 #[derive(Clone)]
 pub struct Submitter {
     tx: mpsc::Sender<Msg>,
+    poisoned: Arc<AtomicBool>,
 }
 
 impl Submitter {
     /// Enqueue a maintenance operation; same contract as
-    /// [`DkServer::submit`].
+    /// [`DkServer::submit`] (including the poisoned-server fast-fail).
     pub fn submit(&self, op: ServeOp) -> Result<(), ServeError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(ServeError::WalFailed);
+        }
         self.tx
             .send(Msg::Op(op, None))
             .map_err(|_| ServeError::MaintenanceGone)
@@ -507,6 +678,9 @@ impl Submitter {
     /// Enqueue a maintenance operation with a durable acknowledgment; same
     /// contract as [`DkServer::submit_logged`].
     pub fn submit_logged(&self, op: ServeOp) -> Result<DurableAck, ServeError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(ServeError::WalFailed);
+        }
         let (ack_tx, ack_rx) = mpsc::channel();
         self.tx
             .send(Msg::Op(op, Some(ack_tx)))
@@ -530,19 +704,110 @@ enum Staged {
     Shutdown,
 }
 
+/// Everything the maintenance thread needs besides the owned
+/// `(DkIndex, DataGraph)` and its receive channel.
+struct MaintenanceCtx {
+    current: Arc<RwLock<Arc<Epoch>>>,
+    max_batch: usize,
+    wal: Option<Box<dyn BatchLog>>,
+    /// Mirror of the loop-local `wal_broken` flag shared with
+    /// `DkServer`/`Submitter` so their `submit` paths fast-fail instead of
+    /// enqueueing ops a poisoned server would drop.
+    poisoned: Arc<AtomicBool>,
+    /// Sink for the applied-op recording ([`ServeConfig::record_ops`]).
+    recorded: Option<Arc<Mutex<Vec<ServeOp>>>>,
+    tune: Option<LiveTuner>,
+}
+
+/// The maintenance thread's live-tuning loop state. The tuner holds its own
+/// sender clone and enqueues its `SetRequirements`/`Demote` decisions as
+/// ordinary [`Msg::Op`]s: they interleave with client ops at channel order
+/// and flow through the same WAL/batch/publish/ack path, which is what
+/// keeps an N-thread tuned run byte-identical under [`apply_serial`] replay
+/// of the recorded op sequence. (The held sender means the channel never
+/// disconnects on its own; every exit path goes through `Msg::Shutdown`,
+/// which both [`DkServer::shutdown`] and `Drop` send.)
+struct LiveTuner {
+    state: Arc<TuneState>,
+    tx: mpsc::Sender<Msg>,
+    interval: usize,
+    window: usize,
+    min_support: u64,
+    demote_slack: usize,
+    /// Publishes since the last harvest.
+    batches: usize,
+    /// Harvests too small to act on accumulate here until they jointly
+    /// clear the `window` threshold — a slow query trickle still tunes.
+    pending: Option<LoadWindow>,
+}
+
+impl LiveTuner {
+    /// Called after every epoch publish. Every `interval` publishes,
+    /// harvest the monitor into the pending window; once the window holds
+    /// at least `window` recorded queries, mine it and enqueue the planned
+    /// action (if any) through the op channel.
+    fn after_publish(&mut self, dk: &DkIndex) {
+        self.batches += 1;
+        if self.batches < self.interval {
+            return;
+        }
+        self.batches = 0;
+        let span = telemetry::Span::start(&telemetry::metrics::TUNER_LIVE_PLAN_NS);
+        let harvest = self.state.monitor.harvest();
+        if !harvest.is_empty() {
+            match self.pending.as_mut() {
+                Some(pending) => pending.merge(&harvest),
+                None => self.pending = Some(harvest),
+            }
+        }
+        let ready = self
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.recorded() >= self.window as u64);
+        if !ready {
+            drop(span);
+            return;
+        }
+        let Some(window) = self.pending.take() else {
+            drop(span);
+            return;
+        };
+        self.state.windows.fetch_add(1, Ordering::Relaxed);
+        telemetry::metrics::TUNER_LIVE_WINDOWS.incr();
+        let weighted = window.weighted_queries();
+        let observed = window.observed();
+        let mined = mine_requirements_weighted(&weighted, self.min_support);
+        match plan_tuning(dk.requirements(), &mined, &observed, self.demote_slack) {
+            TuningPlan::Promote(reqs) => {
+                self.state.promotions.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::TUNER_LIVE_PROMOTIONS.incr();
+                telemetry::metrics::TUNER_LIVE_OPS.incr();
+                let _ = self.tx.send(Msg::Op(ServeOp::SetRequirements(reqs), None));
+            }
+            TuningPlan::Demote(reqs) => {
+                self.state.demotions.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::TUNER_LIVE_DEMOTIONS.incr();
+                telemetry::metrics::TUNER_LIVE_OPS.incr();
+                let _ = self.tx.send(Msg::Op(ServeOp::Demote(reqs), None));
+            }
+            TuningPlan::Hold => {}
+        }
+        drop(span);
+    }
+}
+
 /// The single-writer loop: block for one message, drain the channel up to
 /// `max_batch` ops, group-commit the batch to the WAL when one is attached
 /// (write + fence + one fsync — *before* anything is applied or
 /// acknowledged), apply the ops in submission order, publish one new epoch
 /// per non-empty batch, release the batch's durable acks, acknowledge
-/// flushes, and hand the owned state back on shutdown.
+/// flushes, run the live-tuning pass, and hand the owned state back on
+/// shutdown.
 fn maintenance_loop(
     mut dk: DkIndex,
     mut data: DataGraph,
     rx: mpsc::Receiver<Msg>,
-    current: Arc<RwLock<Arc<Epoch>>>,
-    max_batch: usize,
-    mut wal: Option<Box<dyn BatchLog>>,
+    mut ctx: MaintenanceCtx,
 ) -> (DkIndex, DataGraph) {
     let mut epoch_id = 0u64;
     let mut ops_total = 0u64;
@@ -558,7 +823,7 @@ fn maintenance_loop(
             return (dk, data);
         };
         let mut batch: Vec<(ServeOp, Option<AckSender>)> = Vec::new();
-        let mut flushes: Vec<mpsc::Sender<u64>> = Vec::new();
+        let mut flushes: Vec<mpsc::Sender<Result<u64, ServeError>>> = Vec::new();
         let mut pauses: Vec<PauseGate> = Vec::new();
         let mut shutdown = false;
         let mut staged = first;
@@ -568,7 +833,7 @@ fn maintenance_loop(
                 shutdown = true;
                 break;
             }
-            if batch.len() >= max_batch {
+            if batch.len() >= ctx.max_batch {
                 break;
             }
             match rx.try_recv() {
@@ -577,7 +842,7 @@ fn maintenance_loop(
             }
         }
         if !batch.is_empty() {
-            if let Some(log) = wal.as_mut() {
+            if let Some(log) = ctx.wal.as_mut() {
                 // Log only ops `apply` would actually execute (node counts
                 // never change while serving, so applicability is decidable
                 // up front): the logged stream then replays byte-identically
@@ -592,9 +857,11 @@ fn maintenance_loop(
                     // Nothing in this batch reached stable storage as a
                     // fenced commit: drop it *unapplied* — the in-memory
                     // state must stay replayable from the committed WAL
-                    // prefix — and fail every waiting ack with the typed
-                    // error.
+                    // prefix — fail every waiting ack with the typed error,
+                    // and publish the poisoning so new submits fast-fail
+                    // instead of enqueueing ops this loop would drop.
                     wal_broken = true;
+                    ctx.poisoned.store(true, Ordering::Release);
                     telemetry::metrics::SERVE_WAL_DROPPED_BATCHES.incr();
                     for (_, ack) in batch.drain(..) {
                         if let Some(ack) = ack {
@@ -608,6 +875,13 @@ fn maintenance_loop(
             let span = telemetry::Span::start(&telemetry::metrics::SERVE_PUBLISH_NS);
             telemetry::metrics::SERVE_BATCH_OPS.record(batch.len() as u64);
             ops_total += batch.len() as u64;
+            if let Some(rec) = &ctx.recorded {
+                // Recorded only for batches that actually apply (a dropped
+                // batch above already drained), so the recording is exactly
+                // the serial oracle's input.
+                let mut rec = rec.lock().unwrap_or_else(PoisonError::into_inner);
+                rec.extend(batch.iter().map(|(op, _)| op.clone()));
+            }
             let mut acks: Vec<AckSender> = Vec::new();
             for (op, ack) in batch.drain(..) {
                 crate::serve_ops::apply(&mut dk, &mut data, op);
@@ -619,31 +893,52 @@ fn maintenance_loop(
             // `dk`/`data` are COW snapshots (Arc-shared blocks and
             // segments), so these clones copy only what the batch above
             // touched — the delta-epoch publish is O(touched), not O(index).
-            let fresh = Arc::new(Epoch::new(epoch_id, ops_total, dk.clone(), data.clone()));
+            let fresh = Arc::new(Epoch::new(
+                epoch_id,
+                ops_total,
+                dk.clone(),
+                data.clone(),
+                ctx.tune.as_ref().map(|t| Arc::clone(&t.state)),
+            ));
             {
                 // This thread is the only writer, so the epoch read here is
                 // exactly the predecessor being superseded.
-                let prev = Arc::clone(&current.read().unwrap_or_else(PoisonError::into_inner));
+                let prev =
+                    Arc::clone(&ctx.current.read().unwrap_or_else(PoisonError::into_inner));
                 let (shared, rebuilt) = fresh.dk.index().shared_blocks_with(prev.dk.index());
                 telemetry::metrics::SERVE_PUBLISH_BLOCKS_SHARED.add(shared as u64);
                 telemetry::metrics::SERVE_PUBLISH_BLOCKS_REBUILT.add(rebuilt as u64);
             }
             // The write lock is held for this one pointer store; recovery
             // from poisoning is sound because the old Arc is still intact.
-            *current.write().unwrap_or_else(PoisonError::into_inner) = fresh;
+            *ctx.current.write().unwrap_or_else(PoisonError::into_inner) = fresh;
             drop(span);
             telemetry::metrics::SERVE_EPOCH_PUBLISHES.incr();
             // Acks release only here — after the WAL group commit *and* the
             // publish — so a released ack means both durable and visible.
             for ack in acks.drain(..) {
-                if wal.is_some() {
+                if ctx.wal.is_some() {
                     telemetry::metrics::SERVE_DURABLE_ACKS.incr();
                 }
                 let _ = ack.send(Ok(epoch_id));
             }
+            // Live tuning rides published batches: harvest the monitor on
+            // cadence and self-enqueue the mined promote/demote work. A
+            // poisoned server stops tuning with everything else — its
+            // batches are dropped before this point.
+            if let Some(tuner) = ctx.tune.as_mut() {
+                tuner.after_publish(&dk);
+            }
         }
         for ack in flushes.drain(..) {
-            let _ = ack.send(epoch_id);
+            // The flush contract is "every previously submitted op has been
+            // *applied*" — once poisoned, batches are being dropped, so a
+            // flush must surface the loss instead of acking it away (S1).
+            let _ = ack.send(if wal_broken {
+                Err(ServeError::WalFailed)
+            } else {
+                Ok(epoch_id)
+            });
         }
         // Park between batches while a pause gate is held: acknowledge so
         // the holder knows nothing further will be applied, then block
@@ -663,7 +958,7 @@ fn maintenance_loop(
 fn stage_message(
     msg: Msg,
     batch: &mut Vec<(ServeOp, Option<AckSender>)>,
-    flushes: &mut Vec<mpsc::Sender<u64>>,
+    flushes: &mut Vec<mpsc::Sender<Result<u64, ServeError>>>,
     pauses: &mut Vec<PauseGate>,
 ) -> Staged {
     match msg {

@@ -11,9 +11,20 @@
 //!    the recorded load (frequency-weighted, so one stray deep query does
 //!    not inflate the index — "the choice of k_A should guarantee that the
 //!    majority of queries accessing A are ≤ k_A in length", §4.1);
-//! 3. labels whose requirement *rose* are promoted; if the mined
-//!    requirements shrank and the index pays more in size than validation
-//!    saves, the index is demoted.
+//! 3. labels whose requirement *rose* are promoted; if the load a label
+//!    actually received got shallower, the index is demoted — but only for
+//!    labels the window *observed*: a label that merely went unqueried
+//!    keeps its current requirement, so alternating workloads do not
+//!    thrash the index promote/demote every window.
+//!
+//! The tuning *policy* — given current requirements, mined requirements,
+//! and the set of observed result labels, decide promote/demote/hold — is
+//! the pure function [`plan_tuning`], shared verbatim by this offline
+//! tuner and by the live tuning pass inside [`crate::serve`]'s maintenance
+//! thread. Everything here iterates ordered containers (`BTreeMap`,
+//! sorted vectors): the same window must always yield the same plan, byte
+//! for byte, because the live path replays tuning decisions through the
+//! serial-application oracle (`dkindex-analyze` enforces the scope).
 //!
 //! ```
 //! use dkindex_core::{AdaptiveTuner, DkIndex, Requirements, TunerConfig, TuningAction};
@@ -39,7 +50,7 @@ use crate::requirements::Requirements;
 use dkindex_graph::DataGraph;
 use dkindex_pathexpr::PathExpr;
 use dkindex_telemetry as telemetry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tuning policy knobs.
 #[derive(Clone, Debug)]
@@ -49,7 +60,7 @@ pub struct TunerConfig {
     /// Minimum occurrences within a window for a query shape to influence
     /// the mined requirements (the "majority" filter of §4.1).
     pub min_support: u64,
-    /// Demote when the mined maximum requirement is at least this much
+    /// Demote when the retained maximum requirement is at least this much
     /// below the current one (hysteresis against oscillation).
     pub demote_slack: usize,
 }
@@ -82,13 +93,136 @@ pub enum TuningAction {
     },
 }
 
+/// Which result labels one observation window actually saw, regardless of
+/// the `min_support` filter: a label is *observed* when any query in the
+/// window could end at it. [`plan_tuning`] only lets observed labels decay
+/// — an unqueried label carries no evidence that its load shrank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObservedLoad {
+    /// Result labels some window query can end at (sorted, deduplicated).
+    pub labels: BTreeSet<String>,
+    /// True when some window query can end in a wildcard (blanket load:
+    /// evidence about the requirement floor rather than any one label).
+    pub wildcard: bool,
+}
+
+impl ObservedLoad {
+    /// Collect the observed result labels of a window's queries. Unbounded
+    /// queries (`R*` tails) are skipped exactly as the miner skips them:
+    /// they carry no finite length requirement.
+    pub fn from_queries<'a>(queries: impl IntoIterator<Item = &'a PathExpr>) -> ObservedLoad {
+        let mut observed = ObservedLoad::default();
+        for query in queries {
+            if query.max_word_len().is_none() {
+                continue;
+            }
+            let last = query.last_labels();
+            observed.labels.extend(last.labels);
+            observed.wildcard |= last.wildcard;
+        }
+        observed
+    }
+
+    /// True when the window saw no bounded query at all.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty() && !self.wildcard
+    }
+}
+
+/// The decision of one tuning step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TuningPlan {
+    /// The mined load matches the current index: hold.
+    Hold,
+    /// Replace the requirements with the carried value and promote up to
+    /// them (some label's requirement rose).
+    Promote(Requirements),
+    /// Demote the index down to the carried requirements (the observed
+    /// load got shallower; unobserved labels are retained as-is).
+    Demote(Requirements),
+}
+
+/// The pure tuning policy, shared by the offline [`AdaptiveTuner`] and the
+/// live tuning pass in [`crate::serve`]:
+///
+/// * **Promote** when some mined label requirement (or the mined floor)
+///   exceeds the current one. The promotion target is the current
+///   requirements with the rises merged in — existing guarantees are never
+///   given up by a promotion.
+/// * **Demote** only on evidence of shrink: the demotion target keeps every
+///   *unobserved* label at its current requirement and lowers observed
+///   labels to their mined values (the floor follows the mined floor, as
+///   blanket load is only attributable to wildcard queries). The demotion
+///   fires only when the target's maximum requirement sits at least
+///   `demote_slack + 1` below the current maximum (hysteresis).
+/// * **Hold** otherwise.
+///
+/// Deterministic by construction: both inputs are reduced through
+/// order-insensitive max-merges ([`Requirements::raise`]), so two calls
+/// with equal inputs yield equal plans regardless of any iteration order
+/// upstream.
+pub fn plan_tuning(
+    current: &Requirements,
+    mined: &Requirements,
+    observed: &ObservedLoad,
+    demote_slack: usize,
+) -> TuningPlan {
+    let rises: Vec<(String, usize)> = {
+        let mut rises: Vec<(String, usize)> = mined
+            .iter()
+            .filter(|&(label, k)| k > current.get(label))
+            .map(|(l, k)| (l.to_string(), k))
+            .collect();
+        rises.sort();
+        rises
+    };
+    let mined_floor_rose = mined.floor() > current.floor();
+
+    if !rises.is_empty() || mined_floor_rose {
+        let mut merged = current.clone();
+        for (label, k) in &rises {
+            merged.raise(label, *k);
+        }
+        if mined_floor_rose {
+            merged.raise_floor(mined.floor());
+        }
+        return TuningPlan::Promote(merged);
+    }
+
+    // Demotion target: observed labels decay to their mined requirement,
+    // unobserved labels retain their current one — a label that simply
+    // went unqueried this window is not evidence of a shallower load.
+    let mut target = Requirements::new();
+    target.raise_floor(mined.floor());
+    let mut retained: Vec<(&str, usize)> = current.iter().collect();
+    retained.sort();
+    for (label, k) in retained {
+        if !observed.labels.contains(label) {
+            target.raise(label, k);
+        }
+    }
+    let mut shrunk: Vec<(&str, usize)> = mined.iter().collect();
+    shrunk.sort();
+    for (label, k) in shrunk {
+        target.raise(label, k);
+    }
+
+    // Shrink only when the retained load clearly got shallower (hysteresis).
+    if target.max_requirement() + demote_slack < current.max_requirement() {
+        return TuningPlan::Demote(target);
+    }
+    TuningPlan::Hold
+}
+
 /// A D(k)-index coupled with a query-load monitor (paper §5.3/§5.4/§7).
 #[derive(Debug)]
 pub struct AdaptiveTuner {
     dk: DkIndex,
     config: TunerConfig,
-    /// Query shape → occurrences in the current window.
-    observed: HashMap<PathExpr, u64>,
+    /// Query shape → occurrences in the current window. Ordered so the
+    /// window drains the same way every run — the mining input, and with
+    /// it the tuning decision, must not depend on hash iteration order.
+    observed: BTreeMap<PathExpr, u64>,
     seen: usize,
     validations: u64,
 }
@@ -99,7 +233,7 @@ impl AdaptiveTuner {
         AdaptiveTuner {
             dk,
             config,
-            observed: HashMap::new(),
+            observed: BTreeMap::new(),
             seen: 0,
             validations: 0,
         }
@@ -149,41 +283,29 @@ impl AdaptiveTuner {
         }
         telemetry::metrics::TUNER_WINDOWS.incr();
         let _span = telemetry::Span::start(&telemetry::metrics::TUNER_TUNE_NS);
-        let weighted: Vec<(PathExpr, u64)> = self.observed.drain().collect();
+        // `BTreeMap` iteration is the declared query order: the mining
+        // input is identical across runs for the same window content.
+        let weighted: Vec<(PathExpr, u64)> =
+            std::mem::take(&mut self.observed).into_iter().collect();
         self.seen = 0;
         self.validations = 0;
+        let observed = ObservedLoad::from_queries(weighted.iter().map(|(q, _)| q));
         let mined = mine_requirements_weighted(&weighted, self.config.min_support);
 
-        let current = self.dk.requirements().clone();
-        let rises: Vec<(String, usize)> = mined
-            .iter()
-            .filter(|&(label, k)| k > current.get(label))
-            .map(|(l, k)| (l.to_string(), k))
-            .collect();
-        let mined_floor_rose = mined.floor() > current.floor();
-
-        if !rises.is_empty() || mined_floor_rose {
-            // Merge the rises into the current requirements and promote.
-            let mut merged = current;
-            for (label, k) in &rises {
-                merged.raise(label, *k);
+        match plan_tuning(self.dk.requirements(), &mined, &observed, self.config.demote_slack) {
+            TuningPlan::Promote(merged) => {
+                self.dk.set_requirements_public(merged);
+                let splits = self.dk.promote_to_requirements(data);
+                telemetry::metrics::TUNER_PROMOTIONS.incr();
+                TuningAction::Promoted { splits }
             }
-            if mined_floor_rose {
-                merged.raise_floor(mined.floor());
+            TuningPlan::Demote(target) => {
+                let saved = self.dk.demote(target);
+                telemetry::metrics::TUNER_DEMOTIONS.incr();
+                TuningAction::Demoted { nodes_saved: saved }
             }
-            self.dk.set_requirements_public(merged);
-            let splits = self.dk.promote_to_requirements(data);
-            telemetry::metrics::TUNER_PROMOTIONS.incr();
-            return TuningAction::Promoted { splits };
+            TuningPlan::Hold => TuningAction::None,
         }
-
-        // Shrink only when the load clearly got shallower (hysteresis).
-        if mined.max_requirement() + self.config.demote_slack < current.max_requirement() {
-            let saved = self.dk.demote(mined);
-            telemetry::metrics::TUNER_DEMOTIONS.incr();
-            return TuningAction::Demoted { nodes_saved: saved };
-        }
-        TuningAction::None
     }
 }
 
@@ -356,6 +478,126 @@ mod tests {
             let expr = parse(q).unwrap();
             let out = t.evaluate(&g, &expr);
             assert_eq!(out.matches, evaluate_on_data(&g, &expr).0);
+        }
+    }
+
+    /// The oscillation regression (ISSUE 9): a label promoted in window N
+    /// that simply goes *unqueried* in window N+1 must keep its
+    /// requirement. Under the old wholesale demote-to-mined policy, an
+    /// alternating deep-A / shallow-B workload thrashed split/merge every
+    /// window; now both of the later windows are strict holds.
+    #[test]
+    fn alternating_workloads_do_not_thrash() {
+        let g = data();
+        let mut t = AdaptiveTuner::new(
+            DkIndex::build(&g, Requirements::new()),
+            TunerConfig {
+                window: 4,
+                min_support: 2,
+                demote_slack: 1,
+            },
+        );
+        let deep = parse("ROOT.director.movie.title").unwrap(); // title: 3
+        let shallow = parse("actor.movie").unwrap(); // movie: 1
+
+        // Window 1: deep load promotes `title` to 3.
+        for _ in 0..4 {
+            t.evaluate(&g, &deep);
+        }
+        assert!(matches!(t.maybe_tune(&g), TuningAction::Promoted { splits } if splits > 0));
+        assert_eq!(t.index().requirements().get("title"), 3);
+
+        // Window 2: only the shallow load — `title` is unqueried, not
+        // shrunk. The shallow label still gets its promotion, but the old
+        // policy would also have demoted `title` back to zero here.
+        for _ in 0..4 {
+            t.evaluate(&g, &shallow);
+        }
+        t.maybe_tune(&g);
+        assert_eq!(t.index().requirements().get("title"), 3);
+        assert_eq!(t.index().requirements().get("movie"), 1);
+
+        // Windows 3 and 4: the workload keeps alternating; the index has
+        // converged, so tuning must hold — no repeated split/merge churn.
+        for _ in 0..4 {
+            t.evaluate(&g, &shallow);
+        }
+        assert_eq!(t.maybe_tune(&g), TuningAction::None);
+        for _ in 0..4 {
+            t.evaluate(&g, &deep);
+        }
+        assert_eq!(t.maybe_tune(&g), TuningAction::None);
+        assert_eq!(t.index().requirements().get("title"), 3);
+        assert_eq!(t.index().requirements().get("movie"), 1);
+    }
+
+    /// Genuine shrink still demotes: the same label queried *shallowly*
+    /// (not merely unqueried) is evidence the load got shallower.
+    #[test]
+    fn observed_shrink_still_demotes() {
+        let g = data();
+        let mut t = AdaptiveTuner::new(
+            DkIndex::build(&g, Requirements::new()),
+            TunerConfig {
+                window: 4,
+                min_support: 1,
+                demote_slack: 1,
+            },
+        );
+        let deep = parse("ROOT.director.movie.title").unwrap();
+        for _ in 0..4 {
+            t.evaluate(&g, &deep);
+        }
+        assert!(matches!(t.maybe_tune(&g), TuningAction::Promoted { .. }));
+        // The *same* result label, now only ever reached by length-1
+        // queries: observed shrinking, demote fires.
+        let shallow = parse("title").unwrap();
+        for _ in 0..4 {
+            t.evaluate(&g, &shallow);
+        }
+        assert!(matches!(t.maybe_tune(&g), TuningAction::Demoted { .. }));
+        assert_eq!(t.index().requirements().get("title"), 0);
+    }
+
+    /// Determinism (ISSUE 9): the same op sequence must produce the same
+    /// tuner actions and a byte-identical index across repeated runs — the
+    /// property the live serve path's serial-replay oracle depends on.
+    #[test]
+    fn tuner_is_deterministic_across_runs() {
+        use crate::snapshot::snapshot_bytes;
+        let g = data();
+        let queries = [
+            "director.movie.title",
+            "actor.movie",
+            "movie.title",
+            "title",
+            "ROOT.director.movie.title",
+            "actor.movie.title",
+        ];
+        let run = || {
+            let mut t = AdaptiveTuner::new(
+                DkIndex::build(&g, Requirements::new()),
+                TunerConfig {
+                    window: 3,
+                    min_support: 1,
+                    demote_slack: 1,
+                },
+            );
+            let mut actions = Vec::new();
+            for (i, q) in queries.iter().cycle().take(24).enumerate() {
+                let expr = parse(q).unwrap();
+                t.evaluate(&g, &expr);
+                if i % 3 == 2 {
+                    actions.push(t.maybe_tune(&g));
+                }
+            }
+            (actions, snapshot_bytes(t.index(), &g))
+        };
+        let (first_actions, first_bytes) = run();
+        for _ in 0..4 {
+            let (actions, bytes) = run();
+            assert_eq!(actions, first_actions, "tuner actions diverged across runs");
+            assert_eq!(bytes, first_bytes, "tuned index bytes diverged across runs");
         }
     }
 }

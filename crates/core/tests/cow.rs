@@ -177,6 +177,7 @@ fn server_publishes_delta_epochs() {
         ServeConfig {
             max_batch: 8,
             threads: 1,
+            ..ServeConfig::default()
         },
     );
     let handle = server.handle();

@@ -112,6 +112,7 @@ fn threaded_serve_matches_serial_application() {
             ServeConfig {
                 max_batch,
                 threads: 1,
+                ..ServeConfig::default()
             },
         );
         std::thread::scope(|s| {
@@ -153,6 +154,7 @@ fn racing_readers_always_see_a_consistent_epoch() {
         ServeConfig {
             max_batch: 1,
             threads: 1,
+            ..ServeConfig::default()
         },
     );
     let queries = ["l0", "l1.l2", "_*.l3", "l2"];
@@ -212,6 +214,7 @@ fn epoch_memo_is_dropped_on_publish() {
         ServeConfig {
             max_batch: 1,
             threads: 1,
+            ..ServeConfig::default()
         },
     );
     let q = parse("l1.l2").unwrap();
@@ -277,4 +280,311 @@ fn dead_maintenance_thread_surfaces_typed_errors() {
     // Shutdown still reclaims the state the thread returned on exit.
     let (final_dk, final_g) = server.shutdown().expect("thread exited cleanly, not by panic");
     final_dk.index().check_invariants(&final_g).unwrap();
+}
+
+// ---- WAL-poisoning contract (regressions) --------------------------------
+
+/// Regression: `flush()` used to ack `Ok(epoch_id)` even after a failed
+/// group commit had poisoned the server and dropped batches unapplied —
+/// violating its "every previously submitted op has been applied" contract.
+/// With the first group commit failing, a flush after the doomed submit must
+/// surface `WalFailed`, not pretend the drain succeeded.
+#[test]
+fn poisoned_server_fails_flush_with_typed_error() {
+    use dkindex_core::wal::WalWriter;
+    use dkindex_core::{FailPlan, ServeError, SharedDisk};
+
+    let (g, dk, ops) = serve_fixture();
+    // Sync 0 is the WAL header; sync 1 — the first group commit — fails.
+    let disk = SharedDisk::new(FailPlan {
+        fail_sync_at: Some(1),
+        torn_write_at: None,
+    });
+    let writer = WalWriter::with_store(disk.clone()).expect("header sync is sync 0");
+    let server = DkServer::start_logged(
+        g,
+        dk,
+        ServeConfig {
+            max_batch: 4,
+            threads: 1,
+            ..ServeConfig::default()
+        },
+        Box::new(writer),
+    );
+
+    // Accepted (the server is not yet poisoned), then dropped when the
+    // batch's group commit fails.
+    server.submit(ops[0].clone()).unwrap();
+    assert_eq!(server.flush(), Err(ServeError::WalFailed));
+    // Poisoning is sticky: the fsyncgate rule forbids retrying, so every
+    // later flush keeps reporting the loss.
+    assert_eq!(server.flush(), Err(ServeError::WalFailed));
+    let (final_dk, final_g) = server.shutdown().unwrap();
+    final_dk.index().check_invariants(&final_g).unwrap();
+}
+
+/// Regression: plain `submit()` ops accepted after WAL poisoning vanished
+/// silently — they queued, were dropped with their batch, and nothing told
+/// the un-acked submitter. Now the poisoned flag is shared: `submit`,
+/// `submit_logged`, and every `Submitter` clone fast-fail with `WalFailed`,
+/// and the recovered log holds exactly the committed prefix.
+#[test]
+fn poisoned_server_fast_fails_submits_and_recovers_committed_prefix() {
+    use dkindex_core::wal::{self, WalWriter};
+    use dkindex_core::{FailPlan, ServeError, SharedDisk};
+
+    let (g, dk, ops) = serve_fixture();
+    // Sync 0: header. Sync 1: first group commit succeeds. Sync 2: second
+    // group commit fails, poisoning the server.
+    let disk = SharedDisk::new(FailPlan {
+        fail_sync_at: Some(2),
+        torn_write_at: None,
+    });
+    let writer = WalWriter::with_store(disk.clone()).expect("header sync is sync 0");
+    let server = DkServer::start_logged(
+        g.clone(),
+        dk.clone(),
+        ServeConfig {
+            max_batch: 1,
+            threads: 1,
+            ..ServeConfig::default()
+        },
+        Box::new(writer),
+    );
+    let submitter = server.submitter();
+
+    // Batch 1 commits durably.
+    let epoch = server
+        .submit_logged(ops[0].clone())
+        .unwrap()
+        .wait()
+        .expect("first group commit succeeds");
+    assert_eq!(epoch, 1);
+    // Batch 2 hits the failed fsync; waiting for its ack observes the
+    // poisoning synchronously.
+    assert_eq!(
+        server.submit_logged(ops[1].clone()).unwrap().wait(),
+        Err(ServeError::WalFailed)
+    );
+
+    // Every submission path now fast-fails instead of enqueueing doomed ops.
+    assert_eq!(server.submit(ops[2].clone()), Err(ServeError::WalFailed));
+    assert!(matches!(
+        server.submit_logged(ops[2].clone()),
+        Err(ServeError::WalFailed)
+    ));
+    assert_eq!(submitter.submit(ops[2].clone()), Err(ServeError::WalFailed));
+    assert!(matches!(
+        submitter.submit_logged(ops[2].clone()),
+        Err(ServeError::WalFailed)
+    ));
+    assert_eq!(server.flush(), Err(ServeError::WalFailed));
+
+    let (final_dk, final_g) = server.shutdown().unwrap();
+
+    // The recovered log holds exactly the one committed op, and replaying
+    // that prefix reproduces the final in-memory state byte for byte.
+    let durable = disk.view(|d| d.crash_view(0));
+    let (records, _tail) = wal::decode_wal(&durable).unwrap();
+    assert_eq!(
+        records.len(),
+        1,
+        "only the first batch's op reached stable storage"
+    );
+    let mut replay_dk = dk.clone();
+    let mut replay_g = g.clone();
+    wal::replay(&mut replay_dk, &mut replay_g, &durable).unwrap();
+    assert_eq!(
+        snapshot_bytes(&replay_dk, &replay_g),
+        snapshot_bytes(&final_dk, &final_g),
+        "in-memory state must equal the replay of the committed WAL prefix"
+    );
+}
+
+// ---- live tuning in the serve loop ---------------------------------------
+
+/// Build a fixture whose query load is deep enough to out-require the
+/// built index (uniform 1), so a harvested window plans a promotion.
+fn tuning_fixture() -> (DataGraph, DkIndex) {
+    let g = random_graph(&RandomGraphConfig {
+        nodes: 220,
+        labels: 5,
+        reference_edges: 24,
+        max_fanout: 6,
+        seed: 0xD5EE,
+    });
+    let dk = DkIndex::build(&g, Requirements::uniform(1));
+    (g, dk)
+}
+
+/// Single-threaded live tuning, end to end: readers feed the monitor, the
+/// maintenance thread harvests on cadence and self-enqueues a promotion,
+/// the recorded op sequence replays byte-identically, and the tuned index
+/// answers the deep query soundly (no validation) afterwards.
+#[test]
+fn live_tuning_promotes_under_deep_load_and_replays_serially() {
+    let (g, dk) = tuning_fixture();
+    let server = DkServer::start(
+        g.clone(),
+        dk.clone(),
+        ServeConfig {
+            max_batch: 4,
+            tune_interval: 1,
+            tune_window: 4,
+            tune_min_support: 2,
+            record_ops: true,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let deep = parse("l0.l1.l2.l3").unwrap();
+    for _ in 0..8 {
+        let _ = handle.evaluate(&deep);
+    }
+
+    // One update publishes a batch; the tuning pass rides the publish and
+    // self-enqueues its op, which the second flush then drains.
+    let edges = generate_update_edges(&g, 1, 7);
+    let (from, to) = edges[0];
+    server.submit(ServeOp::AddEdge { from, to }).unwrap();
+    server.flush().unwrap();
+    server.flush().unwrap();
+
+    let stats = handle.tuning_stats().expect("tuning is enabled");
+    assert!(stats.windows >= 1, "the 8-query window must have harvested");
+    assert!(stats.promotions >= 1, "deep load must plan a promotion");
+
+    let recorded = server.recorded_ops().expect("record_ops is on");
+    assert!(
+        recorded
+            .iter()
+            .any(|op| matches!(op, ServeOp::SetRequirements(_))),
+        "the tuner's promotion must appear in the recorded op sequence"
+    );
+    let (final_dk, final_g) = server.shutdown().unwrap();
+    assert!(
+        final_dk.requirements().get("l3") >= 3,
+        "length-4 queries ending in l3 must have raised its requirement"
+    );
+
+    // Serial-replay oracle over the *recorded* sequence (client ops and
+    // tuning ops at their actual interleaved positions).
+    let mut serial_dk = dk.clone();
+    let mut serial_g = g.clone();
+    apply_serial(&mut serial_dk, &mut serial_g, &recorded);
+    assert_eq!(
+        snapshot_bytes(&final_dk, &final_g),
+        snapshot_bytes(&serial_dk, &serial_g),
+        "live-tuned serve diverged from serial replay of its recorded ops"
+    );
+}
+
+/// N reader threads race the tuning maintenance loop; whatever interleaving
+/// the run took, replaying its recorded op sequence serially must land on
+/// the same snapshot bytes — the determinism oracle holds with live tuning
+/// in the loop.
+#[test]
+fn threaded_live_tuning_matches_serial_replay_of_recorded_ops() {
+    let (g, dk) = tuning_fixture();
+    for readers in [2usize, 4] {
+        let server = DkServer::start(
+            g.clone(),
+            dk.clone(),
+            ServeConfig {
+                max_batch: 2,
+                tune_interval: 1,
+                tune_window: 4,
+                tune_min_support: 2,
+                record_ops: true,
+                ..ServeConfig::default()
+            },
+        );
+        let edges = generate_update_edges(&g, 6, 11);
+        std::thread::scope(|s| {
+            for r in 0..readers {
+                let handle = server.handle();
+                s.spawn(move || {
+                    let queries = ["l0.l1.l2.l3", "l1.l2.l3", "l0.l1"];
+                    for round in 0..40 {
+                        let q = parse(queries[(r + round) % queries.len()]).unwrap();
+                        let _ = handle.evaluate(&q);
+                    }
+                });
+            }
+            for &(from, to) in &edges {
+                server.submit(ServeOp::AddEdge { from, to }).unwrap();
+                server.flush().unwrap();
+            }
+        });
+        // Drain any tuning op the last publish enqueued.
+        server.flush().unwrap();
+        let recorded = server.recorded_ops().expect("record_ops is on");
+        let (final_dk, final_g) = server.shutdown().unwrap();
+
+        let mut serial_dk = dk.clone();
+        let mut serial_g = g.clone();
+        apply_serial(&mut serial_dk, &mut serial_g, &recorded);
+        assert_eq!(
+            snapshot_bytes(&final_dk, &final_g),
+            snapshot_bytes(&serial_dk, &serial_g),
+            "{readers}-reader live-tuned serve diverged from its recorded-op replay"
+        );
+    }
+}
+
+/// Live tuning composes with the WAL: tuning ops group-commit like client
+/// ops, and replaying the log over the initial state reproduces the final
+/// served state byte for byte.
+#[test]
+fn live_tuning_ops_are_wal_logged_and_recoverable() {
+    use dkindex_core::wal::{self, WalWriter};
+    use dkindex_core::{FailPlan, SharedDisk};
+
+    let (g, dk) = tuning_fixture();
+    let disk = SharedDisk::new(FailPlan::none());
+    let writer = WalWriter::with_store(disk.clone()).unwrap();
+    let server = DkServer::start_logged(
+        g.clone(),
+        dk.clone(),
+        ServeConfig {
+            max_batch: 4,
+            tune_interval: 1,
+            tune_window: 4,
+            tune_min_support: 2,
+            ..ServeConfig::default()
+        },
+        Box::new(writer),
+    );
+    let handle = server.handle();
+    let deep = parse("l0.l1.l2.l3").unwrap();
+    for _ in 0..8 {
+        let _ = handle.evaluate(&deep);
+    }
+    let edges = generate_update_edges(&g, 1, 7);
+    let (from, to) = edges[0];
+    server
+        .submit_logged(ServeOp::AddEdge { from, to })
+        .unwrap()
+        .wait()
+        .unwrap();
+    server.flush().unwrap();
+    server.flush().unwrap();
+    let stats = handle.tuning_stats().expect("tuning is enabled");
+    assert!(stats.promotions >= 1, "deep load must plan a promotion");
+    let (final_dk, final_g) = server.shutdown().unwrap();
+
+    let durable = disk.view(|d| d.crash_view(0));
+    let (records, _tail) = wal::decode_wal(&durable).unwrap();
+    assert!(
+        records.len() >= 2,
+        "log must hold the edge update and the tuning op"
+    );
+    let mut replay_dk = dk.clone();
+    let mut replay_g = g.clone();
+    wal::replay(&mut replay_dk, &mut replay_g, &durable).unwrap();
+    assert_eq!(
+        snapshot_bytes(&replay_dk, &replay_g),
+        snapshot_bytes(&final_dk, &final_g),
+        "WAL replay must reproduce the live-tuned final state"
+    );
 }

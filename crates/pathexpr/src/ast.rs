@@ -11,7 +11,12 @@
 use std::fmt;
 
 /// A regular path expression over label names.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// The derived `Ord` gives path expressions a total order (structural,
+/// variant-then-operand), which deterministic consumers — the tuner's
+/// observation window, sorted query streams — use to key `BTreeMap`s
+/// instead of hash containers whose iteration order varies per process.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PathExpr {
     /// A single label, e.g. `movie`.
     Label(String),

@@ -185,12 +185,21 @@ fn respond(request: Frame, shared: &Shared, submitter: &Submitter) -> Frame {
         Frame::Stats => {
             let epoch = shared.handle.epoch();
             let admitted = shared.admitted.load(Ordering::SeqCst);
-            let text = format!(
+            let mut text = format!(
                 "epoch={}\nops_applied={}\nadmitted={admitted}\npending={}\n",
                 epoch.id(),
                 epoch.ops_applied(),
                 admitted.saturating_sub(epoch.ops_applied()),
             );
+            // Key-value lines may be appended without a protocol bump
+            // (PROTOCOL.md §2); the tuning lines appear only when live
+            // tuning is enabled on the serve loop.
+            if let Some(tuning) = shared.handle.tuning_stats() {
+                text.push_str(&format!(
+                    "tune_windows={}\ntune_promotions={}\ntune_demotions={}\n",
+                    tuning.windows, tuning.promotions, tuning.demotions,
+                ));
+            }
             Frame::StatsOk { text }
         }
         Frame::Hello { .. } => {

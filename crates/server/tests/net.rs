@@ -37,6 +37,7 @@ fn start_net(cfg: NetConfig) -> (NetServer, DataGraph, DkIndex) {
         ServeConfig {
             max_batch: 16,
             threads: 1,
+            ..ServeConfig::default()
         },
     );
     let net = NetServer::start(server, "127.0.0.1:0", cfg).expect("bind loopback");

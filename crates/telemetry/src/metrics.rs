@@ -149,6 +149,25 @@ pub static TUNER_DEMOTIONS: Counter = Counter::new("tuner.demotions");
 /// Wall-clock per executed tuning step (full windows only).
 pub static TUNER_TUNE_NS: Histogram = Histogram::new("tuner.tune_ns", Unit::Nanos);
 
+// ---- dkindex-core: live tuning inside the serve loop ---------------------
+
+/// Queries the serve-loop `LoadMonitor` recorded (epoch readers feed it on
+/// every `Epoch::evaluate`/`evaluate_bounded`, lock-free).
+pub static TUNER_LIVE_QUERIES: Counter = Counter::new("tuner.live.queries");
+/// Recorded serve queries whose answer needed the validation process.
+pub static TUNER_LIVE_VALIDATIONS: Counter = Counter::new("tuner.live.validations");
+/// Harvested windows large enough to mine (each ran one planning pass).
+pub static TUNER_LIVE_WINDOWS: Counter = Counter::new("tuner.live.windows");
+/// Planning passes that enqueued a promotion (`SetRequirements` op).
+pub static TUNER_LIVE_PROMOTIONS: Counter = Counter::new("tuner.live.promotions");
+/// Planning passes that enqueued a demotion (`Demote` op).
+pub static TUNER_LIVE_DEMOTIONS: Counter = Counter::new("tuner.live.demotions");
+/// Tuning `ServeOp`s the maintenance thread self-enqueued.
+pub static TUNER_LIVE_OPS: Counter = Counter::new("tuner.live.ops");
+/// Wall-clock per live planning pass (harvest + mine + plan; the enqueued
+/// op's apply cost lands in `serve.publish_ns` like any other op).
+pub static TUNER_LIVE_PLAN_NS: Histogram = Histogram::new("tuner.live.plan_ns", Unit::Nanos);
+
 // ---- dkindex-core: concurrent serving (core::serve) ----------------------
 
 /// Epochs published by the maintenance thread (one per applied batch).
@@ -233,7 +252,7 @@ pub static PHASE_ADAPT_NS: Histogram = Histogram::new("phase.adapt_ns", Unit::Na
 
 /// Every registered counter, in reporting order.
 pub fn counters() -> &'static [&'static Counter] {
-    static ALL: [&Counter; 61] = [
+    static ALL: [&Counter; 67] = [
         &PATHEXPR_EVALUATIONS,
         &PATHEXPR_ACTIVATIONS,
         &PATHEXPR_VALIDATION_WALKS,
@@ -274,6 +293,12 @@ pub fn counters() -> &'static [&'static Counter] {
         &TUNER_WINDOWS,
         &TUNER_PROMOTIONS,
         &TUNER_DEMOTIONS,
+        &TUNER_LIVE_QUERIES,
+        &TUNER_LIVE_VALIDATIONS,
+        &TUNER_LIVE_WINDOWS,
+        &TUNER_LIVE_PROMOTIONS,
+        &TUNER_LIVE_DEMOTIONS,
+        &TUNER_LIVE_OPS,
         &SERVE_EPOCH_PUBLISHES,
         &SERVE_QUERIES,
         &SERVE_STALE_EPOCH_READS,
@@ -302,7 +327,7 @@ pub fn counters() -> &'static [&'static Counter] {
 /// Every registered histogram (value distributions and span timings), in
 /// reporting order.
 pub fn histograms() -> &'static [&'static Histogram] {
-    static ALL: [&Histogram; 22] = [
+    static ALL: [&Histogram; 23] = [
         &PATHEXPR_VISITS_PER_EVAL,
         &PARTITION_BLOCKS_PER_ROUND,
         &PARTITION_ROUND_NS,
@@ -317,6 +342,7 @@ pub fn histograms() -> &'static [&'static Histogram] {
         &DK_DEMOTE_NS,
         &DK_EDGE_UPDATE_NS,
         &TUNER_TUNE_NS,
+        &TUNER_LIVE_PLAN_NS,
         &SERVE_BATCH_OPS,
         &SERVE_PUBLISH_NS,
         &SERVE_NET_REQUEST_NS,
