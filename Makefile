@@ -30,8 +30,10 @@
 # state diverges from the serial replay of the recorded ops (tuner ops
 # included), or if the WAL replay diverges. `doc` and `clippy` must both
 # come back warning-free, and `verify-analysis` proves the determinism /
-# oracle-purity / panic-freedom / unsafe-hygiene contracts at lint time and
-# model-checks the serve epoch protocol (ARCHITECTURE.md §6).
+# oracle-purity / panic-freedom / unsafe-hygiene contracts plus the
+# flow-aware guard-discipline / must-consume / wire-totality /
+# metric-coherence contracts at lint time, and model-checks the serve epoch
+# protocol including the tuner-in-the-loop extension (ARCHITECTURE.md §6).
 verify: build test bench-smoke verify-faults verify-serve verify-churn verify-net verify-crash verify-tune doc clippy verify-analysis
 
 build:
@@ -62,10 +64,14 @@ verify-tune:
 	cargo run --release -q -p dkindex-bench --bin reproduce -- verify-tune
 
 # Static analysis + model checking (ARCHITECTURE.md §6):
-#   1. the dkindex-analyze lint pass over the whole workspace — nonzero exit
-#      on any unjustified contract violation;
-#   2. exhaustive-interleaving model tests for the serve epoch protocol
-#      (crates/core/tests/loom_serve.rs on the offline loom stand-in);
+#   1. the dkindex-analyze lint pass over the whole workspace — all eight
+#      rules, including the flow-aware guard-discipline / must-consume /
+#      wire-totality / metric-coherence checks — nonzero exit on any
+#      unjustified contract violation;
+#   2. exhaustive-interleaving model tests for the serve epoch protocol and
+#      the tuner-in-the-loop protocol (WAL poisoning, durable acks, monitor
+#      feeds, tuner self-enqueue) in crates/core/tests/loom_serve.rs on the
+#      offline loom stand-in;
 #   3. Miri over the core suite, only when the toolchain component is
 #      installed — the offline image has no rustup, so absence is a skip
 #      with a notice, not a failure.

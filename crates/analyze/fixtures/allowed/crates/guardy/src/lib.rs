@@ -1,0 +1,25 @@
+//! Fixture: the guardy violation carrying a justified allow — the tree
+//! must lint clean.
+#![forbid(unsafe_code)]
+
+use std::fs::File;
+use std::sync::RwLock;
+
+/// The current epoch and its backing file.
+pub struct Epochs {
+    current: RwLock<u64>,
+    file: File,
+}
+
+impl Epochs {
+    /// Publishes under the write guard, fsync included, on purpose.
+    pub fn publish(&self, next: u64) -> std::io::Result<()> {
+        let mut guard = self.current.write().unwrap();
+        // analyze: allow(guard-discipline) — fixture: single-writer store,
+        // readers tolerate the stall and the guard pins the epoch the
+        // fsync certifies.
+        self.file.sync_all()?;
+        *guard = next;
+        Ok(())
+    }
+}

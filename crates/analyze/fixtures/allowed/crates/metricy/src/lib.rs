@@ -1,0 +1,9 @@
+//! Fixture crate whose call sites use both registry counters.
+#![forbid(unsafe_code)]
+
+pub mod registry;
+
+/// Touches both counters the way an instrumented hot path would.
+pub fn observe() -> (&'static str, &'static str) {
+    (registry::SERVE_TICKS.name, registry::SERVE_SKIPS.name)
+}

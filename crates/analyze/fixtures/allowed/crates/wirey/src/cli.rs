@@ -1,0 +1,6 @@
+//! Fixture CLI error surface: consistent with OPERATIONS.md.
+
+/// Maps every error class to its process exit code.
+pub fn exit_code() -> i32 {
+    2
+}

@@ -1,0 +1,26 @@
+//! Fixture: the wirey doc-anchor gap carrying a justified allow — the
+//! tree must lint clean.
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+/// Liveness-probe request opcode.
+pub const OP_PING: u8 = 0x12;
+// analyze: allow(wire-totality) — fixture: PONG is documented inline in
+// the PING section; a dedicated anchor would duplicate it.
+/// Liveness-probe response opcode.
+pub const OP_PONG: u8 = 0x22;
+
+/// Encode-side dispatch over every opcode.
+pub fn opcode(ping: bool) -> u8 {
+    if ping {
+        OP_PING
+    } else {
+        OP_PONG
+    }
+}
+
+/// Decode-side dispatch over every opcode.
+pub fn decode_body(op: u8) -> bool {
+    op == OP_PING || op == OP_PONG
+}

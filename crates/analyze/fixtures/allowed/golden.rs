@@ -1,0 +1,6 @@
+// Golden bytes for the fixture codec: both opcodes are pinned.
+#[test]
+fn golden_frames() {
+    assert_eq!(wirey::opcode(true), 0x12);
+    assert_eq!(wirey::opcode(false), 0x22);
+}

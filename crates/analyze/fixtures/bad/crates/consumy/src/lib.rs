@@ -1,0 +1,11 @@
+//! Fixture: a durability ack discarded with `let _` — the `send` below
+//! must be flagged by must-consume exactly once.
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc::Sender;
+
+/// Acks an epoch while silently losing the send outcome: the submitter
+/// may never learn its op was dropped.
+pub fn ack(tx: &Sender<u64>, epoch: u64) {
+    let _ = tx.send(epoch);
+}

@@ -1,0 +1,23 @@
+//! Fixture: a blocking fsync while the epoch write guard is live — the
+//! `sync_all` below must be flagged by guard-discipline exactly once.
+#![forbid(unsafe_code)]
+
+use std::fs::File;
+use std::sync::RwLock;
+
+/// The current epoch and its backing file.
+pub struct Epochs {
+    current: RwLock<u64>,
+    file: File,
+}
+
+impl Epochs {
+    /// Publishes while holding the write guard across the fsync, stalling
+    /// every reader behind disk latency.
+    pub fn publish(&self, next: u64) -> std::io::Result<()> {
+        let mut guard = self.current.write().unwrap();
+        self.file.sync_all()?;
+        *guard = next;
+        Ok(())
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture crate whose call sites use both registry counters, so neither
+//! is an orphan; the bad tree's gap is the ARCH.md table.
+#![forbid(unsafe_code)]
+
+pub mod registry;
+
+/// Touches both counters the way an instrumented hot path would.
+pub fn observe() -> (&'static str, &'static str) {
+    (registry::SERVE_TICKS.name, registry::SERVE_SKIPS.name)
+}

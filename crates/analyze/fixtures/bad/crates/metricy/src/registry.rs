@@ -1,0 +1,26 @@
+//! Fixture metric registry: `serve.skips` is declared, registered, and
+//! used, but missing from the ARCH.md metric table — metric-coherence
+//! must flag it exactly once.
+
+/// Minimal counter mirror of the real telemetry type.
+pub struct Counter {
+    /// Registry name.
+    pub name: &'static str,
+}
+
+impl Counter {
+    /// Const-constructs a named counter.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name }
+    }
+}
+
+/// Maintenance-loop ticks.
+pub static SERVE_TICKS: Counter = Counter::new("serve.ticks");
+/// Batches skipped while poisoned (undocumented in ARCH.md).
+pub static SERVE_SKIPS: Counter = Counter::new("serve.skips");
+
+/// Every counter, for the STATS reader.
+pub fn counters() -> [&'static Counter; 2] {
+    [&SERVE_TICKS, &SERVE_SKIPS]
+}

@@ -1,0 +1,7 @@
+//! Fixture CLI error surface: the exit codes here must match the
+//! OPERATIONS.md table (they do — the bad tree's gap is the opcode doc).
+
+/// Maps every error class to its process exit code.
+pub fn exit_code() -> i32 {
+    2
+}

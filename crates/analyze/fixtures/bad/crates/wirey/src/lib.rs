@@ -1,0 +1,25 @@
+//! Fixture: a wire codec with a doc-anchor gap — `OP_PONG` has an encode
+//! arm, a decode arm, and a golden byte test, but no PROTOCOL.md anchor;
+//! wire-totality must flag it exactly once.
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+/// Liveness-probe request opcode.
+pub const OP_PING: u8 = 0x12;
+/// Liveness-probe response opcode (missing its PROTOCOL.md anchor).
+pub const OP_PONG: u8 = 0x22;
+
+/// Encode-side dispatch over every opcode.
+pub fn opcode(ping: bool) -> u8 {
+    if ping {
+        OP_PING
+    } else {
+        OP_PONG
+    }
+}
+
+/// Decode-side dispatch over every opcode.
+pub fn decode_body(op: u8) -> bool {
+    op == OP_PING || op == OP_PONG
+}

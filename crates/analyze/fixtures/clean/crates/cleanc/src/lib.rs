@@ -3,7 +3,14 @@
 //! attribute making that compiler-enforced.
 #![forbid(unsafe_code)]
 
+pub mod cli;
+pub mod protocol;
+pub mod registry;
+
 use std::collections::BTreeMap;
+use std::fs::File;
+use std::sync::mpsc::{SendError, Sender};
+use std::sync::{PoisonError, RwLock};
 
 /// Deterministic fingerprint: `BTreeMap` iterates in key order, so the
 /// bytes are identical across runs.
@@ -29,3 +36,22 @@ pub fn header_len(bytes: &[u8]) -> Result<usize, MissingHeader> {
 /// The frame had no header byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MissingHeader;
+
+/// Publishes an epoch the disciplined way: fsync *before* taking the
+/// write guard, which then lives only for the pointer store.
+pub fn publish(current: &RwLock<u64>, file: &File, next: u64) -> std::io::Result<()> {
+    file.sync_all()?;
+    let mut guard = current.write().unwrap_or_else(PoisonError::into_inner);
+    *guard = next;
+    Ok(())
+}
+
+/// Acks an epoch and propagates the send outcome to the caller.
+pub fn ack(tx: &Sender<u64>, epoch: u64) -> Result<(), SendError<u64>> {
+    tx.send(epoch)
+}
+
+/// Reads the registered counter, marking it live at a call site.
+pub fn tick_name() -> &'static str {
+    registry::SERVE_TICKS.name
+}

@@ -1,0 +1,15 @@
+//! Fixture codec with total wire coverage: encode arm, decode arm, golden
+//! byte test, and PROTOCOL.md anchor all present.
+
+/// Liveness-probe request opcode.
+pub const OP_PING: u8 = 0x12;
+
+/// Encode-side dispatch.
+pub fn opcode() -> u8 {
+    OP_PING
+}
+
+/// Decode-side dispatch.
+pub fn decode_body(op: u8) -> bool {
+    op == OP_PING
+}

@@ -1,0 +1,22 @@
+//! Fixture metric registry: declared, registered, used, and documented.
+
+/// Minimal counter mirror of the real telemetry type.
+pub struct Counter {
+    /// Registry name.
+    pub name: &'static str,
+}
+
+impl Counter {
+    /// Const-constructs a named counter.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name }
+    }
+}
+
+/// Maintenance-loop ticks.
+pub static SERVE_TICKS: Counter = Counter::new("serve.ticks");
+
+/// Every counter, for the STATS reader.
+pub fn counters() -> [&'static Counter; 1] {
+    [&SERVE_TICKS]
+}

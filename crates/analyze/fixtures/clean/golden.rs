@@ -1,0 +1,5 @@
+// Golden bytes for the fixture codec.
+#[test]
+fn golden_frames() {
+    assert_eq!(cleanc::protocol::opcode(), 0x12);
+}

@@ -1,0 +1,11 @@
+//! Fixture: a bare allow on a discarded send — the escape hatch demands a
+//! reason, so must-consume must still fire.
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc::Sender;
+
+/// Discards the send outcome behind an allow that explains nothing.
+pub fn ack(tx: &Sender<u64>, epoch: u64) {
+    // analyze: allow(must-consume)
+    let _ = tx.send(epoch);
+}

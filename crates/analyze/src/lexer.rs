@@ -4,16 +4,27 @@
 //! hand-rolled token stream instead of a real AST. The lexer understands
 //! everything that would otherwise produce false token matches — line and
 //! (nested) block comments, string / raw-string / byte-string / char
-//! literals, lifetimes — and returns comments out-of-band so rules can
-//! look up `// analyze: allow(...)` and `// SAFETY:` annotations by line.
+//! literals, raw identifiers, lifetimes — and returns comments out-of-band
+//! so rules can look up `// analyze: allow(...)` and `// SAFETY:`
+//! annotations by line.
+//!
+//! Literal tokens carry their **verbatim source text** (quotes and raw
+//! prefixes included): the cross-artifact rules read metric names out of
+//! string literals and opcode bytes out of hex literals, so the lexer must
+//! not collapse them to placeholders. Line numbers are tracked through
+//! every multi-line construct — raw strings with hash fences, byte
+//! strings, escaped newlines, nested block comments — because a desynced
+//! line both misplaces findings and detaches `allow` comments from the
+//! lines they justify.
 
 /// What a [`Tok`] is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TokKind {
-    /// Identifier or keyword (`for`, `unwrap`, `HashMap`, ...).
+    /// Identifier or keyword (`for`, `unwrap`, `HashMap`, ...). Raw
+    /// identifiers keep their `r#` prefix so `r#match` is never mistaken
+    /// for the keyword.
     Ident,
-    /// String / char / numeric / lifetime literal (content irrelevant to
-    /// the rules; kept so token adjacency stays faithful).
+    /// String / char / numeric / lifetime literal, text verbatim.
     Literal,
     /// Punctuation. Multi-character operators that matter to the rules
     /// (`::`) are fused into one token; everything else is one char.
@@ -25,10 +36,27 @@ pub enum TokKind {
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Verbatim text (for [`TokKind::Literal`] a placeholder class tag).
+    /// Verbatim source text (for multi-line literals: the whole literal).
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
+}
+
+impl Tok {
+    /// For a string / byte-string literal: the content between the quotes
+    /// (raw prefixes and hash fences stripped). `None` for every other
+    /// token, including char literals and lifetimes.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Literal {
+            return None;
+        }
+        let t = self.text.trim_start_matches(['b', 'r']).trim_matches('#');
+        if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+            Some(&t[1..t.len() - 1])
+        } else {
+            None
+        }
+    }
 }
 
 /// One comment with its 1-based starting line.
@@ -93,24 +121,43 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                 });
             }
             b'"' => {
+                let start_line = line;
+                let start = i;
                 i = skip_string(bytes, i, &mut line);
-                toks.push(Tok { kind: TokKind::Literal, text: "\"str\"".into(), line });
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'r' if is_raw_ident(bytes, i) => {
+                let start = i;
+                i += 2; // r#
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
             }
             b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
                 let start_line = line;
+                let start = i;
                 i = skip_prefixed_literal(bytes, i, &mut line);
                 toks.push(Tok {
                     kind: TokKind::Literal,
-                    text: "\"str\"".into(),
+                    text: src[start..i].to_string(),
                     line: start_line,
                 });
             }
             b'\'' => {
                 // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
-                let (next, is_lifetime) = lex_quote(bytes, i);
+                let (next, _is_lifetime) = lex_quote(bytes, i);
                 toks.push(Tok {
                     kind: TokKind::Literal,
-                    text: if is_lifetime { "'_".into() } else { "'c'".into() },
+                    text: src[i..next].to_string(),
                     line,
                 });
                 i = next;
@@ -127,6 +174,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                 });
             }
             _ if c.is_ascii_digit() => {
+                let start = i;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
@@ -142,7 +190,11 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                         i += 1;
                     }
                 }
-                toks.push(Tok { kind: TokKind::Literal, text: "0".into(), line });
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
             }
             b':' if bytes.get(i + 1) == Some(&b':') => {
                 toks.push(Tok { kind: TokKind::Punct, text: "::".into(), line });
@@ -159,6 +211,14 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
         }
     }
     (toks, comments)
+}
+
+/// `r#ident` (raw identifier, not `r#"..."#`) starts here?
+fn is_raw_ident(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i + 1) == Some(&b'#')
+        && bytes
+            .get(i + 2)
+            .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
 }
 
 /// `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` starts here?
@@ -225,12 +285,19 @@ fn skip_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
 }
 
 /// Skip a normal `"..."` string starting at the quote; returns the index
-/// past the closing quote.
+/// past the closing quote. An escaped newline (`\` at end of line — the
+/// Rust line-continuation) still advances the line counter: skipping the
+/// escape pair blindly was the line-desync bug the lexer golden tests pin.
 fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -250,7 +317,7 @@ fn lex_quote(bytes: &[u8], i: usize) -> (usize, bool) {
         while j < bytes.len() && bytes[j] != b'\'' {
             j += 1;
         }
-        return (j + 1, false);
+        return ((j + 1).min(bytes.len()), false);
     }
     // `'x'` char literal (exactly one char then a quote).
     if bytes.get(i + 2) == Some(&b'\'') {
@@ -294,9 +361,35 @@ mod tests {
         // `'static` lexes as one lifetime Literal, not a `static` ident.
         assert!(!ids.contains(&"static".to_string()));
         let (toks, comments) = lex(src);
-        assert!(toks.iter().any(|t| t.text == "'_"));
+        assert!(toks.iter().any(|t| t.text == "'static"));
         assert_eq!(comments.len(), 2);
         assert_eq!(comments[0].text, "unwrap in a comment");
+    }
+
+    #[test]
+    fn literals_keep_their_verbatim_text() {
+        let (toks, _) = lex("rec(\"serve.queries\", 0x2E, 'q');");
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["\"serve.queries\"", "0x2E", "'q'"]);
+        let s = toks.iter().find(|t| t.text.starts_with('"')).unwrap();
+        assert_eq!(s.str_content(), Some("serve.queries"));
+        // Raw and byte strings strip their prefixes/fences too.
+        let (toks, _) = lex(r###"let a = r#"wal.sync"#; let b = b"dk";"###);
+        let contents: Vec<&str> = toks.iter().filter_map(|t| t.str_content()).collect();
+        assert_eq!(contents, ["wal.sync", "dk"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let (toks, _) = lex("let r#match = r#fn + 1;");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "r#match", "=", "r#fn", "+", "1", ";"]);
+        // And they are Idents, not the keywords they shadow.
+        assert!(!idents("r#match").contains(&"match".to_string()));
     }
 
     #[test]

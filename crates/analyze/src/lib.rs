@@ -16,12 +16,18 @@
 //! | `oracle-purity` | reference oracles never import the fast paths / telemetry they are oracles for (module import graph) |
 //! | `panic-path` | serve, snapshot recovery, WAL replay, wire-frame encode/decode and network connection handling return typed errors — no `unwrap`/`expect`/`panic!`/indexing |
 //! | `unsafe-hygiene` | every `unsafe` carries `// SAFETY:`; unsafe-free crates declare `#![forbid(unsafe_code)]` |
+//! | `guard-discipline` | no blocking call (fsync, socket/channel I/O, lock re-acquisition) while an epoch write guard, mutex guard, or staged WAL batch is live, across helper calls one level deep |
+//! | `must-consume` | a `DurableAck`/`Result` produced in the serve/WAL/network stack is bound and used — never statement-dropped or `let _`-discarded without justification |
+//! | `wire-totality` | every DKNP opcode has encode + decode + golden byte test + PROTOCOL.md anchor; CLI exit codes match the OPERATIONS.md table, both directions |
+//! | `metric-coherence` | metric names agree across call sites, the telemetry registry, and the ARCHITECTURE.md metric tables — no phantom or orphaned metrics |
 //!
 //! Because the offline build environment has no `syn`, the pass runs on a
 //! hand-rolled token stream ([`lexer`]) — string/comment-aware, line
 //! tracking, `#[cfg(test)]` exclusion — which is exactly enough for these
-//! rules. Escape hatch: `// analyze: allow(<rule-id>) — <why>` on (or one
-//! line above) the flagged line; the justification text is mandatory.
+//! rules. Escape hatch: `// analyze: allow(<rule-id>) — <why>` on the
+//! flagged line or in the comment block directly above it; the
+//! justification text is mandatory (and may wrap onto following comment
+//! lines).
 //!
 //! Findings print as `file:line: rule-id: message` and the
 //! `dkindex-analyze` binary exits nonzero on any unjustified violation.
@@ -29,13 +35,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow;
 pub mod lexer;
 pub mod model;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
-use rules::{ForbiddenRef, OracleSpec, RuleConfig};
+use rules::{
+    BlockingSpec, ConsumeConfig, ForbiddenRef, GuardConfig, GuardSpec, MetricConfig, OracleSpec,
+    RuleConfig, WireConfig,
+};
 use std::io;
 use std::path::Path;
 
@@ -157,6 +168,66 @@ pub fn default_config() -> RuleConfig {
             },
         ],
         unsafe_hygiene: true,
+        guard: Some(GuardConfig {
+            scope: scope(&[
+                "dkindex_core::serve",
+                "dkindex_core::wal",
+                "dkindex_server::conn",
+                "dkindex_server::server",
+            ]),
+            guards: vec![
+                GuardSpec::new("write", true, "epoch RwLock write guard"),
+                GuardSpec::new("lock", true, "mutex guard"),
+            ],
+            blocking: vec![
+                BlockingSpec::new("sync_all", false, "fsync"),
+                BlockingSpec::new("sync_data", false, "fdatasync"),
+                BlockingSpec::new("recv", true, "blocking channel receive"),
+                BlockingSpec::new("recv_timeout", false, "blocking channel receive"),
+                BlockingSpec::new("join", true, "thread join"),
+                BlockingSpec::new("read_exact", false, "blocking socket read"),
+                BlockingSpec::new("write_all", false, "blocking socket write"),
+                BlockingSpec::new("lock", true, "mutex (re-)acquisition"),
+                BlockingSpec::new("write", true, "rwlock write (re-)acquisition"),
+                BlockingSpec::new("read", true, "rwlock read (re-)acquisition"),
+            ],
+            batch_open: "stage".into(),
+            batch_close: "commit".into(),
+        }),
+        consume: Some(ConsumeConfig {
+            scope: scope(&[
+                "dkindex_core::serve",
+                "dkindex_core::wal",
+                "dkindex_server::*",
+            ]),
+            producers: vec![
+                "send".into(),
+                "submit".into(),
+                "submit_logged".into(),
+                "log_batch".into(),
+                "append_batch".into(),
+                "stage".into(),
+                "commit".into(),
+                "sync_all".into(),
+                "sync_data".into(),
+            ],
+            ret_types: vec!["DurableAck".into()],
+        }),
+        wire: Some(WireConfig {
+            protocol_module: "dkindex_server::protocol".into(),
+            encode_fns: vec!["opcode".into(), "encode".into()],
+            decode_fns: vec!["decode_body".into()],
+            golden_test: "crates/server/tests/protocol_golden.rs".into(),
+            protocol_doc: "docs/PROTOCOL.md".into(),
+            cli_module: "dkindex_cli::commands".into(),
+            exit_code_fn: "exit_code".into(),
+            operations_doc: "docs/OPERATIONS.md".into(),
+        }),
+        metrics: Some(MetricConfig {
+            registry_module: "dkindex_telemetry::metrics".into(),
+            registry_fns: vec!["counters".into(), "histograms".into()],
+            architecture_doc: "ARCHITECTURE.md".into(),
+        }),
     }
 }
 
@@ -201,5 +272,5 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
 /// tests scope the rules onto synthetic module trees this way).
 pub fn analyze_workspace_with(root: &Path, config: &RuleConfig) -> io::Result<Vec<Finding>> {
     let files = workspace::load_workspace(root)?;
-    Ok(rules::run_all(&files, config))
+    Ok(rules::run_all(&files, config, Some(root)))
 }

@@ -53,20 +53,36 @@ impl SourceFile {
     }
 
     /// Does a `// analyze: allow(<rule>) — <justification>` comment cover
-    /// `line` (the comment sits on the line itself or the line above)?
-    /// Returns `Some(has_justification)` when an allow for the rule is
-    /// present; the justification is the non-empty text after the `)`.
+    /// `line`? The allow may sit on the line itself or anywhere in the
+    /// contiguous comment block whose last line is directly above it, so
+    /// multi-line justifications read naturally. Returns
+    /// `Some(has_justification)` when an allow for the rule is present;
+    /// the justification is the non-empty text after the `)`, wrapping
+    /// onto the block's following comment lines if need be.
     pub fn allow_on(&self, rule: &str, line: u32) -> Option<bool> {
         let needle = format!("analyze: allow({rule})");
-        for c in &self.comments {
-            if c.line + 1 < line || c.line > line {
+        for (i, c) in self.comments.iter().enumerate() {
+            if c.line > line {
+                break;
+            }
+            let Some(pos) = c.text.find(&needle) else { continue };
+            // Extend through the contiguous comment block below the allow,
+            // accumulating wrapped justification text as we go.
+            let mut end = c.line;
+            let mut justification = c.text[pos + needle.len()..].to_string();
+            for next in &self.comments[i + 1..] {
+                if next.line != end + 1 {
+                    break;
+                }
+                end = next.line;
+                justification.push(' ');
+                justification.push_str(&next.text);
+            }
+            if end + 1 < line {
                 continue;
             }
-            if let Some(pos) = c.text.find(&needle) {
-                let rest = &c.text[pos + needle.len()..];
-                let justification = rest.trim_start_matches([' ', '-', '—', ':', '–']).trim();
-                return Some(!justification.is_empty());
-            }
+            let justification = justification.trim_start_matches([' ', '-', '—', ':', '–']).trim();
+            return Some(!justification.is_empty());
         }
         None
     }
@@ -116,7 +132,7 @@ fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
 }
 
 /// Given `#` at token `i`, return the index past the attribute's `]`.
-fn skip_attr(toks: &[Tok], i: usize) -> usize {
+pub(crate) fn skip_attr(toks: &[Tok], i: usize) -> usize {
     let mut j = i + 1;
     if toks.get(j).map(|t| t.text.as_str()) != Some("[") {
         return i + 1;

@@ -1,6 +1,8 @@
-//! Rendering: findings to stderr-style text and `ANALYZE.json`.
+//! Rendering: findings to stderr-style text and `ANALYZE.json`, plus the
+//! baseline reader used by `--baseline`.
 
 use crate::rules::{count_by_rule, Finding, RULES};
+use std::collections::BTreeSet;
 use std::io::{self, Write};
 use std::path::Path;
 
@@ -17,8 +19,10 @@ pub fn summary(findings: &[Finding]) -> String {
 }
 
 /// Write `ANALYZE.json`: rule → finding count (all zeros on a clean tree),
-/// total, and the findings themselves.
-pub fn write_json(path: &Path, findings: &[Finding]) -> io::Result<()> {
+/// total, analysis wall time when measured, and the findings themselves.
+/// Each finding carries its stable [`Finding::id`] so a saved report can
+/// later serve as a `--baseline`.
+pub fn write_json(path: &Path, findings: &[Finding], wall_ms: Option<u128>) -> io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     let counts = count_by_rule(findings);
     writeln!(f, "{{")?;
@@ -35,12 +39,16 @@ pub fn write_json(path: &Path, findings: &[Finding]) -> io::Result<()> {
     writeln!(f)?;
     writeln!(f, "  }},")?;
     writeln!(f, "  \"total\": {},", findings.len())?;
+    if let Some(ms) = wall_ms {
+        writeln!(f, "  \"analysis_wall_ms\": {ms},")?;
+    }
     writeln!(f, "  \"findings\": [")?;
     for (i, finding) in findings.iter().enumerate() {
         let comma = if i + 1 < findings.len() { "," } else { "" };
         writeln!(
             f,
-            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+            "    {{\"id\": \"{}\", \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+            finding.id(),
             escape(&finding.path.display().to_string()),
             finding.line,
             finding.rule,
@@ -52,6 +60,69 @@ pub fn write_json(path: &Path, findings: &[Finding]) -> io::Result<()> {
     Ok(())
 }
 
+/// Read the stable finding ids out of a previously written `ANALYZE.json`.
+/// The scan is textual — every `"id": "…"` value — so it tolerates any
+/// report this tool has ever written without needing a JSON parser.
+pub fn read_baseline(path: &Path) -> io::Result<BTreeSet<String>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut ids = BTreeSet::new();
+    let needle = "\"id\": \"";
+    let mut rest = text.as_str();
+    while let Some(at) = rest.find(needle) {
+        let tail = &rest[at + needle.len()..];
+        let Some(end) = tail.find('"') else { break };
+        ids.insert(tail[..end].to_string());
+        rest = &tail[end..];
+    }
+    Ok(ids)
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(rule: &'static str, path: &str, message: &str) -> Finding {
+        Finding {
+            path: PathBuf::from(path),
+            line: 7,
+            rule,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_line_independent() {
+        let a = finding("must-consume", "src/serve.rs", "`send` result dropped");
+        let mut b = a.clone();
+        b.line = 99;
+        assert_eq!(a.id(), b.id());
+        let c = finding("must-consume", "src/serve.rs", "`submit` result dropped");
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a.id().len(), 16);
+    }
+
+    #[test]
+    fn baseline_roundtrip_through_json() {
+        let dir = std::env::temp_dir().join(format!("dkindex-analyze-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ANALYZE.json");
+        let findings = vec![
+            finding("must-consume", "src/a.rs", "`send` result dropped"),
+            finding("guard-discipline", "src/b.rs", "`sync_all` under guard"),
+        ];
+        write_json(&path, &findings, Some(12)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"analysis_wall_ms\": 12"));
+        let ids = read_baseline(&path).unwrap();
+        assert_eq!(ids.len(), 2);
+        for f in &findings {
+            assert!(ids.contains(&f.id()), "baseline missing {}", f.id());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -1,0 +1,178 @@
+//! metric-coherence: call sites, registry, and ARCHITECTURE.md agree on
+//! the metric namespace.
+//!
+//! The telemetry registry (`telemetry::metrics`) is the single source of
+//! truth for metric names: every `Counter`/`Histogram` is a static there,
+//! registered in `counters()`/`histograms()`, and listed in the
+//! ARCHITECTURE.md metric tables. Three drift modes fire:
+//!
+//! * **phantom** — a call site constructs `Counter::new("name")` outside
+//!   the registry module (new names must go through the registry so
+//!   `STATS` and dashboards see them);
+//! * **orphaned** — a registry static no other file references (dead
+//!   metric: it inflates STATS frames and the doc tables for nothing);
+//! * **undocumented / unregistered** — a registry metric name absent from
+//!   the ARCHITECTURE.md tables, or a static missing from its
+//!   `counters()`/`histograms()` registration list.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::rules::{push_unless_allowed, Finding, MetricConfig};
+use crate::symbols::SymbolIndex;
+
+/// One registry static: `static IDENT: ... = Counter::new("name");`.
+struct MetricDef {
+    ident: String,
+    name: String,
+    line: u32,
+}
+
+/// Run the rule.
+pub fn check(
+    files: &[SourceFile],
+    index: &SymbolIndex,
+    cfg: &MetricConfig,
+    findings: &mut Vec<Finding>,
+) {
+    let Some((reg_idx, registry)) = files
+        .iter()
+        .enumerate()
+        .find(|(_, f)| f.module == cfg.registry_module)
+    else {
+        return;
+    };
+    let defs = collect_defs(registry);
+    let doc = index.doc(&cfg.architecture_doc);
+
+    for def in &defs {
+        // Registered in one of the registry fns (`counters()`, ...)?
+        let registered = cfg.registry_fns.iter().any(|name| {
+            index
+                .fn_in_file(reg_idx, name)
+                .map(|m| {
+                    registry.toks[m.body.0..m.body.1.min(registry.toks.len())]
+                        .iter()
+                        .any(|t| t.text == def.ident)
+                })
+                .unwrap_or(false)
+        });
+        if !registered {
+            push_unless_allowed(
+                registry,
+                def.line,
+                "metric-coherence",
+                format!(
+                    "metric `{}` (static `{}`) is not registered in any of `{}` — STATS \
+                     readers will never see it",
+                    def.name,
+                    def.ident,
+                    cfg.registry_fns.join("`/`")
+                ),
+                findings,
+            );
+        }
+        // Referenced anywhere outside the registry file?
+        let used = files.iter().enumerate().any(|(i, f)| {
+            i != reg_idx
+                && f.toks
+                    .iter()
+                    .any(|t| t.text == def.ident || t.str_content() == Some(def.name.as_str()))
+        });
+        if !used {
+            push_unless_allowed(
+                registry,
+                def.line,
+                "metric-coherence",
+                format!(
+                    "metric `{}` (static `{}`) is declared and registered but no call site \
+                     references it — orphaned metric",
+                    def.name, def.ident
+                ),
+                findings,
+            );
+        }
+        // Listed in the architecture doc?
+        match &doc {
+            Some(content) if content.contains(&def.name) => {}
+            Some(_) => push_unless_allowed(
+                registry,
+                def.line,
+                "metric-coherence",
+                format!(
+                    "metric `{}` is missing from the {} metric tables",
+                    def.name, cfg.architecture_doc
+                ),
+                findings,
+            ),
+            None => {}
+        }
+    }
+
+    // Phantom constructors: `Counter::new(..)` / `Histogram::new(..)`
+    // outside the registry file.
+    for (i, file) in files.iter().enumerate() {
+        if i == reg_idx {
+            continue;
+        }
+        for (t_idx, t) in file.toks.iter().enumerate() {
+            if (t.text == "Counter" || t.text == "Histogram")
+                && file.toks.get(t_idx + 1).map(|t| t.text.as_str()) == Some("::")
+                && file.toks.get(t_idx + 2).map(|t| t.text.as_str()) == Some("new")
+                && file.toks.get(t_idx + 3).map(|t| t.text.as_str()) == Some("(")
+                && !file.in_test_code(t_idx)
+            {
+                let name = file
+                    .toks
+                    .get(t_idx + 4)
+                    .and_then(|n| n.str_content())
+                    .unwrap_or("<dynamic>");
+                push_unless_allowed(
+                    file,
+                    t.line,
+                    "metric-coherence",
+                    format!(
+                        "`{}::new(\"{name}\")` outside the registry module `{}` — phantom \
+                         metric invisible to STATS and the doc tables",
+                        t.text, cfg.registry_module
+                    ),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// `static IDENT: <ty> = (Counter|Histogram)::new("name")` declarations.
+fn collect_defs(file: &SourceFile) -> Vec<MetricDef> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "static" || file.in_test_code(i) {
+            continue;
+        }
+        let Some(ident) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Scan forward to `= (Counter|Histogram) :: new ( "name"` within
+        // the same statement.
+        let mut j = i + 2;
+        while j + 4 < toks.len() && toks[j].text != ";" {
+            if (toks[j].text == "Counter" || toks[j].text == "Histogram")
+                && toks[j + 1].text == "::"
+                && toks[j + 2].text == "new"
+                && toks[j + 3].text == "("
+            {
+                if let Some(name) = toks[j + 4].str_content() {
+                    out.push(MetricDef {
+                        ident: ident.text.clone(),
+                        name: name.to_string(),
+                        line: ident.line,
+                    });
+                }
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}

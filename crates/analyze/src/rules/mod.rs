@@ -7,15 +7,20 @@
 //! scope list in [`RuleConfig`], and a `check` function — the existing
 //! rules average well under a hundred lines each.
 
+pub mod consume;
 pub mod determinism;
+pub mod guard;
+pub mod metric;
 pub mod panic_path;
 pub mod purity;
 pub mod unsafety;
+pub mod wire;
 
 use crate::model::SourceFile;
+use crate::symbols::SymbolIndex;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// How bad an unjustified violation is. Both levels currently fail the
 /// build; the distinction is kept for reporting and future rules.
@@ -63,6 +68,31 @@ pub const RULES: &[RuleMeta] = &[
                    forbid it outright",
         severity: Severity::Warning,
     },
+    RuleMeta {
+        id: "guard-discipline",
+        contract: "no blocking call (fsync, socket/channel I/O, lock re-acquisition) while an \
+                   epoch write guard, mutex guard, or WAL batch is live in scope, across helper \
+                   calls one level deep",
+        severity: Severity::Error,
+    },
+    RuleMeta {
+        id: "must-consume",
+        contract: "a DurableAck or Result produced in the serve/WAL/network stack is bound and \
+                   used — never silently dropped or discarded with a bare `let _`",
+        severity: Severity::Error,
+    },
+    RuleMeta {
+        id: "wire-totality",
+        contract: "every DKNP opcode has an encode path, a decode arm, a golden byte test, and \
+                   a PROTOCOL.md anchor; every CLI exit code matches the OPERATIONS.md table",
+        severity: Severity::Error,
+    },
+    RuleMeta {
+        id: "metric-coherence",
+        contract: "every metric name used at a call site is declared in the telemetry registry \
+                   and listed in ARCHITECTURE.md; no phantom or orphaned metrics",
+        severity: Severity::Warning,
+    },
 ];
 
 /// One reference an oracle module must not make.
@@ -97,6 +127,105 @@ pub struct OracleSpec {
     pub forbidden: Vec<ForbiddenRef>,
 }
 
+/// One guard-creating method: binding its result keeps a guard live until
+/// the enclosing scope ends (or an explicit `drop`).
+#[derive(Clone, Debug)]
+pub struct GuardSpec {
+    /// Method name whose call creates the guard (`write`, `lock`).
+    pub method: String,
+    /// Only an empty argument list creates the guard: distinguishes
+    /// `RwLock::write()` from `io::Write::write(buf)`.
+    pub empty_args: bool,
+    /// What the guard is, echoed in findings.
+    pub what: String,
+}
+
+impl GuardSpec {
+    /// Build a spec from its three fields.
+    pub fn new(method: &str, empty_args: bool, what: &str) -> GuardSpec {
+        GuardSpec { method: method.into(), empty_args, what: what.into() }
+    }
+}
+
+/// One method call the guard-discipline rule considers blocking.
+#[derive(Clone, Debug)]
+pub struct BlockingSpec {
+    /// Method name (`sync_all`, `recv`, ...).
+    pub method: String,
+    /// Only an empty argument list blocks (lock re-acquisition forms).
+    pub empty_args: bool,
+    /// Why the call blocks, echoed in findings.
+    pub why: String,
+}
+
+impl BlockingSpec {
+    /// Build a spec from its three fields.
+    pub fn new(method: &str, empty_args: bool, why: &str) -> BlockingSpec {
+        BlockingSpec { method: method.into(), empty_args, why: why.into() }
+    }
+}
+
+/// Scope and tables for the guard-discipline rule.
+#[derive(Clone, Debug)]
+pub struct GuardConfig {
+    /// Modules the rule runs in.
+    pub scope: Vec<String>,
+    /// Guard-creating methods.
+    pub guards: Vec<GuardSpec>,
+    /// Blocking calls forbidden while a guard is live.
+    pub blocking: Vec<BlockingSpec>,
+    /// Method opening a WAL batch (`stage`): the batch is live until...
+    pub batch_open: String,
+    /// ...this method closes it (`commit`).
+    pub batch_close: String,
+}
+
+/// Scope and tables for the must-consume rule.
+#[derive(Clone, Debug)]
+pub struct ConsumeConfig {
+    /// Modules the rule runs in.
+    pub scope: Vec<String>,
+    /// Method/function names that always produce a must-consume value
+    /// (channel `send`, WAL `log_batch`, ...).
+    pub producers: Vec<String>,
+    /// Return-type markers: a workspace fn whose return type mentions one
+    /// of these is a producer too (`Result`, `DurableAck`).
+    pub ret_types: Vec<String>,
+}
+
+/// Artifact locations for the wire-totality rule.
+#[derive(Clone, Debug)]
+pub struct WireConfig {
+    /// Module declaring the opcode consts and the frame codec.
+    pub protocol_module: String,
+    /// Fns an opcode const must be referenced in on the encode side.
+    pub encode_fns: Vec<String>,
+    /// Fns an opcode const must be referenced in on the decode side.
+    pub decode_fns: Vec<String>,
+    /// Root-relative path of the golden byte tests.
+    pub golden_test: String,
+    /// Root-relative path of the wire-protocol document.
+    pub protocol_doc: String,
+    /// Module declaring the CLI error type and its exit codes.
+    pub cli_module: String,
+    /// The fn mapping errors to exit codes.
+    pub exit_code_fn: String,
+    /// Root-relative path of the operations document (exit-code table).
+    pub operations_doc: String,
+}
+
+/// Artifact locations for the metric-coherence rule.
+#[derive(Clone, Debug)]
+pub struct MetricConfig {
+    /// Module declaring every metric static (the registry).
+    pub registry_module: String,
+    /// Registry fns whose bodies must reference every declared static
+    /// (`counters`, `histograms`).
+    pub registry_fns: Vec<String>,
+    /// Root-relative path of the document listing every metric name.
+    pub architecture_doc: String,
+}
+
 /// Scopes and tables the rules run against. [`crate::default_config`]
 /// describes the real workspace; tests build ad-hoc configs for fixtures.
 #[derive(Clone, Debug, Default)]
@@ -109,6 +238,14 @@ pub struct RuleConfig {
     pub oracles: Vec<OracleSpec>,
     /// Run the workspace-wide unsafe-hygiene rule.
     pub unsafe_hygiene: bool,
+    /// The guard-discipline rule (`None` disables it).
+    pub guard: Option<GuardConfig>,
+    /// The must-consume rule (`None` disables it).
+    pub consume: Option<ConsumeConfig>,
+    /// The wire-totality rule (`None` disables it).
+    pub wire: Option<WireConfig>,
+    /// The metric-coherence rule (`None` disables it).
+    pub metrics: Option<MetricConfig>,
 }
 
 /// One violation, printed as `file:line: rule-id: message`.
@@ -122,6 +259,29 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human explanation with the offending symbol.
     pub message: String,
+}
+
+impl Finding {
+    /// Stable identity for baseline suppression: an FNV-1a hash over
+    /// `rule:path:message`, rendered as 16 hex digits. Deliberately
+    /// line-free so a finding keeps its id when unrelated edits shift
+    /// code above it; the message embeds the offending symbol, so two
+    /// distinct violations in one file hash apart.
+    pub fn id(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .rule
+            .bytes()
+            .chain([b':'])
+            .chain(self.path.to_string_lossy().bytes())
+            .chain([b':'])
+            .chain(self.message.bytes())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
 }
 
 impl fmt::Display for Finding {
@@ -180,8 +340,10 @@ pub(crate) const KEYWORDS: &[&str] = &[
 ];
 
 /// Run every configured rule over `files` (one whole workspace or a
-/// fixture set). Findings come back sorted by path, then line.
-pub fn run_all(files: &[SourceFile], config: &RuleConfig) -> Vec<Finding> {
+/// fixture set). `root` resolves the cross-artifact rules' doc and test
+/// files; without it those checks are skipped. Findings come back sorted
+/// by path, then line.
+pub fn run_all(files: &[SourceFile], config: &RuleConfig, root: Option<&Path>) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in files {
         determinism::check(file, config, &mut findings);
@@ -190,6 +352,23 @@ pub fn run_all(files: &[SourceFile], config: &RuleConfig) -> Vec<Finding> {
     }
     if config.unsafe_hygiene {
         unsafety::check(files, &mut findings);
+    }
+    if config.guard.is_some() || config.consume.is_some() || config.wire.is_some()
+        || config.metrics.is_some()
+    {
+        let index = SymbolIndex::build(files, root);
+        if let Some(cfg) = &config.guard {
+            guard::check(files, &index, cfg, &mut findings);
+        }
+        if let Some(cfg) = &config.consume {
+            consume::check(files, &index, cfg, &mut findings);
+        }
+        if let Some(cfg) = &config.wire {
+            wire::check(files, &index, cfg, &mut findings);
+        }
+        if let Some(cfg) = &config.metrics {
+            metric::check(files, &index, cfg, &mut findings);
+        }
     }
     findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
     findings

@@ -1,0 +1,267 @@
+//! wire-totality: every opcode is encodable, decodable, golden-tested,
+//! and documented; every CLI exit code is in the operations runbook.
+//!
+//! The DKNP wire protocol (docs/PROTOCOL.md) and the CLI exit-code
+//! contract (docs/OPERATIONS.md §4) are cross-artifact invariants: an
+//! opcode exists as a `const ...: u8` in `server::protocol`, an encode
+//! path, a decode match arm, a golden byte test, and a doc anchor — five
+//! artifacts that drift independently. This rule makes the drift a lint
+//! failure in both directions (code → doc and doc → code).
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::rules::{push_unless_allowed, Finding, WireConfig};
+use crate::symbols::SymbolIndex;
+
+/// One `const NAME: u8 = 0xNN;` opcode declaration.
+struct Opcode {
+    name: String,
+    /// Literal text, lowercased (`0x2e`).
+    hex: String,
+    line: u32,
+}
+
+/// Run the rule.
+pub fn check(
+    files: &[SourceFile],
+    index: &SymbolIndex,
+    cfg: &WireConfig,
+    findings: &mut Vec<Finding>,
+) {
+    if let Some((file_idx, file)) = files
+        .iter()
+        .enumerate()
+        .find(|(_, f)| f.module == cfg.protocol_module)
+    {
+        check_opcodes(file_idx, file, index, cfg, findings);
+    }
+    if let Some((file_idx, file)) = files
+        .iter()
+        .enumerate()
+        .find(|(_, f)| f.module == cfg.cli_module)
+    {
+        check_exit_codes(file_idx, file, index, cfg, findings);
+    }
+}
+
+fn check_opcodes(
+    file_idx: usize,
+    file: &SourceFile,
+    index: &SymbolIndex,
+    cfg: &WireConfig,
+    findings: &mut Vec<Finding>,
+) {
+    let opcodes = collect_opcodes(file);
+    let golden = index.doc(&cfg.golden_test).map(|s| s.to_lowercase());
+    let doc = index.doc(&cfg.protocol_doc).map(|s| s.to_lowercase());
+
+    for op in &opcodes {
+        for (fns, artifact) in [(&cfg.encode_fns, "encode"), (&cfg.decode_fns, "decode")] {
+            let referenced = fns.iter().any(|name| {
+                index
+                    .fn_in_file(file_idx, name)
+                    .map(|m| {
+                        file.toks[m.body.0..m.body.1.min(file.toks.len())]
+                            .iter()
+                            .any(|t| t.text == op.name)
+                    })
+                    .unwrap_or(false)
+            });
+            if !referenced {
+                push_unless_allowed(
+                    file,
+                    op.line,
+                    "wire-totality",
+                    format!(
+                        "opcode `{}` ({}) has no {artifact} arm (none of `{}` reference it)",
+                        op.name,
+                        op.hex,
+                        fns.join("`/`")
+                    ),
+                    findings,
+                );
+            }
+        }
+        match &golden {
+            Some(content) if content.contains(&op.hex) => {}
+            Some(_) => push_unless_allowed(
+                file,
+                op.line,
+                "wire-totality",
+                format!(
+                    "opcode `{}` ({}) has no golden byte test in {}",
+                    op.name, op.hex, cfg.golden_test
+                ),
+                findings,
+            ),
+            None => push_unless_allowed(
+                file,
+                op.line,
+                "wire-totality",
+                format!("golden byte-test file {} is missing or empty", cfg.golden_test),
+                findings,
+            ),
+        }
+        match &doc {
+            Some(content) if content.contains(&format!("opcode `{}`", op.hex)) => {}
+            Some(_) => push_unless_allowed(
+                file,
+                op.line,
+                "wire-totality",
+                format!(
+                    "opcode `{}` ({}) has no \"opcode `{}`\" section anchor in {}",
+                    op.name, op.hex, op.hex, cfg.protocol_doc
+                ),
+                findings,
+            ),
+            None => push_unless_allowed(
+                file,
+                op.line,
+                "wire-totality",
+                format!("protocol document {} is missing or empty", cfg.protocol_doc),
+                findings,
+            ),
+        }
+    }
+
+    // Reverse direction: every "opcode `0x..`" anchor in the doc must be a
+    // declared const.
+    if let Some(content) = &doc {
+        for anchor in doc_anchors(content) {
+            if !opcodes.iter().any(|op| op.hex == anchor) {
+                push_unless_allowed(
+                    file,
+                    1,
+                    "wire-totality",
+                    format!(
+                        "{} documents opcode `{}` which is not declared in `{}`",
+                        cfg.protocol_doc, anchor, cfg.protocol_module
+                    ),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// `const NAME: u8 = <lit>;` declarations outside test code. The `u8`
+/// filter is what separates opcodes from `VERSION: u16` / frame-size
+/// consts.
+fn collect_opcodes(file: &SourceFile) -> Vec<Opcode> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 5 < toks.len() {
+        if toks[i].text == "const"
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].text == ":"
+            && toks[i + 3].text == "u8"
+            && toks[i + 4].text == "="
+            && toks[i + 5].kind == TokKind::Literal
+            && !file.in_test_code(i)
+        {
+            out.push(Opcode {
+                name: toks[i + 1].text.clone(),
+                hex: toks[i + 5].text.to_lowercase(),
+                line: toks[i + 1].line,
+            });
+            i += 6;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Every `opcode `0x..`` anchor value in (lowercased) doc content.
+fn doc_anchors(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let needle = "opcode `0x";
+    let mut rest = content;
+    while let Some(pos) = rest.find(needle) {
+        let tail = &rest[pos + needle.len() - 2..]; // keep the `0x`
+        let hex: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit() || *c == 'x')
+            .collect();
+        if hex.len() > 2 && !out.contains(&hex) {
+            out.push(hex);
+        }
+        rest = &rest[pos + needle.len()..];
+    }
+    out
+}
+
+fn check_exit_codes(
+    file_idx: usize,
+    file: &SourceFile,
+    index: &SymbolIndex,
+    cfg: &WireConfig,
+    findings: &mut Vec<Finding>,
+) {
+    // Exit codes the code can produce: numeric literals in the
+    // `exit_code` fn, plus 0 for success.
+    let Some(model) = index.fn_in_file(file_idx, &cfg.exit_code_fn) else {
+        return;
+    };
+    let mut in_code: Vec<(String, u32)> = vec![("0".into(), model.line)];
+    for t in &file.toks[model.body.0..model.body.1.min(file.toks.len())] {
+        if t.kind == TokKind::Literal && t.text.chars().all(|c| c.is_ascii_digit()) {
+            in_code.push((t.text.clone(), t.line));
+        }
+    }
+
+    let Some(doc) = index.doc(&cfg.operations_doc) else {
+        push_unless_allowed(
+            file,
+            model.line,
+            "wire-totality",
+            format!("operations document {} is missing or empty", cfg.operations_doc),
+            findings,
+        );
+        return;
+    };
+    // Doc table rows: `| N |` with a numeric first cell.
+    let mut in_doc: Vec<String> = Vec::new();
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix('|') {
+            if let Some(cell) = rest.split('|').next() {
+                let cell = cell.trim();
+                if !cell.is_empty() && cell.chars().all(|c| c.is_ascii_digit()) {
+                    in_doc.push(cell.to_string());
+                }
+            }
+        }
+    }
+
+    for (code, line) in &in_code {
+        if !in_doc.contains(code) {
+            push_unless_allowed(
+                file,
+                *line,
+                "wire-totality",
+                format!(
+                    "exit code {code} is produced by `{}` but missing from the {} exit-code \
+                     table",
+                    cfg.exit_code_fn, cfg.operations_doc
+                ),
+                findings,
+            );
+        }
+    }
+    for code in &in_doc {
+        if !in_code.iter().any(|(c, _)| c == code) {
+            push_unless_allowed(
+                file,
+                model.line,
+                "wire-totality",
+                format!(
+                    "{} documents exit code {code} which `{}` can no longer produce",
+                    cfg.operations_doc, cfg.exit_code_fn
+                ),
+                findings,
+            );
+        }
+    }
+}

@@ -10,7 +10,10 @@
 //! back to directory names for crate names, so a bare `src/lib.rs` is a
 //! complete fixture crate.
 
-use dkindex_analyze::rules::{count_by_rule, ForbiddenRef, OracleSpec, RuleConfig};
+use dkindex_analyze::rules::{
+    count_by_rule, BlockingSpec, ConsumeConfig, ForbiddenRef, GuardConfig, GuardSpec,
+    MetricConfig, OracleSpec, RuleConfig, WireConfig,
+};
 use dkindex_analyze::{analyze_workspace, analyze_workspace_with, default_config, Finding, RULES};
 use std::path::{Path, PathBuf};
 
@@ -39,6 +42,33 @@ fn fixture_config() -> RuleConfig {
             ],
         }],
         unsafe_hygiene: true,
+        guard: Some(GuardConfig {
+            scope: vec!["guardy".into()],
+            guards: vec![GuardSpec::new("write", true, "epoch RwLock write guard")],
+            blocking: vec![BlockingSpec::new("sync_all", false, "fsync")],
+            batch_open: "stage".into(),
+            batch_close: "commit".into(),
+        }),
+        consume: Some(ConsumeConfig {
+            scope: vec!["consumy".into()],
+            producers: vec!["send".into()],
+            ret_types: vec!["DurableAck".into()],
+        }),
+        wire: Some(WireConfig {
+            protocol_module: "wirey".into(),
+            encode_fns: vec!["opcode".into()],
+            decode_fns: vec!["decode_body".into()],
+            golden_test: "golden.rs".into(),
+            protocol_doc: "PROTOCOL.md".into(),
+            cli_module: "wirey::cli".into(),
+            exit_code_fn: "exit_code".into(),
+            operations_doc: "OPERATIONS.md".into(),
+        }),
+        metrics: Some(MetricConfig {
+            registry_module: "metricy::registry".into(),
+            registry_fns: vec!["counters".into()],
+            architecture_doc: "ARCH.md".into(),
+        }),
     }
 }
 
@@ -68,6 +98,10 @@ fn each_rule_fires_exactly_once_on_the_bad_tree() {
         ("oracle-purity", "oracle"),
         ("panic-path", "panicky"),
         ("unsafe-hygiene", "unsafety"),
+        ("guard-discipline", "guardy"),
+        ("must-consume", "consumy"),
+        ("wire-totality", "wirey"),
+        ("metric-coherence", "metricy"),
     ];
     for (rule, crate_dir) in lands_in {
         let f = finding_in(&findings, rule);
@@ -88,16 +122,22 @@ fn justified_allows_and_safety_comments_pass() {
 fn a_bare_allow_comment_is_itself_a_finding() {
     let config = RuleConfig {
         panic_scope: vec!["panicky".into()],
+        consume: Some(ConsumeConfig {
+            scope: vec!["consumy".into()],
+            producers: vec!["send".into()],
+            ret_types: vec!["DurableAck".into()],
+        }),
         ..RuleConfig::default()
     };
     let findings = analyze_workspace_with(&fixture_root("unjustified"), &config).unwrap();
-    assert_eq!(findings.len(), 1, "{findings:?}");
-    assert_eq!(findings[0].rule, "panic-path");
-    assert!(
-        findings[0].message.contains("requires a justification"),
-        "{}",
-        findings[0]
-    );
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    for (finding, rule) in findings.iter().zip(["must-consume", "panic-path"]) {
+        assert_eq!(finding.rule, rule, "{findings:?}");
+        assert!(
+            finding.message.contains("requires a justification"),
+            "{finding}"
+        );
+    }
 }
 
 #[test]
@@ -114,6 +154,33 @@ fn the_clean_tree_has_zero_findings_under_the_full_config() {
             )],
         }],
         unsafe_hygiene: true,
+        guard: Some(GuardConfig {
+            scope: vec!["cleanc".into()],
+            guards: vec![GuardSpec::new("write", true, "epoch RwLock write guard")],
+            blocking: vec![BlockingSpec::new("sync_all", false, "fsync")],
+            batch_open: "stage".into(),
+            batch_close: "commit".into(),
+        }),
+        consume: Some(ConsumeConfig {
+            scope: vec!["cleanc".into()],
+            producers: vec!["send".into()],
+            ret_types: vec!["DurableAck".into()],
+        }),
+        wire: Some(WireConfig {
+            protocol_module: "cleanc::protocol".into(),
+            encode_fns: vec!["opcode".into()],
+            decode_fns: vec!["decode_body".into()],
+            golden_test: "golden.rs".into(),
+            protocol_doc: "PROTOCOL.md".into(),
+            cli_module: "cleanc::cli".into(),
+            exit_code_fn: "exit_code".into(),
+            operations_doc: "OPERATIONS.md".into(),
+        }),
+        metrics: Some(MetricConfig {
+            registry_module: "cleanc::registry".into(),
+            registry_fns: vec!["counters".into()],
+            architecture_doc: "ARCH.md".into(),
+        }),
     };
     let findings = analyze_workspace_with(&fixture_root("clean"), &config).unwrap();
     assert!(findings.is_empty(), "clean tree must have zero findings: {findings:?}");
@@ -231,6 +298,29 @@ fn tuner_and_mining_are_inside_the_repository_scopes() {
             );
         }
     }
+}
+
+/// A report written from one run is a complete baseline for the next:
+/// every finding's stable id round-trips through `ANALYZE.json`, and the
+/// ids stay put when line numbers drift (they hash `rule:path:message`,
+/// not positions).
+#[test]
+fn a_written_report_baselines_the_same_tree() {
+    let findings = analyze_workspace_with(&fixture_root("bad"), &fixture_config()).unwrap();
+    assert!(!findings.is_empty());
+    let dir = std::env::temp_dir().join(format!("dkindex-analyze-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("ANALYZE.json");
+    dkindex_analyze::report::write_json(&json, &findings, Some(3)).unwrap();
+    let known = dkindex_analyze::report::read_baseline(&json).unwrap();
+    assert_eq!(known.len(), findings.len(), "ids must be distinct: {findings:?}");
+    for f in &findings {
+        assert!(known.contains(&f.id()), "baseline missing {} for {f}", f.id());
+        let mut shifted = f.clone();
+        shifted.line += 40;
+        assert_eq!(shifted.id(), f.id(), "ids must survive line drift");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// The regression gate for the workspace-wide fix pass: the real tree

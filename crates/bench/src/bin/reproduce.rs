@@ -579,6 +579,7 @@ fn run_analyze_report(path: &str) -> usize {
         println!("static analysis skipped: no workspace sources above the current directory");
         return 0;
     };
+    let started = std::time::Instant::now();
     let findings = match dkindex_analyze::analyze_workspace(&root) {
         Ok(findings) => findings,
         Err(e) => {
@@ -586,10 +587,13 @@ fn run_analyze_report(path: &str) -> usize {
             std::process::exit(2);
         }
     };
+    let wall_ms = started.elapsed().as_millis();
     for f in &findings {
         eprintln!("{f}");
     }
-    if let Err(e) = dkindex_analyze::report::write_json(std::path::Path::new(path), &findings) {
+    if let Err(e) =
+        dkindex_analyze::report::write_json(std::path::Path::new(path), &findings, Some(wall_ms))
+    {
         eprintln!("error: writing {path}: {e}");
         std::process::exit(2);
     }

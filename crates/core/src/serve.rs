@@ -620,6 +620,8 @@ impl DkServer {
     /// with [`ServeError::MaintenanceGone`] when the maintenance thread
     /// panicked and the final state is unrecoverable.
     pub fn shutdown(mut self) -> Result<(DkIndex, DataGraph), ServeError> {
+        // analyze: allow(must-consume) — a send failure means maintenance
+        // already exited; the join below surfaces that as MaintenanceGone.
         let _ = self.tx.send(Msg::Shutdown);
         let join = self.join.take().ok_or(ServeError::MaintenanceGone)?;
         join.join().map_err(|_| ServeError::MaintenanceGone)
@@ -630,6 +632,8 @@ impl DkServer {
     /// [`ServeError::MaintenanceGone`] surface on subsequent calls.
     #[doc(hidden)]
     pub fn stop_maintenance_for_tests(&self) {
+        // analyze: allow(must-consume) — the hook exists to provoke the
+        // maintenance-gone state; a failed send means it is already gone.
         let _ = self.tx.send(Msg::Shutdown);
     }
 
@@ -692,6 +696,8 @@ impl Submitter {
 impl Drop for DkServer {
     fn drop(&mut self) {
         if let Some(join) = self.join.take() {
+            // analyze: allow(must-consume) — best-effort teardown in Drop:
+            // a dead maintenance thread is already the state we want.
             let _ = self.tx.send(Msg::Shutdown);
             let _ = join.join();
         }
@@ -782,12 +788,17 @@ impl LiveTuner {
                 self.state.promotions.fetch_add(1, Ordering::Relaxed);
                 telemetry::metrics::TUNER_LIVE_PROMOTIONS.incr();
                 telemetry::metrics::TUNER_LIVE_OPS.incr();
+                // analyze: allow(must-consume) — tuner self-enqueue is
+                // advisory: a failed send means maintenance is shutting
+                // down, and dropping the plan is the correct outcome.
                 let _ = self.tx.send(Msg::Op(ServeOp::SetRequirements(reqs), None));
             }
             TuningPlan::Demote(reqs) => {
                 self.state.demotions.fetch_add(1, Ordering::Relaxed);
                 telemetry::metrics::TUNER_LIVE_DEMOTIONS.incr();
                 telemetry::metrics::TUNER_LIVE_OPS.incr();
+                // analyze: allow(must-consume) — see the promote arm: a
+                // failed tuner send during shutdown is a correct drop.
                 let _ = self.tx.send(Msg::Op(ServeOp::Demote(reqs), None));
             }
             TuningPlan::Hold => {}
@@ -865,6 +876,9 @@ fn maintenance_loop(
                     telemetry::metrics::SERVE_WAL_DROPPED_BATCHES.incr();
                     for (_, ack) in batch.drain(..) {
                         if let Some(ack) = ack {
+                            // analyze: allow(must-consume) — a gone receiver
+                            // means the submitter stopped waiting; the
+                            // failure is already published via `poisoned`.
                             let _ = ack.send(Err(ServeError::WalFailed));
                         }
                     }
@@ -920,6 +934,9 @@ fn maintenance_loop(
                 if ctx.wal.is_some() {
                     telemetry::metrics::SERVE_DURABLE_ACKS.incr();
                 }
+                // analyze: allow(must-consume) — the op is durable and
+                // visible whether or not the submitter still listens; a
+                // gone receiver must not fail maintenance.
                 let _ = ack.send(Ok(epoch_id));
             }
             // Live tuning rides published batches: harvest the monitor on
@@ -934,6 +951,9 @@ fn maintenance_loop(
             // The flush contract is "every previously submitted op has been
             // *applied*" — once poisoned, batches are being dropped, so a
             // flush must surface the loss instead of acking it away (S1).
+            // analyze: allow(must-consume) — flush callers may time out and
+            // drop the receiver; the outcome they asked about is decided
+            // either way.
             let _ = ack.send(if wal_broken {
                 Err(ServeError::WalFailed)
             } else {
@@ -945,6 +965,9 @@ fn maintenance_loop(
         // until the holder drops its resume sender; maintenance resumes
         // with whatever queued meanwhile.
         for gate in pauses.drain(..) {
+            // analyze: allow(must-consume) — a dropped gate holder means
+            // "resume immediately": the park notification has no reader and
+            // the recv below returns Err at once.
             let _ = gate.parked.send(());
             let _ = gate.resume.recv();
         }

@@ -253,6 +253,9 @@ fn worker_loop(
         // released before the (long) connection handling starts.
         let next = {
             let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            // analyze: allow(guard-discipline) — intentional: the mutex IS
+            // the work-distribution queue; only idle workers block here,
+            // and the guard drops before connection handling starts.
             guard.recv()
         };
         match next {
